@@ -1,0 +1,22 @@
+//! # rp-anonymize
+//!
+//! Posterior/prior-criteria publishing baselines for the
+//! reconstruction-privacy workspace.
+//!
+//! The paper's introduction contrasts reconstruction privacy with the
+//! criteria family that treats non-independent reasoning as a violation
+//! (l-diversity, t-closeness, …). This crate implements a concrete,
+//! cited representative — **Anatomy** (Xiao & Tao, VLDB 2006, reference
+//! \[28\] of the paper) — so the two philosophies can be compared on the
+//! same query pools:
+//!
+//! * [`anatomy`] — l-diverse bucketization publishing a (QI-table,
+//!   SA-table) pair, with the standard uniform-within-bucket count
+//!   estimator.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod anatomy;
+
+pub use anatomy::{AnatomizedTable, AnatomyError};

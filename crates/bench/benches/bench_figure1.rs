@@ -1,0 +1,17 @@
+//! Figure 1 regeneration bench: the `sg` curves (Equation 10 evaluated
+//! over the frequency grid for both panels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_core::privacy::{max_group_size, PrivacyParams};
+use rp_experiments::figure1;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("figure1/both_panels", |b| b.iter(figure1::run));
+    c.bench_function("figure1/single_sg", |b| {
+        let params = PrivacyParams::new(0.3, 0.3);
+        b.iter(|| max_group_size(params, 0.5, 50, 0.3));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figures 2/4 regeneration bench: the violation sweeps (vg/vr) over
+//! p, λ and δ on both reduced fixtures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_bench::{adult_fixture, census_fixture};
+use rp_core::privacy::{check_groups, PrivacyParams};
+use rp_experiments::violation;
+
+fn bench(c: &mut Criterion) {
+    let adult = adult_fixture();
+    let census = census_fixture();
+    let mut group = c.benchmark_group("figure2_4");
+    group.sample_size(20);
+    group.bench_function("figure2_adult_sweeps", |b| {
+        b.iter(|| violation::run_all(&adult));
+    });
+    group.bench_function("figure4_census_sweeps", |b| {
+        b.iter(|| violation::run_all(&census));
+    });
+    group.bench_function("single_check_census", |b| {
+        let params = PrivacyParams::new(0.3, 0.3);
+        b.iter(|| check_groups(&census.groups, 0.5, params));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 1 regeneration bench: the two-query Laplace ratio attack on the
+//! (reduced) synthetic ADULT, across the paper's three ε settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_bench::adult_fixture;
+use rp_experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    let dataset = adult_fixture();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    for eps in [0.01, 0.1, 0.5] {
+        group.bench_with_input(BenchmarkId::new("ratio_attack", eps), &eps, |b, &eps| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                table1::run(&dataset.raw, &[eps], 10, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

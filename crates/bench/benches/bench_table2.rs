@@ -1,0 +1,17 @@
+//! Table 2 regeneration bench: the `2(b/x)²` disclosure-indicator grid
+//! (pure closed form; this bench mostly tracks that the analytic path
+//! stays allocation-light).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table2/grid", |b| b.iter(table2::run));
+    c.bench_function("table2/render", |b| {
+        let grid = table2::run();
+        b.iter(|| table2::render(&grid));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Tables 4/5 regeneration bench: the χ² generalization pass (pairwise
+//! tests + union-find merge + table rewrite) on both reduced fixtures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_bench::{adult_fixture, census_fixture};
+use rp_core::generalize::Generalization;
+use rp_core::groups::SaSpec;
+use rp_experiments::tables45;
+
+fn bench(c: &mut Criterion) {
+    let adult = adult_fixture();
+    let census = census_fixture();
+    let mut group = c.benchmark_group("table4_5");
+    group.sample_size(10);
+    group.bench_function("fit_adult", |b| {
+        let spec = SaSpec::new(&adult.raw, adult.sa);
+        b.iter(|| Generalization::fit(&adult.raw, &spec, 0.05));
+    });
+    group.bench_function("fit_census", |b| {
+        let spec = SaSpec::new(&census.raw, census.sa);
+        b.iter(|| Generalization::fit(&census.raw, &spec, 0.05));
+    });
+    group.bench_function("apply_adult", |b| {
+        b.iter(|| adult.generalization.apply(&adult.raw));
+    });
+    group.bench_function("impact_report_adult", |b| {
+        b.iter(|| tables45::run(&adult));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

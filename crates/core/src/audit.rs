@@ -1,0 +1,237 @@
+//! Publication audit: a structured, human-readable account of how a table
+//! stands with respect to `(λ, δ)`-reconstruction privacy.
+//!
+//! [`audit`] aggregates the per-group verdicts of
+//! [`crate::privacy::check_groups`] into the numbers a data owner acts on:
+//! the violation rates `vg`/`vr`, the distribution of group sizes against
+//! their thresholds, the worst offenders, and the expected sampling burden
+//! SPS would incur.
+
+use crate::groups::PersonalGroups;
+use crate::privacy::{check_groups, PrivacyParams, ViolationReport};
+
+/// One of the worst-offending groups in an audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Offender {
+    /// Index into the audited [`PersonalGroups`].
+    pub group_index: usize,
+    /// Group size `|g|`.
+    pub size: u64,
+    /// Maximum SA frequency `f`.
+    pub max_frequency: f64,
+    /// Threshold `sg`.
+    pub sg: f64,
+    /// `|g| / sg` — how far past the threshold the group sits.
+    pub excess_factor: f64,
+}
+
+/// The audit result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublicationAudit {
+    /// The parameters audited against.
+    pub params: PrivacyParams,
+    /// The retention probability audited against.
+    pub p: f64,
+    /// The underlying per-group report.
+    pub report: ViolationReport,
+    /// Worst offenders by excess factor, descending (at most `top_k`).
+    pub offenders: Vec<Offender>,
+    /// Expected number of records SPS would sample
+    /// (Σ min(|g|, sg) over violating groups).
+    pub expected_sample_records: f64,
+    /// Expected fraction of records that survive into samples across the
+    /// whole table (1.0 when nothing violates).
+    pub expected_trial_fraction: f64,
+}
+
+impl PublicationAudit {
+    /// Whether the table can be published with plain perturbation.
+    pub fn is_private(&self) -> bool {
+        self.report.is_private()
+    }
+}
+
+/// Audits `groups` against `(p, params)`, keeping the `top_k` worst
+/// offenders.
+pub fn audit(
+    groups: &PersonalGroups,
+    p: f64,
+    params: PrivacyParams,
+    top_k: usize,
+) -> PublicationAudit {
+    let report = check_groups(groups, p, params);
+    let mut offenders: Vec<Offender> = report
+        .verdicts
+        .iter()
+        .filter(|v| v.violates)
+        .map(|v| Offender {
+            group_index: v.group_index,
+            size: v.size,
+            max_frequency: v.max_frequency,
+            sg: v.sg,
+            excess_factor: if v.sg > 0.0 {
+                v.size as f64 / v.sg
+            } else {
+                f64::INFINITY
+            },
+        })
+        .collect();
+    offenders.sort_by(|a, b| {
+        b.excess_factor
+            .partial_cmp(&a.excess_factor)
+            .expect("excess factors are comparable")
+    });
+    offenders.truncate(top_k);
+    let mut expected_sample_records = 0.0;
+    let mut trial_records = 0.0;
+    for v in &report.verdicts {
+        if v.violates {
+            let sample = v.sg.max(1.0).min(v.size as f64);
+            expected_sample_records += sample;
+            trial_records += sample;
+        } else {
+            trial_records += v.size as f64;
+        }
+    }
+    let expected_trial_fraction = if report.total_records == 0 {
+        1.0
+    } else {
+        trial_records / report.total_records as f64
+    };
+    PublicationAudit {
+        params,
+        p,
+        report,
+        offenders,
+        expected_sample_records,
+        expected_trial_fraction,
+    }
+}
+
+/// Renders the audit as a short report.
+pub fn render(a: &PublicationAudit) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Reconstruction-privacy audit (p = {}, lambda = {}, delta = {})",
+        a.p,
+        a.params.lambda(),
+        a.params.delta()
+    );
+    let _ = writeln!(
+        out,
+        "groups: {} total, {} violating (vg = {:.2}%)",
+        a.report.verdicts.len(),
+        a.report.violating_groups(),
+        100.0 * a.report.vg()
+    );
+    let _ = writeln!(
+        out,
+        "records: {} total, {} at risk (vr = {:.2}%)",
+        a.report.total_records,
+        a.report.violating_records,
+        100.0 * a.report.vr()
+    );
+    if a.is_private() {
+        let _ = writeln!(
+            out,
+            "verdict: PRIVATE — plain uniform perturbation suffices"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "verdict: NOT PRIVATE — SPS would keep {:.1}% of records as random trials",
+            100.0 * a.expected_trial_fraction
+        );
+        let _ = writeln!(out, "worst offenders (|g| / sg):");
+        for o in &a.offenders {
+            let _ = writeln!(
+                out,
+                "  group #{:<6} size {:<8} f = {:.3}  sg = {:<10.1} excess x{:.1}",
+                o.group_index, o.size, o.max_frequency, o.sg, o.excess_factor
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::SaSpec;
+    use rp_table::{Attribute, Schema, Table, TableBuilder};
+
+    fn demo_table(sizes: &[(usize, f64)]) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::with_anonymous_domain("G", sizes.len()),
+            Attribute::with_anonymous_domain("SA", 2),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (g, &(n, f)) in sizes.iter().enumerate() {
+            let ones = (n as f64 * (1.0 - f)).round() as usize;
+            for i in 0..n {
+                b.push_codes(&[g as u32, u32::from(i < ones)]).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn private_table_audit() {
+        let t = demo_table(&[(20, 0.6), (30, 0.5)]);
+        let groups = PersonalGroups::build(&t, SaSpec::new(&t, 1));
+        let a = audit(&groups, 0.5, PrivacyParams::new(0.3, 0.3), 5);
+        assert!(a.is_private());
+        assert!(a.offenders.is_empty());
+        assert!((a.expected_trial_fraction - 1.0).abs() < 1e-12);
+        assert!(render(&a).contains("PRIVATE"));
+    }
+
+    #[test]
+    fn offenders_sorted_by_excess() {
+        let t = demo_table(&[(5000, 0.7), (1000, 0.9), (20, 0.5)]);
+        let groups = PersonalGroups::build(&t, SaSpec::new(&t, 1));
+        let a = audit(&groups, 0.5, PrivacyParams::new(0.3, 0.3), 5);
+        assert!(!a.is_private());
+        assert_eq!(a.report.violating_groups(), 2);
+        assert_eq!(a.offenders.len(), 2);
+        assert!(a.offenders[0].excess_factor >= a.offenders[1].excess_factor);
+        for o in &a.offenders {
+            assert!(o.size as f64 > o.sg);
+        }
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let t = demo_table(&[(5000, 0.7), (4000, 0.7), (3000, 0.7)]);
+        let groups = PersonalGroups::build(&t, SaSpec::new(&t, 1));
+        let a = audit(&groups, 0.5, PrivacyParams::new(0.3, 0.3), 2);
+        assert_eq!(a.offenders.len(), 2);
+        assert_eq!(a.report.violating_groups(), 3);
+    }
+
+    #[test]
+    fn trial_fraction_reflects_sampling() {
+        // One violating group of 5000 with sg ≈ 131 next to 20 compliant
+        // records: the surviving trial fraction is ≈ (131 + 20) / 5020.
+        let t = demo_table(&[(5000, 0.7), (20, 0.5)]);
+        let groups = PersonalGroups::build(&t, SaSpec::new(&t, 1));
+        let a = audit(&groups, 0.5, PrivacyParams::new(0.3, 0.3), 5);
+        let sg = crate::privacy::max_group_size(PrivacyParams::new(0.3, 0.3), 0.5, 2, 0.7);
+        let expected = (sg + 20.0) / 5020.0;
+        assert!((a.expected_trial_fraction - expected).abs() < 1e-9);
+        assert!((a.expected_sample_records - sg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_lists_offenders() {
+        let t = demo_table(&[(5000, 0.7)]);
+        let groups = PersonalGroups::build(&t, SaSpec::new(&t, 1));
+        let a = audit(&groups, 0.5, PrivacyParams::new(0.3, 0.3), 3);
+        let text = render(&a);
+        assert!(text.contains("NOT PRIVATE"));
+        assert!(text.contains("worst offenders"));
+        assert!(text.contains("excess"));
+    }
+}

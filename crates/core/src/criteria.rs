@@ -1,0 +1,387 @@
+//! Auxiliary privacy criteria referenced by the paper.
+//!
+//! * **ρ1-ρ2 privacy** (Evfimievski–Gehrke–Srikant) — the paper leaves the
+//!   retention probability `p` as an input so that "other privacy criteria,
+//!   such as ρ1-ρ2 privacy, can be enforced through a proper choice of `p`"
+//!   (Definition 4). The amplification analysis for uniform perturbation is
+//!   implemented here, including the inverse problem of choosing `p`.
+//! * **l-diversity** and **t-closeness** checkers — the posterior/prior
+//!   criteria the introduction contrasts with (they treat NIR as a
+//!   violation and smooth the published distribution). Useful as baselines
+//!   to demonstrate what reconstruction privacy deliberately does *not*
+//!   require.
+
+use crate::groups::PersonalGroups;
+use crate::matrix::PerturbationMatrix;
+
+/// Bayes update through the perturbation matrix: the posterior over the
+/// original SA value of one record given its *observed* (perturbed) value
+/// and a prior.
+///
+/// `posterior_i ∝ P[observed | i] · prior_i`.
+///
+/// # Panics
+///
+/// Panics if `prior` does not match the matrix domain, contains negative
+/// entries or sums to zero, or if `observed` is out of range.
+pub fn posterior_given_observation(
+    matrix: &PerturbationMatrix,
+    prior: &[f64],
+    observed: usize,
+) -> Vec<f64> {
+    let m = matrix.domain_size();
+    assert_eq!(prior.len(), m, "prior must have length m");
+    assert!(observed < m, "observed value {observed} out of domain {m}");
+    let mut total = 0.0;
+    for &p in prior {
+        assert!(
+            p >= 0.0 && p.is_finite(),
+            "prior entries must be non-negative"
+        );
+        total += p;
+    }
+    assert!(total > 0.0, "prior must not be all zero");
+    let mut post: Vec<f64> = (0..m)
+        .map(|i| matrix.entry(observed, i) * prior[i] / total)
+        .collect();
+    let norm: f64 = post.iter().sum();
+    for v in &mut post {
+        *v /= norm;
+    }
+    post
+}
+
+/// Direct `(ρ1, ρ2)` breach check for a *specific* prior: does observing
+/// any single perturbed value upgrade a belief that was at most `ρ1` to
+/// more than `ρ2`?
+///
+/// This is the per-prior view of the amplification bound: when
+/// [`satisfies_rho1_rho2`] holds, no prior can breach; when it fails, this
+/// function pinpoints whether a given prior actually does.
+///
+/// # Panics
+///
+/// As [`posterior_given_observation`], plus invalid `(ρ1, ρ2)`.
+pub fn breaches_rho1_rho2(
+    matrix: &PerturbationMatrix,
+    prior: &[f64],
+    rho1: f64,
+    rho2: f64,
+) -> bool {
+    assert!(
+        0.0 < rho1 && rho1 < rho2 && rho2 < 1.0,
+        "need 0 < rho1 < rho2 < 1, got ({rho1}, {rho2})"
+    );
+    let m = matrix.domain_size();
+    let total: f64 = prior.iter().sum();
+    for observed in 0..m {
+        let post = posterior_given_observation(matrix, prior, observed);
+        for i in 0..m {
+            // The tolerance absorbs normalization round-off (e.g. a
+            // uniform 1/m prior summing to 1 ± 1 ulp).
+            if prior[i] / total <= rho1 + 1e-12 && post[i] > rho2 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The amplification factor `γ` of uniform perturbation: the worst-case
+/// ratio of transition probabilities to the same output value,
+/// `γ = (p + (1−p)/m) / ((1−p)/m)`.
+///
+/// By the amplification result, a randomization operator with `γ <=
+/// ρ2(1−ρ1) / (ρ1(1−ρ2))` guarantees no `(ρ1, ρ2)` privacy breach.
+///
+/// # Panics
+///
+/// Panics on `p` outside `(0, 1)` or `m < 2`.
+pub fn amplification_factor(p: f64, m: usize) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "retention must lie in (0, 1), got {p}");
+    assert!(m >= 2, "domain size must be at least 2, got {m}");
+    let base = (1.0 - p) / m as f64;
+    (p + base) / base
+}
+
+/// Whether uniform perturbation with `(p, m)` guarantees `(ρ1, ρ2)` privacy
+/// by amplification: `γ <= ρ2(1−ρ1) / (ρ1(1−ρ2))`.
+///
+/// # Panics
+///
+/// Panics unless `0 < ρ1 < ρ2 < 1`.
+pub fn satisfies_rho1_rho2(p: f64, m: usize, rho1: f64, rho2: f64) -> bool {
+    assert!(
+        0.0 < rho1 && rho1 < rho2 && rho2 < 1.0,
+        "need 0 < rho1 < rho2 < 1, got ({rho1}, {rho2})"
+    );
+    amplification_factor(p, m) <= rho2 * (1.0 - rho1) / (rho1 * (1.0 - rho2))
+}
+
+/// The largest retention probability `p` for which uniform perturbation
+/// over a domain of size `m` guarantees `(ρ1, ρ2)` privacy by
+/// amplification, or `None` when even `p → 0` fails (impossible here since
+/// `γ → 1` as `p → 0`, but kept for API honesty against future operators).
+///
+/// Solving `γ(p) = (p·m)/(1−p) + 1 <= Γ` for `p` gives
+/// `p <= (Γ−1) / (Γ−1+m)`.
+///
+/// # Panics
+///
+/// As [`satisfies_rho1_rho2`].
+pub fn max_retention_for_rho1_rho2(m: usize, rho1: f64, rho2: f64) -> Option<f64> {
+    assert!(
+        0.0 < rho1 && rho1 < rho2 && rho2 < 1.0,
+        "need 0 < rho1 < rho2 < 1, got ({rho1}, {rho2})"
+    );
+    assert!(m >= 2, "domain size must be at least 2, got {m}");
+    let gamma_cap = rho2 * (1.0 - rho1) / (rho1 * (1.0 - rho2));
+    if gamma_cap <= 1.0 {
+        return None;
+    }
+    Some((gamma_cap - 1.0) / (gamma_cap - 1.0 + m as f64))
+}
+
+/// Distinct l-diversity: every personal group contains at least `l`
+/// distinct SA values. Returns the largest `l` satisfied by all groups
+/// (`0` for an empty grouping).
+pub fn distinct_l_diversity(groups: &PersonalGroups) -> usize {
+    groups
+        .groups()
+        .iter()
+        .map(|g| g.sa_hist.iter().filter(|&&c| c > 0).count())
+        .min()
+        .unwrap_or(0)
+}
+
+/// Entropy l-diversity: every group's SA entropy must be at least `ln(l)`.
+/// Returns the largest real `l` satisfied by all groups (`0` when empty).
+pub fn entropy_l_diversity(groups: &PersonalGroups) -> f64 {
+    let min = groups
+        .groups()
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| {
+            let n = g.len() as f64;
+            let entropy: f64 = g
+                .sa_hist
+                .iter()
+                .filter(|&&c| c > 0)
+                .map(|&c| {
+                    let q = c as f64 / n;
+                    -q * q.ln()
+                })
+                .sum();
+            entropy.exp()
+        })
+        .fold(f64::INFINITY, f64::min);
+    if min.is_finite() {
+        min
+    } else {
+        0.0
+    }
+}
+
+/// t-closeness for categorical SA with the variational-distance ground
+/// metric: the largest distance between any group's SA distribution and the
+/// table-wide SA distribution. A publication is `t`-close for any
+/// `t >=` this value. Returns `0` for an empty grouping.
+pub fn t_closeness(groups: &PersonalGroups) -> f64 {
+    if groups.is_empty() {
+        return 0.0;
+    }
+    let m = groups.spec().m();
+    // Global distribution.
+    let mut global = vec![0u64; m];
+    for g in groups.groups() {
+        for (acc, &c) in global.iter_mut().zip(&g.sa_hist) {
+            *acc += c;
+        }
+    }
+    let total: u64 = global.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let global_freq: Vec<f64> = global.iter().map(|&c| c as f64 / total as f64).collect();
+    groups
+        .groups()
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| {
+            let n = g.len() as f64;
+            // Total variation distance = half the L1 distance.
+            0.5 * g
+                .sa_hist
+                .iter()
+                .zip(&global_freq)
+                .map(|(&c, &q)| (c as f64 / n - q).abs())
+                .sum::<f64>()
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::SaSpec;
+    use rp_table::{Attribute, Schema, Table, TableBuilder};
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn amplification_matches_closed_form() {
+        // p = 0.2, m = 10: γ = 0.28 / 0.08 = 3.5.
+        assert_close(amplification_factor(0.2, 10), 3.5, 1e-12);
+        // Smaller p amplifies less.
+        assert!(amplification_factor(0.1, 10) < amplification_factor(0.5, 10));
+    }
+
+    #[test]
+    fn rho1_rho2_threshold_consistent_with_inverse() {
+        let (m, r1, r2) = (10usize, 0.1, 0.6);
+        let p_max = max_retention_for_rho1_rho2(m, r1, r2).unwrap();
+        assert!(satisfies_rho1_rho2(p_max - 1e-9, m, r1, r2));
+        assert!(!satisfies_rho1_rho2(p_max + 1e-6, m, r1, r2));
+    }
+
+    #[test]
+    fn larger_domains_allow_higher_retention() {
+        let p_small = max_retention_for_rho1_rho2(5, 0.1, 0.6).unwrap();
+        let p_large = max_retention_for_rho1_rho2(50, 0.1, 0.6).unwrap();
+        assert!(
+            p_small > p_large,
+            "with more values each output is weaker evidence, so the cap \
+             binds harder per value: p({p_small}) vs p({p_large})"
+        );
+    }
+
+    fn grouped(rows: &[(&'static str, u32)]) -> (Table, PersonalGroups) {
+        let schema = Schema::new(vec![
+            Attribute::new("G", ["a", "b"]),
+            Attribute::with_anonymous_domain("SA", 3),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for &(g, sa) in rows {
+            let gcode = u32::from(g == "b");
+            b.push_codes(&[gcode, sa]).unwrap();
+        }
+        let t = b.build();
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec);
+        (t, groups)
+    }
+
+    #[test]
+    fn distinct_l_diversity_minimum_over_groups() {
+        let (_, groups) = grouped(&[("a", 0), ("a", 1), ("a", 2), ("b", 0), ("b", 0), ("b", 1)]);
+        assert_eq!(distinct_l_diversity(&groups), 2);
+    }
+
+    #[test]
+    fn entropy_l_diversity_uniform_group() {
+        // A single group with a uniform 3-value histogram: entropy l = 3.
+        let (_, groups) = grouped(&[("a", 0), ("a", 1), ("a", 2)]);
+        assert_close(entropy_l_diversity(&groups), 3.0, 1e-9);
+    }
+
+    #[test]
+    fn entropy_l_diversity_skewed_below_distinct() {
+        let (_, groups) = grouped(&[
+            ("a", 0),
+            ("a", 0),
+            ("a", 0),
+            ("a", 0),
+            ("a", 0),
+            ("a", 0),
+            ("a", 0),
+            ("a", 1),
+        ]);
+        let l = entropy_l_diversity(&groups);
+        assert!(
+            l > 1.0 && l < 2.0,
+            "skew pulls entropy-l below distinct-l, got {l}"
+        );
+    }
+
+    #[test]
+    fn t_closeness_zero_when_groups_match_global() {
+        let (_, groups) = grouped(&[("a", 0), ("a", 1), ("b", 0), ("b", 1)]);
+        assert_close(t_closeness(&groups), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn t_closeness_detects_skewed_group() {
+        // Group a: all SA 0. Group b: all SA 1. Global: 50/50 ⇒ TV = 0.5.
+        let (_, groups) = grouped(&[("a", 0), ("a", 0), ("b", 1), ("b", 1)]);
+        assert_close(t_closeness(&groups), 0.5, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < rho1 < rho2 < 1")]
+    fn inverted_rhos_rejected() {
+        satisfies_rho1_rho2(0.5, 10, 0.6, 0.1);
+    }
+
+    #[test]
+    fn posterior_is_a_distribution_and_tilts_toward_observation() {
+        let matrix = PerturbationMatrix::new(0.2, 10);
+        let prior = vec![0.1; 10];
+        let post = posterior_given_observation(&matrix, &prior, 3);
+        assert_close(post.iter().sum::<f64>(), 1.0, 1e-12);
+        for (i, &p) in post.iter().enumerate() {
+            if i == 3 {
+                assert!(p > 0.1, "observed value gains belief");
+            } else {
+                assert!(p < 0.1, "others lose belief");
+            }
+        }
+    }
+
+    #[test]
+    fn posterior_matches_hand_bayes() {
+        // p = 0.5, m = 2: P[0|0] = 0.75, P[0|1] = 0.25. Uniform prior and
+        // observation 0: posterior_0 = 0.75 / (0.75 + 0.25) = 0.75.
+        let matrix = PerturbationMatrix::new(0.5, 2);
+        let post = posterior_given_observation(&matrix, &[0.5, 0.5], 0);
+        assert_close(post[0], 0.75, 1e-12);
+        assert_close(post[1], 0.25, 1e-12);
+    }
+
+    #[test]
+    fn amplification_bound_is_sound_for_uniform_priors() {
+        // When the amplification condition holds, no prior breaches; check
+        // a grid of priors at a compliant (p, m).
+        let (r1, r2) = (0.1, 0.6);
+        let m = 10;
+        let p = max_retention_for_rho1_rho2(m, r1, r2).unwrap() - 1e-6;
+        let matrix = PerturbationMatrix::new(p, m);
+        for skew in [1.0, 2.0, 5.0] {
+            let prior: Vec<f64> = (0..m).map(|i| if i == 0 { skew } else { 1.0 }).collect();
+            assert!(
+                !breaches_rho1_rho2(&matrix, &prior, r1, r2),
+                "prior with skew {skew} breached below the amplification cap"
+            );
+        }
+    }
+
+    #[test]
+    fn high_retention_breaches_low_priors() {
+        // p close to 1 essentially publishes SA: a 10%-prior belief jumps
+        // far past 60% on observation.
+        let matrix = PerturbationMatrix::new(0.95, 10);
+        let prior = vec![0.1; 10];
+        assert!(breaches_rho1_rho2(&matrix, &prior, 0.1, 0.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn posterior_rejects_bad_observation() {
+        let matrix = PerturbationMatrix::new(0.5, 3);
+        posterior_given_observation(&matrix, &[0.3, 0.3, 0.4], 5);
+    }
+}

@@ -1,0 +1,330 @@
+//! Answering count queries on perturbed data (Section 6's utility measure).
+//!
+//! Given a published `D*` (or `D*₂`), the Section-6 estimator for
+//! `SELECT COUNT(*) WHERE NA-conditions AND SA = sa` is
+//!
+//! ```text
+//! est = |S*| · F′
+//! ```
+//!
+//! where `S*` is the set of perturbed records matching the `NA` conditions
+//! (public attributes are never perturbed, so `S*` is exact) and `F′` is
+//! the MLE of `sa`'s frequency reconstructed from `S*`.
+//!
+//! Two evaluation strategies are provided (DESIGN.md ablation #4):
+//!
+//! * [`estimate_by_scan`] — select `S*` with a full table scan per query;
+//! * [`GroupedView`] — pre-aggregate per-personal-group SA histograms once,
+//!   then answer each query by summing over the matching groups. The large
+//!   CENSUS sweeps are only tractable this way.
+
+use rp_table::{AttrId, CountQuery, Table};
+
+use crate::groups::PersonalGroups;
+use crate::mle::reconstruct_frequency;
+
+/// Estimates the answer to `query` against the perturbed table by a full
+/// scan: `est = |S*| · F′` (zero when `S*` is empty).
+///
+/// # Panics
+///
+/// Panics on invalid `p` or if the query's SA attribute domain size is
+/// inconsistent with the table.
+pub fn estimate_by_scan(perturbed: &Table, query: &CountQuery, p: f64) -> f64 {
+    let m = perturbed.schema().attribute(query.sa_attr()).domain_size();
+    let (support, observed) = query.answer_with_support(perturbed);
+    if support == 0 {
+        return 0.0;
+    }
+    support as f64 * reconstruct_frequency(observed, support, p, m)
+}
+
+/// Per-personal-group SA histograms of a perturbed publication, indexed for
+/// fast aggregate-query answering.
+///
+/// Built either from a perturbed [`Table`] or directly from histogram-level
+/// perturbation output (`up_histograms` / `sps_histograms`), paired with
+/// the *raw* table's [`PersonalGroups`] for the group keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupedView {
+    na_attrs: Vec<AttrId>,
+    sa_attr: AttrId,
+    m: usize,
+    keys: Vec<Vec<u32>>,
+    hists: Vec<Vec<u64>>,
+    sizes: Vec<u64>,
+}
+
+impl GroupedView {
+    /// Builds the view from per-group perturbed histograms aligned with
+    /// `groups.groups()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hists` is not aligned with the groups or a histogram has
+    /// the wrong arity.
+    pub fn from_histograms(groups: &PersonalGroups, hists: Vec<Vec<u64>>) -> Self {
+        assert_eq!(
+            hists.len(),
+            groups.len(),
+            "one histogram per personal group required"
+        );
+        let m = groups.spec().m();
+        for h in &hists {
+            assert_eq!(h.len(), m, "histogram arity must equal the SA domain size");
+        }
+        let sizes = hists.iter().map(|h| h.iter().sum()).collect();
+        Self {
+            na_attrs: groups.spec().na().to_vec(),
+            sa_attr: groups.spec().sa(),
+            m,
+            keys: groups.groups().iter().map(|g| g.key.clone()).collect(),
+            hists,
+            sizes,
+        }
+    }
+
+    /// Builds the view by grouping a perturbed table along the same spec as
+    /// `groups` (the raw-table grouping): the keys are recomputed from the
+    /// perturbed table, whose public attributes are identical to the raw
+    /// table's.
+    pub fn from_perturbed_table(groups: &PersonalGroups, perturbed: &Table) -> Self {
+        let spec = groups.spec();
+        let regrouped = PersonalGroups::build(perturbed, spec.clone());
+        Self {
+            na_attrs: spec.na().to_vec(),
+            sa_attr: spec.sa(),
+            m: spec.m(),
+            keys: regrouped.groups().iter().map(|g| g.key.clone()).collect(),
+            hists: regrouped
+                .groups()
+                .iter()
+                .map(|g| g.sa_hist.clone())
+                .collect(),
+            sizes: regrouped.groups().iter().map(|g| g.len() as u64).collect(),
+        }
+    }
+
+    /// Number of groups in the view.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the view has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Total records across all groups.
+    pub fn total_records(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// `(support, observed)` of the perturbed subset matching the query's
+    /// `NA` pattern: `|S*|` and `O*`.
+    pub fn support_and_observed(&self, query: &CountQuery) -> (u64, u64) {
+        let mut support = 0u64;
+        let mut observed = 0u64;
+        let sa = query.sa_value() as usize;
+        let pattern = query.na_pattern();
+        for ((key, hist), &size) in self.keys.iter().zip(&self.hists).zip(&self.sizes) {
+            if pattern.matches_key(&self.na_attrs, key) {
+                support += size;
+                observed += hist[sa];
+            }
+        }
+        (support, observed)
+    }
+
+    /// Precomputes, for each query, the indices of the matching groups.
+    /// Matching depends only on the (fixed) keys, so the index can be
+    /// reused across perturbation runs — this is what makes the 10-run
+    /// sweeps of Figures 3/5 cheap.
+    pub fn match_index(&self, queries: &[CountQuery]) -> Vec<Vec<u32>> {
+        queries
+            .iter()
+            .map(|q| {
+                let pattern = q.na_pattern();
+                self.keys
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, key)| pattern.matches_key(&self.na_attrs, key))
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// `(support, observed)` using a precomputed match index entry.
+    pub fn support_and_observed_indexed(&self, query: &CountQuery, matching: &[u32]) -> (u64, u64) {
+        let sa = query.sa_value() as usize;
+        let mut support = 0u64;
+        let mut observed = 0u64;
+        for &g in matching {
+            support += self.sizes[g as usize];
+            observed += self.hists[g as usize][sa];
+        }
+        (support, observed)
+    }
+
+    /// The Section-6 estimate `est = |S*| · F′` for the query.
+    pub fn estimate(&self, query: &CountQuery, p: f64) -> f64 {
+        let (support, observed) = self.support_and_observed(query);
+        if support == 0 {
+            return 0.0;
+        }
+        support as f64 * reconstruct_frequency(observed, support, p, self.m)
+    }
+
+    /// As [`GroupedView::estimate`] but through a match-index entry.
+    pub fn estimate_indexed(&self, query: &CountQuery, matching: &[u32], p: f64) -> f64 {
+        let (support, observed) = self.support_and_observed_indexed(query, matching);
+        if support == 0 {
+            return 0.0;
+        }
+        support as f64 * reconstruct_frequency(observed, support, p, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::SaSpec;
+    use crate::sps::{uniform_perturb, up_histograms};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rp_stats::summary::relative_error;
+    use rp_table::{Attribute, Schema, TableBuilder};
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    fn demo_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("G", ["a", "b"]),
+            Attribute::new("J", ["x", "y"]),
+            Attribute::with_anonymous_domain("SA", 4),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        // Group (a, x): 1200 records, SA 0 at 50%.
+        for i in 0..1200u32 {
+            b.push_codes(&[0, 0, (i % 2) * 2]).unwrap();
+        }
+        // Group (b, y): 800 records, SA 1 at 75%.
+        for i in 0..800u32 {
+            b.push_codes(&[1, 1, if i % 4 == 0 { 3 } else { 1 }])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn scan_estimate_is_close_on_large_support() {
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let mut rng = StdRng::seed_from_u64(51);
+        let perturbed = uniform_perturb(&mut rng, &t, &spec, 0.5);
+        let q = CountQuery::new(vec![(0, 0)], 2, 0); // G=a ∧ SA=0: 600
+        let est = estimate_by_scan(&perturbed, &q, 0.5);
+        assert!(relative_error(est, 600.0) < 0.15, "est = {est}");
+    }
+
+    #[test]
+    fn grouped_view_matches_scan_exactly() {
+        // The two strategies must agree answer-by-answer on the same D*.
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let groups = PersonalGroups::build(&t, spec.clone());
+        let mut rng = StdRng::seed_from_u64(52);
+        let perturbed = uniform_perturb(&mut rng, &t, &spec, 0.5);
+        let view = GroupedView::from_perturbed_table(&groups, &perturbed);
+        for q in [
+            CountQuery::new(vec![(0, 0)], 2, 0),
+            CountQuery::new(vec![(0, 1), (1, 1)], 2, 1),
+            CountQuery::new(vec![], 2, 3),
+        ] {
+            let scan = estimate_by_scan(&perturbed, &q, 0.5);
+            let grouped = view.estimate(&q, 0.5);
+            assert_close(grouped, scan, 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_built_view_counts_support() {
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let groups = PersonalGroups::build(&t, spec);
+        let mut rng = StdRng::seed_from_u64(53);
+        let hists = up_histograms(&mut rng, &groups, 0.5);
+        let view = GroupedView::from_histograms(&groups, hists);
+        assert_eq!(view.total_records(), 2000);
+        let q = CountQuery::new(vec![(0, 0)], 2, 0);
+        let (support, _) = view.support_and_observed(&q);
+        assert_eq!(support, 1200, "support is exact: NA never perturbed");
+    }
+
+    #[test]
+    fn match_index_agrees_with_direct_answering() {
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let groups = PersonalGroups::build(&t, spec);
+        let mut rng = StdRng::seed_from_u64(54);
+        let view = GroupedView::from_histograms(&groups, up_histograms(&mut rng, &groups, 0.3));
+        let queries = vec![
+            CountQuery::new(vec![(0, 0)], 2, 0),
+            CountQuery::new(vec![(1, 1)], 2, 1),
+            CountQuery::new(vec![(0, 1), (1, 0)], 2, 2), // empty group
+        ];
+        let index = view.match_index(&queries);
+        for (q, matching) in queries.iter().zip(&index) {
+            assert_close(
+                view.estimate_indexed(q, matching, 0.3),
+                view.estimate(q, 0.3),
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn empty_support_estimates_zero() {
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let groups = PersonalGroups::build(&t, spec.clone());
+        let mut rng = StdRng::seed_from_u64(55);
+        let perturbed = uniform_perturb(&mut rng, &t, &spec, 0.5);
+        let view = GroupedView::from_perturbed_table(&groups, &perturbed);
+        // G=a ∧ J=y never occurs.
+        let q = CountQuery::new(vec![(0, 0), (1, 1)], 2, 0);
+        assert_eq!(estimate_by_scan(&perturbed, &q, 0.5), 0.0);
+        assert_eq!(view.estimate(&q, 0.5), 0.0);
+    }
+
+    #[test]
+    fn estimator_is_unbiased_across_runs() {
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let groups = PersonalGroups::build(&t, spec);
+        let q = CountQuery::new(vec![(1, 1)], 2, 1); // J=y ∧ SA=1: 600
+        let mut rng = StdRng::seed_from_u64(56);
+        let runs = 500;
+        let mut mean = 0.0;
+        for _ in 0..runs {
+            let view = GroupedView::from_histograms(&groups, up_histograms(&mut rng, &groups, 0.4));
+            mean += view.estimate(&q, 0.4) / runs as f64;
+        }
+        assert_close(mean, 600.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one histogram per personal group")]
+    fn misaligned_histograms_panic() {
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let groups = PersonalGroups::build(&t, spec);
+        GroupedView::from_histograms(&groups, vec![vec![0; 4]]);
+    }
+}

@@ -1,0 +1,360 @@
+//! Incremental publication — the record-insertion advantage the paper
+//! claims for data perturbation (Section 3.1).
+//!
+//! "Data perturbation is more amenable to record insertion because each
+//! record is perturbed independently and the reconstruction is performed
+//! by the user himself. In contrast, updating (published) noisy query
+//! answers can be tricky."
+//!
+//! [`IncrementalPublisher`] maintains a live publication: every inserted
+//! record is perturbed on arrival (one coin, independent of everything
+//! else), per-group histograms are kept current, and the `(λ, δ)` status
+//! of each personal group is re-evaluated incrementally. When a compliant
+//! group grows past its threshold `sg`, the publisher reports it so the
+//! owner can re-publish that group through SPS — the paper's remedy —
+//! while the rest of the publication is untouched.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use rp_stats::sampling::stochastic_round;
+
+use crate::perturb::UniformPerturbation;
+use crate::privacy::{max_group_size, PrivacyParams};
+
+/// Compliance status of one live personal group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupStatus {
+    /// `|g| <= sg`: plain perturbation of the group is compliant.
+    Compliant,
+    /// `|g| > sg`: the group needs (re-)sampling before release.
+    NeedsResampling,
+}
+
+/// One live personal group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveGroup {
+    /// Key over the public attributes.
+    pub key: Vec<u32>,
+    /// Raw SA histogram (owner-side secret state).
+    pub raw_hist: Vec<u64>,
+    /// Published (perturbed) SA histogram.
+    pub published_hist: Vec<u64>,
+    /// Current compliance status.
+    pub status: GroupStatus,
+}
+
+impl LiveGroup {
+    /// Raw group size.
+    pub fn len(&self) -> usize {
+        self.raw_hist.iter().sum::<u64>() as usize
+    }
+
+    /// Whether the group holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A live reconstruction-private publication accepting record insertions.
+#[derive(Debug, Clone)]
+pub struct IncrementalPublisher {
+    op: UniformPerturbation,
+    params: PrivacyParams,
+    groups: HashMap<Vec<u32>, LiveGroup>,
+    inserted: u64,
+}
+
+impl IncrementalPublisher {
+    /// Creates an empty publisher for SA domain size `m`, retention `p`
+    /// and privacy demand `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `(p, m)` (see [`UniformPerturbation::new`]).
+    pub fn new(p: f64, m: usize, params: PrivacyParams) -> Self {
+        Self {
+            op: UniformPerturbation::new(p, m),
+            params,
+            groups: HashMap::new(),
+            inserted: 0,
+        }
+    }
+
+    /// Inserts one record: `key` is its public-attribute codes, `sa` its
+    /// sensitive code. The record is perturbed immediately and added to
+    /// the published histogram of its group. Returns the group's status
+    /// *after* the insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sa` is outside the SA domain.
+    pub fn insert<R: Rng + ?Sized>(&mut self, rng: &mut R, key: &[u32], sa: u32) -> GroupStatus {
+        let m = self.op.domain_size();
+        assert!((sa as usize) < m, "SA code {sa} out of domain {m}");
+        self.inserted += 1;
+        let perturbed = self.op.perturb_code(rng, sa);
+        let group = self
+            .groups
+            .entry(key.to_vec())
+            .or_insert_with(|| LiveGroup {
+                key: key.to_vec(),
+                raw_hist: vec![0; m],
+                published_hist: vec![0; m],
+                status: GroupStatus::Compliant,
+            });
+        group.raw_hist[sa as usize] += 1;
+        group.published_hist[perturbed as usize] += 1;
+        group.status = Self::evaluate(&self.op, self.params, group);
+        group.status
+    }
+
+    fn evaluate(op: &UniformPerturbation, params: PrivacyParams, group: &LiveGroup) -> GroupStatus {
+        let size: u64 = group.raw_hist.iter().sum();
+        if size == 0 {
+            return GroupStatus::Compliant;
+        }
+        let f = *group.raw_hist.iter().max().expect("non-empty") as f64 / size as f64;
+        let sg = max_group_size(params, op.retention(), op.domain_size(), f);
+        if size as f64 <= sg {
+            GroupStatus::Compliant
+        } else {
+            GroupStatus::NeedsResampling
+        }
+    }
+
+    /// Re-publishes one group through the SPS steps (sample to `sg`,
+    /// perturb, scale back), replacing its published histogram. Leaves the
+    /// raw state untouched and returns the new status (always
+    /// [`GroupStatus::Compliant`] — the sample size *is* the design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is unknown.
+    pub fn republish_group<R: Rng + ?Sized>(&mut self, rng: &mut R, key: &[u32]) -> GroupStatus {
+        let op = self.op;
+        let params = self.params;
+        let group = self
+            .groups
+            .get_mut(key)
+            .unwrap_or_else(|| panic!("unknown group key {key:?}"));
+        let size: u64 = group.raw_hist.iter().sum();
+        if size == 0 {
+            return GroupStatus::Compliant;
+        }
+        let f = *group.raw_hist.iter().max().expect("non-empty") as f64 / size as f64;
+        let sg = max_group_size(params, op.retention(), op.domain_size(), f);
+        if size as f64 <= sg {
+            // Whole-group perturbation is compliant: republish plainly.
+            group.published_hist = op.perturb_histogram(rng, &group.raw_hist);
+        } else {
+            let tau = sg / size as f64;
+            let mut sample: Vec<u64> = group
+                .raw_hist
+                .iter()
+                .map(|&c| stochastic_round(rng, c as f64 * tau).min(c))
+                .collect();
+            let mut g1: u64 = sample.iter().sum();
+            if g1 == 0 {
+                let argmax = group
+                    .raw_hist
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(i, _)| i)
+                    .expect("non-empty histogram");
+                sample[argmax] = 1;
+                g1 = 1;
+            }
+            let perturbed = op.perturb_histogram(rng, &sample);
+            let tau_prime = size as f64 / g1 as f64;
+            group.published_hist = perturbed
+                .iter()
+                .map(|&c| {
+                    let base = tau_prime.floor() as u64 * c;
+                    let frac = tau_prime - tau_prime.floor();
+                    base + rp_stats::sampling::sample_binomial(rng, c, frac)
+                })
+                .collect();
+        }
+        group.status = GroupStatus::Compliant;
+        GroupStatus::Compliant
+    }
+
+    /// Re-publishes every group currently flagged
+    /// [`GroupStatus::NeedsResampling`]; returns how many were fixed.
+    pub fn republish_flagged<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let keys: Vec<Vec<u32>> = self
+            .groups
+            .values()
+            .filter(|g| g.status == GroupStatus::NeedsResampling)
+            .map(|g| g.key.clone())
+            .collect();
+        for key in &keys {
+            self.republish_group(rng, key);
+        }
+        keys.len()
+    }
+
+    /// Records inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Number of live groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Looks up a live group by key.
+    pub fn group(&self, key: &[u32]) -> Option<&LiveGroup> {
+        self.groups.get(key)
+    }
+
+    /// Iterates over all live groups (unspecified order).
+    pub fn groups(&self) -> impl Iterator<Item = &LiveGroup> {
+        self.groups.values()
+    }
+
+    /// Groups currently flagged for resampling.
+    pub fn flagged(&self) -> impl Iterator<Item = &LiveGroup> {
+        self.groups
+            .values()
+            .filter(|g| g.status == GroupStatus::NeedsResampling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn publisher() -> IncrementalPublisher {
+        IncrementalPublisher::new(0.5, 2, PrivacyParams::new(0.3, 0.3))
+    }
+
+    #[test]
+    fn small_groups_stay_compliant() {
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..50u32 {
+            let status = p.insert(&mut rng, &[0], i % 2);
+            assert_eq!(status, GroupStatus::Compliant);
+        }
+        assert_eq!(p.inserted(), 50);
+        assert_eq!(p.group_count(), 1);
+        let g = p.group(&[0]).unwrap();
+        assert_eq!(g.len(), 50);
+        assert_eq!(g.published_hist.iter().sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn growth_past_sg_flags_the_group() {
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(2);
+        // f = 0.7 at p = 0.5, m = 2 gives sg ≈ 131: push past it.
+        let mut flagged_at = None;
+        for i in 0..500u32 {
+            let sa = u32::from(i % 10 >= 7);
+            if p.insert(&mut rng, &[1], sa) == GroupStatus::NeedsResampling && flagged_at.is_none()
+            {
+                flagged_at = Some(i);
+            }
+        }
+        let at = flagged_at.expect("group must eventually violate");
+        assert!(
+            (100..200).contains(&at),
+            "flagged at {at}, expected near sg ≈ 131"
+        );
+        assert_eq!(p.flagged().count(), 1);
+    }
+
+    #[test]
+    fn republish_restores_compliance_and_size() {
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..1000u32 {
+            p.insert(&mut rng, &[0], u32::from(i % 10 >= 7));
+        }
+        assert_eq!(p.group(&[0]).unwrap().status, GroupStatus::NeedsResampling);
+        let fixed = p.republish_flagged(&mut rng);
+        assert_eq!(fixed, 1);
+        let g = p.group(&[0]).unwrap();
+        assert_eq!(g.status, GroupStatus::Compliant);
+        // Scaling restores the group's published size near the raw size.
+        let published: u64 = g.published_hist.iter().sum();
+        assert!(
+            (published as f64 - 1000.0).abs() < 80.0,
+            "published {published}"
+        );
+        // Raw state untouched.
+        assert_eq!(g.len(), 1000);
+    }
+
+    #[test]
+    fn other_groups_untouched_by_republish() {
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..1000u32 {
+            p.insert(&mut rng, &[0], u32::from(i % 10 >= 7));
+        }
+        for i in 0..20u32 {
+            p.insert(&mut rng, &[1], i % 2);
+        }
+        let before = p.group(&[1]).unwrap().published_hist.clone();
+        p.republish_flagged(&mut rng);
+        assert_eq!(p.group(&[1]).unwrap().published_hist, before);
+    }
+
+    #[test]
+    fn balanced_groups_tolerate_more_records() {
+        // f = 0.5 has a larger sg (≈ 214) than f = 0.9 (≈ 93) — at 150
+        // records the publisher must have flagged only the skewed group.
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..150u32 {
+            p.insert(&mut rng, &[0], i % 2); // balanced
+            p.insert(&mut rng, &[1], u32::from(i % 10 == 0)); // 90/10 skew
+        }
+        let balanced = p.group(&[0]).unwrap().status;
+        let skewed = p.group(&[1]).unwrap().status;
+        assert_eq!(skewed, GroupStatus::NeedsResampling);
+        assert_eq!(balanced, GroupStatus::Compliant);
+    }
+
+    #[test]
+    fn published_histogram_is_unbiased_for_compliant_groups() {
+        let runs = 400;
+        let mut total = [0u64; 2];
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..runs {
+            let mut p = publisher();
+            for i in 0..80u32 {
+                p.insert(&mut rng, &[0], u32::from(i % 4 == 0)); // f0 = 0.75
+            }
+            let g = p.group(&[0]).unwrap();
+            total[0] += g.published_hist[0];
+            total[1] += g.published_hist[1];
+        }
+        // E[O*_1] = 80·(0.25·0.5 + 0.25) = 30.
+        let mean1 = total[1] as f64 / runs as f64;
+        assert!((mean1 - 30.0).abs() < 1.5, "mean {mean1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn out_of_domain_sa_rejected() {
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(7);
+        p.insert(&mut rng, &[0], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown group key")]
+    fn republish_unknown_group_panics() {
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(8);
+        p.republish_group(&mut rng, &[9, 9]);
+    }
+}

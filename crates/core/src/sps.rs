@@ -1,0 +1,473 @@
+//! The Sampling–Perturbing–Scaling (SPS) algorithm of Section 5.
+//!
+//! For each personal group `g` whose size exceeds the threshold
+//! `sg` of Equation 10, SPS
+//!
+//! 1. **Sampling** — draws a frequency-preserving sample `g1` of (expected)
+//!    size `sg`: for each SA value, `⌊|g_sa|·τ⌋` records plus one more with
+//!    probability `frac(|g_sa|·τ)`, where `τ = sg/|g|`;
+//! 2. **Perturbing** — applies uniform perturbation to `g1`, yielding `g1*`;
+//! 3. **Scaling** — duplicates every record of `g1*` `⌊τ′⌋` times plus one
+//!    with probability `frac(τ′)`, `τ′ = |g|/|g1*|`, restoring the original
+//!    group size in expectation without adding random trials.
+//!
+//! Groups already within the threshold are perturbed verbatim, so on data
+//! that is small enough the algorithm degrades to plain uniform
+//! perturbation (UP).
+//!
+//! Both a record-level executor (producing a publishable [`Table`]) and a
+//! histogram-level executor (producing per-group perturbed SA histograms,
+//! used by the Section-6 parameter sweeps) are provided; they are
+//! distributionally identical.
+
+use rand::Rng;
+use rp_stats::sampling::stochastic_round;
+use rp_table::{Table, TableBuilder};
+
+use crate::groups::{PersonalGroups, SaSpec};
+use crate::perturb::UniformPerturbation;
+use crate::privacy::{max_group_size, PrivacyParams};
+
+/// Configuration of one SPS run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpsConfig {
+    /// Retention probability of the underlying uniform perturbation.
+    pub p: f64,
+    /// The `(λ, δ)` reconstruction-privacy requirement to enforce.
+    pub params: PrivacyParams,
+}
+
+/// Counters describing what one SPS run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpsStats {
+    /// Personal groups processed.
+    pub groups: usize,
+    /// Groups that exceeded `sg` and were sampled.
+    pub groups_sampled: usize,
+    /// Records in the input table.
+    pub input_records: u64,
+    /// Records drawn into samples (Σ |g1| over sampled groups).
+    pub sampled_records: u64,
+    /// Records in the output table.
+    pub output_records: u64,
+}
+
+/// Output of the record-level SPS executor.
+#[derive(Debug, Clone)]
+pub struct SpsOutput {
+    /// The published table `D*₂ = ⋃ g*₂`.
+    pub table: Table,
+    /// Run counters.
+    pub stats: SpsStats,
+}
+
+/// Plain uniform perturbation (UP) of the whole table — the baseline the
+/// paper compares SPS against. Equivalent to
+/// [`UniformPerturbation::perturb_table`]; re-exported here so experiments
+/// read symmetrically.
+pub fn uniform_perturb<R: Rng + ?Sized>(
+    rng: &mut R,
+    table: &Table,
+    spec: &SaSpec,
+    p: f64,
+) -> Table {
+    UniformPerturbation::new(p, spec.m()).perturb_table(rng, table, spec.sa())
+}
+
+/// Record-level SPS: returns the published `D*₂` plus run statistics.
+///
+/// The input is consumed as [`PersonalGroups`] (the sort + scan
+/// preprocessing of Section 5); `table` must be the table those groups were
+/// built from.
+///
+/// # Panics
+///
+/// Panics if `groups` was not built from `table` (detected via row counts)
+/// or on invalid `p`.
+pub fn sps<R: Rng + ?Sized>(
+    rng: &mut R,
+    table: &Table,
+    groups: &PersonalGroups,
+    config: SpsConfig,
+) -> SpsOutput {
+    assert_eq!(
+        groups.total_rows(),
+        table.rows(),
+        "groups were not built from this table"
+    );
+    let spec = groups.spec();
+    let op = UniformPerturbation::new(config.p, spec.m());
+    let mut builder = TableBuilder::with_capacity(table.schema().clone(), table.rows());
+    let mut stats = SpsStats {
+        groups: groups.len(),
+        input_records: table.rows() as u64,
+        ..SpsStats::default()
+    };
+
+    // Row template: NA codes from the group key, SA filled per record.
+    let arity = table.schema().arity();
+    for group in groups.groups() {
+        let size = group.len() as u64;
+        let f_max = if group.is_empty() {
+            0.0
+        } else {
+            group.max_frequency()
+        };
+        let sg = max_group_size(config.params, config.p, spec.m(), f_max);
+        let mut template = vec![0u32; arity];
+        for (i, &attr) in spec.na().iter().enumerate() {
+            template[attr] = group.key[i];
+        }
+
+        let emit = |builder: &mut TableBuilder, sa_code: u32, copies: u64| {
+            let mut row = template.clone();
+            row[spec.sa()] = sa_code;
+            for _ in 0..copies {
+                builder.push_codes(&row).expect("template codes are valid");
+            }
+        };
+
+        if size as f64 <= sg {
+            // Within the threshold: perturb every record, no sampling.
+            for &r in &group.rows {
+                let perturbed = op.perturb_code(rng, table.code(r as usize, spec.sa()));
+                emit(&mut builder, perturbed, 1);
+            }
+            continue;
+        }
+
+        stats.groups_sampled += 1;
+        let tau = sg / size as f64;
+        // Sampling: per SA value, a frequency-preserving draw. Records
+        // within one (group, SA value) cell are identical, so sampling
+        // "any" ⌊c·τ⌋ records is just a count.
+        let mut sample_hist: Vec<u64> = group
+            .sa_hist
+            .iter()
+            .map(|&c| stochastic_round(rng, c as f64 * tau).min(c))
+            .collect();
+        let mut g1_size: u64 = sample_hist.iter().sum();
+        if g1_size == 0 {
+            // Degenerate draw (tiny sg): keep one record of the most common
+            // value so the group does not vanish from the publication.
+            let argmax = group
+                .sa_hist
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .expect("non-empty histogram");
+            sample_hist[argmax] = 1;
+            g1_size = 1;
+        }
+        stats.sampled_records += g1_size;
+        // Perturbing the sample.
+        let perturbed_hist = op.perturb_histogram(rng, &sample_hist);
+        // Scaling back to the original size.
+        let tau_prime = size as f64 / g1_size as f64;
+        for (sa_code, &count) in perturbed_hist.iter().enumerate() {
+            for _ in 0..count {
+                let copies = stochastic_round(rng, tau_prime);
+                emit(&mut builder, sa_code as u32, copies);
+            }
+        }
+    }
+
+    let table = builder.build();
+    stats.output_records = table.rows() as u64;
+    SpsOutput { table, stats }
+}
+
+/// Histogram-level SPS: per personal group, the perturbed-and-scaled SA
+/// histogram of `g*₂` without materializing records. Returns one histogram
+/// per group, aligned with `groups.groups()`.
+///
+/// Distributionally identical to [`sps`] followed by per-group histograms;
+/// this is the fast path used by the Figure 3/5 sweeps (DESIGN.md
+/// ablation #3).
+pub fn sps_histograms<R: Rng + ?Sized>(
+    rng: &mut R,
+    groups: &PersonalGroups,
+    config: SpsConfig,
+) -> Vec<Vec<u64>> {
+    let spec = groups.spec();
+    let op = UniformPerturbation::new(config.p, spec.m());
+    groups
+        .groups()
+        .iter()
+        .map(|group| {
+            let size = group.len() as u64;
+            if size == 0 {
+                return vec![0u64; spec.m()];
+            }
+            let f_max = group.max_frequency();
+            let sg = max_group_size(config.params, config.p, spec.m(), f_max);
+            if size as f64 <= sg {
+                return op.perturb_histogram(rng, &group.sa_hist);
+            }
+            let tau = sg / size as f64;
+            let mut sample_hist: Vec<u64> = group
+                .sa_hist
+                .iter()
+                .map(|&c| stochastic_round(rng, c as f64 * tau).min(c))
+                .collect();
+            let mut g1_size: u64 = sample_hist.iter().sum();
+            if g1_size == 0 {
+                let argmax = group
+                    .sa_hist
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(i, _)| i)
+                    .expect("non-empty histogram");
+                sample_hist[argmax] = 1;
+                g1_size = 1;
+            }
+            let perturbed = op.perturb_histogram(rng, &sample_hist);
+            let tau_prime = size as f64 / g1_size as f64;
+            perturbed
+                .iter()
+                .map(|&c| {
+                    // Each of the c records is duplicated ⌊τ′⌋ + Bernoulli
+                    // times; the sum is c·⌊τ′⌋ + Binomial(c, frac).
+                    let base = tau_prime.floor() as u64 * c;
+                    let frac = tau_prime - tau_prime.floor();
+                    base + rp_stats::sampling::sample_binomial(rng, c, frac)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Histogram-level UP: per personal group, the perturbed SA histogram under
+/// plain uniform perturbation. The baseline counterpart of
+/// [`sps_histograms`].
+pub fn up_histograms<R: Rng + ?Sized>(
+    rng: &mut R,
+    groups: &PersonalGroups,
+    p: f64,
+) -> Vec<Vec<u64>> {
+    let op = UniformPerturbation::new(p, groups.spec().m());
+    groups
+        .groups()
+        .iter()
+        .map(|g| op.perturb_histogram(rng, &g.sa_hist))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privacy::check_groups;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rp_table::{Attribute, Schema, TableBuilder};
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    /// One large violating group (a, f = 0.7) and one small private group.
+    fn demo_table(big: usize, small: usize) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("G", ["a", "b"]),
+            Attribute::with_anonymous_domain("SA", 2),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..big {
+            b.push_codes(&[0, u32::from(i % 10 >= 7)]).unwrap();
+        }
+        for i in 0..small {
+            b.push_codes(&[1, (i % 2) as u32]).unwrap();
+        }
+        b.build()
+    }
+
+    fn config() -> SpsConfig {
+        SpsConfig {
+            p: 0.5,
+            params: PrivacyParams::new(0.3, 0.3),
+        }
+    }
+
+    #[test]
+    fn output_size_tracks_input_in_expectation() {
+        let t = demo_table(5000, 20);
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut total = 0u64;
+        let runs = 30;
+        for _ in 0..runs {
+            let out = sps(&mut rng, &t, &groups, config());
+            total += out.stats.output_records;
+            assert_eq!(out.stats.groups, 2);
+            assert_eq!(out.stats.groups_sampled, 1, "only the big group samples");
+        }
+        let avg = total as f64 / runs as f64;
+        assert_close(avg, 5020.0, 60.0);
+    }
+
+    #[test]
+    fn sampled_group_uses_sg_records() {
+        let t = demo_table(5000, 20);
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec.clone());
+        let sg = max_group_size(config().params, 0.5, 2, 0.7);
+        let mut rng = StdRng::seed_from_u64(22);
+        let out = sps(&mut rng, &t, &groups, config());
+        // Sample size ≈ sg (stochastic rounding of per-value targets).
+        assert_close(out.stats.sampled_records as f64, sg, 3.0);
+    }
+
+    #[test]
+    fn small_groups_pass_through_perturbed_only() {
+        let t = demo_table(20, 20);
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec);
+        let mut rng = StdRng::seed_from_u64(23);
+        let out = sps(&mut rng, &t, &groups, config());
+        assert_eq!(out.stats.groups_sampled, 0);
+        assert_eq!(out.stats.output_records, 40, "no sampling ⇒ exact size");
+    }
+
+    #[test]
+    fn output_satisfies_reconstruction_privacy_theorem_4() {
+        // Theorem 4: every g*₂ must satisfy (λ, δ)-reconstruction privacy.
+        // Privacy is determined by the number of *independent random
+        // trials*, i.e. the sample size |g1| ≈ sg, regardless of the scaled
+        // output size. We verify the enforced invariant: every sampled
+        // group's trial count is within sg (+1 for stochastic rounding).
+        let t = demo_table(5000, 20);
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec);
+        let sg = max_group_size(config().params, 0.5, 2, 0.7);
+        let mut rng = StdRng::seed_from_u64(24);
+        for _ in 0..20 {
+            let out = sps(&mut rng, &t, &groups, config());
+            assert!(
+                (out.stats.sampled_records as f64) <= sg + 2.0,
+                "sample of {} exceeds sg = {sg}",
+                out.stats.sampled_records
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_preserved_by_sampling_and_scaling() {
+        // Theorem 5 (utility): E[F′ from D*₂] ≈ f. Check the SA histogram
+        // of the sampled group's output keeps frequencies near the truth
+        // after MLE reconstruction, averaged over runs.
+        let t = demo_table(5000, 0);
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec);
+        let mut rng = StdRng::seed_from_u64(25);
+        let runs = 300;
+        let mut mean_est = [0f64; 2];
+        for _ in 0..runs {
+            let hists = sps_histograms(&mut rng, &groups, config());
+            let hist = &hists[0];
+            let support: u64 = hist.iter().sum();
+            if support == 0 {
+                continue;
+            }
+            let est = crate::mle::reconstruct_histogram(hist, 0.5);
+            for i in 0..2 {
+                mean_est[i] += est[i] / runs as f64;
+            }
+        }
+        assert_close(mean_est[0], 0.7, 0.03);
+        assert_close(mean_est[1], 0.3, 0.03);
+    }
+
+    #[test]
+    fn record_and_histogram_executors_agree_in_distribution() {
+        let t = demo_table(3000, 50);
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec.clone());
+        let runs = 200;
+        let mut rec_mean = [0f64; 2];
+        let mut his_mean = [0f64; 2];
+        let mut rng = StdRng::seed_from_u64(26);
+        for _ in 0..runs {
+            let out = sps(&mut rng, &t, &groups, config());
+            let h = out.table.histogram(1);
+            let hists = sps_histograms(&mut rng, &groups, config());
+            let mut h2 = [0u64; 2];
+            for hist in &hists {
+                h2[0] += hist[0];
+                h2[1] += hist[1];
+            }
+            for i in 0..2 {
+                rec_mean[i] += h[i] as f64 / runs as f64;
+                his_mean[i] += h2[i] as f64 / runs as f64;
+            }
+        }
+        for i in 0..2 {
+            let diff = (rec_mean[i] - his_mean[i]).abs();
+            assert!(
+                diff < 0.03 * rec_mean[i].max(1.0),
+                "executors diverge on value {i}: {rec_mean:?} vs {his_mean:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn up_histograms_match_plain_perturbation_mean() {
+        let t = demo_table(2000, 0);
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec);
+        let mut rng = StdRng::seed_from_u64(27);
+        let runs = 300;
+        let mut mean = [0f64; 2];
+        for _ in 0..runs {
+            let h = &up_histograms(&mut rng, &groups, 0.5)[0];
+            mean[0] += h[0] as f64 / runs as f64;
+            mean[1] += h[1] as f64 / runs as f64;
+        }
+        // E[O*_0] = |S|(f·p + (1−p)/m) = 2000·(0.7·0.5 + 0.25) = 1200.
+        assert_close(mean[0], 1200.0, 25.0);
+        assert_close(mean[1], 800.0, 25.0);
+    }
+
+    #[test]
+    fn up_violates_where_sps_enforces() {
+        // The before/after picture of Section 6: UP leaves the large group
+        // violating; SPS's sample is private by construction.
+        let t = demo_table(5000, 20);
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec);
+        let report = check_groups(&groups, 0.5, config().params);
+        assert!(!report.is_private(), "UP design must violate here");
+        let mut rng = StdRng::seed_from_u64(28);
+        let out = sps(&mut rng, &t, &groups, config());
+        // The *trial design* after SPS: sampled groups run sg trials.
+        assert!(out.stats.groups_sampled >= 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = demo_table(1000, 10);
+        let spec = SaSpec::new(&t, 1);
+        let groups = PersonalGroups::build(&t, spec);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            sps(&mut rng, &t, &groups, config()).table.histogram(1)
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not built from this table")]
+    fn mismatched_groups_panic() {
+        let t1 = demo_table(100, 0);
+        let t2 = demo_table(50, 0);
+        let spec = SaSpec::new(&t1, 1);
+        let groups = PersonalGroups::build(&t1, spec);
+        let mut rng = StdRng::seed_from_u64(29);
+        sps(&mut rng, &t2, &groups, config());
+    }
+}

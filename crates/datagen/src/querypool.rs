@@ -1,0 +1,247 @@
+//! The Section-6 count-query pool generator.
+//!
+//! The paper evaluates utility over 5,000 random queries of the form
+//! `A1 = a1 ∧ ... ∧ Ad = ad ∧ SA = sa` with dimensionality `d ∈ {1, 2, 3}`
+//! and selectivity `ans/|D| >= 0.1%`. Queries are drawn on the *original*
+//! public-attribute values (simulating real-life questions), then rewritten
+//! onto the generalized values the publication actually uses, and admitted
+//! into the pool if the rewritten query is selective enough.
+
+use rand::Rng;
+use rp_core::generalize::Generalization;
+use rp_core::groups::PersonalGroups;
+use rp_table::{CountQuery, Schema};
+
+/// Configuration of a query pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryPoolConfig {
+    /// Number of queries to admit (the paper uses 5,000).
+    pub pool_size: usize,
+    /// Maximum dimensionality (the paper uses 3; `d` is drawn uniformly
+    /// from `1..=max_dimensionality`).
+    pub max_dimensionality: usize,
+    /// Minimum selectivity `ans/|D|` (the paper uses 0.1%).
+    pub min_selectivity: f64,
+    /// Upper bound on candidate draws before giving up, expressed as a
+    /// multiple of `pool_size`. Prevents an infinite loop when the
+    /// selectivity threshold is unreachable.
+    pub max_attempts_factor: usize,
+}
+
+impl Default for QueryPoolConfig {
+    fn default() -> Self {
+        Self {
+            pool_size: 5_000,
+            max_dimensionality: 3,
+            min_selectivity: 0.001,
+            max_attempts_factor: 400,
+        }
+    }
+}
+
+/// One admitted query with its exact answer on the generalized raw table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PooledQuery {
+    /// The query, already rewritten onto generalized values.
+    pub query: CountQuery,
+    /// Exact answer `ans` on the generalized raw table.
+    pub answer: u64,
+    /// The dimensionality it was drawn with.
+    pub dimensionality: usize,
+}
+
+/// A pool of selective count queries plus bookkeeping about the draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPool {
+    /// The admitted queries.
+    pub queries: Vec<PooledQuery>,
+    /// Candidate queries drawn in total (admitted + rejected).
+    pub attempts: usize,
+}
+
+impl QueryPool {
+    /// Generates a pool against `groups` — the personal groups of the
+    /// *generalized raw* table — using `original_schema` to draw original
+    /// values and `generalization` to rewrite them.
+    ///
+    /// Exact answers are computed from the group histograms (sum over
+    /// matching personal groups), which keeps 5,000-query pools cheap even
+    /// on the 500K CENSUS sample.
+    ///
+    /// Returns a pool with fewer than `config.pool_size` queries if the
+    /// attempt budget runs out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_dimensionality` is zero or exceeds the number
+    /// of public attributes, or if `config.pool_size == 0`.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        original_schema: &Schema,
+        generalization: &Generalization,
+        groups: &PersonalGroups,
+        config: QueryPoolConfig,
+    ) -> Self {
+        assert!(config.pool_size > 0, "pool must have at least one query");
+        let spec = groups.spec();
+        let na = spec.na();
+        assert!(
+            config.max_dimensionality >= 1 && config.max_dimensionality <= na.len(),
+            "dimensionality must lie in 1..={}, got {}",
+            na.len(),
+            config.max_dimensionality
+        );
+        let total_rows = groups.total_rows() as f64;
+        let min_answer = (config.min_selectivity * total_rows).ceil() as u64;
+        let mut queries = Vec::with_capacity(config.pool_size);
+        let mut attempts = 0usize;
+        let max_attempts = config.pool_size.saturating_mul(config.max_attempts_factor);
+        while queries.len() < config.pool_size && attempts < max_attempts {
+            attempts += 1;
+            let d = rng.gen_range(1..=config.max_dimensionality);
+            // d distinct public attributes.
+            let mut attrs: Vec<usize> = na.to_vec();
+            for i in 0..d {
+                let j = rng.gen_range(i..attrs.len());
+                attrs.swap(i, j);
+            }
+            attrs.truncate(d);
+            // Original values, then rewrite to generalized codes.
+            let conditions: Vec<(usize, u32)> = attrs
+                .iter()
+                .map(|&a| {
+                    let domain = original_schema.attribute(a).domain_size() as u32;
+                    let original = rng.gen_range(0..domain);
+                    (a, generalization.translate(a, original))
+                })
+                .collect();
+            let sa_value = rng.gen_range(0..spec.m() as u32);
+            let query = CountQuery::new(conditions, spec.sa(), sa_value);
+            // Exact answer from the generalized group histograms.
+            let mut answer = 0u64;
+            for g in groups.matching(query.na_pattern()) {
+                answer += g.sa_hist[sa_value as usize];
+            }
+            if answer >= min_answer && answer > 0 {
+                queries.push(PooledQuery {
+                    query,
+                    answer,
+                    dimensionality: d,
+                });
+            }
+        }
+        Self { queries, attempts }
+    }
+
+    /// Number of admitted queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adult::{self, AdultConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rp_core::groups::SaSpec;
+    use rp_table::Table;
+
+    fn adult_fixture() -> (Table, Generalization, PersonalGroups) {
+        let t = adult::generate(AdultConfig {
+            rows: 20_000,
+            seed: 11,
+        });
+        let spec = SaSpec::new(&t, adult::attr::INCOME);
+        let g = Generalization::fit(&t, &spec, 0.05);
+        let t2 = g.apply(&t);
+        let spec2 = SaSpec::new(&t2, adult::attr::INCOME);
+        let groups = PersonalGroups::build(&t2, spec2);
+        (t, g, groups)
+    }
+
+    #[test]
+    fn pool_respects_selectivity_and_size() {
+        let (t, g, groups) = adult_fixture();
+        let mut rng = StdRng::seed_from_u64(13);
+        let config = QueryPoolConfig {
+            pool_size: 200,
+            ..QueryPoolConfig::default()
+        };
+        let pool = QueryPool::generate(&mut rng, t.schema(), &g, &groups, config);
+        assert_eq!(pool.len(), 200);
+        let min_answer = (0.001_f64 * 20_000.0).ceil() as u64;
+        for pq in &pool.queries {
+            assert!(pq.answer >= min_answer, "answer {} below floor", pq.answer);
+            assert!((1..=3).contains(&pq.dimensionality));
+            assert_eq!(pq.dimensionality, pq.query.dimensionality());
+        }
+    }
+
+    #[test]
+    fn answers_match_generalized_table_scan() {
+        let (t, g, groups) = adult_fixture();
+        let t2 = g.apply(&t);
+        let mut rng = StdRng::seed_from_u64(17);
+        let config = QueryPoolConfig {
+            pool_size: 50,
+            ..QueryPoolConfig::default()
+        };
+        let pool = QueryPool::generate(&mut rng, t.schema(), &g, &groups, config);
+        for pq in &pool.queries {
+            assert_eq!(
+                pq.answer,
+                pq.query.answer(&t2),
+                "histogram vs scan mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (t, g, groups) = adult_fixture();
+        let config = QueryPoolConfig {
+            pool_size: 30,
+            ..QueryPoolConfig::default()
+        };
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            QueryPool::generate(&mut rng, t.schema(), &g, &groups, config)
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn attempt_budget_prevents_infinite_loops() {
+        let (t, g, groups) = adult_fixture();
+        let mut rng = StdRng::seed_from_u64(19);
+        // Impossible selectivity: nothing qualifies, loop must stop.
+        let config = QueryPoolConfig {
+            pool_size: 10,
+            min_selectivity: 0.99,
+            max_attempts_factor: 5,
+            ..QueryPoolConfig::default()
+        };
+        let pool = QueryPool::generate(&mut rng, t.schema(), &g, &groups, config);
+        assert!(pool.is_empty());
+        assert_eq!(pool.attempts, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality must lie in")]
+    fn oversized_dimensionality_rejected() {
+        let (t, g, groups) = adult_fixture();
+        let mut rng = StdRng::seed_from_u64(23);
+        let config = QueryPoolConfig {
+            max_dimensionality: 10,
+            ..QueryPoolConfig::default()
+        };
+        QueryPool::generate(&mut rng, t.schema(), &g, &groups, config);
+    }
+}

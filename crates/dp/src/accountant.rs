@@ -1,0 +1,152 @@
+//! A simple sequential-composition privacy accountant.
+//!
+//! The paper's Example 1 folds the two count queries into a sensitivity of
+//! `Δ = 2`; an equivalent accounting view is that each query is answered at
+//! `ε/2` and the budget composes additively. This module makes that view
+//! explicit so experiments can track cumulative spend.
+
+/// Tracks cumulative `(ε, δ)` privacy spend under basic sequential
+/// composition.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SequentialAccountant {
+    epsilon_spent: f64,
+    delta_spent: f64,
+    epsilon_budget: Option<f64>,
+}
+
+/// Error returned when a spend would exceed the configured ε budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExceeded {
+    /// Budget configured at construction.
+    pub budget: f64,
+    /// Spend that was attempted (cumulative).
+    pub attempted: f64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded: attempted cumulative epsilon {} > budget {}",
+            self.attempted, self.budget
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+impl SequentialAccountant {
+    /// Creates an accountant with no budget cap.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Creates an accountant that rejects spends beyond `epsilon_budget`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `epsilon_budget > 0`.
+    pub fn with_budget(epsilon_budget: f64) -> Self {
+        assert!(
+            epsilon_budget > 0.0,
+            "epsilon budget must be positive, got {epsilon_budget}"
+        );
+        Self {
+            epsilon_budget: Some(epsilon_budget),
+            ..Self::default()
+        }
+    }
+
+    /// Records the release of one `(epsilon, delta)`-DP answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] (leaving the state unchanged) if a budget
+    /// is configured and would be exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `epsilon` or negative `delta`.
+    pub fn spend(&mut self, epsilon: f64, delta: f64) -> Result<(), BudgetExceeded> {
+        assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+        assert!(delta >= 0.0, "delta must be non-negative, got {delta}");
+        let attempted = self.epsilon_spent + epsilon;
+        if let Some(budget) = self.epsilon_budget {
+            if attempted > budget + 1e-12 {
+                return Err(BudgetExceeded { budget, attempted });
+            }
+        }
+        self.epsilon_spent = attempted;
+        self.delta_spent += delta;
+        Ok(())
+    }
+
+    /// Cumulative ε spent so far.
+    pub fn epsilon_spent(&self) -> f64 {
+        self.epsilon_spent
+    }
+
+    /// Cumulative δ spent so far.
+    pub fn delta_spent(&self) -> f64 {
+        self.delta_spent
+    }
+
+    /// Remaining ε under the budget; `None` when unbounded.
+    pub fn remaining(&self) -> Option<f64> {
+        self.epsilon_budget
+            .map(|b| (b - self.epsilon_spent).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_accumulates() {
+        let mut a = SequentialAccountant::unbounded();
+        a.spend(0.1, 0.0).unwrap();
+        a.spend(0.4, 1e-6).unwrap();
+        assert!((a.epsilon_spent() - 0.5).abs() < 1e-12);
+        assert!((a.delta_spent() - 1e-6).abs() < 1e-18);
+        assert_eq!(a.remaining(), None);
+    }
+
+    #[test]
+    fn budget_enforced_and_state_preserved_on_failure() {
+        let mut a = SequentialAccountant::with_budget(1.0);
+        a.spend(0.6, 0.0).unwrap();
+        let err = a.spend(0.5, 0.0).unwrap_err();
+        assert!((err.attempted - 1.1).abs() < 1e-12);
+        assert!(
+            (a.epsilon_spent() - 0.6).abs() < 1e-12,
+            "failed spend must not mutate"
+        );
+        a.spend(0.4, 0.0).unwrap();
+        assert!((a.remaining().unwrap() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_budget_boundary_allowed() {
+        let mut a = SequentialAccountant::with_budget(0.3);
+        a.spend(0.1, 0.0).unwrap();
+        a.spend(0.2, 0.0).unwrap();
+        assert!(a.spend(1e-6, 0.0).is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_numbers() {
+        let e = BudgetExceeded {
+            budget: 1.0,
+            attempted: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1.5") && msg.contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_spend_panics() {
+        SequentialAccountant::unbounded().spend(0.0, 0.0).unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! # rp-dp
+//!
+//! The output-perturbation (differential privacy) baseline of the
+//! reconstruction-privacy workspace, reproducing Section 2 of
+//! *Reconstruction Privacy: Enabling Statistical Learning* (EDBT 2015).
+//!
+//! The paper's first contribution is a quantitative condition under which
+//! differentially-private count answers disclose sensitive information
+//! through non-independent reasoning (NIR). This crate provides:
+//!
+//! * [`mechanism`] — the Laplace, Gaussian and geometric mechanisms with
+//!   explicit sensitivity handling (the paper uses `Lap(b)` with `b = Δ/ε`,
+//!   `Δ = 2` for its two-query attack).
+//! * [`accountant`] — basic sequential composition accounting.
+//! * [`attack`] — the two-query ratio attack of Equation 2, which reproduces
+//!   Table 1 and exposes the Lemma-1 / Corollary-2 predictions.
+//! * [`histogram`] — an ε-DP contingency-table release (`Lap(1/ε)` per
+//!   cell), the output-perturbation *publishing* baseline that the paper's
+//!   data-perturbation approach is compared against.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accountant;
+pub mod attack;
+pub mod histogram;
+pub mod mechanism;
+
+pub use accountant::{BudgetExceeded, SequentialAccountant};
+pub use attack::{AttackOutcome, MeanSe, RatioAttack};
+pub use histogram::DpHistogram;
+pub use mechanism::{
+    GaussianMechanism, GeometricMechanism, LaplaceMechanism, Mechanism, Sensitivity,
+};

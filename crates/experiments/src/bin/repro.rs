@@ -1,0 +1,216 @@
+//! `repro` — regenerates every table and figure of *Reconstruction
+//! Privacy: Enabling Statistical Learning* (EDBT 2015).
+//!
+//! ```text
+//! repro all                 # everything, paper-scale
+//! repro table1|table2|table4|table5
+//! repro figure1|figure2|figure3|figure4|figure5
+//! repro --quick <target>    # reduced scale (CI-friendly)
+//! ```
+
+use rp_experiments::config::{defaults, PreparedDataset};
+use rp_experiments::error::{self, ErrorProtocol};
+use rp_experiments::violation;
+use rp_experiments::{ablation, figure1, learning, table1, table2, tables45};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] <all|table1|table2|table4|table5|figure1|figure2|figure3|figure4|figure5|ablation|learning>"
+    );
+    std::process::exit(2);
+}
+
+/// Scale knobs: the paper protocol or a reduced CI-friendly variant.
+#[derive(Clone, Copy)]
+struct Scale {
+    adult_rows: usize,
+    census_sizes: &'static [usize],
+    census_default: usize,
+    pool_size: usize,
+    runs: usize,
+}
+
+const PAPER: Scale = Scale {
+    adult_rows: rp_datagen::adult::ADULT_ROWS,
+    census_sizes: &defaults::CENSUS_SIZES,
+    census_default: 300_000,
+    pool_size: defaults::POOL_SIZE,
+    runs: defaults::RUNS,
+};
+
+const QUICK: Scale = Scale {
+    adult_rows: 10_000,
+    census_sizes: &[50_000, 100_000],
+    census_default: 50_000,
+    pool_size: 500,
+    runs: 3,
+};
+
+fn adult(scale: Scale) -> PreparedDataset {
+    if scale.adult_rows == rp_datagen::adult::ADULT_ROWS {
+        PreparedDataset::adult()
+    } else {
+        PreparedDataset::adult_small(scale.adult_rows)
+    }
+}
+
+fn protocol(scale: Scale) -> ErrorProtocol {
+    ErrorProtocol {
+        pool_size: scale.pool_size,
+        runs: scale.runs,
+        ..ErrorProtocol::default()
+    }
+}
+
+fn run_table1(scale: Scale) {
+    let table = rp_datagen::adult::generate(rp_datagen::AdultConfig {
+        rows: scale.adult_rows,
+        ..rp_datagen::AdultConfig::default()
+    });
+    let result = table1::run(&table, &[], scale.runs.max(10), 0xED87_2015);
+    print!("{}", table1::render(&result));
+}
+
+fn run_table2() {
+    print!("{}", table2::render(&table2::run()));
+}
+
+fn run_table4(scale: Scale) {
+    let d = adult(scale);
+    print!("{}", tables45::render(&tables45::run(&d)));
+}
+
+fn run_table5(scale: Scale) {
+    let d = PreparedDataset::census(scale.census_default);
+    print!("{}", tables45::render(&tables45::run(&d)));
+}
+
+fn run_figure1() {
+    for panel in figure1::run() {
+        print!("{}", figure1::render(&panel));
+        println!();
+    }
+}
+
+fn run_violation(d: &PreparedDataset, figure: &str) {
+    let sweeps = violation::run_all(d);
+    let labels = ["p", "lambda", "delta"];
+    for (s, label) in sweeps.iter().zip(labels) {
+        println!("--- {figure} vs {label} ---");
+        print!("{}", violation::render(s, label));
+        println!();
+    }
+}
+
+fn run_error(d: &PreparedDataset, figure: &str, scale: Scale) {
+    let sweeps = error::run_all(d, protocol(scale));
+    let labels = ["p", "lambda", "delta"];
+    for (s, label) in sweeps.iter().zip(labels) {
+        println!("--- {figure} vs {label} ---");
+        print!("{}", error::render(s, label));
+        println!();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut target: Option<String> = None;
+    for a in args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--paper" => quick = false,
+            _ if target.is_none() => target = Some(a),
+            _ => usage(),
+        }
+    }
+    let scale = if quick { QUICK } else { PAPER };
+    let target = target.unwrap_or_else(|| "all".to_string());
+    let known = [
+        "all", "table1", "table2", "table4", "table5", "figure1", "figure2", "figure3", "figure4",
+        "figure5", "ablation", "learning",
+    ];
+    if !known.contains(&target.as_str()) {
+        usage();
+    }
+
+    let wants = |t: &str| target == "all" || target == t;
+
+    if wants("table1") {
+        run_table1(scale);
+        println!();
+    }
+    if wants("table2") {
+        run_table2();
+        println!();
+    }
+    if wants("table4") {
+        run_table4(scale);
+        println!();
+    }
+    if wants("table5") {
+        run_table5(scale);
+        println!();
+    }
+    if wants("figure1") {
+        run_figure1();
+    }
+    if wants("figure2") || wants("figure3") {
+        let d = adult(scale);
+        if wants("figure2") {
+            run_violation(&d, "Figure 2 (ADULT)");
+        }
+        if wants("figure3") {
+            run_error(&d, "Figure 3 (ADULT)", scale);
+        }
+    }
+    if wants("figure4") {
+        let d = PreparedDataset::census(scale.census_default);
+        run_violation(&d, "Figure 4 (CENSUS)");
+        println!("--- Figure 4 vs |D| ---");
+        print!(
+            "{}",
+            violation::render(&violation::census_size_sweep(scale.census_sizes), "|D|")
+        );
+        println!();
+    }
+    if wants("ablation") {
+        use rp_core::privacy::PrivacyParams;
+        let params = PrivacyParams::new(defaults::LAMBDA, defaults::DELTA);
+        println!("--- Extension: enforcement-strategy ablation (ADULT) ---");
+        let d = adult(scale);
+        let result = ablation::run(&d, defaults::P, params, 1.0, protocol(scale));
+        print!("{}", ablation::render(&result));
+        println!();
+        println!("--- Extension: enforcement-strategy ablation (CENSUS) ---");
+        let d = PreparedDataset::census(scale.census_default);
+        // p = 0.9 so the reduced CENSUS actually has violations to enforce.
+        let result = ablation::run(&d, 0.9, params, 1.0, protocol(scale));
+        print!("{}", ablation::render(&result));
+        println!();
+    }
+    if wants("learning") {
+        println!("--- Extension: statistical learning from the publication (ADULT) ---");
+        let train = adult(scale);
+        let test = rp_datagen::adult::generate(rp_datagen::AdultConfig {
+            rows: (scale.adult_rows / 3).max(2_800),
+            seed: 0xBEEF_BEEF,
+        });
+        let result = learning::run(&train, &test, defaults::P, 1.0, 7);
+        print!("{}", learning::render(&result));
+        println!();
+    }
+    if wants("figure5") {
+        let d = PreparedDataset::census(scale.census_default);
+        run_error(&d, "Figure 5 (CENSUS)", scale);
+        println!("--- Figure 5 vs |D| ---");
+        print!(
+            "{}",
+            error::render(
+                &error::census_size_sweep(scale.census_sizes, protocol(scale)),
+                "|D|"
+            )
+        );
+        println!();
+    }
+}

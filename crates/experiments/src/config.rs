@@ -1,0 +1,126 @@
+//! Shared experiment configuration: the paper's parameter table (Table 6)
+//! and dataset fixtures.
+
+use rp_core::generalize::Generalization;
+use rp_core::groups::{PersonalGroups, SaSpec};
+use rp_datagen::{adult, census};
+use rp_table::Table;
+
+/// The paper's Table 6 settings (defaults in bold there: p = 0.5,
+/// λ = 0.3, δ = 0.3).
+pub mod defaults {
+    /// Default retention probability.
+    pub const P: f64 = 0.5;
+    /// Default relative-error threshold λ.
+    pub const LAMBDA: f64 = 0.3;
+    /// Default probability floor δ.
+    pub const DELTA: f64 = 0.3;
+    /// Sweep values for p.
+    pub const P_SWEEP: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+    /// Sweep values for λ.
+    pub const LAMBDA_SWEEP: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+    /// Sweep values for δ.
+    pub const DELTA_SWEEP: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+    /// CENSUS size sweep.
+    pub const CENSUS_SIZES: [usize; 5] = [100_000, 200_000, 300_000, 400_000, 500_000];
+    /// χ² significance for the NA generalization.
+    pub const SIGNIFICANCE: f64 = 0.05;
+    /// Perturbation runs averaged per measurement (the paper uses 10).
+    pub const RUNS: usize = 10;
+    /// Query-pool size (the paper uses 5,000).
+    pub const POOL_SIZE: usize = 5_000;
+}
+
+/// A data set prepared for the Section-6 experiments: raw table, its
+/// generalization, the generalized table and its personal groups.
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// Human-readable name ("ADULT", "CENSUS 300K", ...).
+    pub name: String,
+    /// The raw synthetic table (original NA domains).
+    pub raw: Table,
+    /// The fitted χ² generalization.
+    pub generalization: Generalization,
+    /// The generalized table the experiments publish from.
+    pub generalized: Table,
+    /// Personal groups of the generalized table.
+    pub groups: PersonalGroups,
+    /// The sensitive attribute index.
+    pub sa: usize,
+}
+
+impl PreparedDataset {
+    /// Prepares a table: fit the generalization, rewrite, group.
+    pub fn prepare(name: impl Into<String>, raw: Table, sa: usize) -> Self {
+        let spec = SaSpec::new(&raw, sa);
+        let generalization = Generalization::fit(&raw, &spec, defaults::SIGNIFICANCE);
+        let generalized = generalization.apply(&raw);
+        let gen_spec = SaSpec::new(&generalized, sa);
+        let groups = PersonalGroups::build(&generalized, gen_spec);
+        Self {
+            name: name.into(),
+            raw,
+            generalization,
+            generalized,
+            groups,
+            sa,
+        }
+    }
+
+    /// The paper-sized ADULT fixture.
+    pub fn adult() -> Self {
+        Self::prepare("ADULT", adult::generate_default(), adult::attr::INCOME)
+    }
+
+    /// A reduced ADULT fixture for fast tests and benches.
+    pub fn adult_small(rows: usize) -> Self {
+        Self::prepare(
+            format!("ADULT {rows}"),
+            adult::generate(adult::AdultConfig {
+                rows,
+                ..adult::AdultConfig::default()
+            }),
+            adult::attr::INCOME,
+        )
+    }
+
+    /// A CENSUS fixture of the given size (paper: 100K–500K, default 300K).
+    pub fn census(rows: usize) -> Self {
+        Self::prepare(
+            format!("CENSUS {}K", rows / 1000),
+            census::generate(census::CensusConfig {
+                rows,
+                ..census::CensusConfig::default()
+            }),
+            census::attr::OCCUPATION,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_adult_small_has_expected_shape() {
+        let d = PreparedDataset::adult_small(8_000);
+        assert_eq!(d.raw.rows(), 8_000);
+        assert_eq!(d.generalized.rows(), 8_000);
+        assert_eq!(d.sa, 4);
+        assert!(d.groups.len() <= 2240);
+        assert!(!d.groups.is_empty());
+    }
+
+    #[test]
+    fn generalized_groups_use_generalized_domains() {
+        let d = PreparedDataset::adult_small(8_000);
+        let product: usize = d
+            .groups
+            .spec()
+            .na()
+            .iter()
+            .map(|&a| d.generalized.schema().attribute(a).domain_size())
+            .product();
+        assert!(d.groups.len() <= product);
+    }
+}

@@ -1,0 +1,160 @@
+//! Figure 1: the maximum private group size `sg` (Equation 10) as a
+//! function of the maximum SA frequency `f`, for several retention
+//! probabilities.
+//!
+//! Panel (a) uses the ADULT setting `m = 2` (so `f >= 0.5`); panel (b) the
+//! CENSUS setting `m = 50` (`f` from 0.1). Both use the default
+//! λ = δ = 0.3.
+
+use rp_core::privacy::{max_group_size, PrivacyParams};
+
+/// One curve: `sg` sampled along a frequency grid for a fixed `p`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgCurve {
+    /// Retention probability of this curve.
+    pub p: f64,
+    /// `(f, sg)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One panel (data set setting) of Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1Panel {
+    /// Panel label.
+    pub label: String,
+    /// SA domain size `m`.
+    pub m: usize,
+    /// One curve per retention probability.
+    pub curves: Vec<SgCurve>,
+}
+
+/// Computes a panel: `sg` over `f ∈ [f_min, f_max]` (inclusive, `steps`
+/// samples) for each `p`.
+///
+/// # Panics
+///
+/// Panics if the frequency range is invalid or `steps < 2`.
+pub fn panel(
+    label: &str,
+    m: usize,
+    f_min: f64,
+    f_max: f64,
+    steps: usize,
+    ps: &[f64],
+    params: PrivacyParams,
+) -> Figure1Panel {
+    assert!(steps >= 2, "need at least two grid points");
+    assert!(
+        0.0 < f_min && f_min < f_max && f_max <= 1.0,
+        "invalid frequency range [{f_min}, {f_max}]"
+    );
+    let curves = ps
+        .iter()
+        .map(|&p| {
+            let points = (0..steps)
+                .map(|i| {
+                    let f = f_min + (f_max - f_min) * i as f64 / (steps - 1) as f64;
+                    (f, max_group_size(params, p, m, f))
+                })
+                .collect();
+            SgCurve { p, points }
+        })
+        .collect();
+    Figure1Panel {
+        label: label.to_string(),
+        m,
+        curves,
+    }
+}
+
+/// The paper's two panels at default λ = δ = 0.3 and p ∈ {0.3, 0.5, 0.7}.
+pub fn run() -> Vec<Figure1Panel> {
+    let params = PrivacyParams::new(0.3, 0.3);
+    let ps = [0.3, 0.5, 0.7];
+    vec![
+        panel("(a) ADULT (m = 2)", 2, 0.5, 0.9, 9, &ps, params),
+        panel("(b) CENSUS (m = 50)", 50, 0.1, 0.9, 9, &ps, params),
+    ]
+}
+
+/// Renders a panel as an aligned series table.
+pub fn render(panel: &Figure1Panel) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 1{}: sg vs f  (lambda = delta = 0.3)",
+        panel.label
+    );
+    let _ = write!(out, "{:<8}", "f");
+    for c in &panel.curves {
+        let _ = write!(out, "p={:<10}", c.p);
+    }
+    let _ = writeln!(out);
+    let steps = panel.curves[0].points.len();
+    for i in 0..steps {
+        let f = panel.curves[0].points[i].0;
+        let _ = write!(out, "{f:<8.2}");
+        for c in &panel.curves {
+            let _ = write!(out, "{:<12.1}", c.points[i].1);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_decrease_in_f() {
+        for panel in run() {
+            for curve in &panel.curves {
+                for w in curve.points.windows(2) {
+                    assert!(
+                        w[0].1 >= w[1].1,
+                        "sg must fall as f grows: {w:?} (panel {})",
+                        panel.label
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sg_boosts_at_small_f_on_census_panel() {
+        let panels = run();
+        let census = &panels[1];
+        let first = census.curves[0].points.first().unwrap().1;
+        let last = census.curves[0].points.last().unwrap().1;
+        // sg ∝ (fp + (1−p)/m)/(f²): at p = 0.3, m = 50 the f = 0.1 / f =
+        // 0.9 ratio is ≈ 12.5 — an order of magnitude, as Figure 1(b)
+        // shows.
+        assert!(
+            first > 10.0 * last,
+            "Figure 1(b): sg at f = 0.1 ({first}) should dwarf sg at 0.9 ({last})"
+        );
+    }
+
+    #[test]
+    fn adult_panel_range_starts_at_half() {
+        let panels = run();
+        assert!((panels[0].curves[0].points[0].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let panels = run();
+        let text = render(&panels[0]);
+        assert!(text.contains("sg vs f"));
+        assert!(text.contains("p=0.3"));
+        assert!(text.lines().count() >= 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid frequency range")]
+    fn bad_range_rejected() {
+        panel("x", 2, 0.9, 0.5, 5, &[0.5], PrivacyParams::new(0.3, 0.3));
+    }
+}

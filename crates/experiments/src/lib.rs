@@ -1,0 +1,32 @@
+//! # rp-experiments
+//!
+//! The reproduction harness of the reconstruction-privacy workspace: one
+//! runner per table/figure of the paper's evaluation (Section 6 plus the
+//! analytical Tables 1/2 and Figure 1), shared between the `repro` binary
+//! and the Criterion benches.
+//!
+//! | Paper artifact | Module | `repro` subcommand |
+//! |---|---|---|
+//! | Table 1 (DP disclosure on ADULT) | [`table1`] | `repro table1` |
+//! | Table 2 (`2(b/x)²` grid) | [`table2`] | `repro table2` |
+//! | Tables 4/5 (NA aggregation impact) | [`tables45`] | `repro table4`, `repro table5` |
+//! | Figure 1 (`sg` vs `f`) | [`figure1`] | `repro figure1` |
+//! | Figures 2/4 (violation rates) | [`violation`] | `repro figure2`, `repro figure4` |
+//! | Figures 3/5 (relative query error) | [`error`] | `repro figure3`, `repro figure5` |
+//! | Extension: enforcement-strategy comparison | [`ablation`] | `repro ablation` |
+//! | Extension: classifier accuracy from publications | [`learning`] | `repro learning` |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod config;
+pub mod error;
+pub mod figure1;
+pub mod learning;
+pub mod table1;
+pub mod table2;
+pub mod tables45;
+pub mod violation;
+
+pub use config::{defaults, PreparedDataset};

@@ -1,0 +1,215 @@
+//! Table 1: disclosure of the Example-1 rule through differentially
+//! private answers on ADULT.
+//!
+//! The rule {Prof-school, Prof-specialty, White, Male} → >50K has
+//! confidence 83.83% (ans1 = 501, ans2 = 420). The experiment answers the
+//! two queries through the Laplace mechanism at ε ∈ {0.01, 0.1, 0.5}
+//! (Δ = 2, so b ∈ {200, 20, 4}), 10 trials each, and reports the mean/SE
+//! of `Conf′` and of the per-query relative errors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_datagen::adult;
+use rp_dp::attack::{AttackOutcome, RatioAttack};
+use rp_dp::mechanism::{LaplaceMechanism, Sensitivity};
+use rp_table::{CountQuery, Table};
+
+/// One ε column of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Column {
+    /// Privacy parameter ε.
+    pub epsilon: f64,
+    /// Laplace scale `b = Δ/ε`.
+    pub scale: f64,
+    /// Attack outcome (Conf′ and relative errors with SEs).
+    pub outcome: AttackOutcome,
+    /// The Corollary-2 disclosure indicator `2(b/x)²`.
+    pub indicator: f64,
+}
+
+/// The complete Table 1 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// True confidence of the rule (0.8383 in the paper).
+    pub true_confidence: f64,
+    /// One column per ε setting.
+    pub columns: Vec<Table1Column>,
+}
+
+/// Builds the Example-1 refined query against the ADULT schema.
+pub fn example1_query(table: &Table) -> CountQuery {
+    let schema = table.schema();
+    let code = |attr: usize, value: &str| {
+        schema
+            .attribute(attr)
+            .dictionary()
+            .code(value)
+            .expect("ADULT dictionary value")
+    };
+    CountQuery::new(
+        vec![
+            (
+                adult::attr::EDUCATION,
+                code(adult::attr::EDUCATION, "Prof-school"),
+            ),
+            (
+                adult::attr::OCCUPATION,
+                code(adult::attr::OCCUPATION, "Prof-specialty"),
+            ),
+            (adult::attr::RACE, code(adult::attr::RACE, "White")),
+            (adult::attr::GENDER, code(adult::attr::GENDER, "Male")),
+        ],
+        adult::attr::INCOME,
+        code(adult::attr::INCOME, ">50K"),
+    )
+}
+
+/// Runs the Table-1 experiment.
+///
+/// `epsilons` defaults to the paper's {0.01, 0.1, 0.5} when empty.
+pub fn run(table: &Table, epsilons: &[f64], trials: usize, seed: u64) -> Table1 {
+    let epsilons: Vec<f64> = if epsilons.is_empty() {
+        vec![0.01, 0.1, 0.5]
+    } else {
+        epsilons.to_vec()
+    };
+    let attack = RatioAttack::new(example1_query(table));
+    let (x, y) = attack.true_answers(table);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let columns = epsilons
+        .iter()
+        .map(|&epsilon| {
+            let mechanism = LaplaceMechanism::new(epsilon, Sensitivity::count_query_batch(2));
+            let outcome = attack.run(table, &mechanism, trials, &mut rng);
+            Table1Column {
+                epsilon,
+                scale: mechanism.scale(),
+                indicator: attack.disclosure_indicator(table, mechanism.scale()),
+                outcome,
+            }
+        })
+        .collect();
+    Table1 {
+        true_confidence: y as f64 / x as f64,
+        columns,
+    }
+}
+
+/// Renders the table in the paper's row layout.
+pub fn render(t: &Table1) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: {{Prof-school, Prof-specialty, White, Male}} -> >50K  (Conf = {:.4})",
+        t.true_confidence
+    );
+    let _ = write!(out, "{:<22}", "");
+    for c in &t.columns {
+        let _ = write!(out, "eps={:<5} (b={:<4})        ", c.epsilon, c.scale);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<22}", "");
+    for _ in &t.columns {
+        let _ = write!(out, "{:<12} {:<12} ", "Mean", "SE");
+    }
+    let _ = writeln!(out);
+    type RowGetter = Box<dyn Fn(&Table1Column) -> (f64, f64)>;
+    let rows: [(&str, RowGetter); 3] = [
+        (
+            "Conf'",
+            Box::new(|c| (c.outcome.confidence.mean, c.outcome.confidence.se)),
+        ),
+        (
+            "|ans1 - ans1'|/ans1",
+            Box::new(|c| {
+                (
+                    c.outcome.base_relative_error.mean,
+                    c.outcome.base_relative_error.se,
+                )
+            }),
+        ),
+        (
+            "|ans2 - ans2'|/ans2",
+            Box::new(|c| {
+                (
+                    c.outcome.refined_relative_error.mean,
+                    c.outcome.refined_relative_error.se,
+                )
+            }),
+        ),
+    ];
+    for (label, get) in rows {
+        let _ = write!(out, "{label:<22}");
+        for c in &t.columns {
+            let (mean, se) = get(c);
+            let _ = write!(out, "{mean:<12.6} {se:<12.6} ");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<22}", "2(b/x)^2 indicator");
+    for c in &t.columns {
+        let _ = write!(out, "{:<25.6} ", c.indicator);
+    }
+    let _ = writeln!(out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_datagen::adult::{AdultConfig, EXAMPLE1_BASE_COUNT, EXAMPLE1_HIGH_COUNT};
+
+    fn small_adult() -> Table {
+        rp_datagen::adult::generate(AdultConfig {
+            rows: 10_000,
+            ..AdultConfig::default()
+        })
+    }
+
+    #[test]
+    fn example1_query_hits_the_embedded_cell() {
+        let t = small_adult();
+        let q = example1_query(&t);
+        let (support, ans) = q.answer_with_support(&t);
+        assert_eq!(support, EXAMPLE1_BASE_COUNT);
+        assert_eq!(ans, EXAMPLE1_HIGH_COUNT);
+    }
+
+    #[test]
+    fn low_noise_column_discloses_high_noise_does_not() {
+        let t = small_adult();
+        let result = run(&t, &[], 10, 42);
+        assert!((result.true_confidence - 0.8383).abs() < 1e-3);
+        assert_eq!(result.columns.len(), 3);
+        // ε = 0.5 (b = 4): Conf′ tracks Conf closely.
+        let tight = &result.columns[2];
+        assert!(
+            (tight.outcome.confidence.mean - result.true_confidence).abs() < 0.05,
+            "Conf' = {} should track Conf",
+            tight.outcome.confidence.mean
+        );
+        // ε = 0.01 (b = 200): query answers are useless.
+        let loose = &result.columns[0];
+        assert!(loose.outcome.base_relative_error.mean > 0.1);
+        // Indicators match Table 2's b/x analysis: 2(200/501)² ≈ 0.3187.
+        assert!((loose.indicator - 2.0 * (200.0f64 / 501.0).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = small_adult();
+        let result = run(&t, &[0.5], 5, 7);
+        let text = render(&result);
+        assert!(text.contains("Conf'"));
+        assert!(text.contains("|ans1 - ans1'|/ans1"));
+        assert!(text.contains("|ans2 - ans2'|/ans2"));
+        assert!(text.contains("eps=0.5"));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = small_adult();
+        assert_eq!(run(&t, &[0.1], 10, 3), run(&t, &[0.1], 10, 3));
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 2: the disclosure-indicator grid `2(b/x)²`.
+//!
+//! Pure closed form (Corollary 2): rows are Laplace scales `b` (with the
+//! corresponding ε at Δ = 2), columns are true answers `x`. Boldface in the
+//! paper marks cells where the indicator is small enough for `Y/X` to track
+//! `y/x`; we mark the same cells with `*` using the paper's `b/x <= 1/20`
+//! rule of thumb.
+
+use rp_stats::ratio::{is_disclosive_rule_of_thumb, laplace_disclosure_indicator};
+
+/// The paper's row settings: Laplace scales with their ε at Δ = 2.
+pub const SCALES: [(f64, f64); 4] = [(10.0, 0.2), (20.0, 0.1), (40.0, 0.05), (200.0, 0.01)];
+
+/// The paper's column settings: true base-query answers.
+pub const ANSWERS: [f64; 5] = [5000.0, 1000.0, 500.0, 200.0, 100.0];
+
+/// One cell of the grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Cell {
+    /// Laplace scale `b`.
+    pub b: f64,
+    /// True answer `x`.
+    pub x: f64,
+    /// The indicator `2(b/x)²`.
+    pub indicator: f64,
+    /// Whether the rule of thumb `b/x <= 1/20` flags the cell disclosive.
+    pub disclosive: bool,
+}
+
+/// Computes the full grid in the paper's layout.
+pub fn run() -> Vec<Vec<Table2Cell>> {
+    SCALES
+        .iter()
+        .map(|&(b, _)| {
+            ANSWERS
+                .iter()
+                .map(|&x| Table2Cell {
+                    b,
+                    x,
+                    indicator: laplace_disclosure_indicator(b, x),
+                    disclosive: is_disclosive_rule_of_thumb(b, x),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders the grid.
+pub fn render(grid: &[Vec<Table2Cell>]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2: 2(b/x)^2  (* = disclosive by the b/x <= 1/20 rule)"
+    );
+    let _ = write!(out, "{:<18}", "b \\ x");
+    for &x in &ANSWERS {
+        let _ = write!(out, "{x:<12}");
+    }
+    let _ = writeln!(out);
+    for (row, &(b, eps)) in grid.iter().zip(SCALES.iter()) {
+        let _ = write!(out, "b={b:<4} (eps={eps:<4})");
+        for cell in row {
+            let mark = if cell.disclosive { "*" } else { "" };
+            let _ = write!(out, "{:<12}", format!("{:.6}{mark}", cell.indicator));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_values() {
+        let grid = run();
+        // Spot-check against the published Table 2.
+        let cell = |bi: usize, xi: usize| grid[bi][xi].indicator;
+        assert!((cell(0, 0) - 0.000008).abs() < 1e-9); // b=10, x=5000
+        assert!((cell(1, 2) - 0.0032).abs() < 1e-9); // b=20, x=500
+        assert!((cell(2, 4) - 0.32).abs() < 1e-9); // b=40, x=100
+        assert!((cell(3, 3) - 2.0).abs() < 1e-9); // b=200, x=200
+        assert!((cell(3, 4) - 8.0).abs() < 1e-9); // b=200, x=100
+    }
+
+    #[test]
+    fn boldface_cells_match_rule_of_thumb() {
+        let grid = run();
+        // b=10: disclosive for x >= 200; b=200: only x = 5000... (200/5000
+        // = 0.04 <= 0.05).
+        assert!(grid[0][3].disclosive); // b=10, x=200
+        assert!(!grid[2][4].disclosive); // b=40, x=100
+        assert!(grid[3][0].disclosive); // b=200, x=5000
+        assert!(!grid[3][1].disclosive); // b=200, x=1000
+    }
+
+    #[test]
+    fn render_mentions_all_scales() {
+        let text = render(&run());
+        for (b, _) in SCALES {
+            assert!(text.contains(&format!("b={b}")));
+        }
+    }
+}

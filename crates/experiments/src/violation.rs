@@ -1,0 +1,181 @@
+//! Figures 2 and 4: violation of reconstruction privacy by plain uniform
+//! perturbation, measured as `vg` (fraction of violating personal groups)
+//! and `vr` (fraction of records in violating groups), swept over
+//! p, λ, δ and — for CENSUS — the data size `|D|`.
+
+use crate::config::{defaults, PreparedDataset};
+use rp_core::privacy::{check_groups, PrivacyParams};
+
+/// Which parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepAxis {
+    /// Vary the retention probability p.
+    P,
+    /// Vary λ.
+    Lambda,
+    /// Vary δ.
+    Delta,
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViolationPoint {
+    /// The swept parameter's value.
+    pub value: f64,
+    /// Fraction of violating groups.
+    pub vg: f64,
+    /// Fraction of records in violating groups.
+    pub vr: f64,
+}
+
+/// One violation sweep (a sub-figure of Figures 2/4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationSweep {
+    /// Data set name.
+    pub dataset: String,
+    /// The swept axis.
+    pub axis: SweepAxis,
+    /// The sweep points.
+    pub points: Vec<ViolationPoint>,
+}
+
+/// Runs one sweep against a prepared data set, holding the other
+/// parameters at the paper's defaults.
+pub fn sweep(dataset: &PreparedDataset, axis: SweepAxis, values: &[f64]) -> ViolationSweep {
+    let points = values
+        .iter()
+        .map(|&value| {
+            let (p, lambda, delta) = match axis {
+                SweepAxis::P => (value, defaults::LAMBDA, defaults::DELTA),
+                SweepAxis::Lambda => (defaults::P, value, defaults::DELTA),
+                SweepAxis::Delta => (defaults::P, defaults::LAMBDA, value),
+            };
+            let report = check_groups(&dataset.groups, p, PrivacyParams::new(lambda, delta));
+            ViolationPoint {
+                value,
+                vg: report.vg(),
+                vr: report.vr(),
+            }
+        })
+        .collect();
+    ViolationSweep {
+        dataset: dataset.name.clone(),
+        axis,
+        points,
+    }
+}
+
+/// Runs the paper's three sweeps (vs p, vs λ, vs δ) for one data set —
+/// Figure 2 when the data set is ADULT, the first three panels of Figure 4
+/// when it is CENSUS.
+pub fn run_all(dataset: &PreparedDataset) -> Vec<ViolationSweep> {
+    vec![
+        sweep(dataset, SweepAxis::P, &defaults::P_SWEEP),
+        sweep(dataset, SweepAxis::Lambda, &defaults::LAMBDA_SWEEP),
+        sweep(dataset, SweepAxis::Delta, &defaults::DELTA_SWEEP),
+    ]
+}
+
+/// The `|D|` panel of Figure 4: violation at defaults across CENSUS sizes.
+pub fn census_size_sweep(sizes: &[usize]) -> ViolationSweep {
+    let params = PrivacyParams::new(defaults::LAMBDA, defaults::DELTA);
+    let points = sizes
+        .iter()
+        .map(|&rows| {
+            let dataset = PreparedDataset::census(rows);
+            let report = check_groups(&dataset.groups, defaults::P, params);
+            ViolationPoint {
+                value: rows as f64,
+                vg: report.vg(),
+                vr: report.vr(),
+            }
+        })
+        .collect();
+    ViolationSweep {
+        dataset: "CENSUS".to_string(),
+        axis: SweepAxis::P, // size axis; label handled by the renderer
+        points,
+    }
+}
+
+/// Renders a sweep with a custom axis label.
+pub fn render(sweep: &ViolationSweep, axis_label: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: violation rate vs {axis_label} (defaults p={}, lambda={}, delta={})",
+        sweep.dataset,
+        defaults::P,
+        defaults::LAMBDA,
+        defaults::DELTA
+    );
+    let _ = writeln!(out, "{:<12}{:<10}{:<10}", axis_label, "vg", "vr");
+    for pt in &sweep.points {
+        let _ = writeln!(out, "{:<12}{:<10.4}{:<10.4}", pt.value, pt.vg, pt.vr);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adult_defaults_show_widespread_violation() {
+        // The paper: at defaults, ~85% of ADULT groups violate, covering
+        // >99% of records. Our small sample keeps the same character:
+        // violations dominated by record coverage.
+        let d = PreparedDataset::adult_small(20_000);
+        let s = sweep(&d, SweepAxis::P, &[defaults::P]);
+        let pt = s.points[0];
+        assert!(pt.vg > 0.3, "vg = {}", pt.vg);
+        assert!(pt.vr > 0.9, "vr = {}", pt.vr);
+        assert!(pt.vr >= pt.vg, "large groups violate first");
+    }
+
+    #[test]
+    fn violation_monotone_in_lambda_and_delta() {
+        // Larger λ or δ demand *more* reconstruction inaccuracy, shrinking
+        // sg = −2c·ln δ/(λpf)², so violations cannot shrink.
+        let d = PreparedDataset::adult_small(20_000);
+        for axis in [SweepAxis::Lambda, SweepAxis::Delta] {
+            let s = sweep(&d, axis, &defaults::LAMBDA_SWEEP);
+            for w in s.points.windows(2) {
+                assert!(
+                    w[1].vg >= w[0].vg - 1e-12,
+                    "vg must not decrease along {axis:?}: {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violation_grows_with_p() {
+        // More retention ⇒ more accurate personal reconstruction ⇒ smaller
+        // sg ⇒ more violations.
+        let d = PreparedDataset::adult_small(20_000);
+        let s = sweep(&d, SweepAxis::P, &defaults::P_SWEEP);
+        assert!(
+            s.points.last().unwrap().vg >= s.points.first().unwrap().vg,
+            "{:?}",
+            s.points
+        );
+    }
+
+    #[test]
+    fn run_all_produces_three_sweeps() {
+        let d = PreparedDataset::adult_small(10_000);
+        let sweeps = run_all(&d);
+        assert_eq!(sweeps.len(), 3);
+        assert_eq!(sweeps[0].points.len(), 5);
+    }
+
+    #[test]
+    fn render_includes_every_point() {
+        let d = PreparedDataset::adult_small(10_000);
+        let s = sweep(&d, SweepAxis::P, &[0.1, 0.9]);
+        let text = render(&s, "p");
+        assert!(text.contains("0.1") && text.contains("0.9"));
+    }
+}

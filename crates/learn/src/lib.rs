@@ -1,0 +1,28 @@
+//! # rp-learn
+//!
+//! Statistical learning on reconstruction-private publications — the
+//! "Enabling Statistical Learning" half of the paper's title, made
+//! concrete.
+//!
+//! A classifier is the paper's "master example of NIR" (Section 1.1): the
+//! class of a new instance is learnt from the distribution of related
+//! records. Reconstruction privacy promises that this *aggregate* kind of
+//! learning keeps working after SPS, while *personal* reconstruction does
+//! not. This crate provides a categorical Naive Bayes classifier for the
+//! sensitive attribute that can be fitted from
+//!
+//! * a raw table (the utility ceiling),
+//! * **reconstructed sufficient statistics** — the 1-D `NA × SA` marginal
+//!   estimates `est = |S*|·F′` computed from a UP or SPS publication,
+//!
+//! so the two training paths can be compared on held-out accuracy
+//! (`repro learning`). This is also reference \[13\]'s observation — a Bayes
+//! classifier built from released statistics predicts individuals'
+//! sensitive values — turned into a measurement.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod naive_bayes;
+
+pub use naive_bayes::{NaiveBayes, SufficientStats};

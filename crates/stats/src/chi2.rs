@@ -1,0 +1,300 @@
+//! The chi-square distribution and the two-binned-distribution test of
+//! Section 3.4 (Equation 4 of the paper).
+//!
+//! The paper merges public-attribute values whose conditional SA
+//! distributions cannot be told apart by the χ² test for *two binned data
+//! sets with unequal numbers of data points* (Numerical Recipes §14.3), at
+//! significance 0.05 and with the degrees of freedom set to the SA domain
+//! size `m`.
+
+use crate::special::{reg_gamma_lower, reg_gamma_upper};
+
+/// The chi-square distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates the distribution with `k` degrees of freedom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not strictly positive or not finite.
+    pub fn new(k: f64) -> Self {
+        assert!(
+            k > 0.0 && k.is_finite(),
+            "degrees of freedom must be positive, got {k}"
+        );
+        Self { k }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.k
+    }
+
+    /// Cumulative distribution function `Pr[X <= x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        reg_gamma_lower(self.k / 2.0, x / 2.0)
+    }
+
+    /// Survival function `Pr[X > x]`, the p-value of an observed statistic.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        reg_gamma_upper(self.k / 2.0, x / 2.0)
+    }
+
+    /// Quantile function: the `x` such that `cdf(x) = prob`.
+    ///
+    /// Solved by bisection on the monotone CDF; this is only evaluated a
+    /// handful of times per merge pass, so robustness beats speed here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `(0, 1)`.
+    pub fn quantile(&self, prob: f64) -> f64 {
+        assert!(
+            prob > 0.0 && prob < 1.0,
+            "quantile probability must lie in (0, 1), got {prob}"
+        );
+        // Bracket the root: the mean of χ²_k is k, variance 2k; expanding
+        // upward geometrically always terminates because the CDF → 1.
+        let mut lo = 0.0_f64;
+        let mut hi = (self.k + 10.0 * (2.0 * self.k).sqrt()).max(1.0);
+        while self.cdf(hi) < prob {
+            hi *= 2.0;
+            assert!(hi.is_finite(), "failed to bracket chi-square quantile");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < prob {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Critical value at significance `alpha`: `quantile(1 − alpha)`.
+    pub fn critical_value(&self, alpha: f64) -> f64 {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "significance must lie in (0, 1), got {alpha}"
+        );
+        self.quantile(1.0 - alpha)
+    }
+}
+
+/// Outcome of the two-binned χ² test of Equation 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinnedTestResult {
+    /// The χ² statistic of Equation 4.
+    pub statistic: f64,
+    /// Degrees of freedom used (the paper sets this to the bin count `m`).
+    pub dof: f64,
+    /// Critical value of the χ² distribution at the chosen significance.
+    pub critical: f64,
+    /// `Pr[χ²_dof > statistic]`.
+    pub p_value: f64,
+    /// `true` when the null hypothesis (same underlying distribution) is
+    /// rejected, i.e. the two histograms have a *different* impact on SA.
+    pub rejects_null: bool,
+}
+
+/// Two-binned-distribution χ² test with unequal numbers of data points
+/// (Equation 4 of the paper; Numerical Recipes' `chstwo` with the
+/// unequal-totals scaling).
+///
+/// Given histograms `o` and `o2` over the same `m` bins,
+///
+/// ```text
+/// χ² = Σ_j ( sqrt(R'/R)·o_j − sqrt(R/R')·o'_j )² / (o_j + o'_j)
+/// ```
+///
+/// where `R = Σ o_j`, `R' = Σ o'_j`. Bins empty in both histograms contribute
+/// nothing and are skipped. Following the paper, the degrees of freedom is the
+/// full bin count `m` (not `m − 1`).
+///
+/// Returns `None` when either histogram is entirely empty — there is no
+/// evidence to reject the null, and the caller should treat the pair as
+/// indistinguishable.
+///
+/// ```
+/// use rp_stats::chi2::binned_chi2_test;
+///
+/// // Two clearly different SA profiles are told apart at 5% significance…
+/// let different = binned_chi2_test(&[900, 100], &[500, 500], 0.05).unwrap();
+/// assert!(different.rejects_null);
+/// // …while a scaled copy of the same profile is not.
+/// let same = binned_chi2_test(&[90, 10], &[900, 100], 0.05).unwrap();
+/// assert!(!same.rejects_null);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the histograms have different lengths or are empty.
+pub fn binned_chi2_test(o: &[u64], o2: &[u64], alpha: f64) -> Option<BinnedTestResult> {
+    assert_eq!(o.len(), o2.len(), "histograms must have the same bin count");
+    assert!(!o.is_empty(), "histograms must be non-empty");
+    let r: u64 = o.iter().sum();
+    let r2: u64 = o2.iter().sum();
+    if r == 0 || r2 == 0 {
+        return None;
+    }
+    let ratio = ((r2 as f64) / (r as f64)).sqrt();
+    let inv_ratio = 1.0 / ratio;
+    let mut statistic = 0.0;
+    for (&a, &b) in o.iter().zip(o2.iter()) {
+        let total = a + b;
+        if total == 0 {
+            continue;
+        }
+        let diff = ratio * a as f64 - inv_ratio * b as f64;
+        statistic += diff * diff / total as f64;
+    }
+    let dof = o.len() as f64;
+    let dist = ChiSquared::new(dof);
+    let critical = dist.critical_value(alpha);
+    Some(BinnedTestResult {
+        statistic,
+        dof,
+        critical,
+        p_value: dist.sf(statistic),
+        rejects_null: statistic > critical,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // Reference values from standard chi-square tables.
+        let d1 = ChiSquared::new(1.0);
+        assert_close(d1.cdf(3.841_458_820_694_124), 0.95, 1e-9);
+        let d2 = ChiSquared::new(2.0);
+        // χ²_2 is Exp(1/2): CDF(x) = 1 − e^{−x/2}.
+        for &x in &[0.5, 1.0, 5.0, 12.0] {
+            assert_close(d2.cdf(x), 1.0 - (-x / 2.0f64).exp(), 1e-12);
+        }
+        let d10 = ChiSquared::new(10.0);
+        assert_close(d10.cdf(18.307_038_053_275_146), 0.95, 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &k in &[1.0, 2.0, 5.0, 50.0] {
+            let d = ChiSquared::new(k);
+            for &p in &[0.05, 0.5, 0.95, 0.99] {
+                let x = d.quantile(p);
+                assert_close(d.cdf(x), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        // Standard 0.05-significance critical values.
+        assert_close(ChiSquared::new(1.0).critical_value(0.05), 3.841, 1e-3);
+        assert_close(ChiSquared::new(2.0).critical_value(0.05), 5.991, 1e-3);
+        assert_close(ChiSquared::new(5.0).critical_value(0.05), 11.070, 1e-3);
+        assert_close(ChiSquared::new(50.0).critical_value(0.05), 67.505, 1e-3);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let d = ChiSquared::new(7.0);
+        for &x in &[0.1, 1.0, 7.0, 30.0] {
+            assert_close(d.cdf(x) + d.sf(x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom must be positive")]
+    fn zero_dof_rejected() {
+        ChiSquared::new(0.0);
+    }
+
+    #[test]
+    fn identical_histograms_never_reject() {
+        let o = [100, 200, 300, 400];
+        let res = binned_chi2_test(&o, &o, 0.05).unwrap();
+        assert_close(res.statistic, 0.0, 1e-12);
+        assert!(!res.rejects_null);
+        assert_close(res.p_value, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn scaled_histograms_do_not_reject() {
+        // o2 = 3 × o has the same shape; the unequal-totals scaling must
+        // yield a zero statistic.
+        let o = [50, 150, 300];
+        let o2 = [150, 450, 900];
+        let res = binned_chi2_test(&o, &o2, 0.05).unwrap();
+        assert_close(res.statistic, 0.0, 1e-9);
+        assert!(!res.rejects_null);
+    }
+
+    #[test]
+    fn disjoint_histograms_reject() {
+        let o = [1000, 0, 0];
+        let o2 = [0, 1000, 0];
+        let res = binned_chi2_test(&o, &o2, 0.05).unwrap();
+        assert!(
+            res.rejects_null,
+            "statistic {} should reject",
+            res.statistic
+        );
+    }
+
+    #[test]
+    fn empty_histogram_yields_none() {
+        assert!(binned_chi2_test(&[0, 0], &[5, 5], 0.05).is_none());
+        assert!(binned_chi2_test(&[5, 5], &[0, 0], 0.05).is_none());
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // R = 10, R' = 40: χ² = Σ (2a − b/2)² / (a + b).
+        let o = [6, 4];
+        let o2 = [10, 30];
+        let expected = (12.0f64 - 5.0).powi(2) / 16.0 + (8.0f64 - 15.0).powi(2) / 34.0;
+        let res = binned_chi2_test(&o, &o2, 0.05).unwrap();
+        assert_close(res.statistic, expected, 1e-12);
+        assert_close(res.dof, 2.0, 0.0);
+    }
+
+    #[test]
+    fn small_same_distribution_samples_usually_pass() {
+        // Two modest samples from the same distribution should not reject at
+        // dof = m (the paper's convention makes the test conservative).
+        let o = [48, 52, 95, 105];
+        let o2 = [52, 48, 105, 95];
+        let res = binned_chi2_test(&o, &o2, 0.05).unwrap();
+        assert!(!res.rejects_null, "statistic {}", res.statistic);
+    }
+
+    #[test]
+    #[should_panic(expected = "same bin count")]
+    fn mismatched_bins_panic() {
+        binned_chi2_test(&[1, 2], &[1, 2, 3], 0.05);
+    }
+}

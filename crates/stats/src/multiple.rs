@@ -1,0 +1,143 @@
+//! Multiple-testing corrections for batteries of hypothesis tests.
+//!
+//! The Section-3.4 merge pass runs `O(d²)` pairwise tests per public
+//! attribute; at significance 0.05 a 77-value attribute yields thousands
+//! of tests and dozens of expected false rejections. The paper relies on
+//! connected components to absorb them; a production deployment may
+//! instead want a corrected significance. Bonferroni and
+//! Benjamini–Hochberg are provided.
+
+/// Bonferroni-corrected per-test significance for `tests` tests at
+/// family-wise level `alpha`: `alpha / tests`.
+///
+/// # Panics
+///
+/// Panics if `tests == 0` or `alpha` outside `(0, 1)`.
+pub fn bonferroni_alpha(alpha: f64, tests: usize) -> f64 {
+    assert!(tests > 0, "need at least one test");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must lie in (0, 1), got {alpha}"
+    );
+    alpha / tests as f64
+}
+
+/// Benjamini–Hochberg step-up procedure: given p-values, returns a boolean
+/// per input marking the hypotheses *rejected* at false-discovery rate
+/// `q`.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `(0, 1)` or any p-value is outside `[0, 1]`.
+pub fn benjamini_hochberg(p_values: &[f64], q: f64) -> Vec<bool> {
+    assert!(q > 0.0 && q < 1.0, "FDR level must lie in (0, 1), got {q}");
+    for &p in p_values {
+        assert!((0.0..=1.0).contains(&p), "p-value {p} outside [0, 1]");
+    }
+    let n = p_values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        p_values[a]
+            .partial_cmp(&p_values[b])
+            .expect("p-values are comparable")
+    });
+    // Largest k with p_(k) <= k/n * q (1-based k).
+    let mut cutoff = None;
+    for (rank, &idx) in order.iter().enumerate() {
+        let threshold = (rank + 1) as f64 / n as f64 * q;
+        if p_values[idx] <= threshold {
+            cutoff = Some(rank);
+        }
+    }
+    let mut reject = vec![false; n];
+    if let Some(k) = cutoff {
+        for &idx in &order[..=k] {
+            reject[idx] = true;
+        }
+    }
+    reject
+}
+
+/// Expected number of false rejections when running `tests` independent
+/// true-null tests at per-test significance `alpha` — the quantity that
+/// motivates correcting the merge pass.
+pub fn expected_false_rejections(alpha: f64, tests: usize) -> f64 {
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must lie in (0, 1), got {alpha}"
+    );
+    alpha * tests as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bonferroni_divides() {
+        assert!((bonferroni_alpha(0.05, 10) - 0.005).abs() < 1e-12);
+        assert!((bonferroni_alpha(0.05, 1) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bh_rejects_obvious_signals_keeps_nulls() {
+        // Three tiny p-values among uniform-ish nulls.
+        let p = [0.0001, 0.0002, 0.0005, 0.3, 0.5, 0.7, 0.9, 0.95];
+        let reject = benjamini_hochberg(&p, 0.05);
+        assert_eq!(&reject[..3], &[true, true, true]);
+        assert!(!reject[3..].iter().any(|&r| r));
+    }
+
+    #[test]
+    fn bh_rejects_nothing_when_all_null() {
+        let p = [0.2, 0.4, 0.6, 0.8];
+        assert!(!benjamini_hochberg(&p, 0.05).iter().any(|&r| r));
+    }
+
+    #[test]
+    fn bh_rejects_everything_when_all_tiny() {
+        let p = [1e-8, 1e-9, 1e-7];
+        assert!(benjamini_hochberg(&p, 0.05).iter().all(|&r| r));
+    }
+
+    #[test]
+    fn bh_step_up_includes_borderline_below_cutoff() {
+        // Classic property: a p-value above its own threshold is still
+        // rejected if a later (larger-rank) one passes.
+        // n = 4, q = 0.2: thresholds 0.05, 0.10, 0.15, 0.20.
+        let p = [0.06, 0.09, 0.12, 0.35];
+        let reject = benjamini_hochberg(&p, 0.2);
+        // p_(3) = 0.12 <= 0.15, so ranks 1..3 are all rejected even though
+        // p_(1) = 0.06 > 0.05.
+        assert_eq!(reject, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn bh_empty_input() {
+        assert!(benjamini_hochberg(&[], 0.05).is_empty());
+    }
+
+    #[test]
+    fn bh_is_monotone_in_q() {
+        let p = [0.01, 0.04, 0.2, 0.6];
+        let strict: usize = benjamini_hochberg(&p, 0.01).iter().filter(|&&r| r).count();
+        let loose: usize = benjamini_hochberg(&p, 0.2).iter().filter(|&&r| r).count();
+        assert!(loose >= strict);
+    }
+
+    #[test]
+    fn expected_false_rejections_scales() {
+        // The CENSUS age attribute: C(77, 2) = 2926 pairs at 0.05.
+        let expected = expected_false_rejections(0.05, 2926);
+        assert!((expected - 146.3).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "p-value")]
+    fn bh_rejects_bad_pvalue() {
+        benjamini_hochberg(&[1.5], 0.05);
+    }
+}

@@ -1,0 +1,330 @@
+//! Discrete sampling utilities: weighted categorical draws, a binomial
+//! sampler and stochastic rounding.
+//!
+//! These back the histogram-level fast path of the perturbation operator
+//! (ablation #3 in DESIGN.md) and the fractional record picks of the SPS
+//! Sampling/Scaling steps.
+
+use rand::Rng;
+
+/// Samples an index from a discrete distribution given by non-negative
+/// weights, by linear inversion.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative or non-finite weight, or
+/// sums to zero.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let mut total = 0.0;
+    for &w in weights {
+        assert!(
+            w >= 0.0 && w.is_finite(),
+            "weights must be non-negative and finite, got {w}"
+        );
+        total += w;
+    }
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    // Floating-point slack can walk past the end; the last positive weight
+    // is the correct fallback.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("at least one positive weight exists")
+}
+
+/// Draws `X ~ Binomial(n, q)`.
+///
+/// Uses direct Bernoulli summation for small `n` and a BTRS-free fallback of
+/// inversion-by-waiting-time for larger `n` with small `q`; for large `n·q`
+/// the waiting-time loop is replaced by summation in blocks. All paths are
+/// exact (no normal approximation), which keeps distribution-level tests
+/// honest.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, q: f64) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "probability must lie in [0, 1], got {q}"
+    );
+    if q == 0.0 || n == 0 {
+        return 0;
+    }
+    if q == 1.0 {
+        return n;
+    }
+    // Work with q <= 1/2 and mirror at the end.
+    let (q, mirrored) = if q > 0.5 { (1.0 - q, true) } else { (q, false) };
+    let x = if n <= 64 {
+        (0..n).filter(|_| rng.gen::<f64>() < q).count() as u64
+    } else {
+        // Geometric waiting-time inversion: expected iterations n·q + 1.
+        let log1mq = (1.0 - q).ln();
+        let mut count = 0u64;
+        let mut skipped = 0u64;
+        loop {
+            let u: f64 = loop {
+                let u: f64 = rng.gen();
+                if u > f64::MIN_POSITIVE {
+                    break u;
+                }
+            };
+            let gap = (u.ln() / log1mq).floor() as u64;
+            if skipped + gap >= n {
+                break;
+            }
+            skipped += gap + 1;
+            count += 1;
+            if skipped >= n {
+                break;
+            }
+        }
+        count
+    };
+    if mirrored {
+        n - x
+    } else {
+        x
+    }
+}
+
+/// Draws a multinomial sample: `n` items distributed over categories with
+/// probabilities `probs` (which must sum to ~1).
+///
+/// Implemented by conditional binomials, so it is exact and `O(k)` binomial
+/// draws for `k` categories.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty, has negative entries, or sums to something
+/// farther than 1e-9 from 1.
+pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
+    assert!(!probs.is_empty(), "probability vector must be non-empty");
+    let total: f64 = probs.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "probabilities must sum to 1, got {total}"
+    );
+    let mut counts = Vec::with_capacity(probs.len());
+    let mut remaining_n = n;
+    let mut remaining_p = 1.0;
+    for (i, &p) in probs.iter().enumerate() {
+        assert!(p >= 0.0, "probabilities must be non-negative, got {p}");
+        if i + 1 == probs.len() {
+            counts.push(remaining_n);
+            break;
+        }
+        if remaining_n == 0 || remaining_p <= 0.0 {
+            counts.push(0);
+            continue;
+        }
+        let cond = (p / remaining_p).clamp(0.0, 1.0);
+        let c = sample_binomial(rng, remaining_n, cond);
+        counts.push(c);
+        remaining_n -= c;
+        remaining_p -= p;
+    }
+    counts
+}
+
+/// Stochastic rounding of a non-negative real target count: returns
+/// `floor(x)` plus one more with probability `frac(x)`.
+///
+/// This is exactly the "pick one additional record with probability
+/// `|g_sa|·τ − ⌊|g_sa|·τ⌋`" device of the SPS Sampling and Scaling steps.
+///
+/// # Panics
+///
+/// Panics if `x` is negative or not finite.
+pub fn stochastic_round<R: Rng + ?Sized>(rng: &mut R, x: f64) -> u64 {
+    assert!(
+        x >= 0.0 && x.is_finite(),
+        "stochastic_round needs finite x >= 0, got {x}"
+    );
+    let base = x.floor();
+    let frac = x - base;
+    let extra = u64::from(frac > 0.0 && rng.gen::<f64>() < frac);
+    base as u64 + extra
+}
+
+/// Reservoir-free sampling of exactly `k` distinct indices out of `0..n`
+/// using Floyd's algorithm; order is unspecified.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from {n}");
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn weighted_sampling_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [1.0, 3.0, 6.0];
+        let n = 60_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[sample_weighted(&mut rng, &weights)] += 1;
+        }
+        assert_close(counts[0] as f64 / n as f64, 0.1, 0.01);
+        assert_close(counts[1] as f64 / n as f64, 0.3, 0.01);
+        assert_close(counts[2] as f64 / n as f64, 0.6, 0.01);
+    }
+
+    #[test]
+    fn weighted_sampling_skips_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let i = sample_weighted(&mut rng, &[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn weighted_sampling_rejects_all_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_weighted(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn binomial_moments_small_and_large_n() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(n, q) in &[(40u64, 0.3f64), (5000, 0.02), (5000, 0.9), (200, 0.5)] {
+            let trials = 20_000;
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            for _ in 0..trials {
+                let x = sample_binomial(&mut rng, n, q) as f64;
+                assert!(x <= n as f64);
+                sum += x;
+                sumsq += x * x;
+            }
+            let mean = sum / trials as f64;
+            let var = sumsq / trials as f64 - mean * mean;
+            let expect_mean = n as f64 * q;
+            let expect_var = n as f64 * q * (1.0 - q);
+            assert_close(
+                mean,
+                expect_mean,
+                4.0 * (expect_var / trials as f64).sqrt() + 0.05,
+            );
+            assert_close(var, expect_var, 0.08 * expect_var + 0.1);
+        }
+    }
+
+    #[test]
+    fn multinomial_totals_and_moments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let probs = [0.5, 0.2, 0.2, 0.1];
+        let n = 10_000u64;
+        let counts = sample_multinomial(&mut rng, n, &probs);
+        assert_eq!(counts.iter().sum::<u64>(), n);
+        for (c, p) in counts.iter().zip(probs.iter()) {
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            assert_close(*c as f64, n as f64 * p, 5.0 * sd);
+        }
+    }
+
+    #[test]
+    fn multinomial_zero_probability_categories() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let counts = sample_multinomial(&mut rng, 1000, &[0.0, 1.0, 0.0]);
+        assert_eq!(counts, vec![0, 1000, 0]);
+    }
+
+    #[test]
+    fn stochastic_round_integer_is_exact() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            assert_eq!(stochastic_round(&mut rng, 7.0), 7);
+            assert_eq!(stochastic_round(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn stochastic_round_is_unbiased() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = 3.7;
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| stochastic_round(&mut rng, x)).sum();
+        assert_close(sum as f64 / n as f64, x, 0.01);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for &(n, k) in &[(10usize, 10usize), (100, 5), (100, 99), (1, 0)] {
+            let idx = sample_indices(&mut rng, n, k);
+            assert_eq!(idx.len(), k);
+            let set: std::collections::HashSet<_> = idx.iter().collect();
+            assert_eq!(set.len(), k, "indices must be distinct");
+            assert!(idx.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn sample_indices_uniformity() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let trials = 30_000;
+        let mut hits = [0u64; 5];
+        for _ in 0..trials {
+            for i in sample_indices(&mut rng, 5, 2) {
+                hits[i] += 1;
+            }
+        }
+        // Each index appears with probability 2/5.
+        for &h in &hits {
+            assert_close(h as f64 / trials as f64, 0.4, 0.02);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(14);
+        sample_indices(&mut rng, 3, 4);
+    }
+}

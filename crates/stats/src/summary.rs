@@ -1,0 +1,226 @@
+//! Streaming summary statistics (Welford's online algorithm) and the
+//! mean / standard-error reporting used by the paper's Table 1.
+
+/// Numerically stable streaming accumulator for mean and variance.
+///
+/// Uses Welford's algorithm, so it is safe for long runs of observations with
+/// large offsets (e.g. noisy counts in the hundreds with sub-unit spread).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `None` when no observations were added.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (denominator `n − 1`); `None` for fewer than
+    /// two observations.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population variance (denominator `n`); `None` when empty.
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample standard deviation; `None` for fewer than two observations.
+    pub fn sample_sd(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean, `s / √n`, as reported in the paper's
+    /// Table 1; `None` for fewer than two observations.
+    pub fn standard_error(&self) -> Option<f64> {
+        self.sample_sd().map(|sd| sd / (self.count as f64).sqrt())
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+/// Mean and standard error of a slice, convenience wrapper over
+/// [`OnlineStats`]. Returns `(mean, standard_error)`; the standard error is
+/// zero for a single observation.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn mean_and_se(values: &[f64]) -> (f64, f64) {
+    assert!(
+        !values.is_empty(),
+        "mean_and_se requires at least one value"
+    );
+    let mut stats = OnlineStats::new();
+    for &v in values {
+        stats.push(v);
+    }
+    (stats.mean().unwrap(), stats.standard_error().unwrap_or(0.0))
+}
+
+/// Relative error `|estimate − actual| / actual`, the utility measure of
+/// Section 6.
+///
+/// # Panics
+///
+/// Panics if `actual == 0`.
+pub fn relative_error(estimate: f64, actual: f64) -> f64 {
+    assert!(actual != 0.0, "relative error undefined for actual == 0");
+    (estimate - actual).abs() / actual.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn empty_accumulator_returns_none() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.sample_variance(), None);
+        assert_eq!(s.standard_error(), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_value_has_mean_but_no_variance() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), Some(42.0));
+        assert_eq!(s.sample_variance(), None);
+        assert_eq!(s.population_variance(), Some(0.0));
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let mut s = OnlineStats::new();
+        for &x in &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_close(s.mean().unwrap(), 5.0, 1e-12);
+        assert_close(s.population_variance().unwrap(), 4.0, 1e-12);
+        assert_close(s.sample_variance().unwrap(), 32.0 / 7.0, 1e-12);
+        assert_close(
+            s.standard_error().unwrap(),
+            (32.0 / 7.0f64).sqrt() / (8.0f64).sqrt(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn welford_stable_under_large_offset() {
+        let mut s = OnlineStats::new();
+        let offset = 1e9;
+        for &x in &[offset + 1.0, offset + 2.0, offset + 3.0] {
+            s.push(x);
+        }
+        assert_close(s.mean().unwrap(), offset + 2.0, 1e-3);
+        assert_close(s.sample_variance().unwrap(), 1.0, 1e-6);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut sequential = OnlineStats::new();
+        for &v in &values {
+            sequential.push(v);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &v in &values[..37] {
+            left.push(v);
+        }
+        for &v in &values[37..] {
+            right.push(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), sequential.count());
+        assert_close(left.mean().unwrap(), sequential.mean().unwrap(), 1e-10);
+        assert_close(
+            left.sample_variance().unwrap(),
+            sequential.sample_variance().unwrap(),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(3.0);
+        let before = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn mean_and_se_matches_accumulator() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let (mean, se) = mean_and_se(&values);
+        assert_close(mean, 2.5, 1e-12);
+        let expected_se = (5.0 / 3.0f64).sqrt() / 2.0;
+        assert_close(se, expected_se, 1e-12);
+    }
+
+    #[test]
+    fn relative_error_examples() {
+        assert_close(relative_error(110.0, 100.0), 0.1, 1e-12);
+        assert_close(relative_error(90.0, 100.0), 0.1, 1e-12);
+        assert_close(relative_error(100.0, 100.0), 0.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "actual == 0")]
+    fn relative_error_rejects_zero_actual() {
+        relative_error(1.0, 0.0);
+    }
+}

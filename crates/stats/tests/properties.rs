@@ -1,0 +1,121 @@
+//! Property-based tests for the statistical substrate: identities and
+//! monotonicity of the special functions, distributions and tests, across
+//! randomized parameters.
+
+use proptest::prelude::*;
+use rp_stats::chi2::ChiSquared;
+use rp_stats::dist::{Gaussian, Laplace, TwoSidedGeometric};
+use rp_stats::gtest::binned_g_test;
+use rp_stats::special::{ln_gamma, reg_gamma_lower, reg_gamma_upper};
+use rp_stats::summary::OnlineStats;
+use rp_stats::{binned_chi2_test, laplace_disclosure_indicator, ratio_moments};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The gamma recurrence Γ(x+1) = x·Γ(x) in log form.
+    #[test]
+    fn gamma_recurrence(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+    }
+
+    /// P(a, x) + Q(a, x) = 1 and both lie in [0, 1].
+    #[test]
+    fn incomplete_gamma_complementarity(a in 0.1f64..60.0, x in 0.0f64..200.0) {
+        let p = reg_gamma_lower(a, x);
+        let q = reg_gamma_upper(a, x);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((p + q - 1.0).abs() < 1e-10);
+    }
+
+    /// P(a, ·) is non-decreasing.
+    #[test]
+    fn incomplete_gamma_monotone(a in 0.1f64..30.0, x in 0.0f64..100.0, dx in 0.001f64..10.0) {
+        prop_assert!(reg_gamma_lower(a, x + dx) >= reg_gamma_lower(a, x) - 1e-12);
+    }
+
+    /// The χ² quantile inverts the CDF everywhere.
+    #[test]
+    fn chi2_quantile_inverts(k in 1.0f64..80.0, p in 0.001f64..0.999) {
+        let dist = ChiSquared::new(k);
+        let x = dist.quantile(p);
+        prop_assert!((dist.cdf(x) - p).abs() < 1e-7);
+    }
+
+    /// Laplace CDF is monotone with the right limits and median.
+    #[test]
+    fn laplace_cdf_monotone(b in 0.1f64..100.0, x in -500.0f64..500.0, dx in 0.001f64..50.0) {
+        let d = Laplace::new(b);
+        prop_assert!(d.cdf(x + dx) >= d.cdf(x));
+        prop_assert!((d.cdf(0.0) - 0.5).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d.cdf(x)));
+    }
+
+    /// Gaussian CDF symmetry about the mean.
+    #[test]
+    fn gaussian_cdf_symmetry(mean in -100.0f64..100.0, sd in 0.1f64..50.0, t in 0.0f64..100.0) {
+        let d = Gaussian::new(mean, sd);
+        let left = d.cdf(mean - t);
+        let right = d.cdf(mean + t);
+        prop_assert!((left + right - 1.0).abs() < 1e-6);
+    }
+
+    /// The two-sided geometric PMF is symmetric and decreasing in |k|.
+    #[test]
+    fn geometric_pmf_shape(alpha in 0.05f64..0.95, k in 0i64..200) {
+        let d = TwoSidedGeometric::new(alpha);
+        prop_assert!((d.pmf(k) - d.pmf(-k)).abs() < 1e-15);
+        prop_assert!(d.pmf(k) >= d.pmf(k + 1));
+    }
+
+    /// χ² and G tests agree on identical histograms (statistic 0) and on
+    /// whether scaled copies differ.
+    #[test]
+    fn chi2_g_agree_on_null_cases(
+        hist in proptest::collection::vec(1u64..500, 2..12),
+        scale in 2u64..6
+    ) {
+        let scaled: Vec<u64> = hist.iter().map(|&c| c * scale).collect();
+        let chi = binned_chi2_test(&hist, &scaled, 0.05).unwrap();
+        let g = binned_g_test(&hist, &scaled, 0.05).unwrap();
+        prop_assert!(chi.statistic.abs() < 1e-6, "chi2 = {}", chi.statistic);
+        prop_assert!(g.statistic.abs() < 1e-6, "G = {}", g.statistic);
+        prop_assert!(!chi.rejects_null && !g.rejects_null);
+    }
+
+    /// Lemma-1 moments vanish with the noise and scale with V/x².
+    #[test]
+    fn ratio_moments_scaling(x in 10.0f64..1e6, y_frac in 0.0f64..1.0, v in 0.0f64..1e4) {
+        let y = x * y_frac;
+        let m = ratio_moments(x, y, v);
+        let bias = (m.mean - y / x).abs();
+        prop_assert!(bias <= v / (x * x) + 1e-12, "bias {bias}");
+        prop_assert!(m.variance >= 0.0);
+        let m2 = ratio_moments(2.0 * x, 2.0 * y, v);
+        prop_assert!(m2.variance <= m.variance + 1e-15, "variance must shrink with x");
+    }
+
+    /// The disclosure indicator is scale-invariant in (b, x) jointly.
+    #[test]
+    fn indicator_scale_invariance(b in 0.1f64..1e3, x in 1.0f64..1e6, s in 0.1f64..100.0) {
+        let a = laplace_disclosure_indicator(b, x);
+        let scaled = laplace_disclosure_indicator(b * s, x * s);
+        prop_assert!((a - scaled).abs() < 1e-9 * a.max(1e-12));
+    }
+
+    /// OnlineStats matches the naive two-pass computation.
+    #[test]
+    fn online_stats_matches_naive(values in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+        let mut stats = OnlineStats::new();
+        for &v in &values {
+            stats.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((stats.mean().unwrap() - mean).abs() < 1e-8);
+        prop_assert!((stats.sample_variance().unwrap() - var).abs() < 1e-6 * var.max(1.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! CSV import/export for categorical tables.
+//!
+//! Lets users run the library on real microdata (e.g. the actual UCI ADULT
+//! extract) instead of the synthetic substitutes. The dialect is
+//! deliberately small — comma-separated, one header line, values trimmed,
+//! no quoting — which covers the UCI-style files the paper uses.
+
+use std::io::{BufRead, Write};
+
+use crate::dictionary::Dictionary;
+use crate::schema::{Attribute, Schema};
+use crate::table::{Table, TableBuilder};
+
+/// Errors raised by CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input had no header line.
+    MissingHeader,
+    /// A data line had the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected (header arity).
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::MissingHeader => write!(f, "CSV input has no header line"),
+            CsvError::FieldCount {
+                line,
+                got,
+                expected,
+            } => write!(f, "line {line}: {got} fields, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads a table from CSV: the first line names the attributes, every
+/// other line is one record. Attribute domains are discovered from the
+/// data (dictionary codes in first-appearance order).
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on I/O failure, a missing header, or ragged rows.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Table, CsvError> {
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(line) => line?,
+        None => return Err(CsvError::MissingHeader),
+    };
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if names.is_empty() || names.iter().all(String::is_empty) {
+        return Err(CsvError::MissingHeader);
+    }
+    let arity = names.len();
+    // First pass happens streaming: collect rows as strings, build
+    // dictionaries as values appear.
+    let mut dictionaries: Vec<Dictionary> = vec![Dictionary::new(); arity];
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != arity {
+            return Err(CsvError::FieldCount {
+                line: i + 2,
+                got: fields.len(),
+                expected: arity,
+            });
+        }
+        rows.push(
+            fields
+                .iter()
+                .zip(dictionaries.iter_mut())
+                .map(|(value, dict)| dict.intern(*value))
+                .collect(),
+        );
+    }
+    let attributes = names
+        .into_iter()
+        .zip(&dictionaries)
+        .map(|(name, dict)| Attribute::new(name, dict.values().iter().map(String::as_str)))
+        .collect();
+    let schema = Schema::new(attributes);
+    let mut builder = TableBuilder::with_capacity(schema, rows.len());
+    for row in &rows {
+        builder
+            .push_codes(row)
+            .expect("codes came from the dictionaries just built");
+    }
+    Ok(builder.build())
+}
+
+/// Writes a table as CSV (header + one line per record).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "{}", table.schema().names().join(","))?;
+    for row in 0..table.rows() {
+        let values = table
+            .decode_row(row)
+            .expect("row index is in range")
+            .join(",");
+        writeln!(writer, "{values}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+Gender,Job,Disease
+male, eng ,flu
+female,doc,hiv
+male,eng,flu
+";
+
+    #[test]
+    fn read_parses_header_and_rows() {
+        let t = read_csv(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(t.schema().names(), vec!["Gender", "Job", "Disease"]);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.decode_row(1).unwrap(), vec!["female", "doc", "hiv"]);
+        // Whitespace around fields is trimmed.
+        assert_eq!(t.decode_row(0).unwrap()[1], "eng");
+    }
+
+    #[test]
+    fn domains_discovered_in_first_appearance_order() {
+        let t = read_csv(Cursor::new(SAMPLE)).unwrap();
+        let dict = t.schema().attribute(0).dictionary();
+        assert_eq!(dict.value(0), Some("male"));
+        assert_eq!(dict.value(1), Some("female"));
+    }
+
+    #[test]
+    fn round_trip_preserves_table() {
+        let t = read_csv(Cursor::new(SAMPLE)).unwrap();
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let t2 = read_csv(Cursor::new(out)).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = read_csv(Cursor::new("A,B\n1,2\n\n3,4\n")).unwrap();
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn ragged_row_rejected_with_line_number() {
+        let err = read_csv(Cursor::new("A,B\n1,2\n1,2,3\n")).unwrap_err();
+        match err {
+            CsvError::FieldCount {
+                line,
+                got,
+                expected,
+            } => {
+                assert_eq!(line, 3);
+                assert_eq!(got, 3);
+                assert_eq!(expected, 2);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_missing_header() {
+        assert!(matches!(
+            read_csv(Cursor::new("")),
+            Err(CsvError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn header_only_gives_empty_table() {
+        let t = read_csv(Cursor::new("A,B\n")).unwrap();
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.schema().arity(), 2);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::FieldCount {
+            line: 7,
+            got: 2,
+            expected: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains('2') && msg.contains('5'));
+    }
+}

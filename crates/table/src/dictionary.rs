@@ -1,0 +1,122 @@
+//! Bidirectional value dictionaries for categorical attributes.
+//!
+//! Every attribute in the microdata model is categorical; columns store
+//! compact `u32` codes and the dictionary maps codes back to the original
+//! string values. Insertion order defines the code assignment, which keeps
+//! synthetic-data generation and tests deterministic.
+
+use std::collections::HashMap;
+
+/// An append-only bidirectional mapping between string values and `u32`
+/// codes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    values: Vec<String>,
+    codes: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary from an iterator of values, assigning codes in
+    /// iteration order. Duplicate values keep their first code.
+    pub fn from_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut dict = Self::new();
+        for v in values {
+            dict.intern(v.into());
+        }
+        dict
+    }
+
+    /// Returns the code for `value`, inserting it if absent.
+    pub fn intern(&mut self, value: impl Into<String>) -> u32 {
+        let value = value.into();
+        if let Some(&code) = self.codes.get(&value) {
+            return code;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary exceeds u32 codes");
+        self.codes.insert(value.clone(), code);
+        self.values.push(value);
+        code
+    }
+
+    /// Returns the code for `value` if present.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.codes.get(value).copied()
+    }
+
+    /// Returns the value for `code` if in range.
+    pub fn value(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values (the domain size).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(code, value)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_str()))
+    }
+
+    /// All values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_sequential_codes() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("male"), 0);
+        assert_eq!(d.intern("female"), 1);
+        assert_eq!(d.intern("male"), 0, "re-interning keeps the first code");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_code_value() {
+        let d = Dictionary::from_values(["a", "b", "c"]);
+        for (code, value) in d.iter() {
+            assert_eq!(d.code(value), Some(code));
+            assert_eq!(d.value(code), Some(value));
+        }
+        assert_eq!(d.code("missing"), None);
+        assert_eq!(d.value(99), None);
+    }
+
+    #[test]
+    fn from_values_dedups() {
+        let d = Dictionary::from_values(["x", "y", "x", "z", "y"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.values(), &["x".to_string(), "y".into(), "z".into()]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.iter().count(), 0);
+    }
+}

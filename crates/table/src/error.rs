@@ -1,0 +1,110 @@
+//! Error type for the columnar table substrate.
+
+use std::fmt;
+
+/// Errors raised by table construction and access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// An attribute index was out of range for the schema.
+    AttributeIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of attributes in the schema.
+        arity: usize,
+    },
+    /// A categorical value was not found in an attribute's dictionary.
+    UnknownValue {
+        /// The attribute whose dictionary was consulted.
+        attribute: String,
+        /// The value that was looked up.
+        value: String,
+    },
+    /// A value code was out of range for an attribute's domain.
+    CodeOutOfRange {
+        /// The attribute whose domain was violated.
+        attribute: String,
+        /// The offending code.
+        code: u32,
+        /// The domain size.
+        domain_size: usize,
+    },
+    /// A row had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Values supplied.
+        got: usize,
+        /// Values expected (schema arity).
+        expected: usize,
+    },
+    /// A row index was out of range.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the table.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            TableError::AttributeIndexOutOfRange { index, arity } => {
+                write!(f, "attribute index {index} out of range for arity {arity}")
+            }
+            TableError::UnknownValue { attribute, value } => {
+                write!(
+                    f,
+                    "value `{value}` not in the dictionary of attribute `{attribute}`"
+                )
+            }
+            TableError::CodeOutOfRange {
+                attribute,
+                code,
+                domain_size,
+            } => write!(
+                f,
+                "code {code} out of range for attribute `{attribute}` (domain size {domain_size})"
+            ),
+            TableError::ArityMismatch { got, expected } => {
+                write!(
+                    f,
+                    "row has {got} values but the schema has {expected} attributes"
+                )
+            }
+            TableError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for table with {rows} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TableError::UnknownAttribute("Age".into());
+        assert!(e.to_string().contains("Age"));
+        let e = TableError::UnknownValue {
+            attribute: "Job".into(),
+            value: "astronaut".into(),
+        };
+        assert!(e.to_string().contains("astronaut") && e.to_string().contains("Job"));
+        let e = TableError::ArityMismatch {
+            got: 3,
+            expected: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&TableError::RowOutOfRange { row: 9, rows: 3 });
+    }
+}

@@ -1,0 +1,200 @@
+//! Inverted index over categorical columns: per-value posting lists with
+//! sorted-merge intersection for conjunctive selections.
+//!
+//! An alternative access path to [`Pattern::select`]'s full scan
+//! (`crate::predicate`); for selective conjunctions on large tables the
+//! intersection of short posting lists is substantially faster. Quantified
+//! by the `ablation_query_strategy` bench.
+
+use crate::predicate::{Pattern, Term};
+use crate::schema::AttrId;
+use crate::table::Table;
+
+/// Posting lists for every `(attribute, value)` pair of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvertedIndex {
+    /// `postings[attr][value]` = sorted row ids carrying that value.
+    postings: Vec<Vec<Vec<u32>>>,
+    rows: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index over every attribute of `table` in one pass.
+    pub fn build(table: &Table) -> Self {
+        let mut postings: Vec<Vec<Vec<u32>>> = (0..table.schema().arity())
+            .map(|a| vec![Vec::new(); table.schema().attribute(a).domain_size()])
+            .collect();
+        for (attr, lists) in postings.iter_mut().enumerate() {
+            for (row, &code) in table.column(attr).codes().iter().enumerate() {
+                lists[code as usize].push(row as u32);
+            }
+        }
+        Self {
+            postings,
+            rows: table.rows(),
+        }
+    }
+
+    /// Number of rows in the indexed table.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The sorted posting list of `(attr, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` or `value` is out of range.
+    pub fn postings(&self, attr: AttrId, value: u32) -> &[u32] {
+        &self.postings[attr][value as usize]
+    }
+
+    /// Row ids matching a conjunctive pattern, via shortest-first posting
+    /// intersection. Wildcard terms are skipped (they constrain nothing);
+    /// an all-wildcard or empty pattern yields all rows.
+    pub fn select(&self, pattern: &Pattern) -> Vec<u32> {
+        let mut lists: Vec<&[u32]> = pattern
+            .terms()
+            .iter()
+            .filter_map(|&(attr, term)| match term {
+                Term::Wildcard => None,
+                Term::Value(code) => Some(self.postings(attr, code)),
+            })
+            .collect();
+        if lists.is_empty() {
+            return (0..self.rows as u32).collect();
+        }
+        // Intersect starting from the shortest list.
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<u32> = lists[0].to_vec();
+        for other in &lists[1..] {
+            result = intersect_sorted(&result, other);
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Matching-row count without materializing ids beyond the running
+    /// intersection.
+    pub fn count(&self, pattern: &Pattern) -> u64 {
+        self.select(pattern).len() as u64
+    }
+}
+
+/// Intersection of two sorted u32 slices (galloping when lengths are
+/// lopsided).
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    // Gallop if one side is much longer.
+    if a.len() * 16 < b.len() {
+        return a
+            .iter()
+            .filter(|&&x| b.binary_search(&x).is_ok())
+            .copied()
+            .collect();
+    }
+    if b.len() * 16 < a.len() {
+        return intersect_sorted(b, a);
+    }
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::table::TableBuilder;
+
+    fn demo_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("G", ["a", "b"]),
+            Attribute::new("J", ["x", "y", "z"]),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..300u32 {
+            b.push_codes(&[i % 2, i % 3]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn postings_partition_rows() {
+        let t = demo_table();
+        let idx = InvertedIndex::build(&t);
+        assert_eq!(idx.postings(0, 0).len() + idx.postings(0, 1).len(), 300);
+        for &r in idx.postings(1, 2) {
+            assert_eq!(t.code(r as usize, 1), 2);
+        }
+    }
+
+    #[test]
+    fn index_select_matches_scan_select() {
+        let t = demo_table();
+        let idx = InvertedIndex::build(&t);
+        for pattern in [
+            Pattern::from_codes(&[0], &[1]),
+            Pattern::from_codes(&[0, 1], &[0, 2]),
+            Pattern::new(vec![(0, Term::Wildcard), (1, Term::Value(1))]),
+            Pattern::new(vec![]),
+        ] {
+            assert_eq!(
+                idx.select(&pattern),
+                pattern.select(&t),
+                "pattern {pattern:?}"
+            );
+            assert_eq!(idx.count(&pattern), pattern.count(&t));
+        }
+    }
+
+    #[test]
+    fn empty_intersection_short_circuits() {
+        let schema = Schema::new(vec![
+            Attribute::new("A", ["p", "q"]),
+            Attribute::new("B", ["r", "s"]),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        b.push_values(&["p", "r"]).unwrap();
+        b.push_values(&["q", "s"]).unwrap();
+        let t = b.build();
+        let idx = InvertedIndex::build(&t);
+        let p = Pattern::from_codes(&[0, 1], &[0, 1]); // p ∧ s: nobody
+        assert!(idx.select(&p).is_empty());
+    }
+
+    #[test]
+    fn intersect_sorted_balanced_and_galloping() {
+        let a: Vec<u32> = (0..1000).step_by(3).collect();
+        let b: Vec<u32> = (0..1000).step_by(5).collect();
+        let expected: Vec<u32> = (0..1000).step_by(15).collect();
+        assert_eq!(intersect_sorted(&a, &b), expected);
+        // Lopsided inputs exercise the galloping path.
+        let tiny = vec![0u32, 15, 999];
+        let huge: Vec<u32> = (0..1000).collect();
+        assert_eq!(intersect_sorted(&tiny, &huge), tiny);
+        assert_eq!(intersect_sorted(&huge, &tiny), tiny);
+    }
+
+    #[test]
+    fn empty_table_index() {
+        let schema = Schema::new(vec![Attribute::new("A", ["x"])]);
+        let t = TableBuilder::new(schema).build();
+        let idx = InvertedIndex::build(&t);
+        assert_eq!(idx.rows(), 0);
+        assert!(idx.select(&Pattern::from_codes(&[0], &[0])).is_empty());
+        assert!(idx.select(&Pattern::new(vec![])).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # rp-table
+//!
+//! In-memory columnar store for categorical microdata — the database
+//! substrate of the reconstruction-privacy workspace (Rust reproduction of
+//! *Reconstruction Privacy: Enabling Statistical Learning*, EDBT 2015).
+//!
+//! The paper's data model is a table `D` with several public attributes
+//! (`NA`) and one sensitive attribute (`SA`), all categorical. This crate
+//! provides:
+//!
+//! * [`dictionary`] — bidirectional value↔code maps per attribute.
+//! * [`schema`] — named attributes with fixed domains.
+//! * [`table`] — dictionary-encoded columns, a row builder, row selection
+//!   and histograms.
+//! * [`predicate`] — the `D(x1, ..., xn)` selection patterns with wildcards
+//!   (personal vs aggregate groups, Section 3.2).
+//! * [`group`] — sort-based (as prescribed by the paper's SPS algorithm) and
+//!   hash-based group-by producing personal groups.
+//! * [`query`] — the Section-6 conjunctive count queries with one `SA`
+//!   condition.
+//! * [`index`] — an inverted index with posting-list intersection, the
+//!   fast access path for selective conjunctions.
+//! * [`csv`] — CSV import/export so real microdata (e.g. the actual UCI
+//!   ADULT file) can be loaded in place of the synthetic substitutes.
+//!
+//! Which attribute plays the role of `SA` is decided by the layers above
+//! (`rp-core`); this crate is policy-free.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod dictionary;
+pub mod error;
+pub mod group;
+pub mod index;
+pub mod ops;
+pub mod predicate;
+pub mod query;
+pub mod schema;
+pub mod table;
+
+pub use csv::{read_csv, write_csv, CsvError};
+pub use dictionary::Dictionary;
+pub use error::TableError;
+pub use group::{group_by_hash, group_by_sort, Group, Grouping};
+pub use index::InvertedIndex;
+pub use predicate::{Pattern, Term};
+pub use query::CountQuery;
+pub use schema::{AttrId, Attribute, Schema};
+pub use table::{Column, Table, TableBuilder};

@@ -1,0 +1,161 @@
+//! Relational utility operations on tables: projection, row filtering and
+//! vertical concatenation.
+//!
+//! Small by design — just the operations the privacy workflows need when
+//! preparing data (dropping identifier columns before publication,
+//! stacking partitions, filtering cohorts).
+
+use crate::error::TableError;
+use crate::predicate::Pattern;
+use crate::schema::{AttrId, Schema};
+use crate::table::{Column, Table};
+
+/// Projects a table onto a subset of attributes (in the given order).
+///
+/// # Errors
+///
+/// Returns an error if `attrs` is empty, repeats an attribute, or contains
+/// an out-of-range id.
+pub fn project(table: &Table, attrs: &[AttrId]) -> Result<Table, TableError> {
+    if attrs.is_empty() {
+        return Err(TableError::ArityMismatch {
+            got: 0,
+            expected: 1,
+        });
+    }
+    for (i, a) in attrs.iter().enumerate() {
+        table.schema().get(*a)?;
+        if attrs[i + 1..].contains(a) {
+            return Err(TableError::UnknownAttribute(format!(
+                "attribute {a} repeated in projection"
+            )));
+        }
+    }
+    let schema = Schema::new(
+        attrs
+            .iter()
+            .map(|&a| table.schema().attribute(a).clone())
+            .collect(),
+    );
+    let columns = attrs.iter().map(|&a| table.column(a).clone()).collect();
+    Table::from_columns(schema, columns)
+}
+
+/// Keeps only the rows matching `pattern`.
+///
+/// # Errors
+///
+/// Returns an error if the pattern references attributes or codes outside
+/// the schema.
+pub fn filter(table: &Table, pattern: &Pattern) -> Result<Table, TableError> {
+    pattern.validate(table.schema())?;
+    let keep: Vec<usize> = pattern.select(table).iter().map(|&r| r as usize).collect();
+    table.select_rows(&keep)
+}
+
+/// Stacks two tables with identical schemas.
+///
+/// # Errors
+///
+/// Returns an error if the schemas differ (names, domains or order).
+pub fn vstack(a: &Table, b: &Table) -> Result<Table, TableError> {
+    if a.schema() != b.schema() {
+        return Err(TableError::ArityMismatch {
+            got: b.schema().arity(),
+            expected: a.schema().arity(),
+        });
+    }
+    let columns = (0..a.schema().arity())
+        .map(|attr| {
+            let mut codes = a.column(attr).codes().to_vec();
+            codes.extend_from_slice(b.column(attr).codes());
+            Column::from_codes(codes)
+        })
+        .collect();
+    Table::from_columns(a.schema().clone(), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Term;
+    use crate::schema::Attribute;
+    use crate::table::TableBuilder;
+
+    fn demo_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("G", ["a", "b"]),
+            Attribute::new("J", ["x", "y"]),
+            Attribute::new("S", ["s", "t", "u"]),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..12u32 {
+            b.push_codes(&[i % 2, (i / 2) % 2, i % 3]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn project_reorders_and_subsets() {
+        let t = demo_table();
+        let p = project(&t, &[2, 0]).unwrap();
+        assert_eq!(p.schema().names(), vec!["S", "G"]);
+        assert_eq!(p.rows(), 12);
+        for r in 0..12 {
+            assert_eq!(p.code(r, 0), t.code(r, 2));
+            assert_eq!(p.code(r, 1), t.code(r, 0));
+        }
+    }
+
+    #[test]
+    fn project_rejects_duplicates_and_empty() {
+        let t = demo_table();
+        assert!(project(&t, &[0, 0]).is_err());
+        assert!(project(&t, &[]).is_err());
+        assert!(project(&t, &[7]).is_err());
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let t = demo_table();
+        let f = filter(&t, &Pattern::from_codes(&[0], &[1])).unwrap();
+        assert_eq!(f.rows(), 6);
+        assert!(f.column(0).codes().iter().all(|&c| c == 1));
+        // Wildcards pass everything.
+        let all = filter(&t, &Pattern::new(vec![(1, Term::Wildcard)])).unwrap();
+        assert_eq!(all.rows(), 12);
+    }
+
+    #[test]
+    fn filter_validates_pattern() {
+        let t = demo_table();
+        assert!(filter(&t, &Pattern::from_codes(&[0], &[9])).is_err());
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let t = demo_table();
+        let top = filter(&t, &Pattern::from_codes(&[0], &[0])).unwrap();
+        let bottom = filter(&t, &Pattern::from_codes(&[0], &[1])).unwrap();
+        let stacked = vstack(&top, &bottom).unwrap();
+        assert_eq!(stacked.rows(), 12);
+        assert_eq!(stacked.histogram(2), t.histogram(2));
+    }
+
+    #[test]
+    fn vstack_rejects_schema_mismatch() {
+        let t = demo_table();
+        let p = project(&t, &[0, 1]).unwrap();
+        assert!(vstack(&t, &p).is_err());
+    }
+
+    #[test]
+    fn operations_compose() {
+        // project ∘ filter keeps consistency.
+        let t = demo_table();
+        let f = filter(&t, &Pattern::from_codes(&[2], &[0])).unwrap();
+        let p = project(&f, &[0, 2]).unwrap();
+        assert_eq!(p.rows(), f.rows());
+        assert!(p.column(1).codes().iter().all(|&c| c == 0));
+    }
+}

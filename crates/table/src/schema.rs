@@ -1,0 +1,232 @@
+//! Table schemas: named categorical attributes with fixed domains.
+
+use crate::dictionary::Dictionary;
+use crate::error::TableError;
+
+/// Index of an attribute within a [`Schema`].
+pub type AttrId = usize;
+
+/// A single categorical attribute: a name plus the dictionary of its domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    dictionary: Dictionary,
+}
+
+impl Attribute {
+    /// Creates an attribute with the given name and domain values; codes are
+    /// assigned in iteration order.
+    pub fn new<S, I, V>(name: S, domain: I) -> Self
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = V>,
+        V: Into<String>,
+    {
+        Self {
+            name: name.into(),
+            dictionary: Dictionary::from_values(domain),
+        }
+    }
+
+    /// Creates an attribute whose domain is the anonymous values
+    /// `"<name>_0" .. "<name>_{n-1}"` — convenient for synthetic data.
+    pub fn with_anonymous_domain(name: impl Into<String>, n: usize) -> Self {
+        let name = name.into();
+        let dictionary = Dictionary::from_values((0..n).map(|i| format!("{name}_{i}")));
+        Self { name, dictionary }
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The value dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Domain size (number of distinct values).
+    pub fn domain_size(&self) -> usize {
+        self.dictionary.len()
+    }
+}
+
+/// An ordered collection of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates a schema from the given attributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two attributes share a name (ambiguous lookups) or if the
+    /// attribute list is empty.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        assert!(
+            !attributes.is_empty(),
+            "schema must have at least one attribute"
+        );
+        for (i, a) in attributes.iter().enumerate() {
+            for b in &attributes[i + 1..] {
+                assert!(
+                    a.name() != b.name(),
+                    "duplicate attribute name `{}` in schema",
+                    a.name()
+                );
+            }
+        }
+        Self { attributes }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The attribute at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; use [`Schema::get`] for a fallible
+    /// lookup.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id]
+    }
+
+    /// Fallible attribute lookup by index.
+    pub fn get(&self, id: AttrId) -> Result<&Attribute, TableError> {
+        self.attributes
+            .get(id)
+            .ok_or(TableError::AttributeIndexOutOfRange {
+                index: id,
+                arity: self.arity(),
+            })
+    }
+
+    /// Looks up an attribute index by name.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId, TableError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| TableError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Iterates over `(id, attribute)`.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attributes.iter().enumerate()
+    }
+
+    /// All attribute names in schema order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attributes.iter().map(Attribute::name).collect()
+    }
+
+    /// Validates that `code` is within the domain of attribute `id`.
+    pub fn check_code(&self, id: AttrId, code: u32) -> Result<(), TableError> {
+        let attr = self.get(id)?;
+        if (code as usize) < attr.domain_size() {
+            Ok(())
+        } else {
+            Err(TableError::CodeOutOfRange {
+                attribute: attr.name().to_string(),
+                code,
+                domain_size: attr.domain_size(),
+            })
+        }
+    }
+
+    /// Returns a copy of this schema with attribute `id` replaced.
+    ///
+    /// Used by the generalization pass, which rewrites an attribute's domain
+    /// to merged values.
+    pub fn with_attribute_replaced(&self, id: AttrId, attribute: Attribute) -> Self {
+        let mut attributes = self.attributes.clone();
+        attributes[id] = attribute;
+        Self::new(attributes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("Gender", ["male", "female"]),
+            Attribute::new("Job", ["eng", "doc", "law"]),
+            Attribute::new("Disease", ["flu", "hiv", "bc"]),
+        ])
+    }
+
+    #[test]
+    fn arity_and_lookup() {
+        let s = demo_schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_id("Job").unwrap(), 1);
+        assert_eq!(s.attribute(1).domain_size(), 3);
+        assert!(matches!(
+            s.attr_id("Age"),
+            Err(TableError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn get_rejects_out_of_range() {
+        let s = demo_schema();
+        assert!(s.get(2).is_ok());
+        assert!(matches!(
+            s.get(3),
+            Err(TableError::AttributeIndexOutOfRange { index: 3, arity: 3 })
+        ));
+    }
+
+    #[test]
+    fn check_code_respects_domain() {
+        let s = demo_schema();
+        assert!(s.check_code(0, 1).is_ok());
+        assert!(matches!(
+            s.check_code(0, 2),
+            Err(TableError::CodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![Attribute::new("A", ["x"]), Attribute::new("A", ["y"])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_schema_rejected() {
+        Schema::new(vec![]);
+    }
+
+    #[test]
+    fn anonymous_domain_names() {
+        let a = Attribute::with_anonymous_domain("Age", 3);
+        assert_eq!(a.domain_size(), 3);
+        assert_eq!(a.dictionary().value(0), Some("Age_0"));
+        assert_eq!(a.dictionary().value(2), Some("Age_2"));
+    }
+
+    #[test]
+    fn with_attribute_replaced_swaps_domain() {
+        let s = demo_schema();
+        let merged = Attribute::new("Gender", ["any"]);
+        let s2 = s.with_attribute_replaced(0, merged);
+        assert_eq!(s2.attribute(0).domain_size(), 1);
+        assert_eq!(s2.attribute(1).name(), "Job");
+        // Original untouched.
+        assert_eq!(s.attribute(0).domain_size(), 2);
+    }
+
+    #[test]
+    fn names_in_order() {
+        assert_eq!(demo_schema().names(), vec!["Gender", "Job", "Disease"]);
+    }
+}

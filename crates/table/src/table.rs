@@ -1,0 +1,459 @@
+//! The columnar table: dictionary-encoded categorical microdata.
+
+use crate::error::TableError;
+use crate::schema::{AttrId, Schema};
+
+/// A dictionary-encoded categorical column.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Column {
+    codes: Vec<u32>,
+}
+
+impl Column {
+    /// Creates a column from raw codes. Domain validation happens at the
+    /// table level, where the schema is known.
+    pub fn from_codes(codes: Vec<u32>) -> Self {
+        Self { codes }
+    }
+
+    /// The code at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn code(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// All codes.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Mutable access to the codes (used by in-place perturbation).
+    pub fn codes_mut(&mut self) -> &mut [u32] {
+        &mut self.codes
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Histogram of code frequencies over a domain of `domain_size` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is outside the domain.
+    pub fn histogram(&self, domain_size: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; domain_size];
+        for &c in &self.codes {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// An immutable-schema, column-oriented table of categorical microdata.
+///
+/// Rows are addressed by index; values are `u32` dictionary codes. This is
+/// the substrate every algorithm in the workspace operates on: the raw table
+/// `D`, the perturbed table `D*` and the SPS output `D*₂` are all `Table`s
+/// over the same [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates a table from parallel columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column count does not match the schema arity,
+    /// if columns have unequal lengths, or if any code is outside its
+    /// attribute's domain.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Self, TableError> {
+        if columns.len() != schema.arity() {
+            return Err(TableError::ArityMismatch {
+                got: columns.len(),
+                expected: schema.arity(),
+            });
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            if c.len() != rows {
+                return Err(TableError::ArityMismatch {
+                    got: c.len(),
+                    expected: rows,
+                });
+            }
+        }
+        for (id, column) in columns.iter().enumerate() {
+            for &code in column.codes() {
+                schema.check_code(id, code)?;
+            }
+        }
+        Ok(Self {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows, `|D|`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The column of attribute `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn column(&self, id: AttrId) -> &Column {
+        &self.columns[id]
+    }
+
+    /// The code of attribute `id` at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn code(&self, row: usize, id: AttrId) -> u32 {
+        self.columns[id].code(row)
+    }
+
+    /// The full row of codes at `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `row` is out of range.
+    pub fn row(&self, row: usize) -> Result<Vec<u32>, TableError> {
+        if row >= self.rows {
+            return Err(TableError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            });
+        }
+        Ok(self.columns.iter().map(|c| c.code(row)).collect())
+    }
+
+    /// Decodes a row back to its string values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `row` is out of range.
+    pub fn decode_row(&self, row: usize) -> Result<Vec<&str>, TableError> {
+        let codes = self.row(row)?;
+        Ok(codes
+            .iter()
+            .enumerate()
+            .map(|(id, &code)| {
+                self.schema
+                    .attribute(id)
+                    .dictionary()
+                    .value(code)
+                    .expect("codes were validated at construction")
+            })
+            .collect())
+    }
+
+    /// Returns a copy of this table with one column replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new column has the wrong length or codes
+    /// outside the attribute's domain.
+    pub fn with_column_replaced(&self, id: AttrId, column: Column) -> Result<Self, TableError> {
+        if column.len() != self.rows {
+            return Err(TableError::ArityMismatch {
+                got: column.len(),
+                expected: self.rows,
+            });
+        }
+        for &code in column.codes() {
+            self.schema.check_code(id, code)?;
+        }
+        let mut columns = self.columns.clone();
+        columns[id] = column;
+        Ok(Self {
+            schema: self.schema.clone(),
+            columns,
+            rows: self.rows,
+        })
+    }
+
+    /// Builds a new table containing only the rows in `keep`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range.
+    pub fn select_rows(&self, keep: &[usize]) -> Result<Self, TableError> {
+        for &r in keep {
+            if r >= self.rows {
+                return Err(TableError::RowOutOfRange {
+                    row: r,
+                    rows: self.rows,
+                });
+            }
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column::from_codes(keep.iter().map(|&r| c.code(r)).collect()))
+            .collect();
+        Ok(Self {
+            schema: self.schema.clone(),
+            columns,
+            rows: keep.len(),
+        })
+    }
+
+    /// Histogram of attribute `id` over the whole table.
+    pub fn histogram(&self, id: AttrId) -> Vec<u64> {
+        self.columns[id].histogram(self.schema.attribute(id).domain_size())
+    }
+
+    /// Histogram of attribute `id` restricted to the given rows.
+    pub fn histogram_over(&self, id: AttrId, rows: &[u32]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.schema.attribute(id).domain_size()];
+        let col = self.columns[id].codes();
+        for &r in rows {
+            counts[col[r as usize] as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// Row-at-a-time builder for [`Table`].
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Vec<u32>>,
+}
+
+impl TableBuilder {
+    /// Creates a builder for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.arity()];
+        Self { schema, columns }
+    }
+
+    /// Creates a builder with per-column capacity reserved.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let columns = vec![Vec::with_capacity(rows); schema.arity()];
+        Self { schema, columns }
+    }
+
+    /// Appends a row of codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arity mismatch or out-of-domain codes.
+    pub fn push_codes(&mut self, codes: &[u32]) -> Result<(), TableError> {
+        if codes.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                got: codes.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        for (id, &code) in codes.iter().enumerate() {
+            self.schema.check_code(id, code)?;
+        }
+        for (col, &code) in self.columns.iter_mut().zip(codes) {
+            col.push(code);
+        }
+        Ok(())
+    }
+
+    /// Appends a row of string values, resolving them through the schema's
+    /// dictionaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arity mismatch or unknown values.
+    pub fn push_values(&mut self, values: &[&str]) -> Result<(), TableError> {
+        if values.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                got: values.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        let mut codes = Vec::with_capacity(values.len());
+        for (id, value) in values.iter().enumerate() {
+            let attr = self.schema.attribute(id);
+            let code = attr
+                .dictionary()
+                .code(value)
+                .ok_or_else(|| TableError::UnknownValue {
+                    attribute: attr.name().to_string(),
+                    value: value.to_string(),
+                })?;
+            codes.push(code);
+        }
+        self.push_codes(&codes)
+    }
+
+    /// Number of rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Table {
+        let rows = self.rows();
+        Table {
+            schema: self.schema,
+            columns: self.columns.into_iter().map(Column::from_codes).collect(),
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("Gender", ["male", "female"]),
+            Attribute::new("Job", ["eng", "doc"]),
+            Attribute::new("Disease", ["flu", "hiv", "bc"]),
+        ])
+    }
+
+    fn demo_table() -> Table {
+        let mut b = TableBuilder::new(demo_schema());
+        b.push_values(&["male", "eng", "flu"]).unwrap();
+        b.push_values(&["male", "eng", "hiv"]).unwrap();
+        b.push_values(&["female", "doc", "bc"]).unwrap();
+        b.push_values(&["female", "eng", "flu"]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let t = demo_table();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.decode_row(0).unwrap(), vec!["male", "eng", "flu"]);
+        assert_eq!(t.decode_row(2).unwrap(), vec!["female", "doc", "bc"]);
+        assert_eq!(t.code(1, 2), 1); // hiv
+    }
+
+    #[test]
+    fn builder_rejects_unknown_value() {
+        let mut b = TableBuilder::new(demo_schema());
+        let err = b.push_values(&["male", "pilot", "flu"]).unwrap_err();
+        assert!(matches!(err, TableError::UnknownValue { .. }));
+        assert_eq!(b.rows(), 0, "failed push must not partially append");
+    }
+
+    #[test]
+    fn builder_rejects_arity_mismatch() {
+        let mut b = TableBuilder::new(demo_schema());
+        assert!(matches!(
+            b.push_values(&["male", "eng"]),
+            Err(TableError::ArityMismatch {
+                got: 2,
+                expected: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn from_columns_validates_codes() {
+        let schema = demo_schema();
+        let bad = Table::from_columns(
+            schema.clone(),
+            vec![
+                Column::from_codes(vec![0]),
+                Column::from_codes(vec![0]),
+                Column::from_codes(vec![9]), // out of domain
+            ],
+        );
+        assert!(matches!(bad, Err(TableError::CodeOutOfRange { .. })));
+        let ragged = Table::from_columns(
+            schema,
+            vec![
+                Column::from_codes(vec![0, 1]),
+                Column::from_codes(vec![0]),
+                Column::from_codes(vec![0, 1]),
+            ],
+        );
+        assert!(ragged.is_err());
+    }
+
+    #[test]
+    fn histogram_counts_all_rows() {
+        let t = demo_table();
+        assert_eq!(t.histogram(0), vec![2, 2]);
+        assert_eq!(t.histogram(2), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_over_subset() {
+        let t = demo_table();
+        assert_eq!(t.histogram_over(2, &[0, 3]), vec![2, 0, 0]);
+        assert_eq!(t.histogram_over(2, &[]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn select_rows_projects_and_validates() {
+        let t = demo_table();
+        let sub = t.select_rows(&[2, 0]).unwrap();
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(sub.decode_row(0).unwrap(), vec!["female", "doc", "bc"]);
+        assert_eq!(sub.decode_row(1).unwrap(), vec!["male", "eng", "flu"]);
+        assert!(t.select_rows(&[4]).is_err());
+    }
+
+    #[test]
+    fn with_column_replaced_validates() {
+        let t = demo_table();
+        let t2 = t
+            .with_column_replaced(2, Column::from_codes(vec![0, 0, 0, 0]))
+            .unwrap();
+        assert_eq!(t2.histogram(2), vec![4, 0, 0]);
+        assert!(t
+            .with_column_replaced(2, Column::from_codes(vec![0, 0]))
+            .is_err());
+        assert!(t
+            .with_column_replaced(2, Column::from_codes(vec![0, 0, 0, 7]))
+            .is_err());
+    }
+
+    #[test]
+    fn row_out_of_range_is_error() {
+        let t = demo_table();
+        assert!(matches!(
+            t.row(10),
+            Err(TableError::RowOutOfRange { row: 10, rows: 4 })
+        ));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TableBuilder::new(demo_schema()).build();
+        assert!(t.is_empty());
+        assert_eq!(t.histogram(0), vec![0, 0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! The Section-2 attack: inferring a sensitive rule from two
+//! differentially-private count answers.
+//!
+//! Reconstructs the paper's Example 1 end to end on the synthetic ADULT
+//! table: issue `Q1` (the victim's public profile) and `Q2` (profile plus
+//! the sensitive value) through the Laplace mechanism, divide the noisy
+//! answers, and watch the confidence of the rule emerge once the noise
+//! scale is small relative to the answers.
+//!
+//! Run with: `cargo run --release -p rp-experiments --example dp_ratio_attack`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_dp::attack::RatioAttack;
+use rp_dp::mechanism::{LaplaceMechanism, Sensitivity};
+use rp_experiments::table1::example1_query;
+
+fn main() {
+    let table = rp_datagen::adult::generate_default();
+    println!("synthetic ADULT: {} records", table.rows());
+
+    let attack = RatioAttack::new(example1_query(&table));
+    let (x, y) = attack.true_answers(&table);
+    println!(
+        "rule {{Prof-school, Prof-specialty, White, Male}} -> >50K: \
+         ans1 = {x}, ans2 = {y}, Conf = {:.4}\n",
+        y as f64 / x as f64
+    );
+
+    let mut rng = StdRng::seed_from_u64(2015);
+    println!(
+        "{:<8}{:<8}{:<12}{:<12}{:<14}{:<14}",
+        "eps", "b", "Conf'", "SE", "rel-err Q1", "2(b/x)^2"
+    );
+    for eps in [0.01, 0.05, 0.1, 0.5, 1.0] {
+        let mech = LaplaceMechanism::new(eps, Sensitivity::count_query_batch(2));
+        let outcome = attack.run(&table, &mech, 10, &mut rng);
+        let indicator = attack.disclosure_indicator(&table, mech.scale());
+        println!(
+            "{:<8}{:<8}{:<12.4}{:<12.4}{:<14.4}{:<14.6}",
+            eps,
+            mech.scale(),
+            outcome.confidence.mean,
+            outcome.confidence.se,
+            outcome.base_relative_error.mean,
+            indicator
+        );
+        // Lemma 1's prediction for comparison.
+        let predicted = attack.predicted_moments(&table, &mech);
+        println!(
+            "{:<16}predicted E[Y/X] = {:.4}, Var[Y/X] = {:.6}",
+            "", predicted.mean, predicted.variance
+        );
+    }
+    println!(
+        "\nThe attack needs no record correlation: once 2(b/x)^2 is small \
+         (b/x <= 1/20), any single pair of noisy answers pins down the \
+         victim's income bracket."
+    );
+}

@@ -1,0 +1,86 @@
+//! Live publication under record insertion — the Section-3.1 advantage of
+//! data perturbation over noisy query answers.
+//!
+//! A stream of patient records arrives; each is perturbed on arrival and
+//! added to the live publication. The publisher re-evaluates every group's
+//! `(λ, δ)` status incrementally and flags groups that outgrow their
+//! threshold `sg`, which the owner then re-publishes through SPS without
+//! touching the rest of the publication.
+//!
+//! Run with: `cargo run --release -p rp-experiments --example incremental_stream`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rp_core::incremental::{GroupStatus, IncrementalPublisher};
+use rp_core::mle::reconstruct_frequency;
+use rp_core::privacy::PrivacyParams;
+
+fn main() {
+    let m = 6; // diseases
+    let p = 0.5;
+    let params = PrivacyParams::new(0.3, 0.3);
+    let mut publisher = IncrementalPublisher::new(p, m, params);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Stream 30,000 records over 3 "days"; group keys are (clinic, ward).
+    let mut flagged_events = 0usize;
+    for day in 0..3 {
+        for _ in 0..10_000 {
+            let clinic = rng.gen_range(0..4u32);
+            let ward = rng.gen_range(0..3u32);
+            // Ward 0 of clinic 0 is a specialty ward with a skewed disease
+            // mix — it will cross its sg first.
+            let sa = if clinic == 0 && ward == 0 {
+                if rng.gen::<f64>() < 0.8 {
+                    1
+                } else {
+                    rng.gen_range(0..m as u32)
+                }
+            } else {
+                rng.gen_range(0..m as u32)
+            };
+            if publisher.insert(&mut rng, &[clinic, ward], sa) == GroupStatus::NeedsResampling {
+                flagged_events += 1;
+            }
+        }
+        let flagged: Vec<Vec<u32>> = publisher.flagged().map(|g| g.key.clone()).collect();
+        println!(
+            "day {day}: {} records in, {} groups live, {} flagged {:?}",
+            publisher.inserted(),
+            publisher.group_count(),
+            flagged.len(),
+            flagged
+        );
+        let fixed = publisher.republish_flagged(&mut rng);
+        if fixed > 0 {
+            println!("       re-published {fixed} group(s) through SPS");
+        }
+    }
+    println!("insertions that left a group flagged: {flagged_events}");
+
+    // An analyst reconstructs the disease mix of the specialty ward from
+    // the live publication.
+    let group = publisher.group(&[0, 0]).expect("specialty ward exists");
+    let support: u64 = group.published_hist.iter().sum();
+    println!(
+        "\nspecialty ward: {} raw records, {} published records",
+        group.len(),
+        support
+    );
+    let truth: Vec<f64> = group
+        .raw_hist
+        .iter()
+        .map(|&c| c as f64 / group.len() as f64)
+        .collect();
+    for (sa, &observed) in group.published_hist.iter().enumerate() {
+        let est = reconstruct_frequency(observed, support, p, m);
+        println!(
+            "  disease {sa}: true {:.3}, reconstructed {:+.3}",
+            truth[sa], est
+        );
+    }
+    println!(
+        "(the group was re-published from an sg-sized sample, so the\n \
+         per-disease reconstruction above carries the guaranteed error)"
+    );
+}

@@ -1,0 +1,160 @@
+//! The paper's qualitative claims as a single CI gate, at reduced scale:
+//! every trend, ordering and crossover the evaluation section reports must
+//! hold on the synthetic fixtures. EXPERIMENTS.md records the paper-scale
+//! numbers; this file keeps the shapes from regressing.
+
+use rp_experiments::config::{defaults, PreparedDataset};
+use rp_experiments::error::{self, ErrorProtocol};
+use rp_experiments::violation::{self, SweepAxis};
+use rp_experiments::{figure1, table1, table2};
+
+fn protocol() -> ErrorProtocol {
+    ErrorProtocol {
+        pool_size: 200,
+        runs: 3,
+        seed: 2015,
+    }
+}
+
+#[test]
+fn table1_shape_disclosure_grows_as_epsilon_grows() {
+    // Conf′ converges to Conf and utility improves as ε rises.
+    let table = rp_datagen::adult::generate(rp_datagen::AdultConfig {
+        rows: 12_000,
+        ..rp_datagen::AdultConfig::default()
+    });
+    let t1 = table1::run(&table, &[0.01, 0.1, 0.5], 10, 99);
+    let conf_err: Vec<f64> = t1
+        .columns
+        .iter()
+        .map(|c| (c.outcome.confidence.mean - t1.true_confidence).abs())
+        .collect();
+    assert!(
+        conf_err[2] < 0.02,
+        "eps = 0.5 must disclose: |Conf' − Conf| = {}",
+        conf_err[2]
+    );
+    assert!(
+        conf_err[2] < conf_err[0],
+        "disclosure must sharpen with eps: {conf_err:?}"
+    );
+    let rel_err: Vec<f64> = t1
+        .columns
+        .iter()
+        .map(|c| c.outcome.base_relative_error.mean)
+        .collect();
+    assert!(
+        rel_err[0] > rel_err[1] && rel_err[1] > rel_err[2],
+        "utility must improve with eps: {rel_err:?}"
+    );
+}
+
+#[test]
+fn table2_shape_indicator_monotone_in_b_and_x() {
+    let grid = table2::run();
+    // Rows: growing b worsens nothing downward; columns: growing x helps.
+    for row in &grid {
+        for w in row.windows(2) {
+            assert!(
+                w[0].indicator <= w[1].indicator,
+                "indicator must grow as x falls"
+            );
+        }
+    }
+    for i in 1..grid.len() {
+        for j in 0..grid[i].len() {
+            assert!(
+                grid[i][j].indicator >= grid[i - 1][j].indicator,
+                "indicator must grow with b"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure1_shape_sg_monotone() {
+    for panel in figure1::run() {
+        // Decreasing in f along each curve; decreasing in p across curves.
+        for curve in &panel.curves {
+            for w in curve.points.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+        for pair in panel.curves.windows(2) {
+            for (a, b) in pair[0].points.iter().zip(&pair[1].points) {
+                assert!(
+                    a.1 >= b.1,
+                    "larger p must shrink sg: {a:?} vs {b:?} in {}",
+                    panel.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure2_shape_adult_violations() {
+    let d = PreparedDataset::adult_small(15_000);
+    let sweeps = violation::run_all(&d);
+    for s in &sweeps {
+        // All three sweeps are non-decreasing (p, λ, δ all tighten).
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].vg >= w[0].vg - 1e-12,
+                "vg must not fall along {:?}: {:?}",
+                s.axis,
+                s.points
+            );
+        }
+        // Record coverage always dominates group coverage.
+        for pt in &s.points {
+            assert!(pt.vr >= pt.vg - 1e-12, "vr < vg at {pt:?}");
+        }
+    }
+}
+
+#[test]
+fn figure3_shape_sps_premium_and_up_noise() {
+    let d = PreparedDataset::adult_small(15_000);
+    let p_sweep = error::sweep(&d, SweepAxis::P, &defaults::P_SWEEP, protocol());
+    // UP error decreases in p (monotone trend end-to-end).
+    assert!(
+        p_sweep.points.first().unwrap().up > p_sweep.points.last().unwrap().up,
+        "{:?}",
+        p_sweep.points
+    );
+    // SPS never beats UP beyond noise at the default and stricter settings.
+    let l_sweep = error::sweep(&d, SweepAxis::Lambda, &[0.3, 0.5], protocol());
+    for pt in &l_sweep.points {
+        assert!(pt.sps >= pt.up * 0.9, "SPS beats UP implausibly: {pt:?}");
+    }
+    // The premium grows as λ tightens the criterion.
+    assert!(
+        l_sweep.points[1].sps - l_sweep.points[1].up
+            >= l_sweep.points[0].sps - l_sweep.points[0].up - 0.02,
+        "{:?}",
+        l_sweep.points
+    );
+}
+
+#[test]
+fn figure4_5_shape_census_contrast() {
+    // CENSUS at reduced size: far fewer violations than ADULT at the same
+    // defaults (large m, small f) and a tiny SPS premium.
+    let adult = PreparedDataset::adult_small(15_000);
+    let census = PreparedDataset::census(30_000);
+    let av = violation::sweep(&adult, SweepAxis::P, &[defaults::P]).points[0];
+    let cv = violation::sweep(&census, SweepAxis::P, &[defaults::P]).points[0];
+    assert!(
+        cv.vr < av.vr,
+        "CENSUS must violate less than ADULT: {cv:?} vs {av:?}"
+    );
+    let ce = error::sweep(&census, SweepAxis::P, &[defaults::P], protocol()).points[0];
+    let ae = error::sweep(&adult, SweepAxis::P, &[defaults::P], protocol()).points[0];
+    let census_premium = (ce.sps - ce.up) / ce.up;
+    let adult_premium = (ae.sps - ae.up) / ae.up;
+    assert!(
+        census_premium < adult_premium + 0.05,
+        "CENSUS premium {census_premium} should undercut ADULT's {adult_premium}"
+    );
+}

@@ -1,0 +1,153 @@
+//! Property-based integration tests: the paper's theorems as proptest
+//! invariants, exercised across randomized parameters and data.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_core::matrix::PerturbationMatrix;
+use rp_core::mle::{reconstruct_histogram, reconstruct_histogram_via_inverse};
+use rp_core::perturb::UniformPerturbation;
+use rp_core::privacy::{
+    lambda_to_omega, max_group_size, omega_to_lambda, reconstruction_error_bounds, PrivacyParams,
+};
+use rp_stats::bounds::{chernoff_lower, chernoff_upper};
+
+/// Strategy: a valid retention probability bounded away from 0 and 1.
+fn retention() -> impl Strategy<Value = f64> {
+    0.05f64..0.95
+}
+
+/// Strategy: an SA domain size.
+fn domain() -> impl Strategy<Value = usize> {
+    2usize..40
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// P · P⁻¹ = I for every valid (p, m).
+    #[test]
+    fn matrix_inverse_identity(p in retention(), m in domain()) {
+        let mat = PerturbationMatrix::new(p, m);
+        for j in 0..m {
+            for i in 0..m {
+                let prod: f64 = (0..m).map(|k| mat.entry(j, k) * mat.inverse_entry(k, i)).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// Lemma 2: the closed-form MLE equals the matrix-inverse MLE, and the
+    /// reconstruction preserves the simplex sum.
+    #[test]
+    fn mle_closed_form_equals_inverse(
+        p in retention(),
+        hist in proptest::collection::vec(0u64..500, 2..20)
+    ) {
+        prop_assume!(hist.iter().sum::<u64>() > 0);
+        let a = reconstruct_histogram(&hist, p);
+        let b = reconstruct_histogram_via_inverse(&hist, p);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        let sum: f64 = a.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    /// Perturbation preserves record count at the histogram level.
+    #[test]
+    fn perturbation_preserves_total(
+        p in retention(),
+        hist in proptest::collection::vec(0u64..200, 2..12),
+        seed in any::<u64>()
+    ) {
+        let op = UniformPerturbation::new(p, hist.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = op.perturb_histogram(&mut rng, &hist);
+        prop_assert_eq!(out.iter().sum::<u64>(), hist.iter().sum::<u64>());
+    }
+
+    /// Theorem 2 round trip: λ → ω → λ is the identity.
+    #[test]
+    fn bound_conversion_round_trip(
+        p in retention(),
+        m in domain(),
+        f in 0.01f64..1.0,
+        lambda in 0.01f64..3.0
+    ) {
+        let omega = lambda_to_omega(lambda, p, m, f);
+        let back = omega_to_lambda(omega, p, m, f);
+        prop_assert!((back - lambda).abs() < 1e-9 * lambda.max(1.0));
+    }
+
+    /// Equation 10 is the exact boundary: a group of size ⌊sg⌋ is private,
+    /// one of size ⌈sg⌉ + 1 is not (via the same closed form the test
+    /// uses).
+    #[test]
+    fn sg_is_the_privacy_boundary(
+        p in retention(),
+        m in domain(),
+        f in 0.05f64..1.0,
+        lambda in 0.05f64..1.0,
+        delta in 0.05f64..0.95
+    ) {
+        let params = PrivacyParams::new(lambda, delta);
+        let sg = max_group_size(params, p, m, f);
+        prop_assume!(sg.is_finite() && sg < 1e12);
+        let below = sg.floor() as u64;
+        let above = sg.ceil() as u64 + 1;
+        if below > 0 {
+            prop_assert!(rp_core::privacy::group_is_private(params, p, m, f, below));
+        }
+        prop_assert!(!rp_core::privacy::group_is_private(params, p, m, f, above));
+    }
+
+    /// Corollary 3 at the sg boundary: within the Corollary-4 range the
+    /// lower-tail Chernoff bound evaluated at |S| = sg equals δ.
+    #[test]
+    fn chernoff_bound_at_boundary_equals_delta(
+        p in retention(),
+        m in domain(),
+        f in 0.05f64..1.0,
+        delta in 0.05f64..0.95
+    ) {
+        let lambda = 0.2;
+        let omega = lambda_to_omega(lambda, p, m, f);
+        prop_assume!(omega <= 1.0);
+        let params = PrivacyParams::new(lambda, delta);
+        let sg = max_group_size(params, p, m, f);
+        prop_assume!((1.0..1e9).contains(&sg));
+        let mu = sg * (f * p + (1.0 - p) / m as f64);
+        let l = chernoff_lower(omega, mu);
+        prop_assert!((l - delta).abs() < 1e-6, "L = {l}, delta = {delta}");
+    }
+
+    /// Monotonicity of the Chernoff bounds in µ.
+    #[test]
+    fn chernoff_bounds_monotone_in_mu(
+        omega in 0.01f64..1.0,
+        mu in 1.0f64..1e6
+    ) {
+        prop_assert!(chernoff_upper(omega, mu * 2.0) <= chernoff_upper(omega, mu));
+        prop_assert!(chernoff_lower(omega, mu * 2.0) <= chernoff_lower(omega, mu));
+    }
+
+    /// The reconstruction-error bounds weaken as the support shrinks —
+    /// the law-of-large-numbers gap SPS exploits.
+    #[test]
+    fn smaller_support_weakens_bounds(
+        p in retention(),
+        m in domain(),
+        f in 0.05f64..1.0
+    ) {
+        let (u_small, l_small) = reconstruction_error_bounds(0.3, 50, f, p, m);
+        let (u_large, l_large) = reconstruction_error_bounds(0.3, 5_000, f, p, m);
+        prop_assert!(u_small >= u_large);
+        match (l_small, l_large) {
+            (Some(ls), Some(ll)) => prop_assert!(ls >= ll),
+            (None, None) => {}
+            other => prop_assert!(false, "inconsistent omega range: {other:?}"),
+        }
+    }
+}
