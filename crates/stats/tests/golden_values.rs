@@ -1,0 +1,126 @@
+//! Golden-value and cross-module tests for the statistics substrate:
+//! published chi-squared table entries, the Equation-4 binned test against
+//! hand-built histograms, G-test/chi-squared consistency, stochastic
+//! rounding bias across the full fractional range, and the Lemma-1 Taylor
+//! moments against a genuine Laplace Monte-Carlo experiment.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_stats::chi2::ChiSquared;
+use rp_stats::dist::Laplace;
+use rp_stats::gtest::binned_g_test;
+use rp_stats::sampling::stochastic_round;
+use rp_stats::{binned_chi2_test, ratio_moments};
+
+#[test]
+fn chi2_critical_values_match_published_tables() {
+    // (dof, alpha, critical value) from standard statistical tables.
+    let table = [
+        (1.0, 0.05, 3.841),
+        (2.0, 0.05, 5.991),
+        (5.0, 0.05, 11.070),
+        (10.0, 0.01, 23.209),
+        (20.0, 0.05, 31.410),
+    ];
+    for (dof, alpha, expected) in table {
+        let got = ChiSquared::new(dof).critical_value(alpha);
+        assert!(
+            (got - expected).abs() < 5e-3,
+            "chi2({dof}).critical_value({alpha}) = {got}, table says {expected}"
+        );
+    }
+}
+
+#[test]
+fn eq4_test_separates_real_from_null_differences() {
+    // Null case: the second histogram is a scaled copy plus a tiny wobble —
+    // the unequal-totals statistic stays below the critical value.
+    let base = [400u64, 300, 200, 100];
+    let close: Vec<u64> = base.iter().map(|&c| c * 3 + 1).collect();
+    let verdict = binned_chi2_test(&base, &close, 0.05).expect("dof >= 1");
+    assert!(
+        !verdict.rejects_null,
+        "near-copy rejected: statistic {}",
+        verdict.statistic
+    );
+
+    // Real difference: mass moved across bins far beyond sampling noise.
+    let shifted = [100u64, 200, 300, 400];
+    let verdict = binned_chi2_test(&base, &shifted, 0.05).expect("dof >= 1");
+    assert!(
+        verdict.rejects_null,
+        "reversed histogram accepted: statistic {}",
+        verdict.statistic
+    );
+}
+
+#[test]
+fn chi2_and_g_statistics_grow_together() {
+    // Both statistics must be monotone as one bin drifts further from the
+    // null, and must agree on the reject/accept side of each drift.
+    let base = [500u64, 500, 500, 500];
+    let mut last_chi = 0.0;
+    let mut last_g = 0.0;
+    for drift in [0u64, 20, 60, 140, 300] {
+        let other = [500 + drift, 500 - drift.min(499), 500, 500];
+        let chi = binned_chi2_test(&base, &other, 0.05).expect("dof >= 1");
+        let g = binned_g_test(&base, &other, 0.05).expect("dof >= 1");
+        assert!(
+            chi.statistic >= last_chi && g.statistic >= last_g,
+            "statistics must grow with the drift"
+        );
+        assert_eq!(
+            chi.rejects_null, g.rejects_null,
+            "tests disagree at drift {drift}: chi2 {} vs G {}",
+            chi.statistic, g.statistic
+        );
+        last_chi = chi.statistic;
+        last_g = g.statistic;
+    }
+}
+
+#[test]
+fn stochastic_round_is_unbiased_across_the_fraction_range() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let draws = 40_000;
+    for tenths in 1..10u32 {
+        let x = 7.0 + f64::from(tenths) / 10.0;
+        let mut total = 0u64;
+        for _ in 0..draws {
+            let r = stochastic_round(&mut rng, x);
+            assert!(r == 7 || r == 8, "support must be {{floor, ceil}}, got {r}");
+            total += r;
+        }
+        let mean = total as f64 / f64::from(draws);
+        // SE = sqrt(f(1-f)/n) <= 0.0025; 5 sigma.
+        assert!(
+            (mean - x).abs() < 0.0125,
+            "E[round({x})] drifted: mean = {mean}"
+        );
+    }
+}
+
+#[test]
+fn lemma1_moments_match_a_real_laplace_experiment() {
+    // Lemma 1 approximates E[y'/x'] and Var[y'/x'] for noisy counts. Check
+    // the Taylor mean against Monte Carlo with genuine Laplace noise.
+    let (x, y, b) = (5_000.0, 2_500.0, 50.0);
+    let noise = Laplace::new(b);
+    let moments = ratio_moments(x, y, noise.variance());
+
+    let mut rng = StdRng::seed_from_u64(0x1E44A);
+    let runs = 200_000;
+    let mut sum = 0.0;
+    for _ in 0..runs {
+        let xn = x + noise.sample(&mut rng);
+        let yn = y + noise.sample(&mut rng);
+        sum += yn / xn;
+    }
+    let mc_mean = sum / runs as f64;
+    assert!(
+        (moments.mean - mc_mean).abs() < 5e-4,
+        "Taylor mean {} vs Monte Carlo {mc_mean}",
+        moments.mean
+    );
+    assert!(moments.variance > 0.0);
+}

@@ -1,0 +1,147 @@
+//! Value-level fixture tests for the table substrate: a small named table
+//! with known answers for every predicate and query path, and the CSV
+//! round trip both directions (table → CSV → table and CSV text → table).
+
+use std::io::Cursor;
+
+use rp_table::{read_csv, write_csv, Attribute, CountQuery, Pattern, Schema, TableBuilder, Term};
+
+/// Six hospital records over (Job, Gender, Disease) with Disease sensitive.
+///
+/// | row | Job      | Gender | Disease   |
+/// |-----|----------|--------|-----------|
+/// | 0   | Engineer | M      | Asthma    |
+/// | 1   | Engineer | M      | Flu       |
+/// | 2   | Engineer | F      | Asthma    |
+/// | 3   | Lawyer   | F      | Diabetes  |
+/// | 4   | Lawyer   | M      | Asthma    |
+/// | 5   | Writer   | F      | Flu       |
+fn fixture() -> rp_table::Table {
+    let schema = Schema::new(vec![
+        Attribute::new("Job", ["Engineer", "Lawyer", "Writer"]),
+        Attribute::new("Gender", ["M", "F"]),
+        Attribute::new("Disease", ["Asthma", "Flu", "Diabetes"]),
+    ]);
+    let rows: [[u32; 3]; 6] = [
+        [0, 0, 0],
+        [0, 0, 1],
+        [0, 1, 0],
+        [1, 1, 2],
+        [1, 0, 0],
+        [2, 1, 1],
+    ];
+    let mut builder = TableBuilder::new(schema);
+    for row in rows {
+        builder.push_codes(&row).expect("codes in domain");
+    }
+    builder.build()
+}
+
+#[test]
+fn predicates_select_the_expected_rows() {
+    let t = fixture();
+
+    // Job = Engineer (code 0): rows 0, 1, 2.
+    let engineers = Pattern::new(vec![(0, Term::Value(0))]);
+    assert_eq!(engineers.select(&t), vec![0, 1, 2]);
+    assert_eq!(engineers.count(&t), 3);
+
+    // All wildcards: everything matches.
+    let all = Pattern::all_wildcards(&[0, 1]);
+    assert_eq!(all.count(&t), 6);
+    assert!(all.has_wildcard());
+    assert_eq!(all.dimensionality(), 0);
+
+    // Job = Lawyer AND Gender = M: row 4 only.
+    let lawyer_m = Pattern::from_codes(&[0, 1], &[1, 0]);
+    assert_eq!(lawyer_m.select(&t), vec![4]);
+    assert!(lawyer_m.matches_row(&t, 4));
+    assert!(!lawyer_m.matches_row(&t, 3));
+
+    // matches_key works on bare NA keys, wildcards included.
+    let m_any_job = Pattern::new(vec![(1, Term::Value(0))]);
+    assert!(m_any_job.matches_key(&[0, 1], &[2, 0]));
+    assert!(!m_any_job.matches_key(&[0, 1], &[2, 1]));
+
+    // Validation catches out-of-domain codes and bad attributes.
+    assert!(Pattern::new(vec![(0, Term::Value(9))])
+        .validate(t.schema())
+        .is_err());
+    assert!(engineers.validate(t.schema()).is_ok());
+}
+
+#[test]
+fn count_queries_answer_exactly() {
+    let t = fixture();
+
+    // "Engineers with asthma": rows 0 and 2.
+    let q = CountQuery::new(vec![(0, 0)], 2, 0);
+    assert_eq!(q.answer(&t), 2);
+    let (support, answer) = q.answer_with_support(&t);
+    assert_eq!((support, answer), (3, 2), "3 engineers, 2 with asthma");
+    assert!(
+        (q.selectivity(&t) - 2.0 / 6.0).abs() < 1e-12,
+        "selectivity is answer / |D|"
+    );
+
+    // Unconditioned SA count: all Asthma records.
+    let asthma = CountQuery::new(vec![], 2, 0);
+    assert_eq!(asthma.answer(&t), 3);
+
+    // Two NA conditions: female flu cases outside engineering.
+    let writer_f_flu = CountQuery::new(vec![(0, 2), (1, 1)], 2, 1);
+    assert_eq!(writer_f_flu.answer(&t), 1);
+    assert_eq!(writer_f_flu.dimensionality(), 2);
+}
+
+#[test]
+fn csv_round_trip_preserves_rows_and_schema() {
+    let t = fixture();
+    let mut buffer = Vec::new();
+    write_csv(&t, &mut buffer).expect("in-memory write");
+
+    let text = String::from_utf8(buffer.clone()).expect("CSV is UTF-8");
+    assert!(text.starts_with("Job,Gender,Disease\n"));
+    assert_eq!(text.lines().count(), 7, "header + 6 records");
+
+    let back = read_csv(Cursor::new(&buffer)).expect("own output parses");
+    assert_eq!(back.rows(), t.rows());
+    assert_eq!(back.schema().names(), t.schema().names());
+    for row in 0..t.rows() {
+        assert_eq!(
+            back.decode_row(row).expect("in range"),
+            t.decode_row(row).expect("in range"),
+            "row {row} changed across the round trip"
+        );
+    }
+
+    // Queries answer identically on the re-imported table (codes may be
+    // re-interned; answers must not change).
+    let q = CountQuery::new(vec![(0, 0)], 2, 0);
+    let translate = |attr: usize, code: u32| {
+        let value = t.schema().attribute(attr).dictionary().value(code).unwrap();
+        back.schema()
+            .attribute(attr)
+            .dictionary()
+            .code(value)
+            .unwrap()
+    };
+    let q2 = q.map_codes(translate);
+    assert_eq!(q.answer(&t), q2.answer(&back));
+}
+
+#[test]
+fn csv_import_handles_messy_but_valid_input() {
+    let text = "Job , Gender\nEngineer, M\n\nLawyer ,F\n";
+    let t = read_csv(Cursor::new(text.as_bytes())).expect("trimmed fields parse");
+    assert_eq!(t.rows(), 2, "blank lines are skipped");
+    assert_eq!(t.schema().names(), vec!["Job", "Gender"]);
+    assert_eq!(t.decode_row(1).unwrap(), vec!["Lawyer", "F"]);
+
+    // Ragged rows are a structured error, not a panic.
+    let bad = "A,B\n1,2,3\n";
+    assert!(read_csv(Cursor::new(bad.as_bytes())).is_err());
+
+    // Empty input has no header.
+    assert!(read_csv(Cursor::new(b"" as &[u8])).is_err());
+}

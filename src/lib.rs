@@ -1,0 +1,38 @@
+//! # rp-repro
+//!
+//! Umbrella crate for the Rust reproduction of *Reconstruction Privacy:
+//! Enabling Statistical Learning* (Wang, Han, Fu, Wong, Yu — EDBT 2015).
+//!
+//! The actual implementation lives in the workspace crates; this root
+//! package exists to host the workspace-level integration tests
+//! (`tests/*.rs`) and runnable examples (`examples/*.rs`), and re-exports
+//! every layer so downstream code — and the examples — can reach the whole
+//! stack through one dependency:
+//!
+//! * [`table`] (`rp-table`) — columnar categorical store, predicates,
+//!   grouping, queries, CSV.
+//! * [`stats`] (`rp-stats`) — special functions, χ²/G tests, noise
+//!   distributions, tail bounds, sampling.
+//! * [`core`] (`rp-core`) — perturbation matrices, MLE reconstruction, the
+//!   (λ, δ)-privacy criterion and the SPS algorithm.
+//! * [`datagen`] (`rp-datagen`) — synthetic ADULT/CENSUS generators and the
+//!   query pools of Section 6.
+//! * [`dp`] (`rp-dp`) — the differential-privacy baseline and the
+//!   ratio-attack analysis.
+//! * [`anonymize`] (`rp-anonymize`) — the Anatomy baseline.
+//! * [`learn`] (`rp-learn`) — naive-Bayes learning on reconstructed
+//!   distributions.
+//! * [`experiments`] (`rp-experiments`) — the paper's tables and figures as
+//!   runnable experiments, plus the `repro` / `rpctl` binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use rp_anonymize as anonymize;
+pub use rp_core as core;
+pub use rp_datagen as datagen;
+pub use rp_dp as dp;
+pub use rp_experiments as experiments;
+pub use rp_learn as learn;
+pub use rp_stats as stats;
+pub use rp_table as table;

@@ -61,10 +61,10 @@ fn table2_shape_indicator_monotone_in_b_and_x() {
             );
         }
     }
-    for i in 1..grid.len() {
-        for j in 0..grid[i].len() {
+    for (prev, row) in grid.iter().zip(grid.iter().skip(1)) {
+        for (above, cell) in prev.iter().zip(row) {
             assert!(
-                grid[i][j].indicator >= grid[i - 1][j].indicator,
+                cell.indicator >= above.indicator,
                 "indicator must grow with b"
             );
         }

@@ -1,0 +1,400 @@
+//! Offline vendored drop-in for the subset of the `rand` 0.8 API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so instead of the real
+//! `rand` crate the workspace ships this self-contained implementation with
+//! the same module paths and trait names for everything the code base
+//! actually calls:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range`, `gen_bool` and `sample`;
+//! * [`SeedableRng::seed_from_u64`] (SplitMix64 seed expansion, as upstream);
+//! * [`rngs::StdRng`], here backed by xoshiro256++ — a small, fast generator
+//!   with excellent statistical quality (passes BigCrush), which matters
+//!   because the test suite runs chi-squared goodness-of-fit checks against
+//!   the samplers built on top of it;
+//! * [`distributions::Standard`] / [`distributions::Distribution`] and the
+//!   range types accepted by `gen_range` (half-open and inclusive, integer
+//!   and float).
+//!
+//! Everything is deterministic: a given seed always yields the same stream
+//! on every platform, which the workspace's determinism tests rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The core of a random number generator: a source of random `u32`/`u64`
+/// words and raw bytes.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`distributions::Standard`] distribution
+    /// (uniform over the type's natural range; `[0, 1)` for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from the given range. Accepts `a..b` and `a..=b`
+    /// over the integer and float primitive types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be built from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it to a full seed with
+    /// SplitMix64 (the same scheme upstream `rand` uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    ///
+    /// Deterministic for a given seed on every platform. (Upstream `rand`
+    /// backs `StdRng` with ChaCha12; this vendored stand-in trades
+    /// cryptographic strength — unneeded here — for simplicity while keeping
+    /// first-rate statistical quality.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(chunk);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // xoshiro's state must not be all zero.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            Self { s }
+        }
+    }
+}
+
+/// Distributions and range sampling used by [`Rng::gen`] and
+/// [`Rng::gen_range`].
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: uniform over all values for
+    /// integers and `bool`, uniform on `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits, uniform on [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($ty:ty => $word:ident),+ $(,)?) => {
+            $(
+                impl Distribution<$ty> for Standard {
+                    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                        rng.$word() as $ty
+                    }
+                }
+            )+
+        };
+    }
+
+    standard_int!(
+        u8 => next_u32,
+        u16 => next_u32,
+        u32 => next_u32,
+        u64 => next_u64,
+        usize => next_u64,
+        i8 => next_u32,
+        i16 => next_u32,
+        i32 => next_u32,
+        i64 => next_u64,
+        isize => next_u64,
+    );
+
+    /// Draws uniformly from `[0, span)` without modulo bias (Lemire's
+    /// widening-multiply method with rejection). `span == 0` means the full
+    /// `u64` range.
+    pub(crate) fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        if span == 0 {
+            return rng.next_u64();
+        }
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = u128::from(rng.next_u64()) * u128::from(span);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A range of values acceptable to [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_range {
+        ($($ty:ty),+ $(,)?) => {
+            $(
+                impl SampleRange<$ty> for core::ops::Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(
+                            self.start < self.end,
+                            "gen_range: empty range {:?}..{:?}", self.start, self.end
+                        );
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        self.start.wrapping_add(uniform_u64(rng, span) as $ty)
+                    }
+                }
+
+                impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (lo, hi) = self.into_inner();
+                        assert!(lo <= hi, "gen_range: empty range {lo:?}..={hi:?}");
+                        // hi - lo + 1 == 0 encodes "full u64 range" below.
+                        let span = (hi as i128 - lo as i128 + 1) as u64;
+                        lo.wrapping_add(uniform_u64(rng, span) as $ty)
+                    }
+                }
+            )+
+        };
+    }
+
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range {
+        ($($ty:ty),+ $(,)?) => {
+            $(
+                impl SampleRange<$ty> for core::ops::Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(
+                            self.start < self.end && (self.end - self.start).is_finite(),
+                            "gen_range: invalid range {:?}..{:?}", self.start, self.end
+                        );
+                        let unit: $ty = Standard.sample(rng);
+                        let value = self.start + (self.end - self.start) * unit;
+                        // Guard the (measure-zero) rounding case value == end.
+                        if value < self.end { value } else { self.start }
+                    }
+                }
+
+                impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (lo, hi) = self.into_inner();
+                        assert!(
+                            lo <= hi && (hi - lo).is_finite(),
+                            "gen_range: invalid range {lo:?}..={hi:?}"
+                        );
+                        let unit: $ty = Standard.sample(rng);
+                        lo + (hi - lo) * unit
+                    }
+                }
+            )+
+        };
+    }
+
+    float_range!(f32, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform_u64;
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<f64>() == b.gen::<f64>()).count();
+        assert!(same < 4, "streams should diverge, {same}/64 collisions");
+    }
+
+    #[test]
+    fn unit_interval_and_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            let x = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&x));
+            let k = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&k));
+            let j = rng.gen_range(0usize..=4);
+            assert!(j <= 4);
+            let s = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn uniform_u64_unbiased_small_span() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[uniform_u64(&mut rng, 5) as usize] += 1;
+        }
+        let expect = n as f64 / 5.0;
+        for &c in &counts {
+            let dev = (f64::from(c) - expect).abs() / expect;
+            assert!(dev < 0.02, "bucket deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+}
