@@ -360,7 +360,7 @@ mod tests {
         let t = demo_table(&[40, 30, 20, 10]);
         let a = AnatomizedTable::build(&t, 1, 2).unwrap();
         for sa in 0..4u32 {
-            let q = CountQuery::new(vec![], 1, sa);
+            let q = CountQuery::new(vec![], 1, sa).expect("valid count query");
             let truth = q.answer(&t) as f64;
             assert!((a.estimate(&t, &q) - truth).abs() < 1e-9);
         }
@@ -372,7 +372,7 @@ mod tests {
         // estimator should land near the truth for a balanced table.
         let t = demo_table(&[300, 300, 200, 200]);
         let a = AnatomizedTable::build(&t, 1, 3).unwrap();
-        let q = CountQuery::new(vec![(0, 0)], 1, 0);
+        let q = CountQuery::new(vec![(0, 0)], 1, 0).expect("valid count query");
         let truth = q.answer(&t) as f64;
         let est = a.estimate(&t, &q);
         assert!(

@@ -72,7 +72,7 @@ fn ablation_query_strategy(c: &mut Criterion) {
     let spec = SaSpec::new(&dataset.generalized, adult::attr::INCOME);
     let published = uniform_perturb(&mut rng, &dataset.generalized, &spec, 0.5);
     let view = GroupedView::from_perturbed_table(&dataset.groups, &published);
-    let query = CountQuery::new(vec![(0, 0)], adult::attr::INCOME, 1);
+    let query = CountQuery::new(vec![(0, 0)], adult::attr::INCOME, 1).expect("valid count query");
     let mut group = c.benchmark_group("ablation_query_strategy");
     group.bench_function("full_scan", |b| {
         b.iter(|| estimate_by_scan(&published, &query, 0.5));

@@ -96,7 +96,7 @@ fn bench_query_answering(c: &mut Criterion) {
         &dataset.groups,
         up_histograms(&mut rng, &dataset.groups, 0.5),
     );
-    let query = CountQuery::new(vec![(0, 0)], adult::attr::INCOME, 1);
+    let query = CountQuery::new(vec![(0, 0)], adult::attr::INCOME, 1).expect("valid count query");
     let mut group = c.benchmark_group("query_answering");
     group.bench_function("grouped_view", |b| {
         b.iter(|| view.estimate(&query, 0.5));

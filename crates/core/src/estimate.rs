@@ -228,7 +228,7 @@ mod tests {
         let spec = SaSpec::new(&t, 2);
         let mut rng = StdRng::seed_from_u64(51);
         let perturbed = uniform_perturb(&mut rng, &t, &spec, 0.5);
-        let q = CountQuery::new(vec![(0, 0)], 2, 0); // G=a ∧ SA=0: 600
+        let q = CountQuery::new(vec![(0, 0)], 2, 0).expect("valid count query"); // G=a ∧ SA=0: 600
         let est = estimate_by_scan(&perturbed, &q, 0.5);
         assert!(relative_error(est, 600.0) < 0.15, "est = {est}");
     }
@@ -243,9 +243,9 @@ mod tests {
         let perturbed = uniform_perturb(&mut rng, &t, &spec, 0.5);
         let view = GroupedView::from_perturbed_table(&groups, &perturbed);
         for q in [
-            CountQuery::new(vec![(0, 0)], 2, 0),
-            CountQuery::new(vec![(0, 1), (1, 1)], 2, 1),
-            CountQuery::new(vec![], 2, 3),
+            CountQuery::new(vec![(0, 0)], 2, 0).expect("valid count query"),
+            CountQuery::new(vec![(0, 1), (1, 1)], 2, 1).expect("valid count query"),
+            CountQuery::new(vec![], 2, 3).expect("valid count query"),
         ] {
             let scan = estimate_by_scan(&perturbed, &q, 0.5);
             let grouped = view.estimate(&q, 0.5);
@@ -262,7 +262,7 @@ mod tests {
         let hists = up_histograms(&mut rng, &groups, 0.5);
         let view = GroupedView::from_histograms(&groups, hists);
         assert_eq!(view.total_records(), 2000);
-        let q = CountQuery::new(vec![(0, 0)], 2, 0);
+        let q = CountQuery::new(vec![(0, 0)], 2, 0).expect("valid count query");
         let (support, _) = view.support_and_observed(&q);
         assert_eq!(support, 1200, "support is exact: NA never perturbed");
     }
@@ -275,9 +275,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(54);
         let view = GroupedView::from_histograms(&groups, up_histograms(&mut rng, &groups, 0.3));
         let queries = vec![
-            CountQuery::new(vec![(0, 0)], 2, 0),
-            CountQuery::new(vec![(1, 1)], 2, 1),
-            CountQuery::new(vec![(0, 1), (1, 0)], 2, 2), // empty group
+            CountQuery::new(vec![(0, 0)], 2, 0).expect("valid count query"),
+            CountQuery::new(vec![(1, 1)], 2, 1).expect("valid count query"),
+            CountQuery::new(vec![(0, 1), (1, 0)], 2, 2).expect("valid count query"), // empty group
         ];
         let index = view.match_index(&queries);
         for (q, matching) in queries.iter().zip(&index) {
@@ -298,7 +298,7 @@ mod tests {
         let perturbed = uniform_perturb(&mut rng, &t, &spec, 0.5);
         let view = GroupedView::from_perturbed_table(&groups, &perturbed);
         // G=a ∧ J=y never occurs.
-        let q = CountQuery::new(vec![(0, 0), (1, 1)], 2, 0);
+        let q = CountQuery::new(vec![(0, 0), (1, 1)], 2, 0).expect("valid count query");
         assert_eq!(estimate_by_scan(&perturbed, &q, 0.5), 0.0);
         assert_eq!(view.estimate(&q, 0.5), 0.0);
     }
@@ -308,7 +308,7 @@ mod tests {
         let t = demo_table();
         let spec = SaSpec::new(&t, 2);
         let groups = PersonalGroups::build(&t, spec);
-        let q = CountQuery::new(vec![(1, 1)], 2, 1); // J=y ∧ SA=1: 600
+        let q = CountQuery::new(vec![(1, 1)], 2, 1).expect("valid count query"); // J=y ∧ SA=1: 600
         let mut rng = StdRng::seed_from_u64(56);
         let runs = 500;
         let mut mean = 0.0;

@@ -368,7 +368,7 @@ mod tests {
         let t = latent_table(2000);
         let spec = SaSpec::new(&t, 1);
         let g = Generalization::fit(&t, &spec, 0.05);
-        let q = CountQuery::new(vec![(0, 3)], 1, 2);
+        let q = CountQuery::new(vec![(0, 3)], 1, 2).expect("valid count query");
         let translated = g.translate_query(&q);
         assert_eq!(translated.sa_value(), 2);
         // Edu_3's generalized code must be the component of {e2, e3}.
@@ -389,9 +389,15 @@ mod tests {
         let g = Generalization::fit(&t, &spec, 0.05);
         let t2 = g.apply(&t);
         let raw_sum: u64 = (0u32..2)
-            .map(|edu| CountQuery::new(vec![(0, edu)], 1, 0).answer(&t))
+            .map(|edu| {
+                CountQuery::new(vec![(0, edu)], 1, 0)
+                    .expect("valid count query")
+                    .answer(&t)
+            })
             .sum();
-        let merged = CountQuery::new(vec![(0, g.translate(0, 0))], 1, 0).answer(&t2);
+        let merged = CountQuery::new(vec![(0, g.translate(0, 0))], 1, 0)
+            .expect("valid count query")
+            .answer(&t2);
         assert_eq!(merged, raw_sum);
     }
 

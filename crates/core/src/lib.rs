@@ -25,6 +25,12 @@
 //!
 //! ## Quick example
 //!
+//! This crate is the *primitive layer*: free functions over tables,
+//! groups and histograms. The ergonomic publish-once/answer-many surface
+//! — `Publisher`, `Publication`, `QueryEngine` — lives in `rp-engine`,
+//! which composes these primitives; start there (its crate docs carry the
+//! full quickstart) unless you need a single stage in isolation:
+//!
 //! ```
 //! use rand::SeedableRng;
 //! use rp_core::groups::{PersonalGroups, SaSpec};
@@ -45,15 +51,16 @@
 //! }
 //! let table = builder.build();
 //!
-//! // Does plain uniform perturbation at p = 0.5 satisfy
-//! // (0.3, 0.3)-reconstruction privacy?
+//! // One stage at a time: does plain uniform perturbation at p = 0.5
+//! // satisfy (0.3, 0.3)-reconstruction privacy?
 //! let spec = SaSpec::new(&table, 1);
 //! let groups = PersonalGroups::build(&table, spec);
 //! let params = PrivacyParams::new(0.3, 0.3);
 //! let report = check_groups(&groups, 0.5, params);
 //! assert!(!report.is_private(), "large groups violate");
 //!
-//! // Enforce it with SPS.
+//! // Enforce it with SPS. (`rp_engine::Publisher` runs these three stages
+//! // in one call and bundles the output into a `Publication`.)
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let output = sps(&mut rng, &table, &groups, SpsConfig { p: 0.5, params });
 //! assert!(output.stats.groups_sampled > 0);

@@ -114,24 +114,18 @@ pub fn sps<R: Rng + ?Sized>(
             group.max_frequency()
         };
         let sg = max_group_size(config.params, config.p, spec.m(), f_max);
-        let mut template = vec![0u32; arity];
+        // Row template: NA codes fixed by the group key, SA slot rewritten
+        // per emission.
+        let mut row = vec![0u32; arity];
         for (i, &attr) in spec.na().iter().enumerate() {
-            template[attr] = group.key[i];
+            row[attr] = group.key[i];
         }
-
-        let emit = |builder: &mut TableBuilder, sa_code: u32, copies: u64| {
-            let mut row = template.clone();
-            row[spec.sa()] = sa_code;
-            for _ in 0..copies {
-                builder.push_codes(&row).expect("template codes are valid");
-            }
-        };
 
         if size as f64 <= sg {
             // Within the threshold: perturb every record, no sampling.
             for &r in &group.rows {
-                let perturbed = op.perturb_code(rng, table.code(r as usize, spec.sa()));
-                emit(&mut builder, perturbed, 1);
+                row[spec.sa()] = op.perturb_code(rng, table.code(r as usize, spec.sa()));
+                builder.push_codes(&row).expect("template codes are valid");
             }
             continue;
         }
@@ -163,13 +157,20 @@ pub fn sps<R: Rng + ?Sized>(
         stats.sampled_records += g1_size;
         // Perturbing the sample.
         let perturbed_hist = op.perturb_histogram(rng, &sample_hist);
-        // Scaling back to the original size.
+        // Scaling back to the original size. All records of one
+        // (group, SA value) cell share a single code template, so their
+        // `⌊τ′⌋ + Bernoulli` copy counts are summed and emitted as one
+        // batch instead of row by row (same RNG draws, one validation).
         let tau_prime = size as f64 / g1_size as f64;
         for (sa_code, &count) in perturbed_hist.iter().enumerate() {
-            for _ in 0..count {
-                let copies = stochastic_round(rng, tau_prime);
-                emit(&mut builder, sa_code as u32, copies);
+            if count == 0 {
+                continue;
             }
+            let copies: u64 = (0..count).map(|_| stochastic_round(rng, tau_prime)).sum();
+            row[spec.sa()] = sa_code as u32;
+            builder
+                .push_codes_batch(&row, copies as usize)
+                .expect("template codes are valid");
         }
     }
 

@@ -370,7 +370,7 @@ mod tests {
             ),
         ];
         let high = schema.attribute(4).dictionary().code(">50K").unwrap();
-        let q = CountQuery::new(q_base.to_vec(), attr::INCOME, high);
+        let q = CountQuery::new(q_base.to_vec(), attr::INCOME, high).expect("valid count query");
         let (support, ans) = q.answer_with_support(&t);
         assert_eq!(support, EXAMPLE1_BASE_COUNT);
         assert_eq!(ans, EXAMPLE1_HIGH_COUNT);

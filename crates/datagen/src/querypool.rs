@@ -116,7 +116,8 @@ impl QueryPool {
                 })
                 .collect();
             let sa_value = rng.gen_range(0..spec.m() as u32);
-            let query = CountQuery::new(conditions, spec.sa(), sa_value);
+            let query =
+                CountQuery::new(conditions, spec.sa(), sa_value).expect("valid count query");
             // Exact answer from the generalized group histograms.
             let mut answer = 0u64;
             for g in groups.matching(query.na_pattern()) {

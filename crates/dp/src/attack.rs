@@ -183,7 +183,9 @@ mod tests {
     #[test]
     fn true_answers_split_base_and_refined() {
         let t = demo_table();
-        let attack = RatioAttack::new(CountQuery::new(vec![(0, 0), (1, 0)], 2, 0));
+        let attack = RatioAttack::new(
+            CountQuery::new(vec![(0, 0), (1, 0)], 2, 0).expect("valid count query"),
+        );
         let (x, y) = attack.true_answers(&t);
         assert_eq!(x, 100);
         assert_eq!(y, 80);
@@ -192,7 +194,9 @@ mod tests {
     #[test]
     fn small_noise_recovers_confidence() {
         let t = demo_table();
-        let attack = RatioAttack::new(CountQuery::new(vec![(0, 0), (1, 0)], 2, 0));
+        let attack = RatioAttack::new(
+            CountQuery::new(vec![(0, 0), (1, 0)], 2, 0).expect("valid count query"),
+        );
         let mech = LaplaceMechanism::from_scale(0.5);
         let mut rng = StdRng::seed_from_u64(5);
         let outcome = attack.run(&t, &mech, 400, &mut rng);
@@ -204,7 +208,9 @@ mod tests {
     #[test]
     fn large_noise_destroys_confidence_estimate() {
         let t = demo_table();
-        let attack = RatioAttack::new(CountQuery::new(vec![(0, 0), (1, 0)], 2, 0));
+        let attack = RatioAttack::new(
+            CountQuery::new(vec![(0, 0), (1, 0)], 2, 0).expect("valid count query"),
+        );
         // b = 200 against x = 100: indicator 2(b/x)² = 8, hopeless.
         let mech = LaplaceMechanism::new(0.01, Sensitivity::count_query_batch(2));
         let mut rng = StdRng::seed_from_u64(7);
@@ -220,7 +226,9 @@ mod tests {
     #[test]
     fn predicted_moments_use_mechanism_variance() {
         let t = demo_table();
-        let attack = RatioAttack::new(CountQuery::new(vec![(0, 0), (1, 0)], 2, 0));
+        let attack = RatioAttack::new(
+            CountQuery::new(vec![(0, 0), (1, 0)], 2, 0).expect("valid count query"),
+        );
         let mech = LaplaceMechanism::from_scale(4.0);
         let m = attack.predicted_moments(&t, &mech);
         let expected = ratio_moments(100.0, 80.0, 32.0);
@@ -230,7 +238,9 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let t = demo_table();
-        let attack = RatioAttack::new(CountQuery::new(vec![(0, 0), (1, 0)], 2, 0));
+        let attack = RatioAttack::new(
+            CountQuery::new(vec![(0, 0), (1, 0)], 2, 0).expect("valid count query"),
+        );
         let mech = LaplaceMechanism::from_scale(10.0);
         let run = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -244,7 +254,9 @@ mod tests {
     fn zero_refined_answer_panics() {
         let t = demo_table();
         // male engineers with breast cancer: none.
-        let attack = RatioAttack::new(CountQuery::new(vec![(0, 0), (1, 0)], 2, 2));
+        let attack = RatioAttack::new(
+            CountQuery::new(vec![(0, 0), (1, 0)], 2, 2).expect("valid count query"),
+        );
         let mech = LaplaceMechanism::from_scale(1.0);
         let mut rng = StdRng::seed_from_u64(1);
         attack.run(&t, &mech, 5, &mut rng);
@@ -254,7 +266,9 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_panics() {
         let t = demo_table();
-        let attack = RatioAttack::new(CountQuery::new(vec![(0, 0), (1, 0)], 2, 0));
+        let attack = RatioAttack::new(
+            CountQuery::new(vec![(0, 0), (1, 0)], 2, 0).expect("valid count query"),
+        );
         let mech = LaplaceMechanism::from_scale(1.0);
         let mut rng = StdRng::seed_from_u64(1);
         attack.run(&t, &mech, 0, &mut rng);

@@ -195,7 +195,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let hist = DpHistogram::release(&mut rng, &t, &[0, 1, 2], 1.0);
         assert_eq!(hist.cells(), 24);
-        let q = CountQuery::new(vec![(0, 0)], 2, 0);
+        let q = CountQuery::new(vec![(0, 0)], 2, 0).expect("valid count query");
         let truth = q.answer(&t) as f64;
         let noisy = hist.answer(&q);
         // Summing 3 cells of Lap(1) noise: sd ≈ 2.4.
@@ -211,7 +211,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let hist = DpHistogram::release(&mut rng, &t, &[0, 1, 2], 5.0);
         // No NA condition: the SA marginal.
-        let q = CountQuery::new(vec![], 2, 1);
+        let q = CountQuery::new(vec![], 2, 1).expect("valid count query");
         let truth = q.answer(&t) as f64;
         assert!((hist.answer(&q) - truth).abs() < 10.0);
     }
@@ -221,7 +221,7 @@ mod tests {
         let t = demo_table();
         let mut rng = StdRng::seed_from_u64(3);
         let hist = DpHistogram::release(&mut rng, &t, &[0, 1, 2], 0.5);
-        let q = CountQuery::new(vec![(1, 2)], 2, 3);
+        let q = CountQuery::new(vec![(1, 2)], 2, 3).expect("valid count query");
         assert_eq!(hist.answer(&q), hist.answer(&q), "the release is fixed");
     }
 
@@ -240,8 +240,9 @@ mod tests {
         let t = b.build();
         let mut rng = StdRng::seed_from_u64(4);
         let hist = DpHistogram::release(&mut rng, &t, &[0, 1], 0.1);
-        let refined = hist.answer(&CountQuery::new(vec![(0, 0)], 1, 1));
-        let base = refined + hist.answer(&CountQuery::new(vec![(0, 0)], 1, 0));
+        let refined = hist.answer(&CountQuery::new(vec![(0, 0)], 1, 1).expect("valid count query"));
+        let base =
+            refined + hist.answer(&CountQuery::new(vec![(0, 0)], 1, 0).expect("valid count query"));
         let conf = refined / base;
         assert!((conf - 0.8).abs() < 0.01, "Conf' = {conf}");
     }
@@ -252,7 +253,7 @@ mod tests {
         let t = demo_table();
         let mut rng = StdRng::seed_from_u64(5);
         let hist = DpHistogram::release(&mut rng, &t, &[0, 2], 1.0);
-        hist.answer(&CountQuery::new(vec![(1, 0)], 2, 0));
+        hist.answer(&CountQuery::new(vec![(1, 0)], 2, 0).expect("valid count query"));
     }
 
     #[test]

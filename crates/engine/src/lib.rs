@@ -1,0 +1,85 @@
+//! # rp-engine
+//!
+//! The operable surface of the reproduction: a first-class publication API
+//! over the paper's *publish once, answer many count queries* workflow
+//! (Wang et al., *Reconstruction Privacy*, EDBT 2015).
+//!
+//! Three types replace the hand-threaded pipeline of free functions:
+//!
+//! * [`Publisher`] — a builder that runs personal grouping, the
+//!   Equation-10 design check and SPS in one `publish()` call;
+//! * [`Publication`] — the published table bundled with its schema, the
+//!   retention probability `p`, the `(λ, δ)` parameters, the SPS run
+//!   counters and the seed, (de)serializable to a line-oriented on-disk
+//!   format ([`Publication::save`] / [`Publication::load`]);
+//! * [`QueryEngine`] — a long-lived answering service built from a
+//!   release: per-group reconstructions are cached at construction and the
+//!   NA match index is precomputed per batch, so single queries, batches
+//!   and whole Section-6 pools are answered without rescanning.
+//!   [`serve()`](serve::serve) wraps it in a line protocol for
+//!   `rpctl serve`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rp_engine::{Publication, Publisher, QueryEngine};
+//! use rp_table::{Attribute, Schema, TableBuilder};
+//!
+//! // A toy table: Gender is public, Disease sensitive.
+//! let schema = Schema::new(vec![
+//!     Attribute::new("Gender", ["male", "female"]),
+//!     Attribute::new("Disease", ["flu", "hiv", "none"]),
+//! ]);
+//! let mut builder = TableBuilder::new(schema);
+//! for i in 0..5000u32 {
+//!     let gender = if i % 2 == 0 { "male" } else { "female" };
+//!     let disease = if i % 10 < 8 { "none" } else { "flu" };
+//!     builder.push_values(&[gender, disease]).unwrap();
+//! }
+//! let table = builder.build();
+//!
+//! // Publish once: grouping + the (0.3, 0.3) check + SPS in one call.
+//! let publication = Publisher::new(table)
+//!     .sa_named("Disease")
+//!     .privacy(0.3, 0.3)
+//!     .retention(0.5)
+//!     .seed(1)
+//!     .publish()
+//!     .unwrap();
+//! assert!(!publication.check().is_private(), "large groups violate");
+//! assert!(publication.stats().groups_sampled > 0, "so SPS sampled them");
+//!
+//! // The release round-trips through its on-disk format...
+//! let mut bytes = Vec::new();
+//! publication.save(&mut bytes).unwrap();
+//! let restored = Publication::load(&bytes[..]).unwrap();
+//! assert_eq!(publication, restored);
+//!
+//! // ...and a long-lived engine answers count queries from it.
+//! let engine = QueryEngine::new(&restored);
+//! let query = engine
+//!     .query_from_values(&[("Gender", "male"), ("Disease", "flu")])
+//!     .unwrap();
+//! let answer = engine.answer(&query).unwrap();
+//! // SPS scaling restores the group size in expectation (2500 here).
+//! assert!((answer.support as f64 - 2500.0).abs() < 250.0);
+//! assert!(answer.ci.is_some(), "answers carry confidence intervals");
+//! ```
+//!
+//! The primitive layer (perturbation matrices, MLE reconstruction, the
+//! criterion, SPS itself) lives in `rp-core`; this crate composes it and
+//! adds persistence plus the serving loop. Everything here is, like the
+//! rest of the workspace, a pure function of its seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod publication;
+pub mod publisher;
+pub mod serve;
+
+pub use engine::{Answer, EngineError, PreparedQueries, QueryEngine};
+pub use publication::{DesignCheck, Publication, PublicationError};
+pub use publisher::{PublishError, Publisher};
+pub use serve::{serve, ServeStats};

@@ -1,0 +1,733 @@
+//! The [`Publication`] artifact: a published table bundled with everything
+//! needed to answer queries on it correctly.
+//!
+//! The paper's workflow is *publish once, answer many count queries*
+//! (Section 6: `est = |S*| · F′`). Answering requires more than the
+//! perturbed records: the estimator needs the retention probability `p` and
+//! the SA domain, reproducing a release needs the seed, and auditing needs
+//! the `(λ, δ)` requirement the release was checked against. A
+//! `Publication` carries all of it as one typed value, (de)serializable to
+//! a simple line-oriented on-disk format so the publish and query sides of
+//! a deployment stop re-deriving parameters out-of-band.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use rp_core::groups::SaSpec;
+use rp_core::privacy::PrivacyParams;
+use rp_core::sps::SpsStats;
+use rp_table::{AttrId, Attribute, Schema, Table, TableBuilder};
+
+/// Summary of the Equation-10 design check the publisher ran before SPS:
+/// how the *uniform-perturbation* design stood against `(λ, δ)` on the
+/// input table (SPS then enforced the criterion on whatever violated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DesignCheck {
+    /// Personal groups in the input table.
+    pub total_groups: usize,
+    /// Groups whose size exceeded their threshold `sg`.
+    pub violating_groups: usize,
+    /// Records in the input table.
+    pub total_records: u64,
+    /// Records belonging to violating groups.
+    pub violating_records: u64,
+}
+
+impl DesignCheck {
+    /// Fraction of groups violating (`vg` of Section 6.2).
+    pub fn vg(&self) -> f64 {
+        if self.total_groups == 0 {
+            0.0
+        } else {
+            self.violating_groups as f64 / self.total_groups as f64
+        }
+    }
+
+    /// Fraction of records at risk (`vr` of Section 6.2).
+    pub fn vr(&self) -> f64 {
+        if self.total_records == 0 {
+            0.0
+        } else {
+            self.violating_records as f64 / self.total_records as f64
+        }
+    }
+
+    /// Whether plain uniform perturbation already satisfied the criterion
+    /// (in which case SPS degenerated to UP).
+    pub fn is_private(&self) -> bool {
+        self.violating_groups == 0
+    }
+}
+
+/// A reconstruction-private release: the published table `D*₂` plus the
+/// metadata required to audit it and to answer count queries from it.
+///
+/// Build one with [`crate::Publisher`], persist it with
+/// [`Publication::save`], and answer from it with [`crate::QueryEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Publication {
+    table: Table,
+    sa: AttrId,
+    p: f64,
+    params: PrivacyParams,
+    seed: u64,
+    stats: SpsStats,
+    check: DesignCheck,
+}
+
+impl Publication {
+    /// Assembles a publication from its parts. Intended for
+    /// [`crate::Publisher`] and deserialization; answering code should not
+    /// need it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sa` is out of range for the table's schema.
+    pub fn from_parts(
+        table: Table,
+        sa: AttrId,
+        p: f64,
+        params: PrivacyParams,
+        seed: u64,
+        stats: SpsStats,
+        check: DesignCheck,
+    ) -> Self {
+        assert!(
+            sa < table.schema().arity(),
+            "SA attribute {sa} out of range for arity {}",
+            table.schema().arity()
+        );
+        Self {
+            table,
+            sa,
+            p,
+            params,
+            seed,
+            stats,
+            check,
+        }
+    }
+
+    /// The published table `D*₂`.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The published schema (generalized public attributes + SA).
+    pub fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    /// The sensitive attribute index.
+    pub fn sa(&self) -> AttrId {
+        self.sa
+    }
+
+    /// The sensitive attribute's name.
+    pub fn sa_name(&self) -> &str {
+        self.schema().attribute(self.sa).name()
+    }
+
+    /// The retention probability `p` the release was perturbed with.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The `(λ, δ)` requirement the release enforces.
+    pub fn params(&self) -> PrivacyParams {
+        self.params
+    }
+
+    /// The RNG seed the release was produced from (the whole pipeline is a
+    /// pure function of it — see `tests/determinism.rs`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Counters of the SPS run that produced the release.
+    pub fn stats(&self) -> SpsStats {
+        self.stats
+    }
+
+    /// The pre-publication Equation-10 design check.
+    pub fn check(&self) -> DesignCheck {
+        self.check
+    }
+
+    /// The SA/NA split of the published schema.
+    pub fn spec(&self) -> SaSpec {
+        SaSpec::new(&self.table, self.sa)
+    }
+
+    /// Serializes the publication to the v1 on-disk format.
+    ///
+    /// The format is line-oriented and tab-separated: a magic line, one
+    /// `key\t...` metadata line per field, one `attr` line per schema
+    /// attribute (name followed by its domain values), then the records as
+    /// rows of dictionary codes. Identical publications serialize to
+    /// identical bytes, so `save ∘ load` is the identity on files.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or if an attribute name or domain
+    /// value contains a tab or newline (unrepresentable in the format).
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), PublicationError> {
+        let schema = self.table.schema();
+        for (_, attr) in schema.iter() {
+            check_writable(attr.name())?;
+            for v in attr.dictionary().values() {
+                check_writable(v)?;
+            }
+        }
+        writeln!(w, "{MAGIC}")?;
+        writeln!(w, "sa\t{}", self.sa)?;
+        writeln!(w, "p\t{}", self.p)?;
+        writeln!(w, "lambda\t{}", self.params.lambda())?;
+        writeln!(w, "delta\t{}", self.params.delta())?;
+        writeln!(w, "seed\t{}", self.seed)?;
+        writeln!(
+            w,
+            "stats\t{}\t{}\t{}\t{}\t{}",
+            self.stats.groups,
+            self.stats.groups_sampled,
+            self.stats.input_records,
+            self.stats.sampled_records,
+            self.stats.output_records
+        )?;
+        writeln!(
+            w,
+            "check\t{}\t{}\t{}\t{}",
+            self.check.total_groups,
+            self.check.violating_groups,
+            self.check.total_records,
+            self.check.violating_records
+        )?;
+        writeln!(w, "attrs\t{}", schema.arity())?;
+        for (_, attr) in schema.iter() {
+            write!(w, "attr\t{}", attr.name())?;
+            for v in attr.dictionary().values() {
+                write!(w, "\t{v}")?;
+            }
+            writeln!(w)?;
+        }
+        writeln!(w, "rows\t{}", self.table.rows())?;
+        let arity = schema.arity();
+        for r in 0..self.table.rows() {
+            for a in 0..arity {
+                if a == 0 {
+                    write!(w, "{}", self.table.code(r, a))?;
+                } else {
+                    write!(w, "\t{}", self.table.code(r, a))?;
+                }
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Saves to a file path (buffered).
+    ///
+    /// # Errors
+    ///
+    /// As [`Publication::save`], plus file-creation errors.
+    pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), PublicationError> {
+        let file = File::create(path)?;
+        self.save(BufWriter::new(file))
+    }
+
+    /// Deserializes a publication from the v1 on-disk format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or any structural problem (bad
+    /// magic, missing fields, malformed numbers, out-of-domain codes).
+    pub fn load<R: BufRead>(r: R) -> Result<Self, PublicationError> {
+        let mut lines = Lines::new(r);
+        let magic_err = {
+            let magic = lines.next_line()?;
+            (magic != MAGIC).then(|| format!("expected magic `{MAGIC}`, got `{magic}`"))
+        };
+        if let Some(message) = magic_err {
+            return Err(PublicationError::Format { line: 1, message });
+        }
+        let sa: AttrId = lines.field("sa")?.parse_one()?;
+        let sa_line = lines.line_no;
+        let p: f64 = lines.field("p")?.parse_one()?;
+        if !(p > 0.0 && p < 1.0) {
+            return Err(lines.err(format!("retention p must lie in (0, 1), got {p}")));
+        }
+        let lambda: f64 = lines.field("lambda")?.parse_one()?;
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(lines.err(format!("lambda must be positive and finite, got {lambda}")));
+        }
+        let delta: f64 = lines.field("delta")?.parse_one()?;
+        if !(delta > 0.0 && delta <= 1.0) {
+            return Err(lines.err(format!("delta must lie in (0, 1], got {delta}")));
+        }
+        let seed: u64 = lines.field("seed")?.parse_one()?;
+        let stats_fields = lines.field("stats")?;
+        let stats = SpsStats {
+            groups: stats_fields.parse_at(0)?,
+            groups_sampled: stats_fields.parse_at(1)?,
+            input_records: stats_fields.parse_at(2)?,
+            sampled_records: stats_fields.parse_at(3)?,
+            output_records: stats_fields.parse_at(4)?,
+        };
+        let check_fields = lines.field("check")?;
+        let check = DesignCheck {
+            total_groups: check_fields.parse_at(0)?,
+            violating_groups: check_fields.parse_at(1)?,
+            total_records: check_fields.parse_at(2)?,
+            violating_records: check_fields.parse_at(3)?,
+        };
+        let arity: usize = lines.field("attrs")?.parse_one()?;
+        // Like `rows` below, `attrs` is untrusted: cap the pre-allocations
+        // so a corrupt header cannot trigger a capacity-overflow panic or a
+        // huge reservation (a real arity past the cap still loads, slower).
+        let mut attributes = Vec::with_capacity(arity.min(1 << 10));
+        for _ in 0..arity {
+            let f = lines.field("attr")?;
+            if f.values.is_empty() {
+                return Err(f.error("attr line needs a name"));
+            }
+            attributes.push(Attribute::new(f.values[0], f.values[1..].iter().copied()));
+        }
+        if sa >= arity {
+            return Err(PublicationError::Format {
+                line: sa_line,
+                message: format!("sa index {sa} out of range for arity {arity}"),
+            });
+        }
+        // Mirror the publish-time shape invariants: the answering side
+        // assumes at least one public attribute and a non-trivial SA
+        // domain (`PerturbationMatrix` asserts m >= 2 at query time).
+        if arity < 2 {
+            return Err(lines.err(format!(
+                "publication needs at least one public attribute besides SA, got arity {arity}"
+            )));
+        }
+        let m = attributes[sa].domain_size();
+        if m < 2 {
+            return Err(lines.err(format!("SA domain must have at least 2 values, got {m}")));
+        }
+        let params = PrivacyParams::new(lambda, delta);
+        let schema = Schema::new(attributes);
+        let rows: usize = lines.field("rows")?.parse_one()?;
+        // The row count is untrusted input: cap the pre-allocation so a
+        // corrupt header cannot force a huge reservation before any record
+        // is parsed (the builder grows past the cap as real rows arrive).
+        let mut builder = TableBuilder::with_capacity(schema, rows.min(1 << 20));
+        let mut codes = Vec::with_capacity(arity.min(1 << 10));
+        for _ in 0..rows {
+            let line_no = lines.line_no + 1;
+            let bad = {
+                let line = lines.next_line()?;
+                codes.clear();
+                let mut bad = None;
+                for part in line.split('\t') {
+                    match part.parse::<u32>() {
+                        Ok(c) => codes.push(c),
+                        Err(e) => {
+                            bad = Some(format!("bad code `{part}`: {e}"));
+                            break;
+                        }
+                    }
+                }
+                bad
+            };
+            if let Some(message) = bad {
+                return Err(PublicationError::Format {
+                    line: line_no,
+                    message,
+                });
+            }
+            builder
+                .push_codes(&codes)
+                .map_err(|e| PublicationError::Format {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
+        }
+        // A rows header that undercounts the actual content would otherwise
+        // load as a silently truncated release.
+        lines.expect_eof()?;
+        Ok(Self {
+            table: builder.build(),
+            sa,
+            p,
+            params,
+            seed,
+            stats,
+            check,
+        })
+    }
+
+    /// Loads from a file path (buffered).
+    ///
+    /// # Errors
+    ///
+    /// As [`Publication::load`], plus file-open errors.
+    pub fn load_from_path(path: impl AsRef<Path>) -> Result<Self, PublicationError> {
+        let file = File::open(path)?;
+        Self::load(BufReader::new(file))
+    }
+}
+
+const MAGIC: &str = "rp-publication v1";
+
+fn check_writable(s: &str) -> Result<(), PublicationError> {
+    if s.contains('\t') || s.contains('\n') || s.contains('\r') {
+        return Err(PublicationError::Unrepresentable(s.to_string()));
+    }
+    Ok(())
+}
+
+/// Errors raised by publication (de)serialization.
+#[derive(Debug)]
+pub enum PublicationError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the input at a 1-based line number.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An attribute name or value contains a tab or newline and cannot be
+    /// written in the line-oriented format.
+    Unrepresentable(String),
+}
+
+impl fmt::Display for PublicationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PublicationError::Io(e) => write!(f, "I/O error: {e}"),
+            PublicationError::Format { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            PublicationError::Unrepresentable(s) => {
+                write!(f, "value `{}` contains tab/newline", s.escape_debug())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PublicationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PublicationError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PublicationError {
+    fn from(e: io::Error) -> Self {
+        PublicationError::Io(e)
+    }
+}
+
+/// Line reader with position tracking for error messages.
+struct Lines<R> {
+    inner: R,
+    line_no: usize,
+    buf: String,
+}
+
+/// One parsed `key\tv1\tv2...` metadata line.
+struct Field<'a> {
+    key: &'a str,
+    values: Vec<&'a str>,
+    line: usize,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            line_no: 0,
+            buf: String::new(),
+        }
+    }
+
+    fn err(&self, message: String) -> PublicationError {
+        PublicationError::Format {
+            line: self.line_no,
+            message,
+        }
+    }
+
+    fn next_line(&mut self) -> Result<&str, PublicationError> {
+        self.buf.clear();
+        let n = self.inner.read_line(&mut self.buf)?;
+        self.line_no += 1;
+        if n == 0 {
+            return Err(PublicationError::Format {
+                line: self.line_no,
+                message: "unexpected end of input".to_string(),
+            });
+        }
+        Ok(self.buf.trim_end_matches(['\n', '\r']))
+    }
+
+    fn expect_eof(&mut self) -> Result<(), PublicationError> {
+        self.buf.clear();
+        if self.inner.read_line(&mut self.buf)? != 0 {
+            return Err(PublicationError::Format {
+                line: self.line_no + 1,
+                message: "trailing content after the declared row count".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn field(&mut self, key: &'static str) -> Result<Field<'_>, PublicationError> {
+        let line_no = self.line_no + 1;
+        let line = self.next_line()?;
+        let mut parts = line.split('\t');
+        let got = parts.next().unwrap_or("");
+        if got != key {
+            return Err(PublicationError::Format {
+                line: line_no,
+                message: format!("expected `{key}` line, got `{got}`"),
+            });
+        }
+        Ok(Field {
+            key,
+            values: parts.collect(),
+            line: line_no,
+        })
+    }
+}
+
+impl Field<'_> {
+    fn error(&self, message: impl Into<String>) -> PublicationError {
+        PublicationError::Format {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn parse_at<T: std::str::FromStr>(&self, i: usize) -> Result<T, PublicationError>
+    where
+        T::Err: fmt::Display,
+    {
+        let raw = self
+            .values
+            .get(i)
+            .ok_or_else(|| self.error(format!("`{}` line needs field {i}", self.key)))?;
+        raw.parse()
+            .map_err(|e| self.error(format!("bad `{}` field `{raw}`: {e}", self.key)))
+    }
+
+    fn parse_one<T: std::str::FromStr>(&self) -> Result<T, PublicationError>
+    where
+        T::Err: fmt::Display,
+    {
+        if self.values.len() != 1 {
+            return Err(self.error(format!(
+                "`{}` line needs exactly one value, got {}",
+                self.key,
+                self.values.len()
+            )));
+        }
+        self.parse_at(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_table::Attribute;
+
+    fn demo_publication() -> Publication {
+        let schema = Schema::new(vec![
+            Attribute::new("Gender", ["male", "female"]),
+            Attribute::new("Disease", ["flu", "hiv", "none"]),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..50u32 {
+            b.push_codes(&[i % 2, i % 3]).unwrap();
+        }
+        Publication::from_parts(
+            b.build(),
+            1,
+            0.5,
+            PrivacyParams::new(0.3, 0.3),
+            42,
+            SpsStats {
+                groups: 2,
+                groups_sampled: 1,
+                input_records: 50,
+                sampled_records: 20,
+                output_records: 50,
+            },
+            DesignCheck {
+                total_groups: 2,
+                violating_groups: 1,
+                total_records: 50,
+                violating_records: 30,
+            },
+        )
+    }
+
+    #[test]
+    fn save_load_round_trips_value() {
+        let p = demo_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        let p2 = Publication::load(&bytes[..]).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let p = demo_publication();
+        let mut first = Vec::new();
+        p.save(&mut first).unwrap();
+        let p2 = Publication::load(&first[..]).unwrap();
+        let mut second = Vec::new();
+        p2.save(&mut second).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let err = Publication::load(&b"not a publication\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let p = demo_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        let cut = bytes.len() - 10;
+        let err = Publication::load(&bytes[..cut]).unwrap_err();
+        assert!(err.to_string().contains("end of input") || err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn load_rejects_invalid_privacy_params_without_panicking() {
+        let p = demo_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        for (needle, replacement, expect) in [
+            ("lambda\t0.3\n", "lambda\t0\n", "lambda"),
+            ("delta\t0.3\n", "delta\t2\n", "delta"),
+        ] {
+            let broken = text.replace(needle, replacement);
+            assert_ne!(text, broken, "fixture must contain `{needle}`");
+            let err = Publication::load(broken.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains(expect), "{err}");
+        }
+    }
+
+    #[test]
+    fn load_caps_preallocation_from_untrusted_arity() {
+        let p = demo_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        // A huge claimed arity must fail cleanly (truncation), not panic
+        // with a capacity overflow while pre-allocating.
+        let broken = text.replace("attrs\t2\n", "attrs\t99999999999999999\n");
+        assert_ne!(text, broken);
+        let err = Publication::load(broken.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected `attr` line"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_degenerate_shapes() {
+        let p = demo_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        // SA domain collapsed to one value: must fail at load, not panic
+        // at answer time.
+        let broken = text.replace("attr\tDisease\tflu\thiv\tnone\n", "attr\tDisease\tflu\n");
+        assert_ne!(text, broken);
+        let err = Publication::load(broken.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("at least 2 values"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_trailing_content() {
+        let p = demo_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        // An undercounting rows header must not load as a truncated release.
+        let text = String::from_utf8(bytes).unwrap();
+        let broken = text.replace("rows\t50\n", "rows\t49\n");
+        assert_ne!(text, broken);
+        let err = Publication::load(broken.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing content"), "{err}");
+    }
+
+    #[test]
+    fn load_caps_preallocation_from_untrusted_row_count() {
+        let p = demo_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        // A huge claimed row count with no rows behind it must fail with a
+        // clean truncation error, not an allocation abort.
+        let broken = text.replace("rows\t50\n", &format!("rows\t{}\n", u64::MAX));
+        assert_ne!(text, broken);
+        let err = Publication::load(broken.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("end of input"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_out_of_domain_code() {
+        let p = demo_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let broken = text.replace("\n0\t0\n", "\n0\t9\n");
+        assert_ne!(text, broken, "fixture must contain the row");
+        let err = Publication::load(broken.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn unrepresentable_values_refused_at_save() {
+        let schema = Schema::new(vec![
+            Attribute::new("A", ["x\ty"]),
+            Attribute::new("B", ["u", "v"]),
+        ]);
+        let t = TableBuilder::new(schema).build();
+        let p = Publication::from_parts(
+            t,
+            1,
+            0.5,
+            PrivacyParams::new(0.3, 0.3),
+            0,
+            SpsStats::default(),
+            DesignCheck::default(),
+        );
+        let mut bytes = Vec::new();
+        assert!(matches!(
+            p.save(&mut bytes),
+            Err(PublicationError::Unrepresentable(_))
+        ));
+    }
+
+    #[test]
+    fn check_rates() {
+        let c = DesignCheck {
+            total_groups: 4,
+            violating_groups: 1,
+            total_records: 100,
+            violating_records: 30,
+        };
+        assert!((c.vg() - 0.25).abs() < 1e-12);
+        assert!((c.vr() - 0.3).abs() < 1e-12);
+        assert!(!c.is_private());
+        assert!(DesignCheck::default().is_private());
+    }
+}

@@ -1,0 +1,211 @@
+//! A line-protocol query loop over a [`QueryEngine`] — the first
+//! long-lived traffic surface of the reproduction.
+//!
+//! The protocol is one request per line, one response per line, designed
+//! to be driven by `rpctl serve` over stdin/stdout (and trivially by a
+//! socket once one exists):
+//!
+//! ```text
+//! > info
+//! publication sa=Disease records=6000 groups=6 p=0.5 lambda=0.3 delta=0.3
+//! > count Job=engineer Disease=asthma
+//! est=412.0 support=2000 observed=309 f=0.2060 ci95=0.1621,0.2499
+//! > Job=doctor Disease=flu            (the `count` verb is optional)
+//! est=...
+//! > quit
+//! bye
+//! ```
+//!
+//! Conditions are whitespace-separated `Column=value` pairs; exactly one
+//! must name the SA column. Malformed requests answer `error: ...` and the
+//! loop keeps serving — a bad query must not take the service down.
+
+use std::io::{self, BufRead, Write};
+
+use crate::engine::QueryEngine;
+use crate::publication::Publication;
+
+/// Counters of one serve session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Non-empty request lines read.
+    pub requests: u64,
+    /// Requests answered with an estimate.
+    pub answered: u64,
+    /// Requests answered with an error line.
+    pub errors: u64,
+}
+
+/// Serves queries from `input` to `output` until `quit` or end of input.
+/// Returns the session counters.
+///
+/// # Errors
+///
+/// Returns only I/O errors on the transport; protocol-level problems are
+/// reported to the client as `error: ...` lines.
+pub fn serve<R: BufRead, W: Write>(
+    engine: &QueryEngine,
+    publication: Option<&Publication>,
+    input: R,
+    mut output: W,
+) -> io::Result<ServeStats> {
+    let mut stats = ServeStats::default();
+    for line in input.lines() {
+        let line = line?;
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        stats.requests += 1;
+        match request {
+            "quit" | "exit" => {
+                writeln!(output, "bye")?;
+                output.flush()?;
+                break;
+            }
+            "info" => {
+                let sa_name = engine.schema().attribute(engine.sa()).name();
+                match publication {
+                    Some(p) => writeln!(
+                        output,
+                        "publication sa={sa_name} records={} groups={} p={} lambda={} delta={} seed={}",
+                        engine.records(),
+                        engine.groups(),
+                        engine.p(),
+                        p.params().lambda(),
+                        p.params().delta(),
+                        p.seed()
+                    )?,
+                    None => writeln!(
+                        output,
+                        "publication sa={sa_name} records={} groups={} p={}",
+                        engine.records(),
+                        engine.groups(),
+                        engine.p()
+                    )?,
+                }
+                stats.answered += 1;
+            }
+            _ => match answer_line(engine, request) {
+                Ok(response) => {
+                    writeln!(output, "{response}")?;
+                    stats.answered += 1;
+                }
+                Err(message) => {
+                    writeln!(output, "error: {message}")?;
+                    stats.errors += 1;
+                }
+            },
+        }
+        output.flush()?;
+    }
+    Ok(stats)
+}
+
+/// Parses one request line and answers it. The `count` verb is optional.
+fn answer_line(engine: &QueryEngine, request: &str) -> Result<String, String> {
+    let body = request.strip_prefix("count ").unwrap_or(request);
+    let mut conditions = Vec::new();
+    for token in body.split_whitespace() {
+        let (col, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected Column=value, got `{token}`"))?;
+        conditions.push((col, value));
+    }
+    if conditions.is_empty() {
+        return Err("empty query; try `count Column=value ... SA=value`".to_string());
+    }
+    let query = engine
+        .query_from_values(&conditions)
+        .map_err(|e| e.to_string())?;
+    let a = engine.answer(&query).map_err(|e| e.to_string())?;
+    let mut response = format!(
+        "est={:.1} support={} observed={} f={:.4}",
+        a.estimate, a.support, a.observed, a.frequency
+    );
+    if let Some(ci) = a.ci {
+        response.push_str(&format!(" ci95={:.4},{:.4}", ci.lo, ci.hi));
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publisher::Publisher;
+    use rp_table::{Attribute, Schema, TableBuilder};
+
+    fn fixture() -> (Publication, QueryEngine) {
+        let schema = Schema::new(vec![
+            Attribute::new("Job", ["eng", "doc"]),
+            Attribute::new("Disease", ["flu", "none"]),
+        ]);
+        // Balanced SA frequencies keep both 200-record groups under their
+        // Equation-10 threshold, so SPS degenerates to UP and the published
+        // record counts stay exact — the protocol tests rely on that.
+        let mut b = TableBuilder::new(schema);
+        for i in 0..400u32 {
+            b.push_codes(&[i % 2, (i / 2) % 2]).unwrap();
+        }
+        let publication = Publisher::new(b.build()).sa(1).seed(3).publish().unwrap();
+        let engine = QueryEngine::new(&publication);
+        (publication, engine)
+    }
+
+    fn run(input: &str) -> (String, ServeStats) {
+        let (publication, engine) = fixture();
+        let mut out = Vec::new();
+        let stats = serve(&engine, Some(&publication), input.as_bytes(), &mut out).unwrap();
+        (String::from_utf8(out).unwrap(), stats)
+    }
+
+    #[test]
+    fn answers_count_lines() {
+        let (out, stats) = run("count Job=eng Disease=flu\nquit\n");
+        assert!(out.starts_with("est="), "{out}");
+        assert!(out.contains("support=200"), "{out}");
+        assert!(out.contains("ci95="), "{out}");
+        assert!(out.ends_with("bye\n"), "{out}");
+        assert_eq!(stats.answered, 1);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn verb_is_optional_and_blank_lines_skipped() {
+        let (out, stats) = run("\n\nJob=doc Disease=none\n");
+        assert!(out.starts_with("est="), "{out}");
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn info_reports_parameters() {
+        let (out, _) = run("info\nquit\n");
+        assert!(out.contains("sa=Disease"), "{out}");
+        assert!(out.contains("records=400"), "{out}");
+        assert!(out.contains("p=0.5"), "{out}");
+        assert!(out.contains("lambda=0.3"), "{out}");
+    }
+
+    #[test]
+    fn errors_do_not_stop_the_loop() {
+        let (out, stats) = run("garbage\nJob=eng\ncount Job=eng Disease=flu\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("error:"), "{out}");
+        assert!(lines[1].starts_with("error:"), "{out}");
+        assert!(lines[2].starts_with("est="), "{out}");
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.answered, 1);
+    }
+
+    #[test]
+    fn engine_without_publication_serves_too() {
+        let (_, engine) = fixture();
+        let mut out = Vec::new();
+        let stats = serve(&engine, None, &b"info\n"[..], &mut out).unwrap();
+        assert_eq!(stats.answered, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("records=400"), "{text}");
+        assert!(!text.contains("seed="), "{text}");
+    }
+}

@@ -20,14 +20,17 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rp_core::alternatives::{max_private_retention, suppress_and_perturb};
-use rp_core::estimate::GroupedView;
 use rp_core::privacy::PrivacyParams;
 use rp_core::sps::{sps_histograms, up_histograms, SpsConfig};
 use rp_dp::histogram::DpHistogram;
+use rp_engine::QueryEngine;
 use rp_stats::summary::{relative_error, OnlineStats};
 
 use crate::config::PreparedDataset;
 use crate::error::{build_pool, ErrorProtocol};
+
+/// A per-run producer of perturbed per-group histograms.
+type HistogramProducer = Box<dyn FnMut(&mut StdRng) -> Vec<Vec<u64>>>;
 
 /// Result of the strategy comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,23 +68,22 @@ pub fn run(
     epsilon: f64,
     protocol: ErrorProtocol,
 ) -> AblationResult {
-    let (pool, index) = build_pool(dataset, protocol);
+    let (pool, prepared) = build_pool(dataset, protocol);
     let groups = &dataset.groups;
+    let schema = dataset.generalized.schema();
     let mut rng = StdRng::seed_from_u64(protocol.seed ^ 0x0B1A);
 
-    // Evaluate a per-run view producer against the pool.
-    let evaluate = |mut make_view: Box<dyn FnMut(&mut StdRng) -> GroupedView>,
-                    answer_p: f64,
-                    rng: &mut StdRng| {
+    // Evaluate a per-run histogram producer against the pool through a
+    // QueryEngine, reusing the prepared match index across every strategy.
+    let evaluate = |mut make_hists: HistogramProducer, answer_p: f64, rng: &mut StdRng| {
         let mut err = OnlineStats::new();
         for _ in 0..protocol.runs {
-            let view = make_view(rng);
-            for (pq, matching) in pool.queries.iter().zip(&index) {
-                err.push(relative_error(
-                    view.estimate_indexed(&pq.query, matching, answer_p),
-                    pq.answer as f64,
-                ));
-            }
+            let engine = QueryEngine::from_histograms(groups, make_hists(rng), schema, answer_p);
+            err.push(
+                engine
+                    .mean_relative_error(&pool, &prepared)
+                    .expect("prepared index matches the pool"),
+            );
         }
         err.mean().unwrap_or(f64::NAN)
     };
@@ -89,12 +91,7 @@ pub fn run(
     // SPS at the nominal retention.
     let groups_ref = groups.clone();
     let sps_err = evaluate(
-        Box::new(move |rng| {
-            GroupedView::from_histograms(
-                &groups_ref,
-                sps_histograms(rng, &groups_ref, SpsConfig { p, params }),
-            )
-        }),
+        Box::new(move |rng| sps_histograms(rng, &groups_ref, SpsConfig { p, params })),
         p,
         &mut rng,
     );
@@ -102,9 +99,7 @@ pub fn run(
     // Plain UP at the nominal retention (the unsafe baseline).
     let groups_ref = groups.clone();
     let up_err = evaluate(
-        Box::new(move |rng| {
-            GroupedView::from_histograms(&groups_ref, up_histograms(rng, &groups_ref, p))
-        }),
+        Box::new(move |rng| up_histograms(rng, &groups_ref, p)),
         p,
         &mut rng,
     );
@@ -113,9 +108,7 @@ pub fn run(
     let reduce_p = max_private_retention(groups, params, 0.01, p, 1e-3).map(|p_safe| {
         let groups_ref = groups.clone();
         let err = evaluate(
-            Box::new(move |rng| {
-                GroupedView::from_histograms(&groups_ref, up_histograms(rng, &groups_ref, p_safe))
-            }),
+            Box::new(move |rng| up_histograms(rng, &groups_ref, p_safe)),
             p_safe,
             &mut rng,
         );
@@ -125,12 +118,7 @@ pub fn run(
     // Suppression.
     let groups_ref = groups.clone();
     let suppress_err = evaluate(
-        Box::new(move |rng| {
-            GroupedView::from_histograms(
-                &groups_ref,
-                suppress_and_perturb(rng, &groups_ref, p, params).histograms,
-            )
-        }),
+        Box::new(move |rng| suppress_and_perturb(rng, &groups_ref, p, params).histograms),
         p,
         &mut rng,
     );

@@ -2,44 +2,49 @@
 //!
 //! A user-facing workflow tool: point it at a CSV file (header + one
 //! record per line, all attributes categorical), name the sensitive
-//! column, and it will audit, publish or query.
+//! column, and it will audit, publish, query or serve.
 //!
 //! ```text
 //! rpctl audit   --input data.csv --sa Income [--p 0.5 --lambda 0.3 --delta 0.3]
-//! rpctl publish --input data.csv --sa Income --output published.csv
-//!               [--p 0.5 --lambda 0.3 --delta 0.3 --no-generalize --seed N]
-//! rpctl query   --input published.csv --raw data.csv --sa Income \
-//!               --where Gender=Male --value >50K [--p 0.5]
+//! rpctl publish --input data.csv --sa Income --output release.rppub
+//!               [--csv published.csv --p 0.5 --lambda 0.3 --delta 0.3
+//!                --no-generalize --seed N]
+//! rpctl query   --publication release.rppub --where Gender=Male --value >50K
+//!               [--raw data.csv]
+//! rpctl serve   --publication release.rppub
 //! ```
 //!
-//! `publish` runs the full paper pipeline: χ²-generalization of the public
-//! attributes (Section 3.4), the (λ, δ) audit (Corollary 4), SPS
-//! enforcement (Section 5), and writes the publishable CSV. `query`
-//! answers a count query on a published file with the MLE estimator
-//! `est = |S*|·F′` and a 95% confidence interval.
+//! `publish` runs the full paper pipeline — χ²-generalization of the
+//! public attributes (Section 3.4), the (λ, δ) design check (Corollary 4)
+//! and SPS enforcement (Section 5) — through `rp_engine::Publisher`, and
+//! writes a `Publication` artifact that carries the published records
+//! *and* every estimator parameter (`p`, λ, δ, seed, SPS counters).
+//! `query` and `serve` answer count queries from that artifact through a
+//! `rp_engine::QueryEngine` with the MLE estimator `est = |S*|·F′` and
+//! 95% confidence intervals — no parameter re-derivation out-of-band.
+//! `serve` is a long-lived line-protocol loop over stdin/stdout (see
+//! `rp_engine::serve` for the protocol).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rp_core::audit::{audit, render as render_audit};
-use rp_core::estimate::GroupedView;
 use rp_core::generalize::Generalization;
 use rp_core::groups::{PersonalGroups, SaSpec};
 use rp_core::privacy::PrivacyParams;
-use rp_core::sps::{sps, SpsConfig};
-use rp_core::variance::confidence_interval;
-use rp_table::{read_csv, write_csv, CountQuery, Table};
+use rp_engine::{serve, Publication, Publisher, QueryEngine};
+use rp_table::{read_csv, write_csv, Pattern, Table, Term};
 
 /// Parsed command-line options.
 #[derive(Debug, Default)]
 struct Options {
     command: String,
     input: Option<String>,
+    publication: Option<String>,
     raw: Option<String>,
     output: Option<String>,
+    csv: Option<String>,
     sa: Option<String>,
     p: f64,
     lambda: f64,
@@ -53,18 +58,19 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rpctl audit   --input FILE --sa COLUMN [--p P --lambda L --delta D]\n  \
-         rpctl publish --input FILE --sa COLUMN --output FILE [--p P --lambda L --delta D --no-generalize --seed N]\n  \
-         rpctl query   --input PUBLISHED --sa COLUMN --where COL=VALUE ... --value SA_VALUE [--p P]"
+         rpctl publish --input FILE --sa COLUMN --output FILE.rppub [--csv FILE.csv] [--p P --lambda L --delta D --no-generalize --seed N]\n  \
+         rpctl query   --publication FILE.rppub --where COL=VALUE ... --value SA_VALUE [--raw FILE.csv]\n  \
+         rpctl serve   --publication FILE.rppub"
     );
     ExitCode::from(2)
 }
 
 fn parse(args: &[String]) -> Option<Options> {
     let mut opts = Options {
-        p: 0.5,
-        lambda: 0.3,
-        delta: 0.3,
-        seed: 0x5EED_0C71,
+        p: rp_engine::publisher::DEFAULT_P,
+        lambda: rp_engine::publisher::DEFAULT_LAMBDA,
+        delta: rp_engine::publisher::DEFAULT_DELTA,
+        seed: rp_engine::publisher::DEFAULT_SEED,
         generalize: true,
         ..Options::default()
     };
@@ -73,8 +79,10 @@ fn parse(args: &[String]) -> Option<Options> {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--input" => opts.input = Some(it.next()?.clone()),
+            "--publication" => opts.publication = Some(it.next()?.clone()),
             "--raw" => opts.raw = Some(it.next()?.clone()),
             "--output" => opts.output = Some(it.next()?.clone()),
+            "--csv" => opts.csv = Some(it.next()?.clone()),
             "--sa" => opts.sa = Some(it.next()?.clone()),
             "--p" => opts.p = it.next()?.parse().ok()?,
             "--lambda" => opts.lambda = it.next()?.parse().ok()?,
@@ -96,6 +104,14 @@ fn parse(args: &[String]) -> Option<Options> {
 fn load(path: &str) -> Result<Table, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     read_csv(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_publication(opts: &Options) -> Result<Publication, String> {
+    let path = opts
+        .publication
+        .as_deref()
+        .ok_or("--publication is required")?;
+    Publication::load_from_path(path).map_err(|e| format!("cannot load {path}: {e}"))
 }
 
 fn sa_attr(table: &Table, name: &str) -> Result<usize, String> {
@@ -135,9 +151,8 @@ fn cmd_publish(opts: &Options) -> Result<(), String> {
     let sa_name = opts.sa.as_deref().ok_or("--sa is required")?;
     let table = load(input)?;
     let sa = sa_attr(&table, sa_name)?;
-    let params = PrivacyParams::new(opts.lambda, opts.delta);
-    let spec = SaSpec::new(&table, sa);
     let published_input = if opts.generalize {
+        let spec = SaSpec::new(&table, sa);
         let g = Generalization::fit(&table, &spec, 0.05);
         let t = g.apply(&table);
         for ag in g.attributes() {
@@ -154,85 +169,119 @@ fn cmd_publish(opts: &Options) -> Result<(), String> {
     } else {
         table
     };
-    let spec = SaSpec::new(&published_input, sa);
-    let groups = PersonalGroups::build(&published_input, spec);
-    let a = audit(&groups, opts.p, params, 5);
+    let publication = Publisher::new(published_input)
+        .sa(sa)
+        .privacy(opts.lambda, opts.delta)
+        .retention(opts.p)
+        .seed(opts.seed)
+        .publish()
+        .map_err(|e| e.to_string())?;
+    let check = publication.check();
     println!(
-        "audit: vg = {:.2}%, vr = {:.2}%",
-        100.0 * a.report.vg(),
-        100.0 * a.report.vr()
+        "design check: vg = {:.2}%, vr = {:.2}%",
+        100.0 * check.vg(),
+        100.0 * check.vr()
     );
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let out = sps(
-        &mut rng,
-        &published_input,
-        &groups,
-        SpsConfig { p: opts.p, params },
-    );
+    let stats = publication.stats();
     println!(
         "SPS: sampled {} of {} groups; publishing {} records",
-        out.stats.groups_sampled, out.stats.groups, out.stats.output_records
+        stats.groups_sampled, stats.groups, stats.output_records
     );
-    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
-    write_csv(&out.table, BufWriter::new(file)).map_err(|e| format!("cannot write: {e}"))?;
-    println!("wrote {output}");
+    publication
+        .save_to_path(output)
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!("wrote {output} (p = {}, seed = {})", opts.p, opts.seed);
+    if let Some(csv_path) = opts.csv.as_deref() {
+        let file = File::create(csv_path).map_err(|e| format!("cannot create {csv_path}: {e}"))?;
+        write_csv(publication.table(), BufWriter::new(file))
+            .map_err(|e| format!("cannot write: {e}"))?;
+        println!("wrote {csv_path} (records only, no metadata)");
+    }
     Ok(())
 }
 
 fn cmd_query(opts: &Options) -> Result<(), String> {
-    let input = opts.input.as_deref().ok_or("--input is required")?;
-    let sa_name = opts.sa.as_deref().ok_or("--sa is required")?;
     let value = opts.value.as_deref().ok_or("--value is required")?;
-    let published = load(input)?;
-    let sa = sa_attr(&published, sa_name)?;
-    let schema = published.schema();
-    let mut conditions = Vec::new();
-    for (col, val) in &opts.conditions {
-        let attr = schema.attr_id(col).map_err(|e| format!("--where: {e}"))?;
-        let code = schema
-            .attribute(attr)
-            .dictionary()
-            .code(val)
-            .ok_or_else(|| format!("--where: value `{val}` not found in column `{col}`"))?;
-        conditions.push((attr, code));
-    }
-    let sa_code = schema
-        .attribute(sa)
-        .dictionary()
-        .code(value)
-        .ok_or_else(|| format!("--value: `{value}` not found in column `{sa_name}`"))?;
-    let query = CountQuery::new(conditions, sa, sa_code);
-    let spec = SaSpec::new(&published, sa);
-    let m = spec.m();
-    let groups = PersonalGroups::build(&published, spec);
-    let view = GroupedView::from_histograms(
-        &groups,
-        groups.groups().iter().map(|g| g.sa_hist.clone()).collect(),
-    );
-    let (support, observed) = view.support_and_observed(&query);
-    if support == 0 {
+    let publication = load_publication(opts)?;
+    let engine = QueryEngine::new(&publication);
+    let mut conditions: Vec<(&str, &str)> = opts
+        .conditions
+        .iter()
+        .map(|(c, v)| (c.as_str(), v.as_str()))
+        .collect();
+    let sa_name = publication.sa_name().to_string();
+    conditions.push((&sa_name, value));
+    let query = engine
+        .query_from_values(&conditions)
+        .map_err(|e| e.to_string())?;
+    let answer = engine.answer(&query).map_err(|e| e.to_string())?;
+    if answer.support == 0 {
         println!("no published records match the WHERE conditions; estimate = 0");
         return Ok(());
     }
-    let f_hat = rp_core::mle::reconstruct_frequency(observed, support, opts.p, m);
-    let est = support as f64 * f_hat;
-    let ci = confidence_interval(f_hat, support, opts.p, m, 0.95);
     println!(
-        "estimate = {est:.1} records ({} matching rows, reconstructed frequency {f_hat:.4})",
-        support
+        "estimate = {:.1} records ({} matching rows, reconstructed frequency {:.4}, \
+         p = {} from the artifact)",
+        answer.estimate,
+        answer.support,
+        answer.frequency,
+        publication.p()
     );
-    println!(
-        "95% CI for the frequency: [{:.4}, {:.4}] -> counts [{:.1}, {:.1}]",
-        ci.lo,
-        ci.hi,
-        support as f64 * ci.lo,
-        support as f64 * ci.hi
-    );
-    if let Some(raw_path) = opts.raw.as_deref() {
-        let raw = load(raw_path)?;
-        let raw_query_ans = query.answer(&raw);
-        println!("(true answer on {raw_path}: {raw_query_ans})");
+    if let (Some(ci), Some((lo, hi))) = (answer.ci, answer.count_interval()) {
+        println!(
+            "95% CI for the frequency: [{:.4}, {:.4}] -> counts [{lo:.1}, {hi:.1}]",
+            ci.lo, ci.hi
+        );
     }
+    if let Some(raw_path) = opts.raw.as_deref() {
+        match true_answer(&load(raw_path)?, &conditions) {
+            Ok(truth) => println!("(true answer on {raw_path}: {truth})"),
+            Err(msg) => println!("(no true answer on {raw_path}: {msg})"),
+        }
+    }
+    Ok(())
+}
+
+/// Counts raw rows matching every `(column, value)` condition by resolving
+/// the value strings against the raw schema. Generalized values ("a|b")
+/// will not resolve there — the caller reports that instead of failing.
+fn true_answer(raw: &Table, conditions: &[(&str, &str)]) -> Result<u64, String> {
+    let schema = raw.schema();
+    let mut resolved = Vec::with_capacity(conditions.len());
+    for &(col, value) in conditions {
+        let attr = schema.attr_id(col).map_err(|e| e.to_string())?;
+        let code = schema
+            .attribute(attr)
+            .dictionary()
+            .code(value)
+            .ok_or_else(|| {
+                format!("value `{value}` not in raw column `{col}` (generalized label?)")
+            })?;
+        resolved.push((attr, Term::Value(code)));
+    }
+    Ok(Pattern::new(resolved).count(raw))
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let publication = load_publication(opts)?;
+    let engine = QueryEngine::new(&publication);
+    eprintln!(
+        "serving {} records in {} groups (sa = {}, p = {}); \
+         one `count COL=VALUE ... {}=VALUE` query per line, `quit` to stop",
+        engine.records(),
+        engine.groups(),
+        publication.sa_name(),
+        publication.p(),
+        publication.sa_name()
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let stats = serve(&engine, Some(&publication), stdin.lock(), stdout.lock())
+        .map_err(|e| format!("serve loop: {e}"))?;
+    eprintln!(
+        "served {} requests ({} answered, {} errors)",
+        stats.requests, stats.answered, stats.errors
+    );
     Ok(())
 }
 
@@ -245,6 +294,7 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(&opts),
         "publish" => cmd_publish(&opts),
         "query" => cmd_query(&opts),
+        "serve" => cmd_serve(&opts),
         _ => return usage(),
     };
     match result {

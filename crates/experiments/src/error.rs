@@ -8,11 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rp_core::estimate::GroupedView;
 use rp_core::privacy::PrivacyParams;
 use rp_core::sps::{sps_histograms, up_histograms, SpsConfig};
 use rp_datagen::querypool::{QueryPool, QueryPoolConfig};
-use rp_stats::summary::relative_error;
+use rp_engine::{PreparedQueries, QueryEngine};
 
 use crate::config::{defaults, PreparedDataset};
 use crate::violation::SweepAxis;
@@ -62,46 +61,48 @@ impl Default for ErrorProtocol {
 
 /// Mean relative error of UP and SPS for one `(p, λ, δ)` setting.
 ///
-/// The query pool and its group match-index are computed by the caller so
-/// sweeps reuse them across settings.
+/// The query pool and its prepared match index are computed by the caller
+/// so sweeps reuse them across settings: the index depends only on the
+/// group keys, which every perturbed engine below shares.
 fn measure(
     dataset: &PreparedDataset,
     pool: &QueryPool,
-    match_index: &[Vec<u32>],
+    prepared: &PreparedQueries,
     p: f64,
     params: PrivacyParams,
     runs: usize,
     rng: &mut StdRng,
 ) -> (f64, f64) {
     let groups = &dataset.groups;
+    let schema = dataset.generalized.schema();
     let mut up_total = 0.0;
     let mut sps_total = 0.0;
-    let mut samples = 0usize;
     for _ in 0..runs {
-        let up_view = GroupedView::from_histograms(groups, up_histograms(rng, groups, p));
-        let sps_view = GroupedView::from_histograms(
+        let up_engine =
+            QueryEngine::from_histograms(groups, up_histograms(rng, groups, p), schema, p);
+        // SPS scaling keeps group sizes near the original, so the same
+        // index applies; supports are re-read from the SPS engine.
+        let sps_engine = QueryEngine::from_histograms(
             groups,
             sps_histograms(rng, groups, SpsConfig { p, params }),
+            schema,
+            p,
         );
-        for (pq, matching) in pool.queries.iter().zip(match_index) {
-            let ans = pq.answer as f64;
-            let up_est = up_view.estimate_indexed(&pq.query, matching, p);
-            // SPS scaling keeps group sizes near the original, so the same
-            // index applies; supports are re-read from the SPS view.
-            let sps_est = sps_view.estimate_indexed(&pq.query, matching, p);
-            up_total += relative_error(up_est, ans);
-            sps_total += relative_error(sps_est, ans);
-            samples += 1;
-        }
+        up_total += up_engine
+            .mean_relative_error(pool, prepared)
+            .expect("prepared index matches the pool");
+        sps_total += sps_engine
+            .mean_relative_error(pool, prepared)
+            .expect("prepared index matches the pool");
     }
-    (up_total / samples as f64, sps_total / samples as f64)
+    (up_total / runs as f64, sps_total / runs as f64)
 }
 
-/// Builds the query pool and match index for a prepared data set.
+/// Builds the query pool and its prepared match index for a data set.
 pub fn build_pool(
     dataset: &PreparedDataset,
     protocol: ErrorProtocol,
-) -> (QueryPool, Vec<Vec<u32>>) {
+) -> (QueryPool, PreparedQueries) {
     let mut rng = StdRng::seed_from_u64(protocol.seed);
     let pool = QueryPool::generate(
         &mut rng,
@@ -113,18 +114,23 @@ pub fn build_pool(
             ..QueryPoolConfig::default()
         },
     );
-    // Any histogram set gives the same keys; build a view once for the
-    // match index.
-    let hists: Vec<Vec<u64>> = dataset
-        .groups
-        .groups()
-        .iter()
-        .map(|g| g.sa_hist.clone())
-        .collect();
-    let view = GroupedView::from_histograms(&dataset.groups, hists);
-    let queries: Vec<_> = pool.queries.iter().map(|pq| pq.query.clone()).collect();
-    let index = view.match_index(&queries);
-    (pool, index)
+    // Any histogram set gives the same keys; a base engine over the raw
+    // histograms prepares the index once.
+    let base = QueryEngine::from_histograms(
+        &dataset.groups,
+        dataset
+            .groups
+            .groups()
+            .iter()
+            .map(|g| g.sa_hist.clone())
+            .collect(),
+        dataset.generalized.schema(),
+        defaults::P,
+    );
+    let prepared = base
+        .prepare_pool(&pool)
+        .expect("pool queries fit the generalized schema");
+    (pool, prepared)
 }
 
 /// Runs one sweep, holding the other parameters at the paper's defaults.

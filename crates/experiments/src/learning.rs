@@ -10,10 +10,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rp_core::estimate::GroupedView;
 use rp_core::privacy::PrivacyParams;
 use rp_core::sps::{sps_histograms, up_histograms, SpsConfig};
 use rp_dp::histogram::DpHistogram;
+use rp_engine::QueryEngine;
 use rp_learn::{NaiveBayes, SufficientStats};
 use rp_table::{CountQuery, Table};
 
@@ -41,7 +41,7 @@ fn fit_from_dp(release: &DpHistogram, table: &Table, sa: usize, alpha: f64) -> N
     let m = schema.attribute(sa).domain_size();
     let na_attrs: Vec<usize> = (0..schema.arity()).filter(|&a| a != sa).collect();
     let class_counts: Vec<f64> = (0..m as u32)
-        .map(|s| release.answer(&CountQuery::new(vec![], sa, s)))
+        .map(|s| release.answer(&CountQuery::new(vec![], sa, s).expect("valid count query")))
         .collect();
     let feature_counts = na_attrs
         .iter()
@@ -49,7 +49,11 @@ fn fit_from_dp(release: &DpHistogram, table: &Table, sa: usize, alpha: f64) -> N
             (0..schema.attribute(a).domain_size() as u32)
                 .map(|v| {
                     (0..m as u32)
-                        .map(|s| release.answer(&CountQuery::new(vec![(a, v)], sa, s)))
+                        .map(|s| {
+                            release.answer(
+                                &CountQuery::new(vec![(a, v)], sa, s).expect("valid count query"),
+                            )
+                        })
                         .collect()
                 })
                 .collect()
@@ -84,19 +88,25 @@ pub fn run(
 
     let raw_model = NaiveBayes::fit(&SufficientStats::from_raw(&train.generalized, sa), alpha);
 
-    let up_view =
-        GroupedView::from_histograms(&train.groups, up_histograms(&mut rng, &train.groups, p));
+    let up_engine = QueryEngine::from_histograms(
+        &train.groups,
+        up_histograms(&mut rng, &train.groups, p),
+        train.generalized.schema(),
+        p,
+    );
     let up_model = NaiveBayes::fit(
-        &SufficientStats::from_view(&up_view, train.generalized.schema(), sa, p),
+        &SufficientStats::from_view(up_engine.view(), train.generalized.schema(), sa, p),
         alpha,
     );
 
-    let sps_view = GroupedView::from_histograms(
+    let sps_engine = QueryEngine::from_histograms(
         &train.groups,
         sps_histograms(&mut rng, &train.groups, SpsConfig { p, params }),
+        train.generalized.schema(),
+        p,
     );
     let sps_model = NaiveBayes::fit(
-        &SufficientStats::from_view(&sps_view, train.generalized.schema(), sa, p),
+        &SufficientStats::from_view(sps_engine.view(), train.generalized.schema(), sa, p),
         alpha,
     );
 

@@ -62,6 +62,7 @@ pub fn example1_query(table: &Table) -> CountQuery {
         adult::attr::INCOME,
         code(adult::attr::INCOME, ">50K"),
     )
+    .expect("valid count query")
 }
 
 /// Runs the Table-1 experiment.

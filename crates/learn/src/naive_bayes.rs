@@ -76,7 +76,12 @@ impl SufficientStats {
         let m = schema.attribute(sa).domain_size();
         // Class totals from the unconditioned marginal queries.
         let class_counts: Vec<f64> = (0..m as u32)
-            .map(|s| view.estimate(&CountQuery::new(vec![], sa, s), p))
+            .map(|s| {
+                view.estimate(
+                    &CountQuery::new(vec![], sa, s).expect("valid count query"),
+                    p,
+                )
+            })
             .collect();
         let feature_counts = na_attrs
             .iter()
@@ -84,7 +89,13 @@ impl SufficientStats {
                 (0..schema.attribute(a).domain_size() as u32)
                     .map(|v| {
                         (0..m as u32)
-                            .map(|s| view.estimate(&CountQuery::new(vec![(a, v)], sa, s), p))
+                            .map(|s| {
+                                view.estimate(
+                                    &CountQuery::new(vec![(a, v)], sa, s)
+                                        .expect("valid count query"),
+                                    p,
+                                )
+                            })
                             .collect()
                     })
                     .collect()

@@ -44,6 +44,12 @@ pub enum TableError {
         /// Number of rows in the table.
         rows: usize,
     },
+    /// A query listed its sensitive attribute among the public (`NA`)
+    /// conditions, which would double-count the SA condition.
+    SaAmongConditions {
+        /// The sensitive attribute that also appeared as an NA condition.
+        sa_attr: usize,
+    },
 }
 
 impl fmt::Display for TableError {
@@ -75,6 +81,12 @@ impl fmt::Display for TableError {
             }
             TableError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range for table with {rows} rows")
+            }
+            TableError::SaAmongConditions { sa_attr } => {
+                write!(
+                    f,
+                    "SA attribute {sa_attr} must not appear among the NA conditions"
+                )
             }
         }
     }

@@ -28,25 +28,29 @@ impl CountQuery {
     /// Creates a query from `NA` equality conditions plus the condition
     /// `SA = sa_value`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sa_attr` also appears among the `NA` conditions.
-    pub fn new(na_conditions: Vec<(AttrId, u32)>, sa_attr: AttrId, sa_value: u32) -> Self {
-        assert!(
-            na_conditions.iter().all(|&(a, _)| a != sa_attr),
-            "SA attribute {sa_attr} must not appear among the NA conditions"
-        );
+    /// Returns [`TableError::SaAmongConditions`] if `sa_attr` also appears
+    /// among the `NA` conditions (the SA condition would be double-counted).
+    pub fn new(
+        na_conditions: Vec<(AttrId, u32)>,
+        sa_attr: AttrId,
+        sa_value: u32,
+    ) -> Result<Self, TableError> {
+        if na_conditions.iter().any(|&(a, _)| a == sa_attr) {
+            return Err(TableError::SaAmongConditions { sa_attr });
+        }
         let na_pattern = Pattern::new(
             na_conditions
                 .into_iter()
                 .map(|(a, c)| (a, Term::Value(c)))
                 .collect(),
         );
-        Self {
+        Ok(Self {
             na_pattern,
             sa_attr,
             sa_value,
-        }
+        })
     }
 
     /// The public-attribute part of the WHERE clause.
@@ -161,7 +165,7 @@ mod tests {
     fn answer_counts_conjunction() {
         let t = demo_table();
         // Gender=male AND Job=eng AND Disease=flu
-        let q = CountQuery::new(vec![(0, 0), (1, 0)], 2, 0);
+        let q = CountQuery::new(vec![(0, 0), (1, 0)], 2, 0).unwrap();
         assert_eq!(q.answer(&t), 2);
         assert_eq!(q.dimensionality(), 2);
     }
@@ -169,7 +173,7 @@ mod tests {
     #[test]
     fn answer_with_support_splits_na_and_sa() {
         let t = demo_table();
-        let q = CountQuery::new(vec![(0, 0), (1, 0)], 2, 0);
+        let q = CountQuery::new(vec![(0, 0), (1, 0)], 2, 0).unwrap();
         let (support, ans) = q.answer_with_support(&t);
         assert_eq!(support, 3); // male engineers
         assert_eq!(ans, 2); // of which flu
@@ -178,7 +182,7 @@ mod tests {
     #[test]
     fn empty_na_counts_sa_marginal() {
         let t = demo_table();
-        let q = CountQuery::new(vec![], 2, 0);
+        let q = CountQuery::new(vec![], 2, 0).unwrap();
         assert_eq!(q.answer(&t), 3);
         let (support, ans) = q.answer_with_support(&t);
         assert_eq!(support, 5);
@@ -188,30 +192,32 @@ mod tests {
     #[test]
     fn selectivity_fraction() {
         let t = demo_table();
-        let q = CountQuery::new(vec![(0, 1)], 2, 2); // female AND bc
+        let q = CountQuery::new(vec![(0, 1)], 2, 2).unwrap(); // female AND bc
         assert!((q.selectivity(&t) - 0.2).abs() < 1e-12);
     }
 
     #[test]
     fn validate_checks_schema() {
         let t = demo_table();
-        let ok = CountQuery::new(vec![(0, 0)], 2, 1);
+        let ok = CountQuery::new(vec![(0, 0)], 2, 1).unwrap();
         assert!(ok.validate(t.schema()).is_ok());
-        let bad_code = CountQuery::new(vec![(0, 5)], 2, 1);
+        let bad_code = CountQuery::new(vec![(0, 5)], 2, 1).unwrap();
         assert!(bad_code.validate(t.schema()).is_err());
-        let bad_sa = CountQuery::new(vec![(0, 0)], 2, 9);
+        let bad_sa = CountQuery::new(vec![(0, 0)], 2, 9).unwrap();
         assert!(bad_sa.validate(t.schema()).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "must not appear among the NA conditions")]
     fn sa_in_na_rejected() {
-        CountQuery::new(vec![(2, 0)], 2, 1);
+        assert!(matches!(
+            CountQuery::new(vec![(2, 0)], 2, 1),
+            Err(TableError::SaAmongConditions { sa_attr: 2 })
+        ));
     }
 
     #[test]
     fn map_codes_rewrites_na_only() {
-        let q = CountQuery::new(vec![(0, 1), (1, 0)], 2, 2);
+        let q = CountQuery::new(vec![(0, 1), (1, 0)], 2, 2).unwrap();
         // Collapse every NA code to 0.
         let mapped = q.map_codes(|_, _| 0);
         assert_eq!(mapped.sa_value(), 2, "SA condition untouched");

@@ -284,6 +284,33 @@ impl TableBuilder {
         Ok(())
     }
 
+    /// Appends `copies` identical rows of codes, validating the row once.
+    ///
+    /// This is the bulk-emission path for duplication-heavy producers (the
+    /// SPS scaling step emits each perturbed record `⌊τ′⌋ + Bernoulli` times
+    /// and every record of a personal-group cell shares one code template);
+    /// it skips the per-row arity/domain re-validation and extends each
+    /// column buffer in one call. `copies == 0` is a validated no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arity mismatch or out-of-domain codes.
+    pub fn push_codes_batch(&mut self, codes: &[u32], copies: usize) -> Result<(), TableError> {
+        if codes.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                got: codes.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        for (id, &code) in codes.iter().enumerate() {
+            self.schema.check_code(id, code)?;
+        }
+        for (col, &code) in self.columns.iter_mut().zip(codes) {
+            col.extend(std::iter::repeat_n(code, copies));
+        }
+        Ok(())
+    }
+
     /// Appends a row of string values, resolving them through the schema's
     /// dictionaries.
     ///
@@ -377,6 +404,37 @@ mod tests {
                 expected: 3
             })
         ));
+    }
+
+    #[test]
+    fn push_codes_batch_duplicates_rows() {
+        let mut b = TableBuilder::new(demo_schema());
+        b.push_codes_batch(&[0, 0, 1], 3).unwrap();
+        b.push_codes_batch(&[1, 1, 2], 0).unwrap(); // validated no-op
+        b.push_codes_batch(&[1, 0, 0], 1).unwrap();
+        let t = b.build();
+        assert_eq!(t.rows(), 4);
+        for r in 0..3 {
+            assert_eq!(t.row(r).unwrap(), vec![0, 0, 1]);
+        }
+        assert_eq!(t.row(3).unwrap(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn push_codes_batch_validates_before_append() {
+        let mut b = TableBuilder::new(demo_schema());
+        assert!(matches!(
+            b.push_codes_batch(&[0, 0], 2),
+            Err(TableError::ArityMismatch {
+                got: 2,
+                expected: 3
+            })
+        ));
+        assert!(matches!(
+            b.push_codes_batch(&[0, 9, 0], 2),
+            Err(TableError::CodeOutOfRange { .. })
+        ));
+        assert_eq!(b.rows(), 0, "failed batch must not partially append");
     }
 
     #[test]

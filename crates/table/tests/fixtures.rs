@@ -75,7 +75,7 @@ fn count_queries_answer_exactly() {
     let t = fixture();
 
     // "Engineers with asthma": rows 0 and 2.
-    let q = CountQuery::new(vec![(0, 0)], 2, 0);
+    let q = CountQuery::new(vec![(0, 0)], 2, 0).expect("valid count query");
     assert_eq!(q.answer(&t), 2);
     let (support, answer) = q.answer_with_support(&t);
     assert_eq!((support, answer), (3, 2), "3 engineers, 2 with asthma");
@@ -85,11 +85,11 @@ fn count_queries_answer_exactly() {
     );
 
     // Unconditioned SA count: all Asthma records.
-    let asthma = CountQuery::new(vec![], 2, 0);
+    let asthma = CountQuery::new(vec![], 2, 0).expect("valid count query");
     assert_eq!(asthma.answer(&t), 3);
 
     // Two NA conditions: female flu cases outside engineering.
-    let writer_f_flu = CountQuery::new(vec![(0, 2), (1, 1)], 2, 1);
+    let writer_f_flu = CountQuery::new(vec![(0, 2), (1, 1)], 2, 1).expect("valid count query");
     assert_eq!(writer_f_flu.answer(&t), 1);
     assert_eq!(writer_f_flu.dimensionality(), 2);
 }
@@ -117,7 +117,7 @@ fn csv_round_trip_preserves_rows_and_schema() {
 
     // Queries answer identically on the re-imported table (codes may be
     // re-interned; answers must not change).
-    let q = CountQuery::new(vec![(0, 0)], 2, 0);
+    let q = CountQuery::new(vec![(0, 0)], 2, 0).expect("valid count query");
     let translate = |attr: usize, code: u32| {
         let value = t.schema().attribute(attr).dictionary().value(code).unwrap();
         back.schema()

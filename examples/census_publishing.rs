@@ -3,20 +3,21 @@
 //!
 //! Demonstrates the histogram-level fast path that makes the paper's
 //! parameter sweeps tractable: prepare a CENSUS-like table, generalize,
-//! measure violation under plain perturbation, publish with SPS, and
-//! answer a pool of count queries from both publications to compare
-//! utility.
+//! measure violation under plain perturbation, then answer a pool of
+//! count queries through `QueryEngine`s built over UP and SPS histogram
+//! releases — the NA match index is prepared once and reused across both
+//! engines and all perturbation runs.
 //!
 //! Run with: `cargo run --release -p rp-experiments --example census_publishing`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rp_core::estimate::GroupedView;
 use rp_core::privacy::{check_groups, PrivacyParams};
 use rp_core::sps::{sps_histograms, up_histograms, SpsConfig};
 use rp_datagen::querypool::{QueryPool, QueryPoolConfig};
+use rp_engine::QueryEngine;
 use rp_experiments::config::PreparedDataset;
-use rp_stats::summary::{relative_error, OnlineStats};
+use rp_stats::summary::OnlineStats;
 
 fn main() {
     // 60K keeps the example under a second; `repro figure4/figure5` runs
@@ -59,9 +60,11 @@ fn main() {
         pool.attempts
     );
 
-    // Publish both ways (histogram-level), answer the pool, compare.
-    let queries: Vec<_> = pool.queries.iter().map(|q| q.query.clone()).collect();
-    let base_view = GroupedView::from_histograms(
+    // Prepare the NA match index once from a base engine over the raw
+    // histograms; it depends only on the group keys, so every perturbed
+    // engine below reuses it.
+    let schema = dataset.generalized.schema();
+    let base_engine = QueryEngine::from_histograms(
         &dataset.groups,
         dataset
             .groups
@@ -69,33 +72,42 @@ fn main() {
             .iter()
             .map(|g| g.sa_hist.clone())
             .collect(),
+        schema,
+        p,
     );
-    let index = base_view.match_index(&queries);
+    let prepared = base_engine.prepare_pool(&pool).expect("pool fits schema");
+
+    // Publish both ways (histogram-level), answer the pool, compare.
     let mut up_err = OnlineStats::new();
     let mut sps_err = OnlineStats::new();
     for _ in 0..5 {
-        let up_view = GroupedView::from_histograms(
+        let up_engine = QueryEngine::from_histograms(
             &dataset.groups,
             up_histograms(&mut rng, &dataset.groups, p),
+            schema,
+            p,
         );
-        let sps_view = GroupedView::from_histograms(
+        let sps_engine = QueryEngine::from_histograms(
             &dataset.groups,
             sps_histograms(&mut rng, &dataset.groups, SpsConfig { p, params }),
+            schema,
+            p,
         );
-        for (pq, matching) in pool.queries.iter().zip(&index) {
-            up_err.push(relative_error(
-                up_view.estimate_indexed(&pq.query, matching, p),
-                pq.answer as f64,
-            ));
-            sps_err.push(relative_error(
-                sps_view.estimate_indexed(&pq.query, matching, p),
-                pq.answer as f64,
-            ));
-        }
+        up_err.push(
+            up_engine
+                .mean_relative_error(&pool, &prepared)
+                .expect("prepared index matches"),
+        );
+        sps_err.push(
+            sps_engine
+                .mean_relative_error(&pool, &prepared)
+                .expect("prepared index matches"),
+        );
     }
     println!(
-        "average relative error over {} query evaluations:",
-        up_err.count()
+        "average relative error over {} runs x {} queries:",
+        up_err.count(),
+        pool.len()
     );
     println!(
         "  UP  (violates reconstruction privacy): {:.4}",

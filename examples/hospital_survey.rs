@@ -6,22 +6,20 @@
 //! while preventing targeted inference about any individual ("Bob likely
 //! has HIV"). This example builds a survey table whose public attributes
 //! include a spurious one (FavoriteColor — the Section-3.4 motivation),
-//! shows the χ² merge folding it away, enforces (λ, δ)-reconstruction
-//! privacy, and then *learns the smoking relationship back* from the
-//! published data while the personal reconstruction of a single victim
-//! stays unreliable.
+//! shows the χ² merge folding it away, publishes through the `Publisher`
+//! builder, and then *learns the smoking relationship back* from a
+//! `QueryEngine` over the release while the personal reconstruction of a
+//! single victim stays unreliable.
 //!
 //! Run with: `cargo run --release -p rp-experiments --example hospital_survey`
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rp_core::estimate::GroupedView;
 use rp_core::generalize::Generalization;
 use rp_core::groups::{PersonalGroups, SaSpec};
 use rp_core::mle::reconstruct_histogram;
-use rp_core::privacy::{check_groups, PrivacyParams};
-use rp_core::sps::{sps, SpsConfig};
-use rp_table::{Attribute, CountQuery, Pattern, Schema, TableBuilder, Term};
+use rp_engine::{Publisher, QueryEngine};
+use rp_table::{Attribute, Pattern, Schema, TableBuilder, Term};
 
 const DISEASES: [&str; 8] = [
     "none",
@@ -87,43 +85,56 @@ fn main() {
     }
     let published_input = generalization.apply(&table);
 
-    // 2. Enforce (0.3, 0.3)-reconstruction privacy at p = 0.4.
+    // 2. Publish under (0.3, 0.3)-reconstruction privacy at p = 0.4: the
+    //    builder runs the design check and SPS in one call.
     let p = 0.4;
-    let params = PrivacyParams::new(0.3, 0.3);
-    let gen_spec = SaSpec::new(&published_input, 3);
-    let groups = PersonalGroups::build(&published_input, gen_spec);
-    let before = check_groups(&groups, p, params);
+    let publication = Publisher::new(published_input.clone())
+        .sa_named("Disease")
+        .privacy(0.3, 0.3)
+        .retention(p)
+        .seed(rng.gen())
+        .publish()
+        .expect("survey shape supports the criterion");
+    let check = publication.check();
     println!(
         "\nbefore SPS: vg = {:.1}%, vr = {:.1}% of records at risk",
-        100.0 * before.vg(),
-        100.0 * before.vr()
+        100.0 * check.vg(),
+        100.0 * check.vr()
     );
-    let output = sps(&mut rng, &published_input, &groups, SpsConfig { p, params });
+    let stats = publication.stats();
     println!(
         "SPS sampled {} of {} groups; publication has {} records",
-        output.stats.groups_sampled,
-        output.stats.groups,
-        output.table.rows()
+        stats.groups_sampled,
+        stats.groups,
+        publication.table().rows()
     );
 
     // 3. Statistical learning on the publication: the smoking/lung-cancer
     //    relationship survives aggregate reconstruction.
-    let view = GroupedView::from_perturbed_table(&groups, &output.table);
-    let lung = 1u32;
-    for (smoker_code, label) in [(0u32, "smokers"), (1u32, "non-smokers")] {
-        let query = CountQuery::new(vec![(0, smoker_code)], 3, lung);
+    let engine = QueryEngine::new(&publication);
+    for (smoker_value, label) in [("yes", "smokers"), ("no", "non-smokers")] {
+        let query = engine
+            .query_from_values(&[("Smoker", smoker_value), ("Disease", "lung-cancer")])
+            .expect("values exist in the published schema");
         let truth = query.answer(&published_input);
-        let est = view.estimate(&query, p);
+        let answer = engine.answer(&query).expect("query fits the release");
+        let smoker_code = published_input
+            .schema()
+            .attribute(0)
+            .dictionary()
+            .code(smoker_value)
+            .expect("value in domain");
         let support = Pattern::new(vec![(0, Term::Value(smoker_code))]).count(&published_input);
         println!(
             "lung cancer among {label}: true rate {:.2}%, learned rate {:.2}%",
             100.0 * truth as f64 / support as f64,
-            100.0 * est / support as f64
+            100.0 * answer.estimate / support as f64
         );
     }
 
     // 4. Personal reconstruction about one victim stays unreliable: take
     //    the victim's personal group in the publication and reconstruct.
+    let groups = PersonalGroups::build(&published_input, publication.spec());
     let victim_group = groups
         .groups()
         .iter()
@@ -135,7 +146,7 @@ fn main() {
     let truth_hist = &groups.groups()[victim_group].sa_hist;
     let n = groups.groups()[victim_group].len();
     // The published counterpart of that group.
-    let regrouped = PersonalGroups::build(&output.table, SaSpec::new(&output.table, 3));
+    let regrouped = PersonalGroups::build(publication.table(), publication.spec());
     let published = regrouped
         .groups()
         .iter()

@@ -1,19 +1,14 @@
 //! Quickstart: publish a table under reconstruction privacy.
 //!
-//! Walks the full pipeline on a small synthetic hospital table:
-//! test the plain-perturbation design against `(λ, δ)`-reconstruction
-//! privacy, enforce the criterion with SPS, and reconstruct an aggregate
-//! statistic from the published data.
+//! Walks the publication API on a small synthetic hospital table: publish
+//! with `Publisher` (grouping + the `(λ, δ)` check + SPS in one call),
+//! round-trip the release through its on-disk format, and answer an
+//! aggregate count query from a `QueryEngine`.
 //!
 //! Run with: `cargo run --release -p rp-experiments --example quickstart`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rp_core::estimate::GroupedView;
-use rp_core::groups::{PersonalGroups, SaSpec};
-use rp_core::privacy::{check_groups, PrivacyParams};
-use rp_core::sps::{sps, SpsConfig};
-use rp_table::{Attribute, CountQuery, Schema, TableBuilder};
+use rp_engine::{Publication, Publisher, QueryEngine};
+use rp_table::{Attribute, Schema, TableBuilder};
 
 fn main() {
     // A table with Gender/Job public and Disease sensitive — the shape of
@@ -45,43 +40,59 @@ fn main() {
             .expect("values are in the schema");
     }
     let table = builder.build();
+    let truth_table = table.clone();
     println!("raw table: {} records", table.rows());
 
-    // 1. Would plain uniform perturbation at p = 0.5 be private?
-    let spec = SaSpec::new(&table, 2);
-    let groups = PersonalGroups::build(&table, spec);
-    let params = PrivacyParams::new(0.3, 0.3);
-    let p = 0.5;
-    let report = check_groups(&groups, p, params);
+    // 1. Publish once: the builder runs personal grouping, the Equation-10
+    //    design check and SPS enforcement in a single call.
+    let publication = Publisher::new(table)
+        .sa_named("Disease")
+        .privacy(0.3, 0.3)
+        .retention(0.5)
+        .seed(7)
+        .publish()
+        .expect("table shape supports the criterion");
+    let check = publication.check();
     println!(
-        "uniform perturbation: {} of {} personal groups violate \
+        "uniform perturbation design: {} of {} personal groups violate \
          (0.3, 0.3)-reconstruction privacy (vg = {:.1}%, vr = {:.1}%)",
-        report.violating_groups(),
-        groups.len(),
-        100.0 * report.vg(),
-        100.0 * report.vr(),
+        check.violating_groups,
+        check.total_groups,
+        100.0 * check.vg(),
+        100.0 * check.vr(),
     );
-
-    // 2. Enforce the criterion with Sampling–Perturbing–Scaling.
-    let mut rng = StdRng::seed_from_u64(7);
-    let output = sps(&mut rng, &table, &groups, SpsConfig { p, params });
+    let stats = publication.stats();
     println!(
         "SPS: sampled {} of {} groups; published {} records",
-        output.stats.groups_sampled, output.stats.groups, output.stats.output_records
+        stats.groups_sampled, stats.groups, stats.output_records
     );
 
-    // 3. Aggregate reconstruction still works: estimate how many engineers
-    //    have asthma from the published table.
-    let schema = table.schema();
-    let job_code = schema.attribute(1).dictionary().code("engineer").unwrap();
-    let disease_code = schema.attribute(2).dictionary().code("asthma").unwrap();
-    let query = CountQuery::new(vec![(1, job_code)], 2, disease_code);
-    let truth = query.answer(&table);
-    let view = GroupedView::from_perturbed_table(&groups, &output.table);
-    let estimate = view.estimate(&query, p);
+    // 2. The release is one self-describing artifact: records + schema +
+    //    p + (λ, δ) + seed, round-trippable byte-for-byte.
+    let mut artifact = Vec::new();
+    publication.save(&mut artifact).expect("serializable");
+    let restored = Publication::load(&artifact[..]).expect("well-formed artifact");
+    assert_eq!(publication, restored);
+    println!(
+        "artifact: {} bytes carry the release and every answering parameter",
+        artifact.len()
+    );
+
+    // 3. Aggregate reconstruction still works: a long-lived engine answers
+    //    how many engineers have asthma, with a confidence interval.
+    let engine = QueryEngine::new(&restored);
+    let query = engine
+        .query_from_values(&[("Job", "engineer"), ("Disease", "asthma")])
+        .expect("values exist in the published schema");
+    let truth = query.answer(&truth_table);
+    let answer = engine.answer(&query).expect("query fits the release");
     println!(
         "engineers with asthma: true = {truth}, reconstructed from the \
-         publication = {estimate:.0} (relative error {:.1}%)",
-        100.0 * (estimate - truth as f64).abs() / truth as f64
+         publication = {:.0} (relative error {:.1}%)",
+        answer.estimate,
+        100.0 * (answer.estimate - truth as f64).abs() / truth as f64
     );
+    if let Some((lo, hi)) = answer.count_interval() {
+        println!("95% CI in counts: [{lo:.0}, {hi:.0}]");
+    }
 }

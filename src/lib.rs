@@ -17,6 +17,8 @@
 //!   (λ, δ)-privacy criterion and the SPS algorithm.
 //! * [`datagen`] (`rp-datagen`) — synthetic ADULT/CENSUS generators and the
 //!   query pools of Section 6.
+//! * [`engine`] (`rp-engine`) — the publication API: `Publisher` →
+//!   `Publication` → `QueryEngine`, persistence and the serve loop.
 //! * [`dp`] (`rp-dp`) — the differential-privacy baseline and the
 //!   ratio-attack analysis.
 //! * [`anonymize`] (`rp-anonymize`) — the Anatomy baseline.
@@ -32,6 +34,7 @@ pub use rp_anonymize as anonymize;
 pub use rp_core as core;
 pub use rp_datagen as datagen;
 pub use rp_dp as dp;
+pub use rp_engine as engine;
 pub use rp_experiments as experiments;
 pub use rp_learn as learn;
 pub use rp_stats as stats;

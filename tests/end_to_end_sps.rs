@@ -101,7 +101,8 @@ fn aggregate_reconstruction_unbiased_through_whole_pipeline() {
         .dictionary()
         .code(">50K")
         .unwrap();
-    let query = CountQuery::new(vec![(adult::attr::GENDER, male)], adult::attr::INCOME, high);
+    let query = CountQuery::new(vec![(adult::attr::GENDER, male)], adult::attr::INCOME, high)
+        .expect("valid count query");
     let truth = query.answer(&d.generalized) as f64;
     assert!(truth > 500.0, "need a large support for this test");
     let mut rng = StdRng::seed_from_u64(17);
@@ -127,7 +128,8 @@ fn scan_and_grouped_estimates_agree_on_up_publication() {
     let view = GroupedView::from_perturbed_table(&d.groups, &published);
     let schema = d.generalized.schema();
     for edu_code in 0..schema.attribute(0).domain_size() as u32 {
-        let q = CountQuery::new(vec![(0, edu_code)], adult::attr::INCOME, 1);
+        let q = CountQuery::new(vec![(0, edu_code)], adult::attr::INCOME, 1)
+            .expect("valid count query");
         let scan = estimate_by_scan(&published, &q, 0.4);
         let grouped = view.estimate(&q, 0.4);
         assert!(

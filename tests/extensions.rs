@@ -128,7 +128,7 @@ fn dp_histogram_and_reconstruction_answer_the_same_query() {
     let schema = d.generalized.schema();
     let male = schema.attribute(3).dictionary().code("Male").unwrap();
     let high = schema.attribute(4).dictionary().code(">50K").unwrap();
-    let query = CountQuery::new(vec![(3, male)], 4, high);
+    let query = CountQuery::new(vec![(3, male)], 4, high).expect("valid count query");
     let truth = query.answer(&d.generalized) as f64;
     let mut rng = StdRng::seed_from_u64(3);
     // DP histogram path.
@@ -192,7 +192,7 @@ proptest! {
             .sum();
         prop_assert_eq!(bucket_total, total);
         for sa in 0..4u32 {
-            let q = CountQuery::new(vec![], 1, sa);
+            let q = CountQuery::new(vec![], 1, sa).expect("valid count query");
             let truth = q.answer(&t) as f64;
             prop_assert!((a.estimate(&t, &q) - truth).abs() < 1e-6);
         }

@@ -118,7 +118,7 @@ pub mod collection {
     use super::{Range, StdRng, Strategy};
     use rand::Rng;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
