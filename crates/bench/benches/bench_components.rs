@@ -33,7 +33,7 @@ fn bench_perturbation(c: &mut Criterion) {
                 b.iter(|| op.perturb_table(&mut rng, table, adult::attr::INCOME));
             },
         );
-        let hist = table.histogram(adult::attr::INCOME);
+        let hist = table.histogram(adult::attr::INCOME).unwrap();
         group.bench_with_input(
             BenchmarkId::new("histogram_level", rows),
             &hist,

@@ -1,0 +1,67 @@
+//! Benches for the vectorized data-path kernels:
+//!
+//! * `matching/*` — bitmap AND-matching vs the row-at-a-time scan for
+//!   Section-6 count queries on a published table (plus the one-off cost of
+//!   building the bitmap index);
+//! * `grouping_sharded/*` — `PersonalGroups::build_sharded` at shard counts
+//!   K ∈ {1, 4, 16} (single-threaded, so the numbers isolate the sharded
+//!   kernel itself rather than the machine's core count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_bench::adult_fixture;
+use rp_core::groups::{PersonalGroups, SaSpec};
+use rp_core::sps::uniform_perturb;
+use rp_datagen::adult;
+use rp_table::{BitmapIndex, CountQuery};
+
+fn bench_matching(c: &mut Criterion) {
+    let dataset = adult_fixture();
+    let mut rng = StdRng::seed_from_u64(7);
+    let spec = SaSpec::new(&dataset.generalized, adult::attr::INCOME);
+    let published = uniform_perturb(&mut rng, &dataset.generalized, &spec, 0.5);
+    let index = BitmapIndex::build(&published);
+    let queries = [
+        CountQuery::new(vec![(0, 0)], adult::attr::INCOME, 1).expect("valid count query"),
+        CountQuery::new(vec![(0, 1), (1, 0)], adult::attr::INCOME, 0).expect("valid count query"),
+        CountQuery::new(vec![(2, 0), (3, 1)], adult::attr::INCOME, 1).expect("valid count query"),
+    ];
+    let mut group = c.benchmark_group("matching");
+    group.bench_function("row_scan", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| q.answer_with_support(&published))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("bitmap", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| q.answer_with_support_indexed(&index))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("bitmap_build", |b| {
+        b.iter(|| BitmapIndex::build(&published));
+    });
+    group.finish();
+}
+
+fn bench_grouping_sharded(c: &mut Criterion) {
+    let dataset = adult_fixture();
+    let spec = SaSpec::new(&dataset.generalized, adult::attr::INCOME);
+    let mut group = c.benchmark_group("grouping_sharded");
+    group.sample_size(20);
+    for shards in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("k", shards), &shards, |b, &shards| {
+            b.iter(|| PersonalGroups::build_sharded(&dataset.generalized, spec.clone(), shards, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_grouping_sharded);
+criterion_main!(benches);

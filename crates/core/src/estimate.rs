@@ -18,7 +18,7 @@
 //!   then answer each query by summing over the matching groups. The large
 //!   CENSUS sweeps are only tractable this way.
 
-use rp_table::{AttrId, CountQuery, Table};
+use rp_table::{AttrId, BitmapIndex, CountQuery, Table};
 
 use crate::groups::PersonalGroups;
 use crate::mle::reconstruct_frequency;
@@ -53,6 +53,35 @@ pub struct GroupedView {
     keys: Vec<Vec<u32>>,
     hists: Vec<Vec<u64>>,
     sizes: Vec<u64>,
+    /// Per-`(NA attribute, code)` selection bitmaps over the group keys:
+    /// every query's NA conjunction is the AND of the named bitmaps, 64
+    /// groups per word. Built once at construction, so pool workloads over
+    /// the same release never re-match keys row by row.
+    key_index: BitmapIndex,
+}
+
+/// Builds the per-`(attribute, code)` bitmap index over group keys. Code
+/// domains are taken as `max key code + 1` per attribute — queries naming a
+/// larger code match no group, exactly like the key scan they replace.
+fn build_key_index(
+    na_attrs: &[AttrId],
+    keys: &[Vec<u32>],
+    shards: usize,
+    threads: usize,
+) -> BitmapIndex {
+    let width = na_attrs.len();
+    let mut columns: Vec<Vec<u32>> = vec![vec![0u32; keys.len()]; width];
+    for (g, key) in keys.iter().enumerate() {
+        for (column, &code) in columns.iter_mut().zip(key) {
+            column[g] = code;
+        }
+    }
+    let domains: Vec<usize> = columns
+        .iter()
+        .map(|c| c.iter().max().map_or(0, |&max| max as usize + 1))
+        .collect();
+    let column_refs: Vec<&[u32]> = columns.iter().map(Vec::as_slice).collect();
+    BitmapIndex::from_columns(na_attrs, &column_refs, &domains, shards, threads)
 }
 
 impl GroupedView {
@@ -64,6 +93,23 @@ impl GroupedView {
     /// Panics if `hists` is not aligned with the groups or a histogram has
     /// the wrong arity.
     pub fn from_histograms(groups: &PersonalGroups, hists: Vec<Vec<u64>>) -> Self {
+        Self::from_histograms_sharded(groups, hists, 1, 1)
+    }
+
+    /// As [`GroupedView::from_histograms`], building the key bitmap index
+    /// in `shards` word-aligned chunks on up to `threads` scoped workers.
+    /// The view is bit-for-bit identical for every `(shards, threads)`
+    /// combination; sharding only changes how the construction work is cut.
+    ///
+    /// # Panics
+    ///
+    /// As [`GroupedView::from_histograms`], and if `shards == 0`.
+    pub fn from_histograms_sharded(
+        groups: &PersonalGroups,
+        hists: Vec<Vec<u64>>,
+        shards: usize,
+        threads: usize,
+    ) -> Self {
         assert_eq!(
             hists.len(),
             groups.len(),
@@ -74,13 +120,16 @@ impl GroupedView {
             assert_eq!(h.len(), m, "histogram arity must equal the SA domain size");
         }
         let sizes = hists.iter().map(|h| h.iter().sum()).collect();
+        let keys: Vec<Vec<u32>> = groups.groups().iter().map(|g| g.key.clone()).collect();
+        let key_index = build_key_index(groups.spec().na(), &keys, shards, threads);
         Self {
             na_attrs: groups.spec().na().to_vec(),
             sa_attr: groups.spec().sa(),
             m,
-            keys: groups.groups().iter().map(|g| g.key.clone()).collect(),
+            keys,
             hists,
             sizes,
+            key_index,
         }
     }
 
@@ -91,17 +140,20 @@ impl GroupedView {
     pub fn from_perturbed_table(groups: &PersonalGroups, perturbed: &Table) -> Self {
         let spec = groups.spec();
         let regrouped = PersonalGroups::build(perturbed, spec.clone());
+        let keys: Vec<Vec<u32>> = regrouped.groups().iter().map(|g| g.key.clone()).collect();
+        let key_index = build_key_index(spec.na(), &keys, 1, 1);
         Self {
             na_attrs: spec.na().to_vec(),
             sa_attr: spec.sa(),
             m: spec.m(),
-            keys: regrouped.groups().iter().map(|g| g.key.clone()).collect(),
+            keys,
             hists: regrouped
                 .groups()
                 .iter()
                 .map(|g| g.sa_hist.clone())
                 .collect(),
             sizes: regrouped.groups().iter().map(|g| g.len() as u64).collect(),
+            key_index,
         }
     }
 
@@ -121,36 +173,38 @@ impl GroupedView {
     }
 
     /// `(support, observed)` of the perturbed subset matching the query's
-    /// `NA` pattern: `|S*|` and `O*`.
+    /// `NA` pattern: `|S*|` and `O*`. The NA conjunction is evaluated on the
+    /// cached key bitmaps (bitwise AND over 64-group words), never key by
+    /// key; answers are identical to the scan it replaces.
     pub fn support_and_observed(&self, query: &CountQuery) -> (u64, u64) {
-        let mut support = 0u64;
-        let mut observed = 0u64;
         let sa = query.sa_value() as usize;
-        let pattern = query.na_pattern();
-        for ((key, hist), &size) in self.keys.iter().zip(&self.hists).zip(&self.sizes) {
-            if pattern.matches_key(&self.na_attrs, key) {
-                support += size;
-                observed += hist[sa];
+        match self.key_index.select_bitmap(query.na_pattern()) {
+            None => (
+                self.sizes.iter().sum(),
+                self.hists.iter().map(|h| h[sa]).sum(),
+            ),
+            Some(matching) => {
+                let mut support = 0u64;
+                let mut observed = 0u64;
+                for g in matching.iter_ones() {
+                    support += self.sizes[g as usize];
+                    observed += self.hists[g as usize][sa];
+                }
+                (support, observed)
             }
         }
-        (support, observed)
     }
 
-    /// Precomputes, for each query, the indices of the matching groups.
-    /// Matching depends only on the (fixed) keys, so the index can be
-    /// reused across perturbation runs — this is what makes the 10-run
-    /// sweeps of Figures 3/5 cheap.
+    /// Precomputes, for each query, the indices of the matching groups (by
+    /// ANDing the cached key bitmaps). Matching depends only on the (fixed)
+    /// keys, so the index can be reused across perturbation runs — this is
+    /// what makes the 10-run sweeps of Figures 3/5 cheap.
     pub fn match_index(&self, queries: &[CountQuery]) -> Vec<Vec<u32>> {
         queries
             .iter()
-            .map(|q| {
-                let pattern = q.na_pattern();
-                self.keys
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, key)| pattern.matches_key(&self.na_attrs, key))
-                    .map(|(i, _)| i as u32)
-                    .collect()
+            .map(|q| match self.key_index.select_bitmap(q.na_pattern()) {
+                None => (0..self.keys.len() as u32).collect(),
+                Some(matching) => matching.iter_ones().collect(),
             })
             .collect()
     }
@@ -317,6 +371,62 @@ mod tests {
             mean += view.estimate(&q, 0.4) / runs as f64;
         }
         assert_close(mean, 600.0, 10.0);
+    }
+
+    #[test]
+    fn bitmap_matching_equals_reference_key_scan() {
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let groups = PersonalGroups::build(&t, spec);
+        let mut rng = StdRng::seed_from_u64(57);
+        let view = GroupedView::from_histograms(&groups, up_histograms(&mut rng, &groups, 0.5));
+        let queries = [
+            CountQuery::new(vec![(0, 0)], 2, 0).expect("valid count query"),
+            CountQuery::new(vec![(0, 1), (1, 1)], 2, 1).expect("valid count query"),
+            CountQuery::new(vec![], 2, 3).expect("valid count query"),
+            CountQuery::new(vec![(0, 1), (1, 0)], 2, 2).expect("valid count query"),
+        ];
+        for q in &queries {
+            // Reference: the row-at-a-time key scan the bitmaps replaced.
+            let sa = q.sa_value() as usize;
+            let mut support = 0u64;
+            let mut observed = 0u64;
+            for ((key, hist), &size) in view.keys.iter().zip(&view.hists).zip(&view.sizes) {
+                if q.na_pattern().matches_key(&view.na_attrs, key) {
+                    support += size;
+                    observed += hist[sa];
+                }
+            }
+            assert_eq!(view.support_and_observed(q), (support, observed), "{q:?}");
+        }
+        let index = view.match_index(&queries);
+        for (q, matching) in queries.iter().zip(&index) {
+            let reference: Vec<u32> = view
+                .keys
+                .iter()
+                .enumerate()
+                .filter(|(_, key)| q.na_pattern().matches_key(&view.na_attrs, key))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(matching, &reference, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_view_construction_is_identical() {
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let groups = PersonalGroups::build(&t, spec);
+        let mut rng = StdRng::seed_from_u64(58);
+        let hists = up_histograms(&mut rng, &groups, 0.5);
+        let reference = GroupedView::from_histograms(&groups, hists.clone());
+        for shards in [2, 4, 16] {
+            for threads in [1, 3] {
+                let sharded =
+                    GroupedView::from_histograms_sharded(&groups, hists.clone(), shards, threads);
+                assert_eq!(reference, sharded, "shards={shards} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -318,7 +318,7 @@ mod tests {
         assert_eq!(t2.rows(), t.rows());
         assert_eq!(t2.schema().attribute(0).domain_size(), 2);
         // SA untouched.
-        assert_eq!(t2.histogram(1), t.histogram(1));
+        assert_eq!(t2.histogram(1).unwrap(), t.histogram(1).unwrap());
         // Personal groups shrink from 4 to 2.
         let groups_before = PersonalGroups::build(&t, spec.clone());
         let spec2 = SaSpec::new(&t2, 1);

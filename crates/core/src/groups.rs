@@ -6,7 +6,9 @@
 //! are the unit at which reconstruction privacy is tested and enforced, so
 //! this module materializes them together with their SA histograms.
 
-use rp_table::{group_by_sort, AttrId, Pattern, Table};
+use rp_table::{
+    group_by_hash_sharded, group_by_sort, parallel::run_shards, AttrId, Pattern, Table,
+};
 
 /// Declares which attribute of a table is sensitive; all others are public.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +134,54 @@ impl PersonalGroups {
             .map(|g| PersonalGroup {
                 key: g.key.clone(),
                 sa_hist: table.histogram_over(spec.sa(), &g.rows),
+                rows: g.rows.clone(),
+            })
+            .collect();
+        Self {
+            spec,
+            total_rows: table.rows(),
+            groups,
+        }
+    }
+
+    /// Sharded construction: rows are dealt into `shards` hash-disjoint
+    /// shards by group-key hash, each shard is grouped independently —
+    /// optionally on up to `threads` scoped workers — and the per-shard
+    /// results are merged back into global key order. SA histograms are
+    /// computed per contiguous group chunk on the same worker pool.
+    ///
+    /// Personal groups have no cross-group dependencies (UP and SPS treat
+    /// each group in isolation), so this is embarrassingly parallel; the
+    /// result is **identical** to [`PersonalGroups::build`] for every
+    /// combination of `shards` and `threads`. Quantified by the
+    /// `grouping_sharded` bench group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn build_sharded(table: &Table, spec: SaSpec, shards: usize, threads: usize) -> Self {
+        let grouping = group_by_hash_sharded(table, spec.na(), shards, threads);
+        let groups = grouping.groups();
+        // Per-group SA histograms over contiguous chunks, one chunk per
+        // shard slot: deterministic (chunking never reorders groups) and
+        // thread-safe (chunks are disjoint).
+        let chunk_count = shards.min(groups.len()).max(1);
+        let chunk_len = groups.len().div_ceil(chunk_count);
+        let sa = spec.sa();
+        let hist_chunks = run_shards(chunk_count, threads, |c| {
+            let start = (c * chunk_len).min(groups.len());
+            let end = ((c + 1) * chunk_len).min(groups.len());
+            groups[start..end]
+                .iter()
+                .map(|g| table.histogram_over(sa, &g.rows))
+                .collect::<Vec<_>>()
+        });
+        let groups = groups
+            .iter()
+            .zip(hist_chunks.into_iter().flatten())
+            .map(|(g, sa_hist)| PersonalGroup {
+                key: g.key.clone(),
+                sa_hist,
                 rows: g.rows.clone(),
             })
             .collect();
@@ -304,6 +354,32 @@ mod tests {
         let t = demo_table();
         let groups = PersonalGroups::build(&t, SaSpec::new(&t, 2));
         assert!((groups.average_size() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_sharded_matches_build_for_all_k_and_threads() {
+        let t = demo_table();
+        let spec = SaSpec::new(&t, 2);
+        let reference = PersonalGroups::build(&t, spec.clone());
+        for shards in [1, 2, 3, 8, 32] {
+            for threads in [1, 4] {
+                let sharded = PersonalGroups::build_sharded(&t, spec.clone(), shards, threads);
+                assert_eq!(reference, sharded, "K={shards} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_sharded_on_empty_table() {
+        let schema = Schema::new(vec![
+            Attribute::new("NA", ["x", "y"]),
+            Attribute::new("SA", ["a", "b"]),
+        ]);
+        let t = TableBuilder::new(schema).build();
+        let spec = SaSpec::new(&t, 1);
+        let g = PersonalGroups::build_sharded(&t, spec, 4, 2);
+        assert!(g.is_empty());
+        assert_eq!(g.total_rows(), 0);
     }
 
     #[test]

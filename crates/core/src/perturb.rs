@@ -13,7 +13,7 @@
 //!   (ablation #3 in DESIGN.md).
 
 use rand::Rng;
-use rp_stats::sampling::{sample_binomial, sample_multinomial};
+use rp_stats::sampling::sample_binomial;
 use rp_table::{AttrId, Column, Table};
 
 use crate::matrix::PerturbationMatrix;
@@ -106,9 +106,29 @@ impl UniformPerturbation {
     ///
     /// Panics if `hist.len() != m`.
     pub fn perturb_histogram<R: Rng + ?Sized>(&self, rng: &mut R, hist: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.perturb_histogram_into(rng, hist, &mut out);
+        out
+    }
+
+    /// As [`UniformPerturbation::perturb_histogram`], writing the perturbed
+    /// histogram into `out` (cleared and refilled) so per-group callers on
+    /// the hot SPS path can reuse one buffer instead of allocating per
+    /// group. Identical RNG draws and results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hist.len() != m`.
+    pub fn perturb_histogram_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        hist: &[u64],
+        out: &mut Vec<u64>,
+    ) {
         let m = self.domain_size();
         assert_eq!(hist.len(), m, "histogram must have length m");
-        let mut out = vec![0u64; m];
+        out.clear();
+        out.resize(m, 0);
         let mut scattered_total = 0u64;
         for (i, &c) in hist.iter().enumerate() {
             if c == 0 {
@@ -119,15 +139,28 @@ impl UniformPerturbation {
             scattered_total += c - retained;
         }
         if scattered_total > 0 {
-            let uniform = vec![1.0 / m as f64; m];
-            for (o, extra) in out
-                .iter_mut()
-                .zip(sample_multinomial(rng, scattered_total, &uniform))
-            {
-                *o += extra;
+            // Uniform multinomial scatter, mirroring `sample_multinomial`
+            // with `vec![1.0 / m; m]` arithmetic step for step (identical
+            // conditional-binomial sequence, hence an identical RNG stream)
+            // but without materializing the probability and count vectors.
+            let p = 1.0 / m as f64;
+            let mut remaining_n = scattered_total;
+            let mut remaining_p = 1.0;
+            for (i, o) in out.iter_mut().enumerate() {
+                if i + 1 == m {
+                    *o += remaining_n;
+                    break;
+                }
+                if remaining_n == 0 || remaining_p <= 0.0 {
+                    continue;
+                }
+                let cond = (p / remaining_p).clamp(0.0, 1.0);
+                let c = sample_binomial(rng, remaining_n, cond);
+                *o += c;
+                remaining_n -= c;
+                remaining_p -= p;
             }
         }
-        out
     }
 
     /// Expected observed frequency of a value with true frequency `f`
@@ -174,8 +207,8 @@ mod tests {
         let perturbed = op.perturb_table(&mut rng, &t, 1);
         assert_eq!(perturbed.rows(), t.rows());
         assert_eq!(
-            perturbed.histogram(0),
-            t.histogram(0),
+            perturbed.histogram(0).unwrap(),
+            t.histogram(0).unwrap(),
             "NA column untouched"
         );
     }
@@ -187,7 +220,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let perturbed = op.perturb_table(&mut rng, &t, 1);
         // Expected observed frequency of value 0: 0.7 + 0.3/2 = 0.85.
-        let observed = perturbed.histogram(1)[0] as f64 / 10_000.0;
+        let observed = perturbed.histogram(1).unwrap()[0] as f64 / 10_000.0;
         assert_close(observed, 0.85, 0.02);
     }
 
@@ -202,7 +235,7 @@ mod tests {
         let mut his_mean = [0f64; 4];
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..runs {
-            let p1 = op.perturb_table(&mut rng, &t, 1).histogram(1);
+            let p1 = op.perturb_table(&mut rng, &t, 1).histogram(1).unwrap();
             let p2 = op.perturb_histogram(&mut rng, &hist);
             for i in 0..4 {
                 rec_mean[i] += p1[i] as f64 / runs as f64;
@@ -244,7 +277,7 @@ mod tests {
         let op = UniformPerturbation::new(0.5, 2);
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            op.perturb_table(&mut rng, &t, 1).histogram(1)
+            op.perturb_table(&mut rng, &t, 1).histogram(1).unwrap()
         };
         assert_eq!(run(5), run(5));
     }
@@ -256,5 +289,54 @@ mod tests {
         let op = UniformPerturbation::new(0.5, 2);
         let mut rng = StdRng::seed_from_u64(6);
         op.perturb_table(&mut rng, &t, 1);
+    }
+
+    /// The inlined uniform scatter of `perturb_histogram_into` must stay in
+    /// RNG lockstep with `rp_stats::sampling::sample_multinomial` over a
+    /// uniform probability vector — the byte-identical-publication contract
+    /// rests on the two implementations drawing and landing identically.
+    /// This pins that equivalence draw for draw.
+    #[test]
+    fn scatter_stays_in_lockstep_with_sample_multinomial() {
+        use rp_stats::sampling::sample_multinomial;
+        for (seed, m, hist) in [
+            (7u64, 2usize, vec![120u64, 40]),
+            (8, 5, vec![0, 13, 200, 1, 77]),
+            (9, 3, vec![1000, 0, 500]),
+            (10, 4, vec![3, 3, 3, 3]),
+        ] {
+            for p in [0.2, 0.5, 0.8] {
+                let op = UniformPerturbation::new(p, m);
+                // Reference: the pre-inline implementation — binomial
+                // retentions, then sample_multinomial over vec![1/m; m].
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut reference = vec![0u64; m];
+                let mut scattered = 0u64;
+                for (i, &c) in hist.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    let retained = rp_stats::sampling::sample_binomial(&mut rng, c, p);
+                    reference[i] += retained;
+                    scattered += c - retained;
+                }
+                if scattered > 0 {
+                    let uniform = vec![1.0 / m as f64; m];
+                    for (o, extra) in reference
+                        .iter_mut()
+                        .zip(sample_multinomial(&mut rng, scattered, &uniform))
+                    {
+                        *o += extra;
+                    }
+                }
+                let trailing_ref: u64 = rng.gen();
+                // The inlined path from the same seed.
+                let mut rng = StdRng::seed_from_u64(seed);
+                let inlined = op.perturb_histogram(&mut rng, &hist);
+                let trailing: u64 = rng.gen();
+                assert_eq!(inlined, reference, "outputs diverged (p={p})");
+                assert_eq!(trailing, trailing_ref, "RNG stream diverged (p={p})");
+            }
+        }
     }
 }

@@ -104,8 +104,31 @@ pub fn sps<R: Rng + ?Sized>(
         ..SpsStats::default()
     };
 
-    // Row template: NA codes from the group key, SA filled per record.
-    let arity = table.schema().arity();
+    // Columnar emission: each group's output is one run — every NA column a
+    // single constant fill from the group key, the SA column either a
+    // precomputed perturbed slice (within-threshold path) or a handful of
+    // per-value fills (scaled path). The RNG is drawn in exactly the row
+    // order the row-at-a-time executor used, so publications for a given
+    // seed are byte-identical to the seed implementation.
+    let sa_attr = spec.sa();
+    let sa_column = table.column(sa_attr).codes();
+    // Scratch buffers reused across groups — the sampled path otherwise
+    // allocates three short vectors per group.
+    let mut sa_buffer: Vec<u32> = Vec::new();
+    let mut sample_hist: Vec<u64> = Vec::new();
+    let mut perturbed_hist: Vec<u64> = Vec::new();
+    let mut cell_copies: Vec<u64> = Vec::new();
+    let mut emit =
+        |rows: usize, key: &[u32], sa_fill: &mut dyn FnMut(&mut rp_table::RunWriter<'_>)| {
+            let mut run = builder.begin_run(rows);
+            for (i, &attr) in spec.na().iter().enumerate() {
+                run.fill(attr, key[i], rows)
+                    .expect("group key codes are valid");
+            }
+            sa_fill(&mut run);
+            run.finish()
+                .expect("every column filled to the declared run length");
+        };
     for group in groups.groups() {
         let size = group.len() as u64;
         let f_max = if group.is_empty() {
@@ -114,19 +137,24 @@ pub fn sps<R: Rng + ?Sized>(
             group.max_frequency()
         };
         let sg = max_group_size(config.params, config.p, spec.m(), f_max);
-        // Row template: NA codes fixed by the group key, SA slot rewritten
-        // per emission.
-        let mut row = vec![0u32; arity];
-        for (i, &attr) in spec.na().iter().enumerate() {
-            row[attr] = group.key[i];
-        }
 
         if size as f64 <= sg {
-            // Within the threshold: perturb every record, no sampling.
-            for &r in &group.rows {
-                row[spec.sa()] = op.perturb_code(rng, table.code(r as usize, spec.sa()));
-                builder.push_codes(&row).expect("template codes are valid");
-            }
+            // Within the threshold: perturb every record, no sampling. One
+            // pass over the member rows draws the perturbed SA codes (same
+            // RNG order as perturbing row by row), then the whole group is
+            // emitted as per-column runs.
+            sa_buffer.clear();
+            sa_buffer.extend(
+                group
+                    .rows
+                    .iter()
+                    .map(|&r| op.perturb_code(rng, sa_column[r as usize])),
+            );
+            let sa_codes = &sa_buffer;
+            emit(group.len(), &group.key, &mut |run| {
+                run.copy_from_slice(sa_attr, sa_codes)
+                    .expect("perturbed codes stay within the SA domain");
+            });
             continue;
         }
 
@@ -135,11 +163,13 @@ pub fn sps<R: Rng + ?Sized>(
         // Sampling: per SA value, a frequency-preserving draw. Records
         // within one (group, SA value) cell are identical, so sampling
         // "any" ⌊c·τ⌋ records is just a count.
-        let mut sample_hist: Vec<u64> = group
-            .sa_hist
-            .iter()
-            .map(|&c| stochastic_round(rng, c as f64 * tau).min(c))
-            .collect();
+        sample_hist.clear();
+        sample_hist.extend(
+            group
+                .sa_hist
+                .iter()
+                .map(|&c| stochastic_round(rng, c as f64 * tau).min(c)),
+        );
         let mut g1_size: u64 = sample_hist.iter().sum();
         if g1_size == 0 {
             // Degenerate draw (tiny sg): keep one record of the most common
@@ -156,22 +186,39 @@ pub fn sps<R: Rng + ?Sized>(
         }
         stats.sampled_records += g1_size;
         // Perturbing the sample.
-        let perturbed_hist = op.perturb_histogram(rng, &sample_hist);
+        op.perturb_histogram_into(rng, &sample_hist, &mut perturbed_hist);
         // Scaling back to the original size. All records of one
         // (group, SA value) cell share a single code template, so their
-        // `⌊τ′⌋ + Bernoulli` copy counts are summed and emitted as one
-        // batch instead of row by row (same RNG draws, one validation).
+        // `⌊τ′⌋ + Bernoulli` copy counts are summed (same RNG draws as
+        // duplicating row by row) and the group is emitted as one columnar
+        // run: constant NA fills plus one SA fill per non-empty cell.
         let tau_prime = size as f64 / g1_size as f64;
-        for (sa_code, &count) in perturbed_hist.iter().enumerate() {
-            if count == 0 {
-                continue;
-            }
-            let copies: u64 = (0..count).map(|_| stochastic_round(rng, tau_prime)).sum();
-            row[spec.sa()] = sa_code as u32;
-            builder
-                .push_codes_batch(&row, copies as usize)
-                .expect("template codes are valid");
+        // Per-record `stochastic_round(tau_prime)` with the constant parts
+        // hoisted: each record contributes ⌊τ′⌋ plus a Bernoulli(frac(τ′))
+        // draw — drawn only when the fraction is non-zero, exactly like the
+        // per-record call it replaces (identical RNG stream and totals).
+        let tau_floor = tau_prime.floor() as u64;
+        let tau_frac = tau_prime - tau_prime.floor();
+        cell_copies.clear();
+        for &count in &perturbed_hist {
+            let extras: u64 = if tau_frac > 0.0 {
+                (0..count)
+                    .map(|_| u64::from(rng.gen::<f64>() < tau_frac))
+                    .sum()
+            } else {
+                0
+            };
+            cell_copies.push(tau_floor * count + extras);
         }
+        let total: u64 = cell_copies.iter().sum();
+        emit(total as usize, &group.key, &mut |run| {
+            for (sa_code, &copies) in cell_copies.iter().enumerate() {
+                if copies > 0 {
+                    run.fill(sa_attr, sa_code as u32, copies as usize)
+                        .expect("SA codes index the SA domain");
+                }
+            }
+        });
     }
 
     let table = builder.build();
@@ -395,7 +442,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(26);
         for _ in 0..runs {
             let out = sps(&mut rng, &t, &groups, config());
-            let h = out.table.histogram(1);
+            let h = out.table.histogram(1).unwrap();
             let hists = sps_histograms(&mut rng, &groups, config());
             let mut h2 = [0u64; 2];
             for hist in &hists {
@@ -456,7 +503,10 @@ mod tests {
         let groups = PersonalGroups::build(&t, spec);
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            sps(&mut rng, &t, &groups, config()).table.histogram(1)
+            sps(&mut rng, &t, &groups, config())
+                .table
+                .histogram(1)
+                .unwrap()
         };
         assert_eq!(run(4), run(4));
     }

@@ -385,7 +385,7 @@ mod tests {
             rows: ADULT_ROWS,
             seed: 3,
         });
-        let hist = t.histogram(attr::INCOME);
+        let hist = t.histogram(attr::INCOME).unwrap();
         let high_frac = hist[1] as f64 / t.rows() as f64;
         assert!(
             (high_frac - INCOME_HIGH_FRACTION).abs() < 0.02,

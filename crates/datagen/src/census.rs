@@ -288,7 +288,7 @@ mod tests {
             rows: 100_000,
             seed: 2,
         });
-        let hist = t.histogram(attr::OCCUPATION);
+        let hist = t.histogram(attr::OCCUPATION).unwrap();
         let min = *hist.iter().min().unwrap() as f64;
         let max = *hist.iter().max().unwrap() as f64;
         // "Balanced" in the paper's loose sense: within an order of

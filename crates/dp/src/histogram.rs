@@ -63,14 +63,31 @@ impl DpHistogram {
             total_cells <= 1 << 28,
             "contingency table with {total_cells} cells is too large to release"
         );
-        // Exact counts.
+        // Exact counts. Single released attribute: the table's own
+        // histogram kernel (errors cannot occur — the attribute was
+        // validated above and table codes are domain-checked at
+        // construction). Several attributes: mixed-radix cell indexes
+        // accumulated column by column, then one counting pass — no
+        // per-row per-attribute table walk.
         let mut cells = vec![0.0f64; total_cells];
-        for row in 0..table.rows() {
-            let mut index = 0usize;
-            for (&a, &d) in attrs.iter().zip(&domain_sizes) {
-                index = index * d + table.code(row, a) as usize;
+        if let [attr] = attrs {
+            let counts = table
+                .histogram(*attr)
+                .expect("released attribute was validated against the schema");
+            for (cell, count) in cells.iter_mut().zip(counts) {
+                *cell = count as f64;
             }
-            cells[index] += 1.0;
+        } else {
+            let mut indexes = vec![0usize; table.rows()];
+            for (&a, &d) in attrs.iter().zip(&domain_sizes) {
+                let column = table.column(a).codes();
+                for (index, &code) in indexes.iter_mut().zip(column) {
+                    *index = *index * d + code as usize;
+                }
+            }
+            for &index in &indexes {
+                cells[index] += 1.0;
+            }
         }
         // One Laplace draw per cell; disjoint cells make the release ε-DP.
         let noise = Laplace::new(1.0 / epsilon);

@@ -2,9 +2,11 @@
 //! from one release without rescanning it.
 //!
 //! Construction pays the preprocessing once — personal-group histograms of
-//! the published table (the cached per-group reconstruction substrate) —
-//! and every query is then answered by summing over matching groups. For
-//! query batches and pools the NA match index is precomputed too
+//! the published table (the cached per-group reconstruction substrate) plus
+//! per-`(NA attribute, code)` selection bitmaps over the group keys — and
+//! every query is then answered by ANDing the cached bitmaps and summing
+//! the matching groups, 64 groups per word, never key by key. For query
+//! batches and pools the NA match index is precomputed too
 //! ([`QueryEngine::prepare`]), so repeated workloads over the same release
 //! touch each group key once.
 

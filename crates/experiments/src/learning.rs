@@ -117,7 +117,9 @@ pub fn run(
     let dp_model = fit_from_dp(&release, &train.generalized, sa, alpha);
 
     // Majority baseline.
-    let hist = test.histogram(sa);
+    let hist = test
+        .histogram(sa)
+        .expect("test-table codes are validated at construction");
     let majority = *hist.iter().max().expect("non-empty domain") as f64 / test.rows() as f64;
 
     LearningResult {

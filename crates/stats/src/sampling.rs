@@ -40,13 +40,18 @@ pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
         .expect("at least one positive weight exists")
 }
 
+/// Below this (mirrored) success probability the waiting-time strategy of
+/// [`sample_binomial`] beats direct Bernoulli summation; see its docs.
+pub const WAITING_TIME_MAX_Q: f64 = 0.1;
+
 /// Draws `X ~ Binomial(n, q)`.
 ///
-/// Uses direct Bernoulli summation for small `n` and a BTRS-free fallback of
-/// inversion-by-waiting-time for larger `n` with small `q`; for large `n·q`
-/// the waiting-time loop is replaced by summation in blocks. All paths are
-/// exact (no normal approximation), which keeps distribution-level tests
-/// honest.
+/// Uses direct Bernoulli summation unless the (mirrored) probability is
+/// genuinely small, where geometric waiting-time inversion wins: both loops
+/// are `O(n)` worst case, but a waiting-time step costs an `ln()` (~15× a
+/// branchless Bernoulli trial) and only performs `n·q + 1` of them, so it
+/// pays off below `q ≈` [`WAITING_TIME_MAX_Q`]. All paths are exact (no
+/// normal approximation), which keeps distribution-level tests honest.
 ///
 /// # Panics
 ///
@@ -64,8 +69,12 @@ pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, q: f64) -> u64 {
     }
     // Work with q <= 1/2 and mirror at the end.
     let (q, mirrored) = if q > 0.5 { (1.0 - q, true) } else { (q, false) };
-    let x = if n <= 64 {
-        (0..n).filter(|_| rng.gen::<f64>() < q).count() as u64
+    let x = if n <= 64 || q >= WAITING_TIME_MAX_Q {
+        // Branchless accumulation: the comparison against a random uniform
+        // is unpredictable by construction, so summing the 0/1 outcome
+        // avoids one guaranteed-hostile branch per trial. Identical draws,
+        // identical result.
+        (0..n).map(|_| u64::from(rng.gen::<f64>() < q)).sum()
     } else {
         // Geometric waiting-time inversion: expected iterations n·q + 1.
         let log1mq = (1.0 - q).ln();

@@ -1,0 +1,448 @@
+//! Selection bitmaps: one bit per row (or per group key) for every
+//! `(attribute, code)` pair, combined with bitwise AND to evaluate
+//! conjunctive patterns 64 rows at a time.
+//!
+//! This is the vectorized counterpart of [`Pattern::matches_row`]'s
+//! row-at-a-time scan: a [`BitmapIndex`] is built column by column in one
+//! pass, and every conjunctive selection afterwards is a handful of word-wide
+//! AND + popcount loops. The same structure doubles as the *group-key* match
+//! index behind `rp-core`'s `GroupedView` and the query engine's prepared
+//! pools, where each bit stands for one personal group instead of one row.
+//! Quantified by the `matching` bench group (`bench_matching`).
+
+use crate::predicate::{Pattern, Term};
+use crate::query::CountQuery;
+use crate::schema::AttrId;
+use crate::table::Table;
+
+/// A fixed-length bit set over row (or group) indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zeros bitmap over `len` positions.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-ones bitmap over `len` positions (tail bits stay clear so
+    /// [`Bitmap::count_ones`] is exact).
+    pub fn ones(len: usize) -> Self {
+        let mut bitmap = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        bitmap.mask_tail();
+        bitmap
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of positions (not set bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range for length {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether bit `i` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range for length {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// The raw 64-bit words (tail bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                Some(wi as u32 * 64 + bit)
+            })
+        })
+    }
+}
+
+/// Per-`(attribute, code)` selection bitmaps over a sequence of coded rows.
+///
+/// Built column by column — one pass per indexed attribute — and queried by
+/// ANDing the bitmaps named by a pattern's equality terms. Semantics mirror
+/// [`Pattern::matches_key`]: attributes the index does not cover (and
+/// wildcard terms) constrain nothing, and a code outside the indexed domain
+/// matches no position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitmapIndex {
+    len: usize,
+    attrs: Vec<AttrId>,
+    /// `bitmaps[attr_pos][code]`, aligned with `attrs`.
+    bitmaps: Vec<Vec<Bitmap>>,
+}
+
+impl BitmapIndex {
+    /// Builds the index over every attribute of `table`, one column pass
+    /// per attribute.
+    pub fn build(table: &Table) -> Self {
+        let attrs: Vec<AttrId> = (0..table.schema().arity()).collect();
+        let columns: Vec<&[u32]> = attrs.iter().map(|&a| table.column(a).codes()).collect();
+        let domains: Vec<usize> = attrs
+            .iter()
+            .map(|&a| table.schema().attribute(a).domain_size())
+            .collect();
+        Self::from_columns(&attrs, &columns, &domains, 1, 1)
+    }
+
+    /// Builds the index from parallel code columns (one slice per attribute
+    /// in `attrs`), `domains[i]` giving the code domain of `attrs[i]`.
+    ///
+    /// `shards` splits each column into word-aligned chunks that are filled
+    /// independently (and merged by copying disjoint word ranges), so the
+    /// result is bit-for-bit identical for every shard count; `threads > 1`
+    /// builds the shards on a scoped thread pool with the same guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not parallel, a code exceeds its domain, or
+    /// `shards == 0`.
+    pub fn from_columns(
+        attrs: &[AttrId],
+        columns: &[&[u32]],
+        domains: &[usize],
+        shards: usize,
+        threads: usize,
+    ) -> Self {
+        assert_eq!(attrs.len(), columns.len(), "attrs and columns parallel");
+        assert_eq!(attrs.len(), domains.len(), "attrs and domains parallel");
+        assert!(shards > 0, "need at least one shard");
+        let len = columns.first().map_or(0, |c| c.len());
+        for c in columns {
+            assert_eq!(c.len(), len, "columns must have equal length");
+        }
+        // Word-aligned chunk boundaries so shards fill disjoint word ranges.
+        let words = len.div_ceil(64);
+        let shard_count = shards.min(words.max(1));
+        let words_per_shard = words.div_ceil(shard_count);
+        let bounds: Vec<(usize, usize)> = (0..shard_count)
+            .map(|s| {
+                let w0 = s * words_per_shard;
+                let w1 = ((s + 1) * words_per_shard).min(words);
+                ((w0 * 64).min(len), (w1 * 64).min(len))
+            })
+            .collect();
+        // Each shard builds the word range of every (attr, code) bitmap for
+        // its row chunk; the merge below copies disjoint word ranges.
+        let partials = crate::parallel::run_shards(bounds.len(), threads, |s| {
+            let (start, end) = bounds[s];
+            let local_words = (end - start).div_ceil(64);
+            let mut local: Vec<Vec<Vec<u64>>> = domains
+                .iter()
+                .map(|&d| vec![vec![0u64; local_words]; d])
+                .collect();
+            for (per_code, (&column, &domain)) in local.iter_mut().zip(columns.iter().zip(domains))
+            {
+                for (i, &code) in column[start..end].iter().enumerate() {
+                    assert!(
+                        (code as usize) < domain,
+                        "code {code} out of range for domain {domain}"
+                    );
+                    per_code[code as usize][i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            local
+        });
+        let mut bitmaps: Vec<Vec<Bitmap>> = domains
+            .iter()
+            .map(|&d| vec![Bitmap::zeros(len); d])
+            .collect();
+        for (shard, &(start, _)) in partials.iter().zip(&bounds) {
+            let word_base = start / 64;
+            for (per_attr, local_attr) in bitmaps.iter_mut().zip(shard) {
+                for (bitmap, local_words) in per_attr.iter_mut().zip(local_attr) {
+                    bitmap.words[word_base..word_base + local_words.len()]
+                        .copy_from_slice(local_words);
+                }
+            }
+        }
+        Self {
+            len,
+            attrs: attrs.to_vec(),
+            bitmaps,
+        }
+    }
+
+    /// Number of indexed positions (rows or group keys).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bitmap of `(attr, code)`, if the attribute is indexed and the
+    /// code within its domain.
+    pub fn bitmap(&self, attr: AttrId, code: u32) -> Option<&Bitmap> {
+        let pos = self.attrs.iter().position(|&a| a == attr)?;
+        self.bitmaps[pos].get(code as usize)
+    }
+
+    /// Evaluates a conjunctive pattern: the AND of the bitmaps named by its
+    /// equality terms. Returns `None` when no term constrains an indexed
+    /// attribute (everything matches); an out-of-domain code yields an
+    /// all-zeros bitmap.
+    pub fn select_bitmap(&self, pattern: &Pattern) -> Option<Bitmap> {
+        let mut result: Option<Bitmap> = None;
+        for &(attr, term) in pattern.terms() {
+            let Term::Value(code) = term else { continue };
+            if !self.attrs.contains(&attr) {
+                continue;
+            }
+            let term_bitmap = match self.bitmap(attr, code) {
+                Some(b) => b.clone(),
+                None => Bitmap::zeros(self.len),
+            };
+            match &mut result {
+                None => result = Some(term_bitmap),
+                Some(acc) => acc.and_assign(&term_bitmap),
+            }
+        }
+        result
+    }
+
+    /// Indices matching the pattern, ascending — bitmap counterpart of
+    /// [`Pattern::select`].
+    pub fn select(&self, pattern: &Pattern) -> Vec<u32> {
+        match self.select_bitmap(pattern) {
+            Some(bitmap) => bitmap.iter_ones().collect(),
+            None => (0..self.len as u32).collect(),
+        }
+    }
+
+    /// Matching-position count — bitmap counterpart of [`Pattern::count`].
+    pub fn count(&self, pattern: &Pattern) -> u64 {
+        match self.select_bitmap(pattern) {
+            Some(bitmap) => bitmap.count_ones(),
+            None => self.len as u64,
+        }
+    }
+
+    /// `(support, observed)` of a count query: positions matching the `NA`
+    /// pattern, and of those the ones carrying `SA = sa_value` — the bitmap
+    /// counterpart of [`CountQuery::answer_with_support`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's SA attribute is not covered by this index:
+    /// unindexed attributes are "unconstrained" for `NA` terms (matching
+    /// [`Pattern::matches_key`]), but an uncounted SA would silently answer
+    /// `observed = 0`, so a partial (e.g. keys-only) index is rejected
+    /// loudly instead. An SA *code* outside the indexed domain is fine —
+    /// no position carries it, so `observed` is genuinely zero.
+    pub fn support_and_observed(&self, query: &CountQuery) -> (u64, u64) {
+        assert!(
+            self.attrs.contains(&query.sa_attr()),
+            "SA attribute {} is not covered by this bitmap index",
+            query.sa_attr()
+        );
+        let sa_bitmap = self.bitmap(query.sa_attr(), query.sa_value());
+        match self.select_bitmap(query.na_pattern()) {
+            Some(na) => {
+                let support = na.count_ones();
+                let observed = match sa_bitmap {
+                    Some(sa) => {
+                        let mut both = na;
+                        both.and_assign(sa);
+                        both.count_ones()
+                    }
+                    None => 0,
+                };
+                (support, observed)
+            }
+            None => (self.len as u64, sa_bitmap.map_or(0, Bitmap::count_ones)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::table::TableBuilder;
+
+    fn demo_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("G", ["a", "b"]),
+            Attribute::new("J", ["x", "y", "z"]),
+            Attribute::with_anonymous_domain("SA", 4),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..300u32 {
+            b.push_codes(&[i % 2, i % 3, i % 4]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bitmap_set_get_count() {
+        let mut b = Bitmap::zeros(130);
+        assert_eq!(b.count_ones(), 0);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(64) && !b.get(63));
+        assert_eq!(b.count_ones(), 3);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn ones_masks_tail_bits() {
+        let b = Bitmap::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert_eq!(Bitmap::ones(0).count_ones(), 0);
+        assert_eq!(Bitmap::ones(64).count_ones(), 64);
+    }
+
+    #[test]
+    fn and_assign_intersects() {
+        let mut a = Bitmap::zeros(100);
+        let mut b = Bitmap::zeros(100);
+        for i in (0..100).step_by(2) {
+            a.set(i);
+        }
+        for i in (0..100).step_by(3) {
+            b.set(i);
+        }
+        a.and_assign(&b);
+        assert_eq!(
+            a.iter_ones().collect::<Vec<_>>(),
+            (0..100).step_by(6).map(|i| i as u32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn index_select_matches_scan() {
+        let t = demo_table();
+        let idx = BitmapIndex::build(&t);
+        for pattern in [
+            Pattern::from_codes(&[0], &[1]),
+            Pattern::from_codes(&[0, 1], &[0, 2]),
+            Pattern::new(vec![(0, Term::Wildcard), (1, Term::Value(1))]),
+            Pattern::new(vec![]),
+            Pattern::from_codes(&[1], &[9]), // out-of-domain code
+        ] {
+            assert_eq!(idx.select(&pattern), pattern.select(&t), "{pattern:?}");
+            assert_eq!(idx.count(&pattern), pattern.count(&t), "{pattern:?}");
+        }
+    }
+
+    #[test]
+    fn support_and_observed_matches_query_scan() {
+        let t = demo_table();
+        let idx = BitmapIndex::build(&t);
+        for query in [
+            CountQuery::new(vec![(0, 0)], 2, 1).unwrap(),
+            CountQuery::new(vec![(0, 1), (1, 2)], 2, 3).unwrap(),
+            CountQuery::new(vec![], 2, 0).unwrap(),
+        ] {
+            assert_eq!(
+                idx.support_and_observed(&query),
+                query.answer_with_support(&t),
+                "{query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical() {
+        let t = demo_table();
+        let attrs: Vec<AttrId> = vec![0, 1, 2];
+        let columns: Vec<&[u32]> = attrs.iter().map(|&a| t.column(a).codes()).collect();
+        let domains = vec![2, 3, 4];
+        let reference = BitmapIndex::from_columns(&attrs, &columns, &domains, 1, 1);
+        for shards in [2, 3, 7, 64] {
+            for threads in [1, 3] {
+                let sharded =
+                    BitmapIndex::from_columns(&attrs, &columns, &domains, shards, threads);
+                assert_eq!(reference, sharded, "shards={shards} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn unindexed_attribute_is_unconstrained() {
+        let t = demo_table();
+        let attrs: Vec<AttrId> = vec![0];
+        let columns: Vec<&[u32]> = vec![t.column(0).codes()];
+        let idx = BitmapIndex::from_columns(&attrs, &columns, &[2], 1, 1);
+        // A term on attribute 1 constrains nothing in a keys-only index.
+        let p = Pattern::from_codes(&[0, 1], &[1, 2]);
+        assert_eq!(idx.count(&p), 150);
+        assert!(idx.bitmap(1, 0).is_none());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = BitmapIndex::from_columns(&[0], &[&[]], &[3], 4, 2);
+        assert!(idx.is_empty());
+        assert_eq!(idx.count(&Pattern::from_codes(&[0], &[1])), 0);
+        assert_eq!(idx.select(&Pattern::new(vec![])), Vec::<u32>::new());
+    }
+}

@@ -50,6 +50,16 @@ pub enum TableError {
         /// The sensitive attribute that also appeared as an NA condition.
         sa_attr: usize,
     },
+    /// A columnar run filled a column with the wrong number of codes
+    /// (overfilled mid-run, or left underfilled at finish).
+    ColumnRunMismatch {
+        /// The column whose fill count went wrong.
+        attribute: String,
+        /// Codes the column would hold for this run.
+        got: usize,
+        /// Codes the run declared per column.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for TableError {
@@ -88,6 +98,14 @@ impl fmt::Display for TableError {
                     "SA attribute {sa_attr} must not appear among the NA conditions"
                 )
             }
+            TableError::ColumnRunMismatch {
+                attribute,
+                got,
+                expected,
+            } => write!(
+                f,
+                "columnar run filled column `{attribute}` with {got} codes, expected {expected}"
+            ),
         }
     }
 }

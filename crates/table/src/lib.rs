@@ -20,6 +20,11 @@
 //!   condition.
 //! * [`index`] — an inverted index with posting-list intersection, the
 //!   fast access path for selective conjunctions.
+//! * [`bitmap`] — per-`(attribute, code)` selection bitmaps combined with
+//!   bitwise AND: the vectorized matching path for conjunctive patterns,
+//!   count queries and the engine's group-key match index.
+//! * [`parallel`] — deterministic shard fan-out (results independent of the
+//!   thread count) used by the sharded grouping and index kernels.
 //! * [`csv`] — CSV import/export so real microdata (e.g. the actual UCI
 //!   ADULT file) can be loaded in place of the synthetic substitutes.
 //!
@@ -29,23 +34,27 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitmap;
 pub mod csv;
 pub mod dictionary;
 pub mod error;
 pub mod group;
 pub mod index;
 pub mod ops;
+pub mod parallel;
 pub mod predicate;
 pub mod query;
+mod recycle;
 pub mod schema;
 pub mod table;
 
+pub use bitmap::{Bitmap, BitmapIndex};
 pub use csv::{read_csv, write_csv, CsvError};
 pub use dictionary::Dictionary;
 pub use error::TableError;
-pub use group::{group_by_hash, group_by_sort, Group, Grouping};
+pub use group::{group_by_hash, group_by_hash_sharded, group_by_sort, Group, Grouping};
 pub use index::InvertedIndex;
 pub use predicate::{Pattern, Term};
 pub use query::CountQuery;
 pub use schema::{AttrId, Attribute, Schema};
-pub use table::{Column, Table, TableBuilder};
+pub use table::{Column, RunWriter, Table, TableBuilder};

@@ -139,7 +139,7 @@ mod tests {
         let bottom = filter(&t, &Pattern::from_codes(&[0], &[1])).unwrap();
         let stacked = vstack(&top, &bottom).unwrap();
         assert_eq!(stacked.rows(), 12);
-        assert_eq!(stacked.histogram(2), t.histogram(2));
+        assert_eq!(stacked.histogram(2).unwrap(), t.histogram(2).unwrap());
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Deterministic shard fan-out: run `shards` independent jobs, optionally on
+//! a scoped thread pool, and return their results in shard order.
+//!
+//! Every sharded kernel in the workspace (grouping, bitmap-index
+//! construction, per-group histograms) is written as "shard → independent
+//! result, then an order-preserving merge", so the output is a pure function
+//! of the input and the shard count — never of the thread count. This helper
+//! owns the only `std::thread` usage: shard indices are dealt round-robin to
+//! at most `threads` workers and results are reassembled by index.
+
+/// Runs `f(0), f(1), ..., f(shards - 1)` and returns the results in shard
+/// order. With `threads <= 1` (or fewer than two shards) everything runs on
+/// the calling thread; otherwise shards are distributed round-robin over
+/// `min(threads, shards)` scoped workers. The result is identical either
+/// way for any pure `f`.
+///
+/// # Panics
+///
+/// Panics if `f` panics (the panic is propagated from the worker).
+pub fn run_shards<T, F>(shards: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || shards <= 1 {
+        return (0..shards).map(f).collect();
+    }
+    let workers = threads.min(shards);
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(shards).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    (w..shards)
+                        .step_by(workers)
+                        .map(|shard| (shard, f(shard)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (shard, result) in handle.join().expect("shard worker panicked") {
+                slots[shard] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every shard produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_shard_order() {
+        for threads in [1, 2, 5, 16] {
+            let out = run_shards(11, threads, |s| s * s);
+            assert_eq!(out, (0..11).map(|s| s * s).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_single_shard() {
+        assert_eq!(run_shards(0, 4, |s| s), Vec::<usize>::new());
+        assert_eq!(run_shards(1, 4, |s| s + 7), vec![7]);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let sequential = run_shards(23, 1, |s| (0..=s).sum::<usize>());
+        let threaded = run_shards(23, 8, |s| (0..=s).sum::<usize>());
+        assert_eq!(sequential, threaded);
+    }
+}

@@ -53,9 +53,16 @@ impl Attribute {
 }
 
 /// An ordered collection of attributes.
+///
+/// Attributes are shared behind an [`std::sync::Arc`], so cloning a schema
+/// — which every table copy, builder and publication does — is a reference
+/// count bump, never a re-allocation of the dictionaries. This matters on
+/// the hot publication path: a schema deep-clone per SPS call costs dozens
+/// of small allocations that fragment the allocator right next to the large
+/// column buffers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
-    attributes: Vec<Attribute>,
+    attributes: std::sync::Arc<Vec<Attribute>>,
 }
 
 impl Schema {
@@ -79,7 +86,9 @@ impl Schema {
                 );
             }
         }
-        Self { attributes }
+        Self {
+            attributes: std::sync::Arc::new(attributes),
+        }
     }
 
     /// Number of attributes.
@@ -144,7 +153,7 @@ impl Schema {
     /// Used by the generalization pass, which rewrites an attribute's domain
     /// to merged values.
     pub fn with_attribute_replaced(&self, id: AttrId, attribute: Attribute) -> Self {
-        let mut attributes = self.attributes.clone();
+        let mut attributes = (*self.attributes).clone();
         attributes[id] = attribute;
         Self::new(attributes)
     }

@@ -4,9 +4,21 @@ use crate::error::TableError;
 use crate::schema::{AttrId, Schema};
 
 /// A dictionary-encoded categorical column.
+///
+/// Retired code buffers are recycled through a bounded thread-local pool
+/// (see `crate::recycle`): publish-style workloads that build and drop
+/// tables in a loop reuse warm buffers instead of re-faulting pages from
+/// the kernel on every build. Purely an allocation cache — values never
+/// survive recycling.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Column {
     codes: Vec<u32>,
+}
+
+impl Drop for Column {
+    fn drop(&mut self) {
+        crate::recycle::recycle(std::mem::take(&mut self.codes));
+    }
 }
 
 impl Column {
@@ -47,15 +59,26 @@ impl Column {
 
     /// Histogram of code frequencies over a domain of `domain_size` values.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any code is outside the domain.
-    pub fn histogram(&self, domain_size: usize) -> Vec<u64> {
+    /// Returns [`TableError::CodeOutOfRange`] (with an empty attribute name
+    /// — a standalone column does not know which attribute it backs) if any
+    /// code is outside the domain.
+    pub fn histogram(&self, domain_size: usize) -> Result<Vec<u64>, TableError> {
         let mut counts = vec![0u64; domain_size];
         for &c in &self.codes {
-            counts[c as usize] += 1;
+            match counts.get_mut(c as usize) {
+                Some(slot) => *slot += 1,
+                None => {
+                    return Err(TableError::CodeOutOfRange {
+                        attribute: String::new(),
+                        code: c,
+                        domain_size,
+                    })
+                }
+            }
         }
-        counts
+        Ok(counts)
     }
 }
 
@@ -228,8 +251,27 @@ impl Table {
     }
 
     /// Histogram of attribute `id` over the whole table.
-    pub fn histogram(&self, id: AttrId) -> Vec<u64> {
-        self.columns[id].histogram(self.schema.attribute(id).domain_size())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::CodeOutOfRange`] if a code exceeds the
+    /// attribute's domain — impossible for tables built through the checked
+    /// constructors, but surfaced as a typed error rather than a panic so
+    /// callers holding externally produced columns can recover.
+    pub fn histogram(&self, id: AttrId) -> Result<Vec<u64>, TableError> {
+        let attr = self.schema.attribute(id);
+        self.columns[id]
+            .histogram(attr.domain_size())
+            .map_err(|e| match e {
+                TableError::CodeOutOfRange {
+                    code, domain_size, ..
+                } => TableError::CodeOutOfRange {
+                    attribute: attr.name().to_string(),
+                    code,
+                    domain_size,
+                },
+                other => other,
+            })
     }
 
     /// Histogram of attribute `id` restricted to the given rows.
@@ -257,9 +299,14 @@ impl TableBuilder {
         Self { schema, columns }
     }
 
-    /// Creates a builder with per-column capacity reserved.
+    /// Creates a builder with per-column capacity reserved. Buffers come
+    /// from the thread-local recycling pool when available, so repeated
+    /// build/drop cycles (one publication per loop iteration) write into
+    /// warm memory instead of freshly faulted pages.
     pub fn with_capacity(schema: Schema, rows: usize) -> Self {
-        let columns = vec![Vec::with_capacity(rows); schema.arity()];
+        let columns = (0..schema.arity())
+            .map(|_| crate::recycle::take(rows))
+            .collect();
         Self { schema, columns }
     }
 
@@ -344,6 +391,29 @@ impl TableBuilder {
         self.columns.first().map_or(0, Vec::len)
     }
 
+    /// Begins a columnar run of `rows` rows: the returned [`RunWriter`]
+    /// fills each column independently with `extend_from_slice`-style
+    /// appends ([`RunWriter::fill`] for constant runs,
+    /// [`RunWriter::copy_from_slice`] for precomputed codes), validating
+    /// each run once instead of once per row. [`RunWriter::finish`] checks
+    /// that every column received exactly `rows` codes; dropping the writer
+    /// without finishing rolls the whole run back, so a failed run never
+    /// leaves the builder ragged.
+    ///
+    /// This is the bulk-emission path the columnar SPS executor uses: a
+    /// personal group's output is one run — each `NA` column a single
+    /// constant fill, the `SA` column a handful of per-value fills or one
+    /// slice copy.
+    pub fn begin_run(&mut self, rows: usize) -> RunWriter<'_> {
+        let base = self.rows();
+        RunWriter {
+            builder: self,
+            rows,
+            base,
+            finished: false,
+        }
+    }
+
     /// Finishes the build.
     pub fn build(self) -> Table {
         let rows = self.rows();
@@ -351,6 +421,111 @@ impl TableBuilder {
             schema: self.schema,
             columns: self.columns.into_iter().map(Column::from_codes).collect(),
             rows,
+        }
+    }
+}
+
+/// An in-progress columnar run on a [`TableBuilder`] — see
+/// [`TableBuilder::begin_run`].
+///
+/// Columns may be filled in any order and in several appends each; the run
+/// is committed by [`RunWriter::finish`] and rolled back (all columns
+/// truncated to their pre-run length) if the writer is dropped first or any
+/// step fails.
+#[derive(Debug)]
+pub struct RunWriter<'a> {
+    builder: &'a mut TableBuilder,
+    rows: usize,
+    base: usize,
+    finished: bool,
+}
+
+impl RunWriter<'_> {
+    fn remaining(&self, attr: AttrId) -> usize {
+        self.base + self.rows - self.builder.columns[attr].len()
+    }
+
+    /// Appends `copies` repetitions of `code` to column `attr`, validating
+    /// the code once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `attr` is out of range, `code` outside the
+    /// attribute's domain, or the append would overfill the run.
+    pub fn fill(&mut self, attr: AttrId, code: u32, copies: usize) -> Result<(), TableError> {
+        self.builder.schema.check_code(attr, code)?;
+        if copies > self.remaining(attr) {
+            return Err(TableError::ColumnRunMismatch {
+                attribute: self.builder.schema.attribute(attr).name().to_string(),
+                got: self.builder.columns[attr].len() - self.base + copies,
+                expected: self.rows,
+            });
+        }
+        self.builder.columns[attr].extend(std::iter::repeat_n(code, copies));
+        Ok(())
+    }
+
+    /// Appends a precomputed slice of codes to column `attr`. The slice is
+    /// validated in one pass over its maximum (domain checks are
+    /// `code < domain_size`, so checking the maximum checks them all).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `attr` is out of range, any code is outside the
+    /// attribute's domain, or the append would overfill the run.
+    pub fn copy_from_slice(&mut self, attr: AttrId, codes: &[u32]) -> Result<(), TableError> {
+        self.builder.schema.get(attr)?;
+        if let Some(&max) = codes.iter().max() {
+            self.builder.schema.check_code(attr, max)?;
+        }
+        if codes.len() > self.remaining(attr) {
+            return Err(TableError::ColumnRunMismatch {
+                attribute: self.builder.schema.attribute(attr).name().to_string(),
+                got: self.builder.columns[attr].len() - self.base + codes.len(),
+                expected: self.rows,
+            });
+        }
+        self.builder.columns[attr].extend_from_slice(codes);
+        Ok(())
+    }
+
+    /// Commits the run after checking every column received exactly the
+    /// declared number of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (and rolls the run back) if any column was left
+    /// underfilled.
+    pub fn finish(mut self) -> Result<(), TableError> {
+        let expected = self.base + self.rows;
+        for (id, column) in self.builder.columns.iter().enumerate() {
+            if column.len() != expected {
+                let attribute = self.builder.schema.attribute(id).name().to_string();
+                let got = column.len() - self.base;
+                self.rollback();
+                self.finished = true;
+                return Err(TableError::ColumnRunMismatch {
+                    attribute,
+                    got,
+                    expected: self.rows,
+                });
+            }
+        }
+        self.finished = true;
+        Ok(())
+    }
+
+    fn rollback(&mut self) {
+        for column in &mut self.builder.columns {
+            column.truncate(self.base);
+        }
+    }
+}
+
+impl Drop for RunWriter<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.rollback();
         }
     }
 }
@@ -438,6 +613,101 @@ mod tests {
     }
 
     #[test]
+    fn run_writer_fills_columns_independently() {
+        let mut b = TableBuilder::new(demo_schema());
+        b.push_codes(&[1, 1, 2]).unwrap();
+        let mut run = b.begin_run(5);
+        run.fill(0, 0, 5).unwrap();
+        run.fill(1, 1, 2).unwrap();
+        run.fill(1, 0, 3).unwrap();
+        run.copy_from_slice(2, &[0, 1, 2, 0, 1]).unwrap();
+        run.finish().unwrap();
+        let t = b.build();
+        assert_eq!(t.rows(), 6);
+        assert_eq!(t.row(0).unwrap(), vec![1, 1, 2]);
+        assert_eq!(t.row(1).unwrap(), vec![0, 1, 0]);
+        assert_eq!(t.row(3).unwrap(), vec![0, 0, 2]);
+        assert_eq!(t.histogram(1).unwrap(), vec![3, 3]);
+    }
+
+    #[test]
+    fn run_writer_rejects_bad_codes_and_overflow() {
+        let mut b = TableBuilder::new(demo_schema());
+        {
+            let mut run = b.begin_run(2);
+            assert!(matches!(
+                run.fill(0, 9, 2),
+                Err(TableError::CodeOutOfRange { .. })
+            ));
+            assert!(matches!(
+                run.copy_from_slice(2, &[0, 9]),
+                Err(TableError::CodeOutOfRange { .. })
+            ));
+            assert!(matches!(
+                run.fill(1, 0, 3),
+                Err(TableError::ColumnRunMismatch {
+                    got: 3,
+                    expected: 2,
+                    ..
+                })
+            ));
+            run.fill(2, 0, 2).unwrap();
+            assert!(matches!(
+                run.copy_from_slice(2, &[0]),
+                Err(TableError::ColumnRunMismatch { .. })
+            ));
+        }
+        // The unfinished run rolled back entirely.
+        assert_eq!(b.rows(), 0);
+        assert!(b.build().is_empty());
+    }
+
+    #[test]
+    fn run_writer_finish_detects_underfill_and_rolls_back() {
+        let mut b = TableBuilder::new(demo_schema());
+        b.push_codes(&[0, 0, 0]).unwrap();
+        let mut run = b.begin_run(3);
+        run.fill(0, 1, 3).unwrap();
+        run.fill(1, 1, 3).unwrap();
+        run.fill(2, 2, 1).unwrap(); // SA column short by 2
+        let err = run.finish().unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::ColumnRunMismatch {
+                got: 1,
+                expected: 3,
+                ..
+            }
+        ));
+        assert_eq!(b.rows(), 1, "failed run must not partially append");
+        let t = b.build();
+        assert_eq!(t.row(0).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_run_is_a_no_op() {
+        let mut b = TableBuilder::new(demo_schema());
+        let run = b.begin_run(0);
+        run.finish().unwrap();
+        assert_eq!(b.rows(), 0);
+    }
+
+    #[test]
+    fn run_matches_row_pushes() {
+        let mut by_rows = TableBuilder::new(demo_schema());
+        by_rows.push_codes(&[0, 1, 2]).unwrap();
+        by_rows.push_codes(&[0, 1, 0]).unwrap();
+        by_rows.push_codes(&[0, 1, 1]).unwrap();
+        let mut by_run = TableBuilder::new(demo_schema());
+        let mut run = by_run.begin_run(3);
+        run.fill(0, 0, 3).unwrap();
+        run.fill(1, 1, 3).unwrap();
+        run.copy_from_slice(2, &[2, 0, 1]).unwrap();
+        run.finish().unwrap();
+        assert_eq!(by_rows.build(), by_run.build());
+    }
+
+    #[test]
     fn from_columns_validates_codes() {
         let schema = demo_schema();
         let bad = Table::from_columns(
@@ -463,8 +733,8 @@ mod tests {
     #[test]
     fn histogram_counts_all_rows() {
         let t = demo_table();
-        assert_eq!(t.histogram(0), vec![2, 2]);
-        assert_eq!(t.histogram(2), vec![2, 1, 1]);
+        assert_eq!(t.histogram(0).unwrap(), vec![2, 2]);
+        assert_eq!(t.histogram(2).unwrap(), vec![2, 1, 1]);
     }
 
     #[test]
@@ -490,7 +760,7 @@ mod tests {
         let t2 = t
             .with_column_replaced(2, Column::from_codes(vec![0, 0, 0, 0]))
             .unwrap();
-        assert_eq!(t2.histogram(2), vec![4, 0, 0]);
+        assert_eq!(t2.histogram(2).unwrap(), vec![4, 0, 0]);
         assert!(t
             .with_column_replaced(2, Column::from_codes(vec![0, 0]))
             .is_err());
@@ -512,6 +782,6 @@ mod tests {
     fn empty_table() {
         let t = TableBuilder::new(demo_schema()).build();
         assert!(t.is_empty());
-        assert_eq!(t.histogram(0), vec![0, 0]);
+        assert_eq!(t.histogram(0).unwrap(), vec![0, 0]);
     }
 }

@@ -1,22 +1,32 @@
 //! Offline vendored drop-in for the subset of the `criterion` 0.5 API this
 //! workspace uses.
 //!
-//! The build environment has no access to crates.io, so the eight bench
-//! targets in `rp-bench` link against this self-contained harness instead of
-//! the real criterion. It keeps the same surface — [`Criterion`],
+//! The build environment has no access to crates.io, so the bench targets
+//! in `rp-bench` link against this self-contained harness instead of the
+//! real criterion. It keeps the same surface — [`Criterion`],
 //! [`Bencher::iter`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
-//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — and performs
-//! a real (if simpler) measurement: an adaptive calibration pass sizes the
-//! iteration count to a fixed wall-clock budget, then the batch is timed and
-//! the per-iteration mean is reported.
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — and
+//! performs a real (if simpler) measurement: an adaptive calibration pass
+//! sizes the per-sample iteration count, the routine is then timed over
+//! several independent sample batches, and the per-iteration **median with
+//! its MAD** (median absolute deviation — a robust spread estimate) is
+//! reported, so a speedup claim carries a dispersion measure instead of a
+//! single batch mean.
 //!
 //! Environment knobs:
 //!
-//! * `CRITERION_BUDGET_MS` — measurement budget per benchmark in
-//!   milliseconds (default 200).
+//! * `CRITERION_BUDGET_MS` — total measurement budget per benchmark in
+//!   milliseconds (default 200), split across the samples.
+//! * `CRITERION_SAMPLES` — independent sample batches per benchmark
+//!   (default 9, minimum 1).
 //! * `CRITERION_JSON` — when set to a path, appends one JSON line per
-//!   benchmark (`id`, `mean_ns`, `iters`, optional `throughput_elems`),
-//!   which `BENCH_baseline.json` is generated from.
+//!   benchmark (`id`, `median_ns`, `mad_ns`, `mean_ns`, `samples`,
+//!   `iters`, optional `throughput_elems`), which `BENCH_baseline.json`
+//!   is generated from.
+//! * `CRITERION_BASELINE` — when set to a baseline JSON file (either raw
+//!   `CRITERION_JSON` lines or the checked-in `BENCH_baseline.json`), each
+//!   benchmark line is annotated with the old/new ratio, flagged
+//!   significant when the medians differ by more than three MADs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -84,17 +94,50 @@ impl From<&String> for BenchmarkId {
     }
 }
 
+/// Robust statistics over per-sample per-iteration times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SampleStats {
+    median_ns: f64,
+    mad_ns: f64,
+    mean_ns: f64,
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn sample_stats(samples: &[f64]) -> SampleStats {
+    assert!(!samples.is_empty(), "at least one sample required");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let median_ns = median_of(&sorted);
+    let mut deviations: Vec<f64> = sorted.iter().map(|&x| (x - median_ns).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    SampleStats {
+        median_ns,
+        mad_ns: median_of(&deviations),
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+    }
+}
+
 /// Times a single benchmark body.
 #[derive(Debug)]
 pub struct Bencher {
     budget: Duration,
-    iters: u64,
-    elapsed: Duration,
+    samples: usize,
+    iters_per_sample: u64,
+    sample_means_ns: Vec<f64>,
 }
 
 impl Bencher {
     /// Calibrates an iteration count against the budget, then times the
-    /// routine and records the result.
+    /// routine over `CRITERION_SAMPLES` independent batches and records the
+    /// per-iteration time of each.
     ///
     /// The routine is invoked through a `black_box`-ed `dyn` reference:
     /// under fat LTO the optimizer otherwise proves a pure closure
@@ -109,13 +152,19 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(routine());
+        let per_sample_budget = (self.budget.as_nanos() / self.samples as u128).max(1);
+        let iters = (per_sample_budget / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+        self.sample_means_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.sample_means_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
         }
-        self.elapsed = start.elapsed();
-        self.iters = iters;
     }
 }
 
@@ -131,11 +180,37 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
-/// The benchmark harness: owns the measurement budget and the report sink.
+/// Minimal scanner for baseline files: accepts both raw `CRITERION_JSON`
+/// line output and the checked-in `BENCH_baseline.json` (one object per
+/// benchmark inside a `results` array). Returns the reference time for
+/// `id` — `median_ns` when recorded, else `mean_ns`.
+fn baseline_lookup(baseline: &str, id: &str) -> Option<f64> {
+    let needle = format!("\"id\":\"{id}\"");
+    // Normalize pretty-printed JSON ("id": "x") to the compact form.
+    let compact: String = baseline
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect::<String>();
+    let at = compact.find(&needle)?;
+    let object_end = compact[at..].find('}').map(|e| at + e)?;
+    let object = &compact[at..object_end];
+    let field = |name: &str| -> Option<f64> {
+        let key = format!("\"{name}\":");
+        let start = object.find(&key)? + key.len();
+        let rest = &object[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].parse::<f64>().ok()
+    };
+    field("median_ns").or_else(|| field("mean_ns"))
+}
+
+/// The benchmark harness: owns the measurement budget and the report sinks.
 #[derive(Debug)]
 pub struct Criterion {
     budget: Duration,
+    samples: usize,
     json_path: Option<String>,
+    baseline: Option<String>,
 }
 
 impl Default for Criterion {
@@ -144,9 +219,19 @@ impl Default for Criterion {
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(200);
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(9)
+            .max(1);
+        let baseline = std::env::var("CRITERION_BASELINE")
+            .ok()
+            .and_then(|path| std::fs::read_to_string(path).ok());
         Self {
             budget: Duration::from_millis(budget_ms),
+            samples,
             json_path: std::env::var("CRITERION_JSON").ok(),
+            baseline,
         }
     }
 }
@@ -199,23 +284,44 @@ impl Criterion {
     ) {
         let mut bencher = Bencher {
             budget: self.budget,
-            iters: 0,
-            elapsed: Duration::ZERO,
+            samples: self.samples,
+            iters_per_sample: 0,
+            sample_means_ns: Vec::new(),
         };
         f(&mut bencher);
-        if bencher.iters == 0 {
+        if bencher.sample_means_ns.is_empty() {
             println!("{label:<50} (no measurement: Bencher::iter never called)");
             return;
         }
-        let mean_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        let stats = sample_stats(&bencher.sample_means_ns);
+        let total_iters = bencher.iters_per_sample * bencher.sample_means_ns.len() as u64;
         let mut line = format!(
-            "{label:<50} time: [{}]   ({} iters)",
-            format_ns(mean_ns),
-            bencher.iters
+            "{label:<50} time: [{} ± {}]   ({} samples × {} iters)",
+            format_ns(stats.median_ns),
+            format_ns(stats.mad_ns),
+            bencher.sample_means_ns.len(),
+            bencher.iters_per_sample,
         );
         if let Some(Throughput::Elements(n)) = throughput {
-            let per_sec = n as f64 * 1e9 / mean_ns;
+            let per_sec = n as f64 * 1e9 / stats.median_ns;
             line.push_str(&format!("   thrpt: {per_sec:.0} elem/s"));
+        }
+        if let Some(baseline) = &self.baseline {
+            if let Some(old_ns) = baseline_lookup(baseline, label) {
+                let ratio = old_ns / stats.median_ns;
+                // Significant = beyond 3 MADs *and* beyond 5% of the
+                // baseline: quantized benchmarks often measure MAD = 0, and
+                // 3·0 would flag pure timer jitter as a regression.
+                let noise_floor = (3.0 * stats.mad_ns).max(0.05 * old_ns);
+                let significant = (stats.median_ns - old_ns).abs() > noise_floor;
+                let direction = if ratio >= 1.0 { "faster" } else { "slower" };
+                let magnitude = if ratio >= 1.0 { ratio } else { 1.0 / ratio };
+                line.push_str(&format!(
+                    "   baseline: {magnitude:.2}x {direction} (was {}{})",
+                    format_ns(old_ns),
+                    if significant { ", significant" } else { "" },
+                ));
+            }
         }
         println!("{line}");
         if let Some(path) = &self.json_path {
@@ -224,8 +330,14 @@ impl Criterion {
                 _ => String::new(),
             };
             let record = format!(
-                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"iters\":{}{}}}\n",
-                label, mean_ns, bencher.iters, elems
+                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mad_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{},\"iters\":{}{}}}\n",
+                label,
+                stats.median_ns,
+                stats.mad_ns,
+                stats.mean_ns,
+                bencher.sample_means_ns.len(),
+                total_iters,
+                elems
             );
             if let Ok(mut file) = std::fs::OpenOptions::new()
                 .create(true)
@@ -249,7 +361,8 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Accepts (and ignores) the requested statistical sample size; the
-    /// vendored harness sizes batches by wall-clock budget instead.
+    /// vendored harness takes `CRITERION_SAMPLES` batches sized by
+    /// wall-clock budget instead.
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }
@@ -319,7 +432,9 @@ mod tests {
     fn bench_function_measures() {
         let mut c = Criterion {
             budget: Duration::from_millis(5),
+            samples: 3,
             json_path: None,
+            baseline: None,
         };
         let mut ran = false;
         c.bench_function("smoke", |b| {
@@ -333,7 +448,9 @@ mod tests {
     fn group_api_compiles_and_runs() {
         let mut c = Criterion {
             budget: Duration::from_millis(2),
+            samples: 2,
             json_path: None,
+            baseline: None,
         };
         let mut group = c.benchmark_group("g");
         group.sample_size(10);
@@ -349,5 +466,51 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
         assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        let stats = sample_stats(&[10.0, 12.0, 11.0, 1000.0, 9.0]);
+        assert_eq!(stats.median_ns, 11.0);
+        assert_eq!(stats.mad_ns, 1.0); // deviations 1, 1, 0, 989, 2
+        assert!(stats.mean_ns > 200.0, "the mean is not robust");
+        let even = sample_stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(even.median_ns, 2.5);
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(4),
+            samples: 5,
+            iters_per_sample: 0,
+            sample_means_ns: Vec::new(),
+        };
+        b.iter(|| black_box(7u32).wrapping_mul(3));
+        assert_eq!(b.sample_means_ns.len(), 5);
+        assert!(b.iters_per_sample >= 1);
+        assert!(b.sample_means_ns.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn baseline_lookup_reads_both_formats() {
+        let raw_lines = "{\"id\":\"g/a\",\"median_ns\":123.5,\"mad_ns\":2.0,\"mean_ns\":130.0,\"samples\":9,\"iters\":100}\n{\"id\":\"g/b\",\"mean_ns\":77.0,\"iters\":5}\n";
+        assert_eq!(baseline_lookup(raw_lines, "g/a"), Some(123.5));
+        assert_eq!(baseline_lookup(raw_lines, "g/b"), Some(77.0));
+        assert_eq!(baseline_lookup(raw_lines, "g/c"), None);
+        let pretty = r#"{
+  "note": "x",
+  "results": [
+    {
+      "id": "ablation_grouping/sort_based_paper",
+      "mean_ns": 1451730.5,
+      "iters": 315
+    }
+  ]
+}"#;
+        assert_eq!(
+            baseline_lookup(pretty, "ablation_grouping/sort_based_paper"),
+            Some(1451730.5)
+        );
     }
 }

@@ -257,7 +257,20 @@ pub mod distributions {
         if span == 0 {
             return rng.next_u64();
         }
+        // Lemire rejection with the division deferred: the biased zone is
+        // `threshold = 2^64 mod span`, which is strictly less than `span`,
+        // so a low product half of at least `span` accepts without ever
+        // paying the hardware divide — i.e. in all but ~span/2^64 of draws.
+        // Draw sequence and accepted values are identical to computing the
+        // threshold up front.
+        let m = u128::from(rng.next_u64()) * u128::from(span);
+        if (m as u64) >= span {
+            return (m >> 64) as u64;
+        }
         let threshold = span.wrapping_neg() % span;
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
         loop {
             let m = u128::from(rng.next_u64()) * u128::from(span);
             if (m as u64) >= threshold {
