@@ -1,0 +1,140 @@
+//! Benches for the serving stack: requests/sec through one
+//! `QueryService`, the layer every transport (stdio, TCP) runs over.
+//!
+//! * `serve/query_cache_on` — the steady-state hit path: the same query
+//!   repeated against a warm answer cache;
+//! * `serve/query_cache_off` — the same request stream with the cache
+//!   disabled, i.e. a full bitmap-match + reconstruction per request;
+//! * `serve/query_distinct_cache_on` — 16 distinct queries cycling
+//!   within capacity (hit path with key variety);
+//! * `serve/batch8` — an 8-query batch answered through one prepared NA
+//!   match index;
+//! * `serve/handle_line` — the full per-line path including request
+//!   parsing and response encoding, cache on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_bench::adult_fixture;
+use rp_engine::{
+    Publisher, QueryService, Request, Response, ServiceConfig, SessionStats, WireQuery,
+};
+
+/// Builds the service over the reduced published ADULT fixture.
+fn service(cache_entries: usize) -> QueryService {
+    let dataset = adult_fixture();
+    let publication = Publisher::new(dataset.generalized.clone())
+        .sa(dataset.sa)
+        .seed(7)
+        .publish()
+        .expect("generalized ADULT publishes");
+    QueryService::from_publication(&publication, ServiceConfig { cache_entries })
+}
+
+/// Wire queries built from the served schema: one NA condition from
+/// `attr` plus an SA condition, all by name as a client would send them.
+fn wire_queries(service: &QueryService, count: usize) -> Vec<WireQuery> {
+    let schema = service.engine().schema();
+    let sa = service.engine().sa();
+    let sa_name = schema.attribute(sa).name().to_string();
+    let sa_dict = schema.attribute(sa).dictionary();
+    // The line protocol frames conditions as whitespace-separated tokens,
+    // so generalized labels containing spaces cannot ride the wire; skip
+    // them (clients query such releases by the remaining token values).
+    let is_token = rp_engine::protocol::is_token;
+    let na_conditions: Vec<(&str, &str)> = (0..schema.arity())
+        .filter(|&attr| attr != sa)
+        .flat_map(|attr| {
+            let attribute = schema.attribute(attr);
+            attribute
+                .dictionary()
+                .values()
+                .iter()
+                .map(move |value| (attribute.name(), value.as_str()))
+        })
+        .filter(|&(_, v)| is_token(v))
+        .collect();
+    let sa_values: Vec<&str> = sa_dict
+        .values()
+        .iter()
+        .map(String::as_str)
+        .filter(|v| is_token(v))
+        .collect();
+    assert!(
+        !na_conditions.is_empty() && !sa_values.is_empty(),
+        "fixture has token-safe values"
+    );
+    (0..count)
+        .map(|i| {
+            let (col, value) = na_conditions[i % na_conditions.len()];
+            let sa_value = sa_values[i % sa_values.len()];
+            WireQuery::new(vec![(col, value), (&sa_name, sa_value)])
+        })
+        .collect()
+}
+
+fn expect_answered(response: &Response) {
+    assert!(
+        matches!(response, Response::Answer(_) | Response::Batch(_)),
+        "service refused a bench request: {}",
+        response.encode()
+    );
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let cached = service(1024);
+    let uncached = service(0);
+    let queries = wire_queries(&cached, 16);
+    let single = Request::Query(queries[0].clone());
+    let batch = Request::Batch(queries[..8].to_vec());
+    let distinct: Vec<Request> = queries.iter().map(|q| Request::Query(q.clone())).collect();
+    let line = single.encode();
+
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("query_cache_on", |b| {
+        let mut session = SessionStats::default();
+        b.iter(|| {
+            let r = cached.handle(&single, &mut session);
+            expect_answered(&r);
+            r
+        });
+    });
+    group.bench_function("query_cache_off", |b| {
+        let mut session = SessionStats::default();
+        b.iter(|| {
+            let r = uncached.handle(&single, &mut session);
+            expect_answered(&r);
+            r
+        });
+    });
+    group.bench_function("query_distinct_cache_on", |b| {
+        let mut session = SessionStats::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            let r = cached.handle(&distinct[i % distinct.len()], &mut session);
+            i += 1;
+            expect_answered(&r);
+            r
+        });
+    });
+    group.bench_function("batch8", |b| {
+        let mut session = SessionStats::default();
+        b.iter(|| {
+            let r = uncached.handle(&batch, &mut session);
+            expect_answered(&r);
+            r
+        });
+    });
+    group.bench_function("handle_line", |b| {
+        let mut session = SessionStats::default();
+        b.iter(|| {
+            let r = cached
+                .handle_line(&line, &mut session)
+                .expect("non-empty line");
+            expect_answered(&r);
+            r.encode()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

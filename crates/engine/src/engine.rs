@@ -103,6 +103,12 @@ pub enum EngineError {
         /// The sensitive attribute's name.
         sa_name: String,
     },
+    /// A query named the same NA column more than once (conjunctive
+    /// equality conditions on one column cannot both hold).
+    DuplicateCondition {
+        /// The repeated column's name.
+        name: String,
+    },
     /// A prepared index was built for a different query list or grouping.
     PreparedMismatch {
         /// What was inconsistent.
@@ -123,6 +129,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::DuplicateSaCondition { sa_name } => {
                 write!(f, "query names the SA column `{sa_name}` more than once")
+            }
+            EngineError::DuplicateCondition { name } => {
+                write!(f, "query names the column `{name}` more than once")
             }
             EngineError::PreparedMismatch { detail } => {
                 write!(f, "prepared queries do not match: {detail}")
@@ -316,6 +325,13 @@ impl QueryEngine {
                 }
                 sa_value = Some(code);
             } else {
+                // Pattern construction rejects duplicate attributes with a
+                // panic; catch them here as a typed error instead.
+                if na.iter().any(|&(a, _)| a == attr) {
+                    return Err(EngineError::DuplicateCondition {
+                        name: col.to_string(),
+                    });
+                }
                 na.push((attr, code));
             }
         }
@@ -583,6 +599,12 @@ mod tests {
         assert!(matches!(
             engine.query_from_values(&[("SA", "s0"), ("SA", "s1")]),
             Err(EngineError::DuplicateSaCondition { .. })
+        ));
+        // A repeated NA column must be a typed error, never the Pattern
+        // duplicate-attribute panic.
+        assert!(matches!(
+            engine.query_from_values(&[("G", "a"), ("G", "a"), ("SA", "s0")]),
+            Err(EngineError::DuplicateCondition { .. })
         ));
         assert!(matches!(
             engine.query_from_values(&[("Nope", "a"), ("SA", "s0")]),

@@ -16,8 +16,27 @@
 //!   release: per-group reconstructions are cached at construction and the
 //!   NA match index is precomputed per batch, so single queries, batches
 //!   and whole Section-6 pools are answered without rescanning.
-//!   [`serve()`](serve::serve) wraps it in a line protocol for
-//!   `rpctl serve`.
+//!
+//! ## The serving stack
+//!
+//! On top of the engine, three layers turn one release into a
+//! transport-agnostic query service (`rpctl serve` / `rpctl query
+//! --connect` are thin shells over them):
+//!
+//! * [`protocol`] — the typed wire protocol: [`Request`] and [`Response`]
+//!   enums with a canonical line-oriented encode/parse round-trip, a
+//!   versioned `HELLO` banner, and structured
+//!   [`ErrorCode`]-carrying errors instead of free-form strings;
+//! * [`service`] — the shared [`QueryService`]: an `Arc<QueryEngine>`
+//!   plus a bounded deterministic answer cache keyed by canonical query
+//!   form, a batch path through the prepared NA match index, and
+//!   per-session / aggregate serve counters;
+//! * [`server`] — the transports: [`serve()`](serve::serve) runs one
+//!   session over any `BufRead`/`Write` pair (stdin/stdout included), and
+//!   [`Server`] is a TCP listener running that same loop
+//!   thread-per-connection over the shared service, with a connection cap
+//!   and graceful shutdown. Both surfaces answer a given request stream
+//!   byte-identically.
 //!
 //! ## Quickstart
 //!
@@ -75,11 +94,20 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod protocol;
 pub mod publication;
 pub mod publisher;
 pub mod serve;
+pub mod server;
+pub mod service;
 
 pub use engine::{Answer, EngineError, PreparedQueries, QueryEngine};
+pub use protocol::{
+    ErrorCode, ProtocolError, ReleaseMeta, Request, Response, StatsSnapshot, WireAnswer, WireQuery,
+    PROTOCOL_VERSION,
+};
 pub use publication::{DesignCheck, Publication, PublicationError};
 pub use publisher::{PublishError, Publisher};
-pub use serve::{serve, ServeStats};
+pub use serve::serve;
+pub use server::{Server, ServerConfig, ServerHandle, ShutdownHandle};
+pub use service::{QueryService, ServiceConfig, SessionStats};

@@ -1,0 +1,832 @@
+//! The typed wire protocol of the query service: [`Request`] and
+//! [`Response`] enums with a canonical line-oriented encoding.
+//!
+//! One request per line, one response per line. Every transport — the
+//! stdio loop of [`crate::serve::serve`] and the TCP listener of
+//! [`crate::server::Server`] — speaks exactly this grammar, so a session
+//! transcript is transport-independent byte for byte:
+//!
+//! ```text
+//! request  := "ping" | "quit" | "info" | "stats"
+//!           | ["count "] cond (" " cond)*
+//!           | "batch " query ("; " query)*
+//! cond     := COLUMN "=" VALUE              (tokens: no whitespace / ";")
+//! query    := ["count "] cond (" " cond)*
+//!
+//! response := "HELLO rp/1 sa=" NAME " records=" N " groups=" N " p=" P
+//!           | "pong" | "bye"
+//!           | "publication sa=" NAME " records=" N " groups=" N " p=" P
+//!             [" lambda=" L " delta=" D " seed=" S]
+//!           | "est=" E " support=" N " observed=" N " f=" F
+//!             [" ci95=" LO "," HI]
+//!           | "batch " N "; " answer ("; " answer)*
+//!           | "stats requests=" N " answered=" N " errors=" N
+//!             " cache_hits=" N " cache_misses=" N " sessions=" N
+//!           | "error code=" CODE " " MESSAGE
+//! ```
+//!
+//! Parsing and encoding are exact inverses over the canonical forms:
+//! `parse(encode(x)) == x` for every value expressible in the token
+//! grammar (floats are encoded with Rust's shortest round-trip
+//! `Display`). Names and values containing whitespace, `;`, or newlines
+//! cannot be framed on this line protocol: a schema whose SA column name
+//! is not a token produces an unparseable `HELLO` banner, and such
+//! values cannot be queried over the wire (use [`is_token`] to check;
+//! `rpctl serve` warns about non-token schemas at startup). The parser
+//! additionally accepts
+//! a few human conveniences — the optional `count` verb, the `exit` alias
+//! for `quit`, surrounding whitespace — which normalize into the same
+//! typed values. Errors are structured: every failure carries an
+//! [`ErrorCode`] so clients can distinguish a malformed line from an
+//! invalid query without string matching.
+
+use std::fmt;
+
+/// Protocol revision spoken by this build, advertised in the
+/// [`Response::Hello`] banner as `rp/<version>`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Whether `s` can ride the line protocol as a single token in any
+/// position (non-empty, no whitespace, no `;`, no `=`). Column names and
+/// values that fail this cannot be framed in requests, and a non-token
+/// SA column name breaks the `HELLO` / `publication` response lines.
+/// (`=` is conservative: a value containing `=` happens to survive the
+/// first-`=` condition split, but a column name never does.)
+pub fn is_token(s: &str) -> bool {
+    !s.is_empty() && !s.contains(char::is_whitespace) && !s.contains([';', '='])
+}
+
+/// Machine-readable failure classes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The request line did not parse (bad token, empty batch, ...).
+    Parse,
+    /// The first token is neither a known verb nor a `Column=value` pair.
+    UnknownCommand,
+    /// The request parsed but the query failed engine validation
+    /// (unknown column or value, missing or duplicate SA condition).
+    BadQuery,
+    /// The server refused the connection at its concurrency cap.
+    Busy,
+    /// The service failed internally; the session stays up.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire token of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::UnknownCommand => "unknown-command",
+            ErrorCode::BadQuery => "bad-query",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire token back into a code.
+    pub fn from_str_token(s: &str) -> Option<Self> {
+        Some(match s {
+            "parse" => ErrorCode::Parse,
+            "unknown-command" => ErrorCode::UnknownCommand,
+            "bad-query" => ErrorCode::BadQuery,
+            "busy" => ErrorCode::Busy,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A protocol-level failure: what went wrong and which [`ErrorCode`] the
+/// service should answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The failure class.
+    pub code: ErrorCode,
+    /// Human-readable single-line detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// One count query as it appears on the wire: unresolved
+/// `(column, value)` string conditions. Resolution against the release
+/// schema (and the SA split) happens in the service layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WireQuery {
+    /// Equality conditions in request order.
+    pub conditions: Vec<(String, String)>,
+}
+
+impl WireQuery {
+    /// Builds a wire query from `(column, value)` pairs.
+    pub fn new<C: Into<String>, V: Into<String>>(conditions: Vec<(C, V)>) -> Self {
+        Self {
+            conditions: conditions
+                .into_iter()
+                .map(|(c, v)| (c.into(), v.into()))
+                .collect(),
+        }
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        out.push_str("count");
+        for (col, value) in &self.conditions {
+            out.push(' ');
+            out.push_str(col);
+            out.push('=');
+            out.push_str(value);
+        }
+    }
+
+    /// Parses the body of a query (the `count` verb already stripped if
+    /// present). At least one condition is required.
+    fn parse_body(body: &str) -> Result<Self, ProtocolError> {
+        let mut conditions = Vec::new();
+        for token in body.split_whitespace() {
+            let (col, value) = token.split_once('=').ok_or_else(|| {
+                ProtocolError::new(
+                    ErrorCode::Parse,
+                    format!("expected Column=value, got `{token}`"),
+                )
+            })?;
+            if col.is_empty() || value.is_empty() {
+                return Err(ProtocolError::new(
+                    ErrorCode::Parse,
+                    format!("empty column or value in `{token}`"),
+                ));
+            }
+            conditions.push((col.to_string(), value.to_string()));
+        }
+        if conditions.is_empty() {
+            return Err(ProtocolError::new(
+                ErrorCode::Parse,
+                "empty query; try `count Column=value ... SA=value`",
+            ));
+        }
+        Ok(Self { conditions })
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Request {
+    /// Answer one count query.
+    Query(WireQuery),
+    /// Answer several queries through one prepared match index.
+    Batch(Vec<WireQuery>),
+    /// Describe the release being served.
+    Info,
+    /// Report aggregate service counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// End the session.
+    Quit,
+}
+
+impl Request {
+    /// Encodes the canonical line for this request (no trailing newline).
+    ///
+    /// Encoding never fails, but only values inside the wire grammar
+    /// produce parseable lines: a [`Request::Batch`] with no queries, a
+    /// [`WireQuery`] with no conditions, or names/values that are not
+    /// tokens (see [`is_token`]) encode to lines the parser — and thus
+    /// the server — rejects.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Request::Query(q) => q.encode_into(&mut out),
+            Request::Batch(queries) => {
+                out.push_str("batch ");
+                for (i, q) in queries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str("; ");
+                    }
+                    q.encode_into(&mut out);
+                }
+            }
+            Request::Info => out.push_str("info"),
+            Request::Stats => out.push_str("stats"),
+            Request::Ping => out.push_str("ping"),
+            Request::Quit => out.push_str("quit"),
+        }
+        out
+    }
+
+    /// Parses one request line. Returns `Ok(None)` for blank lines (the
+    /// serve loops skip them without counting a request).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] with [`ErrorCode::Parse`] on malformed
+    /// lines and [`ErrorCode::UnknownCommand`] when the first token is
+    /// neither a verb nor a `Column=value` condition.
+    pub fn parse(line: &str) -> Result<Option<Self>, ProtocolError> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(None);
+        }
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim_start()),
+            None => (line, ""),
+        };
+        let no_args = |req: Request| {
+            if rest.is_empty() {
+                Ok(Some(req))
+            } else {
+                Err(ProtocolError::new(
+                    ErrorCode::Parse,
+                    format!("`{verb}` takes no arguments"),
+                ))
+            }
+        };
+        match verb {
+            "quit" | "exit" => no_args(Request::Quit),
+            "ping" => no_args(Request::Ping),
+            "info" => no_args(Request::Info),
+            "stats" => no_args(Request::Stats),
+            "count" => Ok(Some(Request::Query(WireQuery::parse_body(rest)?))),
+            "batch" => {
+                if rest.trim().is_empty() {
+                    return Err(ProtocolError::new(ErrorCode::Parse, "empty batch"));
+                }
+                let mut queries = Vec::new();
+                for part in rest.split(';') {
+                    let part = part.trim();
+                    let body = part.strip_prefix("count ").unwrap_or(part);
+                    queries.push(WireQuery::parse_body(body)?);
+                }
+                Ok(Some(Request::Batch(queries)))
+            }
+            _ if verb.contains('=') => Ok(Some(Request::Query(WireQuery::parse_body(line)?))),
+            _ => Err(ProtocolError::new(
+                ErrorCode::UnknownCommand,
+                format!("unknown command `{verb}`; try count/batch/info/stats/ping/quit"),
+            )),
+        }
+    }
+}
+
+/// One answered query as encoded on the wire. Mirrors
+/// [`crate::Answer`] but keeps only the wire-visible fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireAnswer {
+    /// The Section-6 estimate `est = |S*| · F′`.
+    pub estimate: f64,
+    /// Published records matching the NA conditions.
+    pub support: u64,
+    /// Matching records carrying the queried SA value.
+    pub observed: u64,
+    /// The reconstructed frequency `F′`.
+    pub frequency: f64,
+    /// 95% confidence interval `(lo, hi)` for `F′`, absent on empty
+    /// support.
+    pub ci: Option<(f64, f64)>,
+}
+
+impl From<&crate::Answer> for WireAnswer {
+    fn from(a: &crate::Answer) -> Self {
+        Self {
+            estimate: a.estimate,
+            support: a.support,
+            observed: a.observed,
+            frequency: a.frequency,
+            ci: a.ci.map(|ci| (ci.lo, ci.hi)),
+        }
+    }
+}
+
+impl WireAnswer {
+    fn encode_into(&self, out: &mut String) {
+        use fmt::Write;
+        write!(
+            out,
+            "est={} support={} observed={} f={}",
+            self.estimate, self.support, self.observed, self.frequency
+        )
+        .expect("writing to a String cannot fail");
+        if let Some((lo, hi)) = self.ci {
+            write!(out, " ci95={lo},{hi}").expect("writing to a String cannot fail");
+        }
+    }
+
+    fn parse_body(part: &str) -> Result<Self, ProtocolError> {
+        let bad = |msg: &str| ProtocolError::new(ErrorCode::Parse, format!("answer: {msg}"));
+        let mut estimate = None;
+        let mut support = None;
+        let mut observed = None;
+        let mut frequency = None;
+        let mut ci = None;
+        for token in part.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| bad(&format!("expected key=value, got `{token}`")))?;
+            match key {
+                "est" => estimate = Some(parse_f64(value)?),
+                "support" => support = Some(parse_u64(value)?),
+                "observed" => observed = Some(parse_u64(value)?),
+                "f" => frequency = Some(parse_f64(value)?),
+                "ci95" => {
+                    let (lo, hi) = value
+                        .split_once(',')
+                        .ok_or_else(|| bad("ci95 expects lo,hi"))?;
+                    ci = Some((parse_f64(lo)?, parse_f64(hi)?));
+                }
+                _ => return Err(bad(&format!("unknown field `{key}`"))),
+            }
+        }
+        Ok(Self {
+            estimate: estimate.ok_or_else(|| bad("missing est"))?,
+            support: support.ok_or_else(|| bad("missing support"))?,
+            observed: observed.ok_or_else(|| bad("missing observed"))?,
+            frequency: frequency.ok_or_else(|| bad("missing f"))?,
+            ci,
+        })
+    }
+}
+
+/// Release parameters reported by [`Response::Info`] when the service was
+/// built from a full [`crate::Publication`] artifact (absent for bare
+/// histogram-level engines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReleaseMeta {
+    /// The enforced relative-error threshold λ.
+    pub lambda: f64,
+    /// The enforced probability floor δ.
+    pub delta: f64,
+    /// The publication seed.
+    pub seed: u64,
+}
+
+/// Aggregate service counters reported by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Non-empty request lines received.
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub answered: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Single-query answers served from the cache.
+    pub cache_hits: u64,
+    /// Single-query answers computed and inserted into the cache.
+    pub cache_misses: u64,
+    /// Sessions started (stdio runs and TCP connections alike).
+    pub sessions: u64,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The versioned banner sent when a session opens.
+    Hello {
+        /// Protocol revision (see [`PROTOCOL_VERSION`]).
+        version: u32,
+        /// The sensitive attribute's name.
+        sa: String,
+        /// Records in the release.
+        records: u64,
+        /// Personal groups in the release.
+        groups: u64,
+        /// Retention probability used by the estimator.
+        p: f64,
+    },
+    /// Answer to a [`Request::Query`].
+    Answer(WireAnswer),
+    /// Answers to a [`Request::Batch`], aligned with the request.
+    Batch(Vec<WireAnswer>),
+    /// Answer to [`Request::Info`].
+    Info {
+        /// The sensitive attribute's name.
+        sa: String,
+        /// Records in the release.
+        records: u64,
+        /// Personal groups in the release.
+        groups: u64,
+        /// Retention probability used by the estimator.
+        p: f64,
+        /// Artifact parameters when served from a [`crate::Publication`].
+        release: Option<ReleaseMeta>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Session farewell (answer to [`Request::Quit`]).
+    Bye,
+    /// A structured failure; the session keeps serving.
+    Error {
+        /// The failure class.
+        code: ErrorCode,
+        /// Single-line human-readable detail.
+        message: String,
+    },
+}
+
+fn parse_f64(s: &str) -> Result<f64, ProtocolError> {
+    s.parse()
+        .map_err(|_| ProtocolError::new(ErrorCode::Parse, format!("bad float `{s}`")))
+}
+
+fn parse_u64(s: &str) -> Result<u64, ProtocolError> {
+    s.parse()
+        .map_err(|_| ProtocolError::new(ErrorCode::Parse, format!("bad integer `{s}`")))
+}
+
+/// Splits `key=value` asserting the expected key.
+fn expect_kv<'a>(token: Option<&'a str>, key: &str) -> Result<&'a str, ProtocolError> {
+    let token =
+        token.ok_or_else(|| ProtocolError::new(ErrorCode::Parse, format!("missing {key}=")))?;
+    token
+        .strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| {
+            ProtocolError::new(
+                ErrorCode::Parse,
+                format!("expected {key}=..., got `{token}`"),
+            )
+        })
+}
+
+impl Response {
+    /// Encodes the canonical line for this response (no trailing newline).
+    pub fn encode(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        match self {
+            Response::Hello {
+                version,
+                sa,
+                records,
+                groups,
+                p,
+            } => {
+                write!(
+                    out,
+                    "HELLO rp/{version} sa={sa} records={records} groups={groups} p={p}"
+                )
+                .expect("writing to a String cannot fail");
+            }
+            Response::Answer(a) => a.encode_into(&mut out),
+            Response::Batch(answers) => {
+                write!(out, "batch {}", answers.len()).expect("writing to a String cannot fail");
+                for a in answers {
+                    out.push_str("; ");
+                    a.encode_into(&mut out);
+                }
+            }
+            Response::Info {
+                sa,
+                records,
+                groups,
+                p,
+                release,
+            } => {
+                write!(
+                    out,
+                    "publication sa={sa} records={records} groups={groups} p={p}"
+                )
+                .expect("writing to a String cannot fail");
+                if let Some(meta) = release {
+                    write!(
+                        out,
+                        " lambda={} delta={} seed={}",
+                        meta.lambda, meta.delta, meta.seed
+                    )
+                    .expect("writing to a String cannot fail");
+                }
+            }
+            Response::Stats(s) => {
+                write!(
+                    out,
+                    "stats requests={} answered={} errors={} cache_hits={} cache_misses={} sessions={}",
+                    s.requests, s.answered, s.errors, s.cache_hits, s.cache_misses, s.sessions
+                )
+                .expect("writing to a String cannot fail");
+            }
+            Response::Pong => out.push_str("pong"),
+            Response::Bye => out.push_str("bye"),
+            Response::Error { code, message } => {
+                write!(out, "error code={code} {message}")
+                    .expect("writing to a String cannot fail");
+            }
+        }
+        out
+    }
+
+    /// Parses one response line (the client side of the protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] with [`ErrorCode::Parse`] on anything
+    /// that is not a canonical response line.
+    pub fn parse(line: &str) -> Result<Self, ProtocolError> {
+        let line = line.trim();
+        let bad = |msg: String| ProtocolError::new(ErrorCode::Parse, msg);
+        if line == "pong" {
+            return Ok(Response::Pong);
+        }
+        if line == "bye" {
+            return Ok(Response::Bye);
+        }
+        if let Some(rest) = line.strip_prefix("HELLO ") {
+            let mut tokens = rest.split_whitespace();
+            let proto = tokens
+                .next()
+                .ok_or_else(|| bad("missing protocol tag".into()))?;
+            let version = proto
+                .strip_prefix("rp/")
+                .ok_or_else(|| bad(format!("expected rp/<version>, got `{proto}`")))?
+                .parse()
+                .map_err(|_| bad(format!("bad protocol version in `{proto}`")))?;
+            let sa = expect_kv(tokens.next(), "sa")?.to_string();
+            let records = parse_u64(expect_kv(tokens.next(), "records")?)?;
+            let groups = parse_u64(expect_kv(tokens.next(), "groups")?)?;
+            let p = parse_f64(expect_kv(tokens.next(), "p")?)?;
+            return Ok(Response::Hello {
+                version,
+                sa,
+                records,
+                groups,
+                p,
+            });
+        }
+        if line.starts_with("est=") {
+            return Ok(Response::Answer(WireAnswer::parse_body(line)?));
+        }
+        if let Some(rest) = line.strip_prefix("batch ") {
+            let mut parts = rest.split(';');
+            let count: usize = parts
+                .next()
+                .and_then(|n| n.trim().parse().ok())
+                .ok_or_else(|| bad("batch response needs a count".into()))?;
+            let answers: Vec<WireAnswer> = parts
+                .map(|p| WireAnswer::parse_body(p.trim()))
+                .collect::<Result<_, _>>()?;
+            if answers.len() != count {
+                return Err(bad(format!(
+                    "batch count {count} does not match {} answers",
+                    answers.len()
+                )));
+            }
+            return Ok(Response::Batch(answers));
+        }
+        if let Some(rest) = line.strip_prefix("publication ") {
+            let mut tokens = rest.split_whitespace();
+            let sa = expect_kv(tokens.next(), "sa")?.to_string();
+            let records = parse_u64(expect_kv(tokens.next(), "records")?)?;
+            let groups = parse_u64(expect_kv(tokens.next(), "groups")?)?;
+            let p = parse_f64(expect_kv(tokens.next(), "p")?)?;
+            let release = match tokens.next() {
+                None => None,
+                lambda_token => Some(ReleaseMeta {
+                    lambda: parse_f64(expect_kv(lambda_token, "lambda")?)?,
+                    delta: parse_f64(expect_kv(tokens.next(), "delta")?)?,
+                    seed: parse_u64(expect_kv(tokens.next(), "seed")?)?,
+                }),
+            };
+            return Ok(Response::Info {
+                sa,
+                records,
+                groups,
+                p,
+                release,
+            });
+        }
+        if let Some(rest) = line.strip_prefix("stats ") {
+            let mut tokens = rest.split_whitespace();
+            return Ok(Response::Stats(StatsSnapshot {
+                requests: parse_u64(expect_kv(tokens.next(), "requests")?)?,
+                answered: parse_u64(expect_kv(tokens.next(), "answered")?)?,
+                errors: parse_u64(expect_kv(tokens.next(), "errors")?)?,
+                cache_hits: parse_u64(expect_kv(tokens.next(), "cache_hits")?)?,
+                cache_misses: parse_u64(expect_kv(tokens.next(), "cache_misses")?)?,
+                sessions: parse_u64(expect_kv(tokens.next(), "sessions")?)?,
+            }));
+        }
+        if let Some(rest) = line.strip_prefix("error ") {
+            let (code_token, message) = match rest.split_once(char::is_whitespace) {
+                Some((c, m)) => (c, m),
+                None => (rest, ""),
+            };
+            let code_str = code_token
+                .strip_prefix("code=")
+                .ok_or_else(|| bad(format!("expected code=..., got `{code_token}`")))?;
+            let code = ErrorCode::from_str_token(code_str)
+                .ok_or_else(|| bad(format!("unknown error code `{code_str}`")))?;
+            return Ok(Response::Error {
+                code,
+                message: message.to_string(),
+            });
+        }
+        Err(bad(format!("unrecognized response line `{line}`")))
+    }
+
+    /// Whether this response reports a failure.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+}
+
+impl From<ProtocolError> for Response {
+    fn from(e: ProtocolError) -> Self {
+        Response::Error {
+            code: e.code,
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(r: &Request) {
+        let line = r.encode();
+        let parsed = Request::parse(&line).unwrap().expect("non-empty");
+        assert_eq!(&parsed, r, "canonical line `{line}`");
+    }
+
+    fn roundtrip_response(r: &Response) {
+        let line = r.encode();
+        let parsed = Response::parse(&line).unwrap();
+        assert_eq!(&parsed, r, "canonical line `{line}`");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let q1 = WireQuery::new(vec![("Job", "eng"), ("Disease", "flu")]);
+        let q2 = WireQuery::new(vec![("Disease", "none")]);
+        for r in [
+            Request::Ping,
+            Request::Quit,
+            Request::Info,
+            Request::Stats,
+            Request::Query(q1.clone()),
+            Request::Batch(vec![q1, q2]),
+        ] {
+            roundtrip_request(&r);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let answer = WireAnswer {
+            estimate: 412.5,
+            support: 2000,
+            observed: 309,
+            frequency: 0.20625,
+            ci: Some((0.1621, 0.2499)),
+        };
+        let no_ci = WireAnswer {
+            estimate: 0.0,
+            support: 0,
+            observed: 3,
+            frequency: 0.0,
+            ci: None,
+        };
+        for r in [
+            Response::Hello {
+                version: PROTOCOL_VERSION,
+                sa: "Disease".into(),
+                records: 6000,
+                groups: 6,
+                p: 0.5,
+            },
+            Response::Answer(answer),
+            Response::Batch(vec![answer, no_ci]),
+            Response::Batch(Vec::new()),
+            Response::Info {
+                sa: "Disease".into(),
+                records: 6000,
+                groups: 6,
+                p: 0.5,
+                release: Some(ReleaseMeta {
+                    lambda: 0.3,
+                    delta: 0.3,
+                    seed: 7,
+                }),
+            },
+            Response::Info {
+                sa: "Income".into(),
+                records: 30162,
+                groups: 127,
+                p: 0.25,
+                release: None,
+            },
+            Response::Stats(StatsSnapshot {
+                requests: 10,
+                answered: 8,
+                errors: 2,
+                cache_hits: 5,
+                cache_misses: 3,
+                sessions: 2,
+            }),
+            Response::Pong,
+            Response::Bye,
+            Response::Error {
+                code: ErrorCode::BadQuery,
+                message: "query needs a condition on the SA column `Disease`".into(),
+            },
+        ] {
+            roundtrip_response(&r);
+        }
+    }
+
+    #[test]
+    fn verb_is_optional_and_aliases_normalize() {
+        let canonical = Request::parse("count Job=eng Disease=flu")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            Request::parse("  Job=eng Disease=flu ").unwrap().unwrap(),
+            canonical
+        );
+        assert_eq!(Request::parse("exit").unwrap().unwrap(), Request::Quit);
+        assert_eq!(Request::parse("   ").unwrap(), None);
+        assert_eq!(Request::parse("").unwrap(), None);
+    }
+
+    #[test]
+    fn batch_accepts_optional_verbs() {
+        let parsed = Request::parse("batch Job=eng Disease=flu; count Disease=none")
+            .unwrap()
+            .unwrap();
+        let Request::Batch(queries) = parsed else {
+            panic!("expected batch");
+        };
+        assert_eq!(queries.len(), 2);
+        assert_eq!(
+            queries[1].conditions,
+            vec![("Disease".into(), "none".into())]
+        );
+    }
+
+    #[test]
+    fn parse_failures_carry_distinct_codes() {
+        for (line, code) in [
+            ("garbage", ErrorCode::UnknownCommand),
+            ("count Job", ErrorCode::Parse),
+            ("count", ErrorCode::Parse),
+            ("batch", ErrorCode::Parse),
+            ("batch ; ;", ErrorCode::Parse),
+            ("ping me", ErrorCode::Parse),
+            ("count =v", ErrorCode::Parse),
+            ("count k=", ErrorCode::Parse),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code, code, "line `{line}` -> {err}");
+        }
+    }
+
+    #[test]
+    fn floats_encode_shortest_round_trip() {
+        // Rust's `{}` Display for f64 is the shortest string that parses
+        // back to the same bits — the protocol relies on that for exact
+        // round-trips.
+        let a = WireAnswer {
+            estimate: 1.0 / 3.0,
+            support: 1,
+            observed: 1,
+            frequency: 0.1 + 0.2,
+            ci: Some((f64::MIN_POSITIVE, 1e300)),
+        };
+        roundtrip_response(&Response::Answer(a));
+    }
+
+    #[test]
+    fn error_code_tokens_round_trip() {
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::UnknownCommand,
+            ErrorCode::BadQuery,
+            ErrorCode::Busy,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_str_token(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_str_token("nope"), None);
+    }
+}

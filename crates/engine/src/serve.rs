@@ -1,172 +1,119 @@
-//! A line-protocol query loop over a [`QueryEngine`] — the first
-//! long-lived traffic surface of the reproduction.
+//! The line-oriented session loop: one transport function shared by
+//! every surface.
 //!
-//! The protocol is one request per line, one response per line, designed
-//! to be driven by `rpctl serve` over stdin/stdout (and trivially by a
-//! socket once one exists):
+//! [`serve`] drives a [`QueryService`] over any `BufRead`/`Write` pair —
+//! stdin/stdout for `rpctl serve`, a `TcpStream` for each connection of
+//! [`crate::server::Server`]. Because both surfaces run this exact
+//! function over the same shared service, a given request stream produces
+//! byte-identical response bytes on either transport (the root
+//! integration suite proves it).
+//!
+//! A session opens with the versioned `HELLO` banner, then answers one
+//! request per line until `quit` or end of input:
 //!
 //! ```text
+//! HELLO rp/1 sa=Disease records=6000 groups=6 p=0.5
 //! > info
-//! publication sa=Disease records=6000 groups=6 p=0.5 lambda=0.3 delta=0.3
+//! publication sa=Disease records=6000 groups=6 p=0.5 lambda=0.3 delta=0.3 seed=7
 //! > count Job=engineer Disease=asthma
-//! est=412.0 support=2000 observed=309 f=0.2060 ci95=0.1621,0.2499
-//! > Job=doctor Disease=flu            (the `count` verb is optional)
-//! est=...
+//! est=412.331 support=2000 observed=309 f=0.2061655 ci95=0.162,0.249
+//! > garbage
+//! error code=unknown-command unknown command `garbage`; try count/batch/info/stats/ping/quit
 //! > quit
 //! bye
 //! ```
 //!
-//! Conditions are whitespace-separated `Column=value` pairs; exactly one
-//! must name the SA column. Malformed requests answer `error: ...` and the
-//! loop keeps serving — a bad query must not take the service down.
+//! Protocol-level failures answer a structured `error code=...` line and
+//! the loop keeps serving — a bad request must never take a session down.
+//! Only transport I/O errors abort the session.
 
 use std::io::{self, BufRead, Write};
 
-use crate::engine::QueryEngine;
-use crate::publication::Publication;
+use crate::service::{QueryService, SessionStats};
 
-/// Counters of one serve session.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServeStats {
-    /// Non-empty request lines read.
-    pub requests: u64,
-    /// Requests answered with an estimate.
-    pub answered: u64,
-    /// Requests answered with an error line.
-    pub errors: u64,
-}
-
-/// Serves queries from `input` to `output` until `quit` or end of input.
-/// Returns the session counters.
+/// Runs one serve session: `HELLO` banner, then request/response lines
+/// from `input` to `output` until `quit` or end of input. Returns the
+/// session counters (aggregate counters accumulate on `service`).
 ///
 /// # Errors
 ///
 /// Returns only I/O errors on the transport; protocol-level problems are
-/// reported to the client as `error: ...` lines.
+/// reported to the client as `error code=...` lines.
 pub fn serve<R: BufRead, W: Write>(
-    engine: &QueryEngine,
-    publication: Option<&Publication>,
+    service: &QueryService,
     input: R,
     mut output: W,
-) -> io::Result<ServeStats> {
-    let mut stats = ServeStats::default();
+) -> io::Result<SessionStats> {
+    service.session_started();
+    let mut session = SessionStats::default();
+    writeln!(output, "{}", service.hello().encode())?;
+    output.flush()?;
     for line in input.lines() {
         let line = line?;
-        let request = line.trim();
-        if request.is_empty() {
-            continue;
-        }
-        stats.requests += 1;
-        match request {
-            "quit" | "exit" => {
-                writeln!(output, "bye")?;
-                output.flush()?;
-                break;
-            }
-            "info" => {
-                let sa_name = engine.schema().attribute(engine.sa()).name();
-                match publication {
-                    Some(p) => writeln!(
-                        output,
-                        "publication sa={sa_name} records={} groups={} p={} lambda={} delta={} seed={}",
-                        engine.records(),
-                        engine.groups(),
-                        engine.p(),
-                        p.params().lambda(),
-                        p.params().delta(),
-                        p.seed()
-                    )?,
-                    None => writeln!(
-                        output,
-                        "publication sa={sa_name} records={} groups={} p={}",
-                        engine.records(),
-                        engine.groups(),
-                        engine.p()
-                    )?,
-                }
-                stats.answered += 1;
-            }
-            _ => match answer_line(engine, request) {
-                Ok(response) => {
-                    writeln!(output, "{response}")?;
-                    stats.answered += 1;
-                }
-                Err(message) => {
-                    writeln!(output, "error: {message}")?;
-                    stats.errors += 1;
-                }
-            },
-        }
+        let Some(response) = service.handle_line(&line, &mut session) else {
+            continue; // blank line
+        };
+        writeln!(output, "{}", response.encode())?;
         output.flush()?;
+        if matches!(response, crate::protocol::Response::Bye) {
+            break;
+        }
     }
-    Ok(stats)
-}
-
-/// Parses one request line and answers it. The `count` verb is optional.
-fn answer_line(engine: &QueryEngine, request: &str) -> Result<String, String> {
-    let body = request.strip_prefix("count ").unwrap_or(request);
-    let mut conditions = Vec::new();
-    for token in body.split_whitespace() {
-        let (col, value) = token
-            .split_once('=')
-            .ok_or_else(|| format!("expected Column=value, got `{token}`"))?;
-        conditions.push((col, value));
-    }
-    if conditions.is_empty() {
-        return Err("empty query; try `count Column=value ... SA=value`".to_string());
-    }
-    let query = engine
-        .query_from_values(&conditions)
-        .map_err(|e| e.to_string())?;
-    let a = engine.answer(&query).map_err(|e| e.to_string())?;
-    let mut response = format!(
-        "est={:.1} support={} observed={} f={:.4}",
-        a.estimate, a.support, a.observed, a.frequency
-    );
-    if let Some(ci) = a.ci {
-        response.push_str(&format!(" ci95={:.4},{:.4}", ci.lo, ci.hi));
-    }
-    Ok(response)
+    Ok(session)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{Response, PROTOCOL_VERSION};
     use crate::publisher::Publisher;
+    use crate::service::ServiceConfig;
     use rp_table::{Attribute, Schema, TableBuilder};
 
-    fn fixture() -> (Publication, QueryEngine) {
+    fn fixture_service() -> QueryService {
         let schema = Schema::new(vec![
             Attribute::new("Job", ["eng", "doc"]),
             Attribute::new("Disease", ["flu", "none"]),
         ]);
         // Balanced SA frequencies keep both 200-record groups under their
-        // Equation-10 threshold, so SPS degenerates to UP and the published
-        // record counts stay exact — the protocol tests rely on that.
+        // Equation-10 threshold, so SPS degenerates to UP and the
+        // published record counts stay exact — the tests rely on that.
         let mut b = TableBuilder::new(schema);
         for i in 0..400u32 {
             b.push_codes(&[i % 2, (i / 2) % 2]).unwrap();
         }
         let publication = Publisher::new(b.build()).sa(1).seed(3).publish().unwrap();
-        let engine = QueryEngine::new(&publication);
-        (publication, engine)
+        QueryService::from_publication(&publication, ServiceConfig::default())
     }
 
-    fn run(input: &str) -> (String, ServeStats) {
-        let (publication, engine) = fixture();
+    fn run(input: &str) -> (String, SessionStats) {
+        let service = fixture_service();
         let mut out = Vec::new();
-        let stats = serve(&engine, Some(&publication), input.as_bytes(), &mut out).unwrap();
+        let stats = serve(&service, input.as_bytes(), &mut out).unwrap();
         (String::from_utf8(out).unwrap(), stats)
+    }
+
+    #[test]
+    fn session_opens_with_versioned_hello() {
+        let (out, stats) = run("quit\n");
+        let banner = out.lines().next().unwrap();
+        let parsed = Response::parse(banner).unwrap();
+        assert!(
+            matches!(parsed, Response::Hello { version, .. } if version == PROTOCOL_VERSION),
+            "{banner}"
+        );
+        assert!(out.ends_with("bye\n"), "{out}");
+        assert_eq!(stats.requests, 1);
     }
 
     #[test]
     fn answers_count_lines() {
         let (out, stats) = run("count Job=eng Disease=flu\nquit\n");
-        assert!(out.starts_with("est="), "{out}");
-        assert!(out.contains("support=200"), "{out}");
-        assert!(out.contains("ci95="), "{out}");
-        assert!(out.ends_with("bye\n"), "{out}");
-        assert_eq!(stats.answered, 1);
+        let answer = out.lines().nth(1).unwrap();
+        assert!(answer.starts_with("est="), "{answer}");
+        assert!(answer.contains("support=200"), "{answer}");
+        assert!(answer.contains("ci95="), "{answer}");
+        assert_eq!(stats.answered, 2); // the query + quit's bye
         assert_eq!(stats.errors, 0);
         assert_eq!(stats.requests, 2);
     }
@@ -174,35 +121,72 @@ mod tests {
     #[test]
     fn verb_is_optional_and_blank_lines_skipped() {
         let (out, stats) = run("\n\nJob=doc Disease=none\n");
-        assert!(out.starts_with("est="), "{out}");
+        assert!(out.lines().nth(1).unwrap().starts_with("est="), "{out}");
         assert_eq!(stats.requests, 1);
     }
 
     #[test]
     fn info_reports_parameters() {
         let (out, _) = run("info\nquit\n");
-        assert!(out.contains("sa=Disease"), "{out}");
-        assert!(out.contains("records=400"), "{out}");
-        assert!(out.contains("p=0.5"), "{out}");
-        assert!(out.contains("lambda=0.3"), "{out}");
+        let info = out.lines().nth(1).unwrap();
+        assert!(info.contains("sa=Disease"), "{info}");
+        assert!(info.contains("records=400"), "{info}");
+        assert!(info.contains("p=0.5"), "{info}");
+        assert!(info.contains("lambda=0.3"), "{info}");
+        assert!(info.contains("seed=3"), "{info}");
     }
 
     #[test]
     fn errors_do_not_stop_the_loop() {
         let (out, stats) = run("garbage\nJob=eng\ncount Job=eng Disease=flu\n");
-        let lines: Vec<&str> = out.lines().collect();
-        assert!(lines[0].starts_with("error:"), "{out}");
-        assert!(lines[1].starts_with("error:"), "{out}");
+        let lines: Vec<&str> = out.lines().skip(1).collect();
+        assert!(lines[0].starts_with("error code=unknown-command"), "{out}");
+        assert!(lines[1].starts_with("error code=bad-query"), "{out}");
         assert!(lines[2].starts_with("est="), "{out}");
         assert_eq!(stats.errors, 2);
         assert_eq!(stats.answered, 1);
     }
 
     #[test]
+    fn batch_answers_on_one_line() {
+        let (out, stats) = run("batch Job=eng Disease=flu; Job=doc Disease=none\nquit\n");
+        let line = out.lines().nth(1).unwrap();
+        let parsed = Response::parse(line).unwrap();
+        let Response::Batch(answers) = parsed else {
+            panic!("expected batch response: {line}");
+        };
+        assert_eq!(answers.len(), 2);
+        assert_eq!(stats.answered, 2);
+    }
+
+    #[test]
+    fn input_end_without_quit_is_a_clean_session() {
+        let (out, stats) = run("ping\n");
+        assert!(out.ends_with("pong\n"), "{out}");
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
     fn engine_without_publication_serves_too() {
-        let (_, engine) = fixture();
+        use crate::engine::QueryEngine;
+        use std::sync::Arc;
+
+        let schema = Schema::new(vec![
+            Attribute::new("Job", ["eng", "doc"]),
+            Attribute::new("Disease", ["flu", "none"]),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..400u32 {
+            b.push_codes(&[i % 2, (i / 2) % 2]).unwrap();
+        }
+        let publication = Publisher::new(b.build()).sa(1).seed(3).publish().unwrap();
+        let service = QueryService::new(
+            Arc::new(QueryEngine::new(&publication)),
+            None,
+            ServiceConfig::default(),
+        );
         let mut out = Vec::new();
-        let stats = serve(&engine, None, &b"info\n"[..], &mut out).unwrap();
+        let stats = serve(&service, &b"info\n"[..], &mut out).unwrap();
         assert_eq!(stats.answered, 1);
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("records=400"), "{text}");

@@ -1,0 +1,572 @@
+//! The transport-agnostic [`QueryService`]: one shared answering service
+//! behind every serve surface.
+//!
+//! The service owns an `Arc<`[`QueryEngine`]`>` plus everything a session
+//! needs that the engine itself does not carry: the release parameters for
+//! `info`, a bounded deterministic answer cache keyed by the canonical
+//! query form, and aggregate [`StatsSnapshot`] counters. Transports — the
+//! stdio loop in [`crate::serve()`](crate::serve::serve) and the TCP
+//! listener in [`crate::server`] — are thin: they frame lines and call
+//! [`QueryService::handle_line`], so every transport provably speaks the
+//! identical protocol.
+//!
+//! ## Caching
+//!
+//! Single-query answers are cached under their *canonical* form — the
+//! resolved [`CountQuery`] with NA conditions sorted by attribute — so
+//! `count A=a SA=s`, `A=a SA=s` and `count SA=s A=a` share one entry.
+//! The cache is a bounded FIFO map: eviction depends only on the request
+//! stream, never on wall-time or pointer order, keeping sessions
+//! deterministic. Because the engine itself is deterministic, caching can
+//! never change a response byte — only the `cache_hits` / `cache_misses`
+//! counters observable through `stats`.
+//!
+//! Batches bypass the answer cache and instead reuse the engine's
+//! prepared NA match index ([`QueryEngine::prepare`]), which touches each
+//! group key once for the whole batch.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rp_table::CountQuery;
+
+use crate::engine::{Answer, QueryEngine};
+use crate::protocol::{
+    ErrorCode, ProtocolError, ReleaseMeta, Request, Response, StatsSnapshot, WireAnswer, WireQuery,
+    PROTOCOL_VERSION,
+};
+use crate::publication::Publication;
+
+/// Default answer-cache capacity of [`ServiceConfig`].
+pub const DEFAULT_CACHE_ENTRIES: usize = 1024;
+
+/// Tuning knobs of a [`QueryService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Maximum cached single-query answers; `0` disables the cache.
+    pub cache_entries: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            cache_entries: DEFAULT_CACHE_ENTRIES,
+        }
+    }
+}
+
+/// Counters of one serve session (one stdio run or one TCP connection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Non-empty request lines read.
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub answered: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Single-query answers this session served from the shared cache.
+    pub cache_hits: u64,
+    /// Single-query answers this session computed into the shared cache.
+    pub cache_misses: u64,
+}
+
+/// Bounded FIFO answer cache. Insertion order alone decides eviction, so
+/// behaviour is a pure function of the request stream.
+#[derive(Debug)]
+struct AnswerCache {
+    capacity: usize,
+    map: HashMap<CountQuery, Answer>,
+    order: VecDeque<CountQuery>,
+}
+
+impl AnswerCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: &CountQuery) -> Option<Answer> {
+        self.map.get(key).copied()
+    }
+
+    fn insert(&mut self, key: CountQuery, answer: Answer) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() == self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        if self.map.insert(key.clone(), answer).is_none() {
+            self.order.push_back(key);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Aggregate counters shared by all sessions of one service.
+#[derive(Debug, Default)]
+struct AggregateStats {
+    requests: AtomicU64,
+    answered: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    sessions: AtomicU64,
+}
+
+/// The shared query-answering service every transport runs over.
+///
+/// Cheap to share: transports hold an `Arc<QueryService>` and call
+/// [`QueryService::handle_line`] per request line. All interior state
+/// (cache, counters) is synchronized, so concurrent sessions are safe.
+#[derive(Debug)]
+pub struct QueryService {
+    engine: Arc<QueryEngine>,
+    release: Option<ReleaseMeta>,
+    /// Mirrors the cache's capacity so a disabled cache (capacity 0)
+    /// never takes the lock on the hot path.
+    cache_capacity: usize,
+    cache: Mutex<AnswerCache>,
+    stats: AggregateStats,
+}
+
+impl QueryService {
+    /// Builds a service over an existing engine. `release` supplies the
+    /// artifact parameters reported by `info` (pass `None` for engines
+    /// built from raw histograms).
+    pub fn new(
+        engine: Arc<QueryEngine>,
+        release: Option<ReleaseMeta>,
+        config: ServiceConfig,
+    ) -> Self {
+        Self {
+            engine,
+            release,
+            cache_capacity: config.cache_entries,
+            cache: Mutex::new(AnswerCache::new(config.cache_entries)),
+            stats: AggregateStats::default(),
+        }
+    }
+
+    /// Builds the engine from a publication artifact and wraps it in a
+    /// service carrying the artifact's `(λ, δ, seed)` for `info`.
+    pub fn from_publication(publication: &Publication, config: ServiceConfig) -> Self {
+        let release = ReleaseMeta {
+            lambda: publication.params().lambda(),
+            delta: publication.params().delta(),
+            seed: publication.seed(),
+        };
+        Self::new(
+            Arc::new(QueryEngine::new(publication)),
+            Some(release),
+            config,
+        )
+    }
+
+    /// The engine answering for this service.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The versioned banner a transport must send when a session opens.
+    pub fn hello(&self) -> Response {
+        Response::Hello {
+            version: PROTOCOL_VERSION,
+            sa: self.sa_name().to_string(),
+            records: self.engine.records(),
+            groups: self.engine.groups() as u64,
+            p: self.engine.p(),
+        }
+    }
+
+    /// The sensitive attribute's name in the served schema.
+    pub fn sa_name(&self) -> &str {
+        self.engine.schema().attribute(self.engine.sa()).name()
+    }
+
+    /// Registers one session start (transports call this once per
+    /// connection or stdio run).
+    pub fn session_started(&self) {
+        self.stats.sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the aggregate counters across all sessions.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            answered: self.stats.answered.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            sessions: self.stats.sessions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cached single-query answers currently held.
+    pub fn cached_answers(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Handles one raw request line: parse, dispatch, count. Returns
+    /// `None` for blank lines (not counted as requests). This is the
+    /// single entry point every transport uses, so a request line maps to
+    /// the same response bytes on every transport.
+    pub fn handle_line(&self, line: &str, session: &mut SessionStats) -> Option<Response> {
+        match Request::parse(line) {
+            Ok(None) => None,
+            Ok(Some(request)) => Some(self.handle(&request, session)),
+            Err(e) => {
+                let response = Response::from(e);
+                self.count(&response, session);
+                Some(response)
+            }
+        }
+    }
+
+    /// Handles one typed request (already parsed). Exposed for clients
+    /// that build [`Request`] values directly, e.g. benches. Counts the
+    /// request exactly like [`QueryService::handle_line`].
+    pub fn handle(&self, request: &Request, session: &mut SessionStats) -> Response {
+        let response = self.dispatch(request, session);
+        self.count(&response, session);
+        response
+    }
+
+    fn count(&self, response: &Response, session: &mut SessionStats) {
+        session.requests += 1;
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if response.is_error() {
+            session.errors += 1;
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            session.answered += 1;
+            self.stats.answered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn dispatch(&self, request: &Request, session: &mut SessionStats) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Quit => Response::Bye,
+            Request::Info => Response::Info {
+                sa: self.sa_name().to_string(),
+                records: self.engine.records(),
+                groups: self.engine.groups() as u64,
+                p: self.engine.p(),
+                release: self.release,
+            },
+            // Snapshot precedes counting, so a `stats` response reports
+            // the totals as of just before the request itself.
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Query(q) => match self.answer_single(q, session) {
+                Ok(a) => Response::Answer(a),
+                Err(e) => Response::from(e),
+            },
+            Request::Batch(queries) => match self.answer_batch(queries) {
+                Ok(answers) => Response::Batch(answers),
+                Err(e) => Response::from(e),
+            },
+        }
+    }
+
+    /// Resolves a wire query against the engine schema, splitting the SA
+    /// condition out of the NA conditions.
+    fn resolve(&self, q: &WireQuery) -> Result<CountQuery, ProtocolError> {
+        let conditions: Vec<(&str, &str)> = q
+            .conditions
+            .iter()
+            .map(|(c, v)| (c.as_str(), v.as_str()))
+            .collect();
+        self.engine
+            .query_from_values(&conditions)
+            .map_err(|e| ProtocolError {
+                code: ErrorCode::BadQuery,
+                message: e.to_string(),
+            })
+    }
+
+    /// The canonical cache key of a resolved query: NA conditions sorted
+    /// by `(attribute, code)`, so condition order on the wire is
+    /// irrelevant to cache identity.
+    fn canonical_key(query: &CountQuery) -> CountQuery {
+        let mut na: Vec<(rp_table::AttrId, u32)> = query
+            .na_pattern()
+            .terms()
+            .iter()
+            .filter_map(|&(attr, term)| match term {
+                rp_table::Term::Value(code) => Some((attr, code)),
+                rp_table::Term::Wildcard => None,
+            })
+            .collect();
+        na.sort_unstable();
+        CountQuery::new(na, query.sa_attr(), query.sa_value())
+            .expect("canonicalizing a valid query cannot re-introduce the SA")
+    }
+
+    fn answer_single(
+        &self,
+        q: &WireQuery,
+        session: &mut SessionStats,
+    ) -> Result<WireAnswer, ProtocolError> {
+        let query = self.resolve(q)?;
+        let key = Self::canonical_key(&query);
+        if self.cache_capacity > 0 {
+            if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+                session.cache_hits += 1;
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(WireAnswer::from(&hit));
+            }
+        }
+        let answer = self.engine.answer(&key).map_err(|e| ProtocolError {
+            code: ErrorCode::BadQuery,
+            message: e.to_string(),
+        })?;
+        if self.cache_capacity > 0 {
+            session.cache_misses += 1;
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.cache
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(key, answer);
+        }
+        Ok(WireAnswer::from(&answer))
+    }
+
+    fn answer_batch(&self, queries: &[WireQuery]) -> Result<Vec<WireAnswer>, ProtocolError> {
+        let mut resolved = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            resolved.push(self.resolve(q).map_err(|e| ProtocolError {
+                code: e.code,
+                message: format!("query {}: {}", i + 1, e.message),
+            })?);
+        }
+        let prepared = self.engine.prepare(&resolved).map_err(|e| ProtocolError {
+            code: ErrorCode::Internal,
+            message: e.to_string(),
+        })?;
+        let answers = self
+            .engine
+            .answer_batch(&resolved, &prepared)
+            .map_err(|e| ProtocolError {
+                code: ErrorCode::Internal,
+                message: e.to_string(),
+            })?;
+        Ok(answers.iter().map(WireAnswer::from).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publisher::Publisher;
+    use rp_table::{Attribute, Schema, TableBuilder};
+
+    fn fixture_publication() -> Publication {
+        let schema = Schema::new(vec![
+            Attribute::new("Job", ["eng", "doc"]),
+            Attribute::new("Disease", ["flu", "none"]),
+        ]);
+        // Balanced SA frequencies keep both 200-record groups under their
+        // Equation-10 threshold, so SPS degenerates to UP and published
+        // record counts stay exact — the protocol tests rely on that.
+        let mut b = TableBuilder::new(schema);
+        for i in 0..400u32 {
+            b.push_codes(&[i % 2, (i / 2) % 2]).unwrap();
+        }
+        Publisher::new(b.build()).sa(1).seed(3).publish().unwrap()
+    }
+
+    fn service(cache_entries: usize) -> QueryService {
+        QueryService::from_publication(&fixture_publication(), ServiceConfig { cache_entries })
+    }
+
+    fn query(line: &str) -> Request {
+        Request::parse(line).unwrap().unwrap()
+    }
+
+    #[test]
+    fn single_query_answers_and_counts() {
+        let s = service(8);
+        let mut session = SessionStats::default();
+        let r = s
+            .handle_line("count Job=eng Disease=flu", &mut session)
+            .unwrap();
+        let Response::Answer(a) = r else {
+            panic!("expected answer, got {r:?}");
+        };
+        assert_eq!(a.support, 200);
+        assert!(a.ci.is_some());
+        assert_eq!(session.requests, 1);
+        assert_eq!(session.answered, 1);
+        assert_eq!(session.cache_misses, 1);
+        assert_eq!(s.stats().answered, 1);
+    }
+
+    #[test]
+    fn cache_hits_on_canonical_form() {
+        let s = service(8);
+        let mut session = SessionStats::default();
+        let first = s.handle_line("count Job=eng Disease=flu", &mut session);
+        // Same query: no verb, reordered conditions — still one entry.
+        let second = s.handle_line("Disease=flu Job=eng", &mut session);
+        assert_eq!(first, second);
+        assert_eq!(session.cache_misses, 1);
+        assert_eq!(session.cache_hits, 1);
+        assert_eq!(s.cached_answers(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_counts_nothing_and_answers_identically() {
+        let cached = service(8);
+        let uncached = service(0);
+        let mut sc = SessionStats::default();
+        let mut su = SessionStats::default();
+        for line in ["count Job=eng Disease=flu", "count Job=eng Disease=flu"] {
+            let a = cached.handle_line(line, &mut sc).unwrap();
+            let b = uncached.handle_line(line, &mut su).unwrap();
+            assert_eq!(a.encode(), b.encode(), "cache changed response bytes");
+        }
+        assert_eq!(sc.cache_hits, 1);
+        assert_eq!(su.cache_hits, 0);
+        assert_eq!(su.cache_misses, 0);
+        assert_eq!(uncached.cached_answers(), 0);
+    }
+
+    #[test]
+    fn cache_eviction_is_fifo_and_bounded() {
+        let s = service(2);
+        let mut session = SessionStats::default();
+        s.handle_line("Job=eng Disease=flu", &mut session);
+        s.handle_line("Job=doc Disease=flu", &mut session);
+        s.handle_line("Job=eng Disease=none", &mut session); // evicts the first
+        assert_eq!(s.cached_answers(), 2);
+        s.handle_line("Job=eng Disease=flu", &mut session); // must recompute
+        assert_eq!(session.cache_misses, 4);
+        assert_eq!(session.cache_hits, 0);
+    }
+
+    #[test]
+    fn batch_reuses_prepared_index_and_matches_singles() {
+        let s = service(0);
+        let mut session = SessionStats::default();
+        let batch = s.handle(
+            &query("batch Job=eng Disease=flu; Job=doc Disease=none"),
+            &mut session,
+        );
+        let Response::Batch(answers) = batch else {
+            panic!("expected batch, got {batch:?}");
+        };
+        assert_eq!(answers.len(), 2);
+        for (q, expected) in [
+            ("count Job=eng Disease=flu", answers[0]),
+            ("count Job=doc Disease=none", answers[1]),
+        ] {
+            let Response::Answer(single) = s.handle(&query(q), &mut session) else {
+                panic!("expected answer");
+            };
+            assert_eq!(single, expected);
+        }
+    }
+
+    #[test]
+    fn batch_errors_name_the_failing_query() {
+        let s = service(0);
+        let mut session = SessionStats::default();
+        let r = s.handle(&query("batch Job=eng Disease=flu; Job=doc"), &mut session);
+        let Response::Error { code, message } = r else {
+            panic!("expected error, got {r:?}");
+        };
+        assert_eq!(code, ErrorCode::BadQuery);
+        assert!(message.starts_with("query 2:"), "{message}");
+    }
+
+    #[test]
+    fn error_codes_distinguish_failure_classes() {
+        let s = service(0);
+        let mut session = SessionStats::default();
+        for (line, want) in [
+            ("garbage", ErrorCode::UnknownCommand),
+            ("count Job", ErrorCode::Parse),
+            ("count Job=eng", ErrorCode::BadQuery), // missing SA condition
+            ("count Nope=1 Disease=flu", ErrorCode::BadQuery),
+            ("count Job=zzz Disease=flu", ErrorCode::BadQuery),
+            // Duplicated column: typed error, never the Pattern panic.
+            ("count Job=eng Job=doc Disease=flu", ErrorCode::BadQuery),
+        ] {
+            let r = s.handle_line(line, &mut session).unwrap();
+            let Response::Error { code, .. } = r else {
+                panic!("expected error for `{line}`, got {r:?}");
+            };
+            assert_eq!(code, want, "line `{line}`");
+        }
+        assert_eq!(session.errors, 6);
+        assert_eq!(s.stats().errors, 6);
+    }
+
+    #[test]
+    fn info_reports_release_parameters() {
+        let s = service(0);
+        let mut session = SessionStats::default();
+        let r = s.handle(&Request::Info, &mut session);
+        let Response::Info {
+            sa,
+            records,
+            p,
+            release,
+            ..
+        } = r
+        else {
+            panic!("expected info");
+        };
+        assert_eq!(sa, "Disease");
+        assert_eq!(records, 400);
+        assert_eq!(p, 0.5);
+        let meta = release.expect("built from a publication");
+        assert_eq!(meta.lambda, 0.3);
+        assert_eq!(meta.seed, 3);
+    }
+
+    #[test]
+    fn stats_snapshot_counts_sessions() {
+        let s = service(4);
+        s.session_started();
+        s.session_started();
+        let mut session = SessionStats::default();
+        s.handle_line("ping", &mut session);
+        let Some(Response::Stats(snap)) = s.handle_line("stats", &mut session) else {
+            panic!("expected stats");
+        };
+        assert_eq!(snap.sessions, 2);
+        // The snapshot is taken before the in-flight `stats` request is
+        // counted, so it reports only the ping.
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.answered, 1);
+    }
+
+    #[test]
+    fn hello_is_versioned() {
+        let s = service(0);
+        let Response::Hello {
+            version,
+            sa,
+            records,
+            ..
+        } = s.hello()
+        else {
+            panic!("expected hello");
+        };
+        assert_eq!(version, PROTOCOL_VERSION);
+        assert_eq!(sa, "Disease");
+        assert_eq!(records, 400);
+    }
+}

@@ -8,10 +8,12 @@
 //! rpctl audit   --input data.csv --sa Income [--p 0.5 --lambda 0.3 --delta 0.3]
 //! rpctl publish --input data.csv --sa Income --output release.rppub
 //!               [--csv published.csv --p 0.5 --lambda 0.3 --delta 0.3
-//!                --no-generalize --seed N]
+//!                --no-generalize --seed N --threads N]
 //! rpctl query   --publication release.rppub --where Gender=Male --value >50K
 //!               [--raw data.csv]
+//! rpctl query   --connect HOST:PORT --where Gender=Male --value >50K
 //! rpctl serve   --publication release.rppub
+//!               [--listen HOST:PORT --max-conns N --cache N]
 //! ```
 //!
 //! `publish` runs the full paper pipeline — χ²-generalization of the
@@ -19,21 +21,32 @@
 //! and SPS enforcement (Section 5) — through `rp_engine::Publisher`, and
 //! writes a `Publication` artifact that carries the published records
 //! *and* every estimator parameter (`p`, λ, δ, seed, SPS counters).
-//! `query` and `serve` answer count queries from that artifact through a
-//! `rp_engine::QueryEngine` with the MLE estimator `est = |S*|·F′` and
+//! Grouping parallelism defaults to the machine's available cores
+//! (override with `--threads`); the release is byte-identical at every
+//! thread count.
+//!
+//! `query` and `serve` answer count queries through a
+//! `rp_engine::QueryService` with the MLE estimator `est = |S*|·F′` and
 //! 95% confidence intervals — no parameter re-derivation out-of-band.
-//! `serve` is a long-lived line-protocol loop over stdin/stdout (see
-//! `rp_engine::serve` for the protocol).
+//! `serve` runs the typed line protocol (`rp_engine::protocol`) over
+//! stdin/stdout, or over TCP with `--listen` (thread-per-connection over
+//! one shared engine, bounded answer cache, connection cap); `query
+//! --connect` is the matching TCP client.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use rp_core::audit::{audit, render as render_audit};
 use rp_core::generalize::Generalization;
 use rp_core::groups::{PersonalGroups, SaSpec};
 use rp_core::privacy::PrivacyParams;
-use rp_engine::{serve, Publication, Publisher, QueryEngine};
+use rp_engine::{
+    serve, Publication, Publisher, QueryEngine, QueryService, Request, Response, Server,
+    ServerConfig, ServiceConfig, WireAnswer, WireQuery,
+};
 use rp_table::{read_csv, write_csv, Pattern, Table, Term};
 
 /// Parsed command-line options.
@@ -53,16 +66,29 @@ struct Options {
     generalize: bool,
     conditions: Vec<(String, String)>,
     value: Option<String>,
+    threads: Option<usize>,
+    listen: Option<String>,
+    connect: Option<String>,
+    max_conns: usize,
+    cache: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rpctl audit   --input FILE --sa COLUMN [--p P --lambda L --delta D]\n  \
-         rpctl publish --input FILE --sa COLUMN --output FILE.rppub [--csv FILE.csv] [--p P --lambda L --delta D --no-generalize --seed N]\n  \
+         rpctl publish --input FILE --sa COLUMN --output FILE.rppub [--csv FILE.csv] [--p P --lambda L --delta D --no-generalize --seed N --threads N]\n  \
          rpctl query   --publication FILE.rppub --where COL=VALUE ... --value SA_VALUE [--raw FILE.csv]\n  \
-         rpctl serve   --publication FILE.rppub"
+         rpctl query   --connect HOST:PORT --where COL=VALUE ... --value SA_VALUE\n  \
+         rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES]"
     );
     ExitCode::from(2)
+}
+
+/// The machine's usable thread count — the default for `--threads`.
+fn machine_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn parse(args: &[String]) -> Option<Options> {
@@ -72,6 +98,8 @@ fn parse(args: &[String]) -> Option<Options> {
         delta: rp_engine::publisher::DEFAULT_DELTA,
         seed: rp_engine::publisher::DEFAULT_SEED,
         generalize: true,
+        max_conns: rp_engine::server::DEFAULT_MAX_CONNS,
+        cache: rp_engine::service::DEFAULT_CACHE_ENTRIES,
         ..Options::default()
     };
     let mut it = args.iter();
@@ -95,6 +123,22 @@ fn parse(args: &[String]) -> Option<Options> {
                 opts.conditions.push((col.to_string(), value.to_string()));
             }
             "--value" => opts.value = Some(it.next()?.clone()),
+            "--threads" => {
+                let threads: usize = it.next()?.parse().ok()?;
+                if threads == 0 {
+                    return None;
+                }
+                opts.threads = Some(threads);
+            }
+            "--listen" => opts.listen = Some(it.next()?.clone()),
+            "--connect" => opts.connect = Some(it.next()?.clone()),
+            "--max-conns" => {
+                opts.max_conns = it.next()?.parse().ok()?;
+                if opts.max_conns == 0 {
+                    return None;
+                }
+            }
+            "--cache" => opts.cache = it.next()?.parse().ok()?,
             _ => return None,
         }
     }
@@ -169,11 +213,20 @@ fn cmd_publish(opts: &Options) -> Result<(), String> {
     } else {
         table
     };
+    // Grouping parallelism defaults to the machine's core count; the
+    // deterministic shard merge keeps the release byte-identical for
+    // every (shards, threads) choice, so this is purely an execution knob.
+    let threads = opts.threads.unwrap_or_else(machine_threads);
+    let shards = if threads > 1 { threads * 4 } else { 1 };
+    if threads > 1 {
+        println!("grouping on {threads} threads ({shards} shards)");
+    }
     let publication = Publisher::new(published_input)
         .sa(sa)
         .privacy(opts.lambda, opts.delta)
         .retention(opts.p)
         .seed(opts.seed)
+        .parallelism(shards, threads)
         .publish()
         .map_err(|e| e.to_string())?;
     let check = publication.check();
@@ -201,6 +254,9 @@ fn cmd_publish(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_query(opts: &Options) -> Result<(), String> {
+    if let Some(addr) = opts.connect.as_deref() {
+        return cmd_query_remote(opts, addr);
+    }
     let value = opts.value.as_deref().ok_or("--value is required")?;
     let publication = load_publication(opts)?;
     let engine = QueryEngine::new(&publication);
@@ -215,23 +271,9 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         .query_from_values(&conditions)
         .map_err(|e| e.to_string())?;
     let answer = engine.answer(&query).map_err(|e| e.to_string())?;
+    print_answer(&WireAnswer::from(&answer), publication.p(), "artifact");
     if answer.support == 0 {
-        println!("no published records match the WHERE conditions; estimate = 0");
         return Ok(());
-    }
-    println!(
-        "estimate = {:.1} records ({} matching rows, reconstructed frequency {:.4}, \
-         p = {} from the artifact)",
-        answer.estimate,
-        answer.support,
-        answer.frequency,
-        publication.p()
-    );
-    if let (Some(ci), Some((lo, hi))) = (answer.ci, answer.count_interval()) {
-        println!(
-            "95% CI for the frequency: [{:.4}, {:.4}] -> counts [{lo:.1}, {hi:.1}]",
-            ci.lo, ci.hi
-        );
     }
     if let Some(raw_path) = opts.raw.as_deref() {
         match true_answer(&load(raw_path)?, &conditions) {
@@ -240,6 +282,108 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Renders one answer the same way for both query modes (local artifact
+/// and TCP client); `p_source` names where `p` came from.
+fn print_answer(answer: &WireAnswer, p: f64, p_source: &str) {
+    if answer.support == 0 {
+        println!("no published records match the WHERE conditions; estimate = 0");
+        return;
+    }
+    println!(
+        "estimate = {:.1} records ({} matching rows, reconstructed frequency {:.4}, \
+         p = {p} from the {p_source})",
+        answer.estimate, answer.support, answer.frequency
+    );
+    if let Some((lo, hi)) = answer.ci {
+        println!(
+            "95% CI for the frequency: [{lo:.4}, {hi:.4}] -> counts [{:.1}, {:.1}]",
+            answer.support as f64 * lo,
+            answer.support as f64 * hi
+        );
+    }
+}
+
+/// Speaks the `rp_engine::protocol` over TCP: HELLO banner (which names
+/// the SA column), one `count` request, one response, `quit`.
+fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
+    let value = opts.value.as_deref().ok_or("--value is required")?;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone socket: {e}"))?,
+    );
+    let mut writer = stream;
+    let read_response = |reader: &mut BufReader<TcpStream>| -> Result<Response, String> {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read from {addr}: {e}"))?;
+        if line.is_empty() {
+            return Err(format!("{addr} closed the connection"));
+        }
+        Response::parse(&line).map_err(|e| format!("bad response from {addr}: {e}"))
+    };
+    let (version, sa, records, p) = match read_response(&mut reader)? {
+        Response::Hello {
+            version,
+            sa,
+            records,
+            p,
+            ..
+        } => (version, sa, records, p),
+        // A server at its connection cap refuses with one structured line
+        // before any banner — surface the code and its retry hint.
+        Response::Error { code, message } => {
+            return Err(format!("server refused ({code}): {message}"));
+        }
+        other => {
+            return Err(format!(
+                "{addr} did not send a HELLO banner (got `{}`)",
+                other.encode()
+            ));
+        }
+    };
+    if version != rp_engine::PROTOCOL_VERSION {
+        return Err(format!(
+            "{addr} speaks rp/{version}, this client speaks rp/{}; upgrade one side",
+            rp_engine::PROTOCOL_VERSION
+        ));
+    }
+    eprintln!("connected to {addr} (rp/{version}, {records} records, sa = {sa})");
+    let mut conditions: Vec<(String, String)> = opts.conditions.clone();
+    conditions.push((sa, value.to_string()));
+    let request = Request::Query(WireQuery::new(conditions.clone()));
+    writeln!(writer, "{}", request.encode()).map_err(|e| format!("write to {addr}: {e}"))?;
+    let response = read_response(&mut reader)?;
+    // Best-effort farewell; the answer is already in hand.
+    let _ = writeln!(writer, "quit");
+    match response {
+        Response::Answer(answer) => {
+            print_answer(&answer, p, "server");
+            // --raw is a purely client-side comparison; it works the same
+            // against a remote server as against a local artifact, and
+            // like the local mode it is skipped on empty support.
+            if answer.support == 0 {
+                return Ok(());
+            }
+            if let Some(raw_path) = opts.raw.as_deref() {
+                let borrowed: Vec<(&str, &str)> = conditions
+                    .iter()
+                    .map(|(c, v)| (c.as_str(), v.as_str()))
+                    .collect();
+                match true_answer(&load(raw_path)?, &borrowed) {
+                    Ok(truth) => println!("(true answer on {raw_path}: {truth})"),
+                    Err(msg) => println!("(no true answer on {raw_path}: {msg})"),
+                }
+            }
+            Ok(())
+        }
+        Response::Error { code, message } => Err(format!("server refused ({code}): {message}")),
+        other => Err(format!("unexpected response: {}", other.encode())),
+    }
 }
 
 /// Counts raw rows matching every `(column, value)` condition by resolving
@@ -264,24 +408,67 @@ fn true_answer(raw: &Table, conditions: &[(&str, &str)]) -> Result<u64, String> 
 
 fn cmd_serve(opts: &Options) -> Result<(), String> {
     let publication = load_publication(opts)?;
-    let engine = QueryEngine::new(&publication);
+    // The line protocol frames names and values as whitespace-separated
+    // tokens; a non-token SA name even breaks the HELLO banner. Serve
+    // anyway (other columns stay queryable) but say so up front.
+    for attr in 0..publication.schema().arity() {
+        let name = publication.schema().attribute(attr).name();
+        if !rp_engine::protocol::is_token(name) {
+            eprintln!(
+                "warning: column `{name}` is not a protocol token (whitespace/`;`/`=`); \
+                 it cannot be {} over the wire",
+                if attr == publication.sa() {
+                    "served — HELLO and info lines will not parse"
+                } else {
+                    "queried"
+                }
+            );
+        }
+    }
+    let service = QueryService::from_publication(
+        &publication,
+        ServiceConfig {
+            cache_entries: opts.cache,
+        },
+    );
     eprintln!(
-        "serving {} records in {} groups (sa = {}, p = {}); \
+        "serving {} records in {} groups (sa = {}, p = {}, cache = {} entries); \
          one `count COL=VALUE ... {}=VALUE` query per line, `quit` to stop",
-        engine.records(),
-        engine.groups(),
+        service.engine().records(),
+        service.engine().groups(),
         publication.sa_name(),
         publication.p(),
+        opts.cache,
         publication.sa_name()
     );
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let stats = serve(&engine, Some(&publication), stdin.lock(), stdout.lock())
-        .map_err(|e| format!("serve loop: {e}"))?;
-    eprintln!(
-        "served {} requests ({} answered, {} errors)",
-        stats.requests, stats.answered, stats.errors
-    );
+    if let Some(addr) = opts.listen.as_deref() {
+        let server = Server::bind(
+            addr,
+            Arc::new(service),
+            ServerConfig {
+                max_conns: opts.max_conns,
+            },
+        )
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        let bound = server
+            .local_addr()
+            .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+        eprintln!(
+            "listening on {bound} (max {} concurrent sessions); \
+             connect with `rpctl query --connect {bound} ...`",
+            opts.max_conns
+        );
+        server.run().map_err(|e| format!("serve loop: {e}"))?;
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let stats =
+            serve(&service, stdin.lock(), stdout.lock()).map_err(|e| format!("serve loop: {e}"))?;
+        eprintln!(
+            "served {} requests ({} answered, {} errors, {} cache hits)",
+            stats.requests, stats.answered, stats.errors, stats.cache_hits
+        );
+    }
     Ok(())
 }
 

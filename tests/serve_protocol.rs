@@ -1,0 +1,302 @@
+//! Integration tests for the serving stack (`rp-engine`'s protocol /
+//! service / server layers):
+//!
+//! * the wire protocol round-trips: `parse ∘ encode = id` over generated
+//!   [`Request`]s and [`Response`]s (property test);
+//! * stdio and TCP are the same protocol: N concurrent TCP clients
+//!   running an interleaved request stream each receive bytes identical
+//!   to the sequential stdio loop's transcript;
+//! * the answer cache changes no response bytes — only the hit counters
+//!   observable through `stats`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rp_repro::engine::protocol::{ErrorCode, ReleaseMeta, StatsSnapshot, WireAnswer};
+use rp_repro::engine::{
+    serve, Publisher, QueryService, Request, Response, Server, ServerConfig, ServiceConfig,
+    WireQuery,
+};
+use rp_repro::table::{Attribute, Schema, TableBuilder};
+
+// ---------------------------------------------------------------------------
+// Generators: typed requests/responses from a seeded RNG. The vendored
+// proptest draws the seed; the value is a pure function of it.
+// ---------------------------------------------------------------------------
+
+const COLUMNS: [&str; 4] = ["Job", "Disease", "Zip-Code", "Age_Band"];
+const VALUES: [&str; 5] = ["eng", "flu", ">50K", "n/a", "v_7-x"];
+
+fn arb_condition(rng: &mut StdRng) -> (String, String) {
+    (
+        COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string(),
+        VALUES[rng.gen_range(0..VALUES.len())].to_string(),
+    )
+}
+
+fn arb_wire_query(rng: &mut StdRng) -> WireQuery {
+    let n = rng.gen_range(1..=4usize);
+    WireQuery {
+        conditions: (0..n).map(|_| arb_condition(rng)).collect(),
+    }
+}
+
+fn arb_request(rng: &mut StdRng) -> Request {
+    match rng.gen_range(0..6u32) {
+        0 => Request::Ping,
+        1 => Request::Quit,
+        2 => Request::Info,
+        3 => Request::Stats,
+        4 => Request::Query(arb_wire_query(rng)),
+        _ => {
+            let n = rng.gen_range(1..=3usize);
+            Request::Batch((0..n).map(|_| arb_wire_query(rng)).collect())
+        }
+    }
+}
+
+/// Finite floats across several magnitudes (the codec encodes with the
+/// shortest round-trip `Display`, so any finite value must survive).
+fn arb_f64(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0..4u32) {
+        0 => 0.0,
+        1 => rng.gen_range(0.0..1.0),
+        2 => rng.gen_range(0.0..1.0e9),
+        _ => f64::from(rng.gen_range(1..1_000_000u32)) / 977.0,
+    }
+}
+
+fn arb_answer(rng: &mut StdRng) -> WireAnswer {
+    WireAnswer {
+        estimate: arb_f64(rng),
+        support: rng.gen_range(0..1_000_000u64),
+        observed: rng.gen_range(0..1_000_000u64),
+        frequency: arb_f64(rng),
+        ci: if rng.gen_range(0..2u32) == 0 {
+            Some((arb_f64(rng), arb_f64(rng)))
+        } else {
+            None
+        },
+    }
+}
+
+fn arb_response(rng: &mut StdRng) -> Response {
+    match rng.gen_range(0..8u32) {
+        0 => Response::Hello {
+            version: rng.gen_range(1..100u32),
+            sa: COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string(),
+            records: rng.gen_range(0..10_000_000u64),
+            groups: rng.gen_range(0..100_000u64),
+            p: arb_f64(rng),
+        },
+        1 => Response::Answer(arb_answer(rng)),
+        2 => {
+            let n = rng.gen_range(0..=3usize);
+            Response::Batch((0..n).map(|_| arb_answer(rng)).collect())
+        }
+        3 => Response::Info {
+            sa: COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string(),
+            records: rng.gen_range(0..10_000_000u64),
+            groups: rng.gen_range(0..100_000u64),
+            p: arb_f64(rng),
+            release: if rng.gen_range(0..2u32) == 0 {
+                Some(ReleaseMeta {
+                    lambda: arb_f64(rng),
+                    delta: arb_f64(rng),
+                    seed: rng.gen_range(0..u64::MAX),
+                })
+            } else {
+                None
+            },
+        },
+        4 => Response::Stats(StatsSnapshot {
+            requests: rng.gen_range(0..u64::MAX),
+            answered: rng.gen_range(0..u64::MAX),
+            errors: rng.gen_range(0..u64::MAX),
+            cache_hits: rng.gen_range(0..u64::MAX),
+            cache_misses: rng.gen_range(0..u64::MAX),
+            sessions: rng.gen_range(0..u64::MAX),
+        }),
+        5 => Response::Pong,
+        6 => Response::Bye,
+        _ => Response::Error {
+            code: [
+                ErrorCode::Parse,
+                ErrorCode::UnknownCommand,
+                ErrorCode::BadQuery,
+                ErrorCode::Busy,
+                ErrorCode::Internal,
+            ][rng.gen_range(0..5usize)],
+            message: "query needs a condition on the SA column `Disease`".to_string(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse ∘ encode = id` over generated requests.
+    #[test]
+    fn request_parse_encode_is_identity(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let request = arb_request(&mut rng);
+        let line = request.encode();
+        let parsed = Request::parse(&line).expect("canonical line parses");
+        prop_assert_eq!(parsed, Some(request));
+    }
+
+    /// `parse ∘ encode = id` over generated responses.
+    #[test]
+    fn response_parse_encode_is_identity(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let response = arb_response(&mut rng);
+        let line = response.encode();
+        let parsed = Response::parse(&line).expect("canonical line parses");
+        prop_assert_eq!(parsed, response);
+    }
+
+    /// Encoding is canonical: re-encoding a parsed line reproduces it.
+    #[test]
+    fn request_encoding_is_idempotent(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let line = arb_request(&mut rng).encode();
+        let reparsed = Request::parse(&line).unwrap().unwrap();
+        prop_assert_eq!(reparsed.encode(), line);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport equivalence over a real publication.
+// ---------------------------------------------------------------------------
+
+fn fixture_service(cache_entries: usize) -> QueryService {
+    let schema = Schema::new(vec![
+        Attribute::new("Job", ["eng", "doc", "law"]),
+        Attribute::new("City", ["rome", "oslo"]),
+        Attribute::new("Disease", ["flu", "none"]),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for i in 0..1800u32 {
+        b.push_codes(&[i % 3, (i / 3) % 2, (i / 6) % 2]).unwrap();
+    }
+    let publication = Publisher::new(b.build())
+        .sa(2)
+        .seed(41)
+        .publish()
+        .expect("fixture publishes");
+    QueryService::from_publication(&publication, ServiceConfig { cache_entries })
+}
+
+/// A deterministic request stream: queries (with a repeat for the cache),
+/// a batch, structured errors of every class, info and ping — everything
+/// except `stats`, whose counters legitimately depend on interleaving.
+const SCRIPT: &[&str] = &[
+    "info",
+    "ping",
+    "count Job=eng Disease=flu",
+    "Disease=none Job=doc",
+    "garbage",
+    "count Job=eng",
+    "count Nope=1 Disease=flu",
+    "count Job=eng Job=doc Disease=flu",
+    "batch Job=eng Disease=flu; City=oslo Disease=none",
+    "Disease=flu Job=eng",
+    "quit",
+];
+
+/// The sequential stdio transcript of the script over a fresh service.
+fn stdio_transcript(cache_entries: usize) -> (String, StatsSnapshot) {
+    let service = fixture_service(cache_entries);
+    let input = SCRIPT.join("\n") + "\n";
+    let mut out = Vec::new();
+    serve(&service, input.as_bytes(), &mut out).expect("in-memory serve cannot fail");
+    (String::from_utf8(out).unwrap(), service.stats())
+}
+
+#[test]
+fn concurrent_tcp_sessions_match_sequential_stdio_bytes() {
+    const CLIENTS: usize = 4;
+    let (reference, _) = stdio_transcript(1024);
+
+    let service = Arc::new(fixture_service(1024));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+        .expect("bind an ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+                let mut writer = stream;
+                let mut transcript = String::new();
+                let read_line = |reader: &mut BufReader<TcpStream>, transcript: &mut String| {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read response");
+                    transcript.push_str(&line);
+                };
+                read_line(&mut reader, &mut transcript); // HELLO banner
+                                                         // One line at a time — send, then read the single response
+                                                         // — so the N sessions genuinely interleave on the server.
+                for request in SCRIPT {
+                    writeln!(writer, "{request}").expect("send request");
+                    writer.flush().expect("flush");
+                    read_line(&mut reader, &mut transcript);
+                }
+                transcript
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        let transcript = worker.join().expect("client thread");
+        assert_eq!(
+            transcript, reference,
+            "a TCP session diverged from the stdio transcript"
+        );
+    }
+    handle.shutdown().expect("graceful shutdown");
+
+    let stats = service.stats();
+    assert_eq!(stats.sessions, CLIENTS as u64);
+    assert_eq!(stats.requests, (SCRIPT.len() * CLIENTS) as u64);
+    // 4 of the script lines are errors (unknown command, missing SA,
+    // unknown column, duplicated column), on every session.
+    assert_eq!(stats.errors, 4 * CLIENTS as u64);
+    // Every session's repeated query hits the shared cache (its first
+    // occurrence already populated it within the same session); the first
+    // occurrences may race and each count a miss, so only the repeat is
+    // guaranteed.
+    // 3 single queries per session consult the cache (batches bypass it).
+    assert_eq!(stats.cache_hits + stats.cache_misses, 3 * CLIENTS as u64);
+    assert!(stats.cache_hits >= CLIENTS as u64, "{stats:?}");
+}
+
+#[test]
+fn cache_changes_no_response_bytes_only_counters() {
+    let (cached, cached_stats) = stdio_transcript(1024);
+    let (uncached, uncached_stats) = stdio_transcript(0);
+    assert_eq!(cached, uncached, "the answer cache altered response bytes");
+    assert_eq!(cached_stats.cache_hits, 1, "{cached_stats:?}");
+    assert_eq!(cached_stats.cache_misses, 2, "{cached_stats:?}");
+    assert_eq!(uncached_stats.cache_hits, 0);
+    assert_eq!(uncached_stats.cache_misses, 0);
+    // Everything else agrees exactly.
+    assert_eq!(cached_stats.requests, uncached_stats.requests);
+    assert_eq!(cached_stats.answered, uncached_stats.answered);
+    assert_eq!(cached_stats.errors, uncached_stats.errors);
+}
+
+#[test]
+fn every_script_response_parses_as_typed_protocol() {
+    let (transcript, _) = stdio_transcript(1024);
+    for line in transcript.lines() {
+        let parsed = Response::parse(line);
+        assert!(parsed.is_ok(), "unparseable response line `{line}`");
+    }
+}
