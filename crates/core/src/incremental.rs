@@ -42,17 +42,31 @@ pub struct LiveGroup {
     pub published_hist: Vec<u64>,
     /// Current compliance status.
     pub status: GroupStatus,
+    /// Raw records covered by the last SPS re-publication (0 if the group
+    /// was never sampled). Compliance is evaluated on the *tail* of
+    /// records inserted since: the sampled prefix is private by design
+    /// (the sample size *is* `sg`), so only the plainly-perturbed tail
+    /// counts against the group-size threshold.
+    pub republished_len: u64,
 }
 
 impl LiveGroup {
-    /// Raw group size.
-    pub fn len(&self) -> usize {
-        self.raw_hist.iter().sum::<u64>() as usize
+    /// Raw group size (histogram counts sum to `u64`; a `usize` cast
+    /// could overflow on 32-bit targets by construction, so the sum is
+    /// returned as-is).
+    pub fn len(&self) -> u64 {
+        self.raw_hist.iter().sum::<u64>()
     }
 
     /// Whether the group holds no records.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Records inserted since the last SPS re-publication — the subset
+    /// whose plain perturbation the `(λ, δ)` criterion is tested on.
+    pub fn exposed_len(&self) -> u64 {
+        self.len().saturating_sub(self.republished_len)
     }
 }
 
@@ -84,11 +98,14 @@ impl IncrementalPublisher {
     /// Inserts one record: `key` is its public-attribute codes, `sa` its
     /// sensitive code. The record is perturbed immediately and added to
     /// the published histogram of its group. Returns the group's status
-    /// *after* the insertion.
+    /// *after* the insertion — discarding it silently drops the paper's
+    /// remedy (a flagged group must be re-sampled before release), hence
+    /// `#[must_use]`.
     ///
     /// # Panics
     ///
     /// Panics if `sa` is outside the SA domain.
+    #[must_use = "a NeedsResampling status requires re-publishing the group through SPS"]
     pub fn insert<R: Rng + ?Sized>(&mut self, rng: &mut R, key: &[u32], sa: u32) -> GroupStatus {
         let m = self.op.domain_size();
         assert!((sa as usize) < m, "SA code {sa} out of domain {m}");
@@ -102,6 +119,7 @@ impl IncrementalPublisher {
                 raw_hist: vec![0; m],
                 published_hist: vec![0; m],
                 status: GroupStatus::Compliant,
+                republished_len: 0,
             });
         group.raw_hist[sa as usize] += 1;
         group.published_hist[perturbed as usize] += 1;
@@ -111,12 +129,18 @@ impl IncrementalPublisher {
 
     fn evaluate(op: &UniformPerturbation, params: PrivacyParams, group: &LiveGroup) -> GroupStatus {
         let size: u64 = group.raw_hist.iter().sum();
-        if size == 0 {
+        let exposed = size.saturating_sub(group.republished_len);
+        if size == 0 || exposed == 0 {
             return GroupStatus::Compliant;
         }
+        // The threshold is evaluated on the records inserted since the
+        // last SPS re-publication (the sampled prefix is private by
+        // design), with the whole-group maximum frequency as the
+        // conservative `f` — the tail of a skewed group never gets a
+        // laxer threshold than the group itself.
         let f = *group.raw_hist.iter().max().expect("non-empty") as f64 / size as f64;
         let sg = max_group_size(params, op.retention(), op.domain_size(), f);
-        if size as f64 <= sg {
+        if exposed as f64 <= sg {
             GroupStatus::Compliant
         } else {
             GroupStatus::NeedsResampling
@@ -146,6 +170,9 @@ impl IncrementalPublisher {
         let sg = max_group_size(params, op.retention(), op.domain_size(), f);
         if size as f64 <= sg {
             // Whole-group perturbation is compliant: republish plainly.
+            // The whole group is exposed through plain UP again, so the
+            // sampled-prefix baseline resets.
+            group.republished_len = 0;
             group.published_hist = op.perturb_histogram(rng, &group.raw_hist);
         } else {
             let tau = sg / size as f64;
@@ -176,6 +203,9 @@ impl IncrementalPublisher {
                     base + rp_stats::sampling::sample_binomial(rng, c, frac)
                 })
                 .collect();
+            // Every current record is now covered by the SPS sample; only
+            // records inserted after this point count against `sg` again.
+            group.republished_len = size;
         }
         group.status = GroupStatus::Compliant;
         GroupStatus::Compliant
@@ -209,6 +239,32 @@ impl IncrementalPublisher {
     /// Looks up a live group by key.
     pub fn group(&self, key: &[u32]) -> Option<&LiveGroup> {
         self.groups.get(key)
+    }
+
+    /// Removes a live group from the publisher and returns it — the
+    /// eviction half of a spill-to-disk residency policy: a cold group's
+    /// state moves out of memory and [`IncrementalPublisher::put_group`]
+    /// restores it losslessly when it heats up again.
+    pub fn take_group(&mut self, key: &[u32]) -> Option<LiveGroup> {
+        self.groups.remove(key)
+    }
+
+    /// Restores a previously taken (or deserialized) live group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group with the same key is already live or the
+    /// histograms do not match the publisher's SA domain size.
+    pub fn put_group(&mut self, group: LiveGroup) {
+        let m = self.op.domain_size();
+        assert_eq!(group.raw_hist.len(), m, "raw histogram arity must be m");
+        assert_eq!(
+            group.published_hist.len(),
+            m,
+            "published histogram arity must be m"
+        );
+        let prev = self.groups.insert(group.key.clone(), group);
+        assert!(prev.is_none(), "group key is already live");
     }
 
     /// Iterates over all live groups (unspecified order).
@@ -275,7 +331,7 @@ mod tests {
         let mut p = publisher();
         let mut rng = StdRng::seed_from_u64(3);
         for i in 0..1000u32 {
-            p.insert(&mut rng, &[0], u32::from(i % 10 >= 7));
+            let _ = p.insert(&mut rng, &[0], u32::from(i % 10 >= 7));
         }
         assert_eq!(p.group(&[0]).unwrap().status, GroupStatus::NeedsResampling);
         let fixed = p.republish_flagged(&mut rng);
@@ -297,10 +353,10 @@ mod tests {
         let mut p = publisher();
         let mut rng = StdRng::seed_from_u64(4);
         for i in 0..1000u32 {
-            p.insert(&mut rng, &[0], u32::from(i % 10 >= 7));
+            let _ = p.insert(&mut rng, &[0], u32::from(i % 10 >= 7));
         }
         for i in 0..20u32 {
-            p.insert(&mut rng, &[1], i % 2);
+            let _ = p.insert(&mut rng, &[1], i % 2);
         }
         let before = p.group(&[1]).unwrap().published_hist.clone();
         p.republish_flagged(&mut rng);
@@ -314,8 +370,8 @@ mod tests {
         let mut p = publisher();
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..150u32 {
-            p.insert(&mut rng, &[0], i % 2); // balanced
-            p.insert(&mut rng, &[1], u32::from(i % 10 == 0)); // 90/10 skew
+            let _ = p.insert(&mut rng, &[0], i % 2); // balanced
+            let _ = p.insert(&mut rng, &[1], u32::from(i % 10 == 0)); // 90/10 skew
         }
         let balanced = p.group(&[0]).unwrap().status;
         let skewed = p.group(&[1]).unwrap().status;
@@ -331,7 +387,7 @@ mod tests {
         for _ in 0..runs {
             let mut p = publisher();
             for i in 0..80u32 {
-                p.insert(&mut rng, &[0], u32::from(i % 4 == 0)); // f0 = 0.75
+                let _ = p.insert(&mut rng, &[0], u32::from(i % 4 == 0)); // f0 = 0.75
             }
             let g = p.group(&[0]).unwrap();
             total[0] += g.published_hist[0];
@@ -347,7 +403,66 @@ mod tests {
     fn out_of_domain_sa_rejected() {
         let mut p = publisher();
         let mut rng = StdRng::seed_from_u64(7);
-        p.insert(&mut rng, &[0], 5);
+        let _ = p.insert(&mut rng, &[0], 5);
+    }
+
+    #[test]
+    fn republished_group_flags_again_only_when_the_tail_crosses_sg() {
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..1000u32 {
+            let _ = p.insert(&mut rng, &[0], u32::from(i % 10 >= 7));
+        }
+        assert_eq!(p.republish_flagged(&mut rng), 1);
+        let g = p.group(&[0]).unwrap();
+        assert_eq!(g.republished_len, 1000);
+        assert_eq!(g.exposed_len(), 0);
+        // The sampled prefix is covered: the next insert must NOT
+        // immediately re-flag the group...
+        assert_eq!(
+            p.insert(&mut rng, &[0], 0),
+            GroupStatus::Compliant,
+            "one fresh record cannot violate"
+        );
+        // ...but a tail of fresh records that itself crosses sg must.
+        let mut reflagged_at = None;
+        for i in 0..500u32 {
+            if p.insert(&mut rng, &[0], u32::from(i % 10 >= 7)) == GroupStatus::NeedsResampling {
+                reflagged_at = Some(i);
+                break;
+            }
+        }
+        let at = reflagged_at.expect("the tail must eventually violate");
+        assert!(
+            (100..300).contains(&at),
+            "re-flagged after {at} fresh records, expected near sg"
+        );
+    }
+
+    #[test]
+    fn take_and_put_group_round_trip() {
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(10);
+        for i in 0..30u32 {
+            let _ = p.insert(&mut rng, &[3], i % 2);
+        }
+        let taken = p.take_group(&[3]).expect("group exists");
+        assert_eq!(p.group_count(), 0);
+        assert!(p.group(&[3]).is_none());
+        let copy = taken.clone();
+        p.put_group(taken);
+        assert_eq!(p.group(&[3]), Some(&copy));
+        assert!(p.take_group(&[9]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already live")]
+    fn put_duplicate_group_panics() {
+        let mut p = publisher();
+        let mut rng = StdRng::seed_from_u64(11);
+        let _ = p.insert(&mut rng, &[0], 0);
+        let g = p.group(&[0]).unwrap().clone();
+        p.put_group(g);
     }
 
     #[test]

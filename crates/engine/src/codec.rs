@@ -1,0 +1,174 @@
+//! Shared line-codec machinery for the on-disk artifact formats.
+//!
+//! Both persistent formats of this crate — the [`crate::Publication`]
+//! artifact and the insert WAL of [`crate::stream`] — follow the same
+//! codec discipline: line-oriented, tab-separated, a versioned magic
+//! line up front, `parse ∘ encode = id` over every representable value.
+//! This module holds the pieces they share: a position-tracking line
+//! reader, `key\tv1\tv2...` field parsing, the token check for writable
+//! strings, and the schema section (`attrs` + `attr` lines) both formats
+//! embed so either file is self-describing.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use rp_table::{Attribute, Schema};
+
+use crate::publication::PublicationError;
+
+/// Refuses strings that cannot ride a tab-separated line format.
+pub(crate) fn check_writable(s: &str) -> Result<(), PublicationError> {
+    if s.contains('\t') || s.contains('\n') || s.contains('\r') {
+        return Err(PublicationError::Unrepresentable(s.to_string()));
+    }
+    Ok(())
+}
+
+/// Writes the schema section: one `attrs` count line, then one `attr`
+/// line per attribute (name followed by its domain values).
+pub(crate) fn write_schema<W: Write>(mut w: W, schema: &Schema) -> Result<(), PublicationError> {
+    for (_, attr) in schema.iter() {
+        check_writable(attr.name())?;
+        for v in attr.dictionary().values() {
+            check_writable(v)?;
+        }
+    }
+    writeln!(w, "attrs\t{}", schema.arity())?;
+    for (_, attr) in schema.iter() {
+        write!(w, "attr\t{}", attr.name())?;
+        for v in attr.dictionary().values() {
+            write!(w, "\t{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads the schema section written by [`write_schema`], returning the
+/// attributes in order. Callers apply their own shape validation (SA
+/// range, minimum arity) on top.
+pub(crate) fn read_schema<R: BufRead>(
+    lines: &mut Lines<R>,
+) -> Result<Vec<Attribute>, PublicationError> {
+    let arity: usize = lines.field("attrs")?.parse_one()?;
+    // The count is untrusted: cap the pre-allocation so a corrupt header
+    // cannot trigger a capacity-overflow panic or a huge reservation (a
+    // real arity past the cap still loads, slower).
+    let mut attributes = Vec::with_capacity(arity.min(1 << 10));
+    for _ in 0..arity {
+        let f = lines.field("attr")?;
+        if f.values.is_empty() {
+            return Err(f.error("attr line needs a name"));
+        }
+        attributes.push(Attribute::new(f.values[0], f.values[1..].iter().copied()));
+    }
+    Ok(attributes)
+}
+
+/// Line reader with position tracking for error messages.
+pub(crate) struct Lines<R> {
+    inner: R,
+    pub(crate) line_no: usize,
+    buf: String,
+}
+
+/// One parsed `key\tv1\tv2...` metadata line.
+pub(crate) struct Field<'a> {
+    pub(crate) key: &'a str,
+    pub(crate) values: Vec<&'a str>,
+    pub(crate) line: usize,
+}
+
+impl<R: BufRead> Lines<R> {
+    pub(crate) fn new(inner: R) -> Self {
+        Self {
+            inner,
+            line_no: 0,
+            buf: String::new(),
+        }
+    }
+
+    pub(crate) fn err(&self, message: String) -> PublicationError {
+        PublicationError::Format {
+            line: self.line_no,
+            message,
+        }
+    }
+
+    pub(crate) fn next_line(&mut self) -> Result<&str, PublicationError> {
+        self.buf.clear();
+        let n = self.inner.read_line(&mut self.buf)?;
+        self.line_no += 1;
+        if n == 0 {
+            return Err(PublicationError::Format {
+                line: self.line_no,
+                message: "unexpected end of input".to_string(),
+            });
+        }
+        Ok(self.buf.trim_end_matches(['\n', '\r']))
+    }
+
+    pub(crate) fn expect_eof(&mut self) -> Result<(), PublicationError> {
+        self.buf.clear();
+        if self.inner.read_line(&mut self.buf)? != 0 {
+            return Err(PublicationError::Format {
+                line: self.line_no + 1,
+                message: "trailing content after the declared row count".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn field(&mut self, key: &'static str) -> Result<Field<'_>, PublicationError> {
+        let line_no = self.line_no + 1;
+        let line = self.next_line()?;
+        let mut parts = line.split('\t');
+        let got = parts.next().unwrap_or("");
+        if got != key {
+            return Err(PublicationError::Format {
+                line: line_no,
+                message: format!("expected `{key}` line, got `{got}`"),
+            });
+        }
+        Ok(Field {
+            key,
+            values: parts.collect(),
+            line: line_no,
+        })
+    }
+}
+
+impl Field<'_> {
+    pub(crate) fn error(&self, message: impl Into<String>) -> PublicationError {
+        PublicationError::Format {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse_at<T: std::str::FromStr>(&self, i: usize) -> Result<T, PublicationError>
+    where
+        T::Err: fmt::Display,
+    {
+        let raw = self
+            .values
+            .get(i)
+            .ok_or_else(|| self.error(format!("`{}` line needs field {i}", self.key)))?;
+        raw.parse()
+            .map_err(|e| self.error(format!("bad `{}` field `{raw}`: {e}", self.key)))
+    }
+
+    pub(crate) fn parse_one<T: std::str::FromStr>(&self) -> Result<T, PublicationError>
+    where
+        T::Err: fmt::Display,
+    {
+        if self.values.len() != 1 {
+            return Err(self.error(format!(
+                "`{}` line needs exactly one value, got {}",
+                self.key,
+                self.values.len()
+            )));
+        }
+        self.parse_at(0)
+    }
+}

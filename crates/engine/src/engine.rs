@@ -257,6 +257,26 @@ impl QueryEngine {
         Ok(())
     }
 
+    /// Builds the Section-6 answer from raw `(support, observed)` counts
+    /// using this release's estimator parameters. The merge point of the
+    /// streaming path: a live service sums the base release's counts with
+    /// the live groups' counts and estimates over the union.
+    pub fn answer_from_counts(&self, support: u64, observed: u64) -> Answer {
+        self.answer_from(support, observed)
+    }
+
+    /// `(support, observed)` of the release subset matching the query —
+    /// the raw counts behind [`QueryEngine::answer`], exposed so a
+    /// streaming service can combine them with the live view's counts.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryEngine::answer`].
+    pub fn counts(&self, query: &CountQuery) -> Result<(u64, u64), EngineError> {
+        self.validate(query)?;
+        Ok(self.view.support_and_observed(query))
+    }
+
     fn answer_from(&self, support: u64, observed: u64) -> Answer {
         if support == 0 {
             return Answer {

@@ -19,18 +19,43 @@
 //!
 //! ## The serving stack
 //!
-//! On top of the engine, three layers turn one release into a
-//! transport-agnostic query service (`rpctl serve` / `rpctl query
-//! --connect` are thin shells over them):
+//! On top of the engine, four layers turn one release into a
+//! transport-agnostic — and, with a WAL, *live* — query service
+//! (`rpctl serve` / `rpctl query --connect` / `rpctl ingest` are thin
+//! shells over them):
+//!
+//! ```text
+//! Publisher ─▶ Publication (v1 batch / v2 streaming artifact)
+//!                  │                        ▲
+//!                  ▼                        │ snapshot / restore
+//!             QueryEngine ◀── base ─── stream::StreamPublisher
+//!                  │                        │  insert WAL · per-group RNG
+//!                  │   base + live counts   │  auto-republish · spill
+//!                  ▼                        ▼
+//!             service::QueryService (answer cache, counters)
+//!                  │
+//!          protocol::Request/Response (one canonical line codec)
+//!                  │
+//!        server: stdio serve() loop │ TCP thread-per-connection
+//! ```
 //!
 //! * [`protocol`] — the typed wire protocol: [`Request`] and [`Response`]
 //!   enums with a canonical line-oriented encode/parse round-trip, a
 //!   versioned `HELLO` banner, and structured
 //!   [`ErrorCode`]-carrying errors instead of free-form strings;
+//! * [`stream`] — the streaming subsystem: a durable
+//!   [`StreamPublisher`] wrapping `rp-core`'s incremental publisher in a
+//!   write-ahead log of inserts, counter-based per-group RNG streams
+//!   (one `u64` cursor each), automatic SPS re-publication when a group
+//!   crosses `sg`, bounded-memory cold-group spilling, and v2 snapshots
+//!   — state is a pure function of `(base artifact, WAL)`, so replay and
+//!   snapshot+tail restore are byte-identical to the live run;
 //! * [`service`] — the shared [`QueryService`]: an `Arc<QueryEngine>`
 //!   plus a bounded deterministic answer cache keyed by canonical query
-//!   form, a batch path through the prepared NA match index, and
-//!   per-session / aggregate serve counters;
+//!   form, a batch path through the prepared NA match index, per-session
+//!   / aggregate serve counters, and (in streaming mode) the live view —
+//!   answers merge base and live counts, and an insert invalidates
+//!   exactly the cached answers whose match set contains its group;
 //! * [`server`] — the transports: [`serve()`](serve::serve) runs one
 //!   session over any `BufRead`/`Write` pair (stdin/stdout included), and
 //!   [`Server`] is a TCP listener running that same loop
@@ -93,6 +118,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod codec;
 pub mod engine;
 pub mod protocol;
 pub mod publication;
@@ -100,14 +126,16 @@ pub mod publisher;
 pub mod serve;
 pub mod server;
 pub mod service;
+pub mod stream;
 
 pub use engine::{Answer, EngineError, PreparedQueries, QueryEngine};
 pub use protocol::{
     ErrorCode, ProtocolError, ReleaseMeta, Request, Response, StatsSnapshot, WireAnswer, WireQuery,
-    PROTOCOL_VERSION,
+    WireRecord, PROTOCOL_VERSION,
 };
-pub use publication::{DesignCheck, Publication, PublicationError};
+pub use publication::{DesignCheck, LiveGroupSnapshot, LiveState, Publication, PublicationError};
 pub use publisher::{PublishError, Publisher};
 pub use serve::serve;
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownHandle};
 pub use service::{QueryService, ServiceConfig, SessionStats};
+pub use stream::{InsertOutcome, StreamConfig, StreamError, StreamPublisher};

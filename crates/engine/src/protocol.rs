@@ -7,23 +7,31 @@
 //! transcript is transport-independent byte for byte:
 //!
 //! ```text
-//! request  := "ping" | "quit" | "info" | "stats"
+//! request  := "ping" | "quit" | "info" | "stats" | "flush"
 //!           | ["count "] cond (" " cond)*
 //!           | "batch " query ("; " query)*
+//!           | "insert " cond (" " cond)*      (one cond per schema column)
 //! cond     := COLUMN "=" VALUE              (tokens: no whitespace / ";")
 //! query    := ["count "] cond (" " cond)*
 //!
-//! response := "HELLO rp/1 sa=" NAME " records=" N " groups=" N " p=" P
+//! response := "HELLO rp/2 sa=" NAME " records=" N " groups=" N " p=" P
 //!           | "pong" | "bye"
 //!           | "publication sa=" NAME " records=" N " groups=" N " p=" P
 //!             [" lambda=" L " delta=" D " seed=" S]
 //!           | "est=" E " support=" N " observed=" N " f=" F
 //!             [" ci95=" LO "," HI]
 //!           | "batch " N "; " answer ("; " answer)*
+//!           | "inserted group_size=" N " republished=" ("true"|"false")
+//!           | "flushed events=" N
 //!           | "stats requests=" N " answered=" N " errors=" N
 //!             " cache_hits=" N " cache_misses=" N " sessions=" N
+//!             " inserts=" N
 //!           | "error code=" CODE " " MESSAGE
 //! ```
+//!
+//! `insert` and `flush` are the streaming pair (rp/2): they mutate the
+//! live release behind a [`crate::QueryService`] opened in streaming
+//! mode, and answer `error code=read-only` on a static artifact.
 //!
 //! Parsing and encoding are exact inverses over the canonical forms:
 //! `parse(encode(x)) == x` for every value expressible in the token
@@ -43,8 +51,10 @@
 use std::fmt;
 
 /// Protocol revision spoken by this build, advertised in the
-/// [`Response::Hello`] banner as `rp/<version>`.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// [`Response::Hello`] banner as `rp/<version>`. Revision 2 added the
+/// streaming pair (`insert`/`flush`, `inserted`/`flushed`), the
+/// `read-only` error code and the `inserts` stats counter.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Whether `s` can ride the line protocol as a single token in any
 /// position (non-empty, no whitespace, no `;`, no `=`). Column names and
@@ -70,6 +80,9 @@ pub enum ErrorCode {
     Busy,
     /// The service failed internally; the session stays up.
     Internal,
+    /// An `insert`/`flush` reached a service without a live stream
+    /// behind it (static artifact, no WAL).
+    ReadOnly,
 }
 
 impl ErrorCode {
@@ -81,6 +94,7 @@ impl ErrorCode {
             ErrorCode::BadQuery => "bad-query",
             ErrorCode::Busy => "busy",
             ErrorCode::Internal => "internal",
+            ErrorCode::ReadOnly => "read-only",
         }
     }
 
@@ -92,6 +106,7 @@ impl ErrorCode {
             "bad-query" => ErrorCode::BadQuery,
             "busy" => ErrorCode::Busy,
             "internal" => ErrorCode::Internal,
+            "read-only" => ErrorCode::ReadOnly,
             _ => return None,
         })
     }
@@ -189,6 +204,37 @@ impl WireQuery {
     }
 }
 
+/// One record to insert, as it appears on the wire: unresolved
+/// `(column, value)` string fields. The service resolves them against
+/// the live schema — every column must appear exactly once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WireRecord {
+    /// `(column, value)` fields in request order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl WireRecord {
+    /// Builds a wire record from `(column, value)` pairs.
+    pub fn new<C: Into<String>, V: Into<String>>(fields: Vec<(C, V)>) -> Self {
+        Self {
+            fields: fields
+                .into_iter()
+                .map(|(c, v)| (c.into(), v.into()))
+                .collect(),
+        }
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        out.push_str("insert");
+        for (col, value) in &self.fields {
+            out.push(' ');
+            out.push_str(col);
+            out.push('=');
+            out.push_str(value);
+        }
+    }
+}
+
 /// One client request.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Request {
@@ -196,6 +242,11 @@ pub enum Request {
     Query(WireQuery),
     /// Answer several queries through one prepared match index.
     Batch(Vec<WireQuery>),
+    /// Insert one record into the live release (streaming services).
+    Insert(WireRecord),
+    /// Commit the live release: sync the WAL (and write the snapshot,
+    /// when the server is configured with one).
+    Flush,
     /// Describe the release being served.
     Info,
     /// Report aggregate service counters.
@@ -227,6 +278,8 @@ impl Request {
                     q.encode_into(&mut out);
                 }
             }
+            Request::Insert(record) => record.encode_into(&mut out),
+            Request::Flush => out.push_str("flush"),
             Request::Info => out.push_str("info"),
             Request::Stats => out.push_str("stats"),
             Request::Ping => out.push_str("ping"),
@@ -267,7 +320,19 @@ impl Request {
             "ping" => no_args(Request::Ping),
             "info" => no_args(Request::Info),
             "stats" => no_args(Request::Stats),
+            "flush" => no_args(Request::Flush),
             "count" => Ok(Some(Request::Query(WireQuery::parse_body(rest)?))),
+            "insert" => {
+                if rest.trim().is_empty() {
+                    return Err(ProtocolError::new(
+                        ErrorCode::Parse,
+                        "empty record; try `insert Column=value ...` covering every column",
+                    ));
+                }
+                Ok(Some(Request::Insert(WireRecord {
+                    fields: WireQuery::parse_body(rest)?.conditions,
+                })))
+            }
             "batch" => {
                 if rest.trim().is_empty() {
                     return Err(ProtocolError::new(ErrorCode::Parse, "empty batch"));
@@ -283,7 +348,9 @@ impl Request {
             _ if verb.contains('=') => Ok(Some(Request::Query(WireQuery::parse_body(line)?))),
             _ => Err(ProtocolError::new(
                 ErrorCode::UnknownCommand,
-                format!("unknown command `{verb}`; try count/batch/info/stats/ping/quit"),
+                format!(
+                    "unknown command `{verb}`; try count/batch/insert/flush/info/stats/ping/quit"
+                ),
             )),
         }
     }
@@ -395,6 +462,8 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Sessions started (stdio runs and TCP connections alike).
     pub sessions: u64,
+    /// Records inserted into the live release.
+    pub inserts: u64,
 }
 
 /// One server response.
@@ -429,6 +498,20 @@ pub enum Response {
         p: f64,
         /// Artifact parameters when served from a [`crate::Publication`].
         release: Option<ReleaseMeta>,
+    },
+    /// Answer to a [`Request::Insert`].
+    Inserted {
+        /// Raw size of the record's group after the insert.
+        group_size: u64,
+        /// Whether the insert pushed the group past `sg` and it was
+        /// re-sampled through SPS.
+        republished: bool,
+    },
+    /// Answer to [`Request::Flush`]: the WAL is durable through this
+    /// many events.
+    Flushed {
+        /// Sequence number of the last durable event.
+        events: u64,
     },
     /// Answer to [`Request::Stats`].
     Stats(StatsSnapshot),
@@ -518,11 +601,24 @@ impl Response {
                     .expect("writing to a String cannot fail");
                 }
             }
+            Response::Inserted {
+                group_size,
+                republished,
+            } => {
+                write!(
+                    out,
+                    "inserted group_size={group_size} republished={republished}"
+                )
+                .expect("writing to a String cannot fail");
+            }
+            Response::Flushed { events } => {
+                write!(out, "flushed events={events}").expect("writing to a String cannot fail");
+            }
             Response::Stats(s) => {
                 write!(
                     out,
-                    "stats requests={} answered={} errors={} cache_hits={} cache_misses={} sessions={}",
-                    s.requests, s.answered, s.errors, s.cache_hits, s.cache_misses, s.sessions
+                    "stats requests={} answered={} errors={} cache_hits={} cache_misses={} sessions={} inserts={}",
+                    s.requests, s.answered, s.errors, s.cache_hits, s.cache_misses, s.sessions, s.inserts
                 )
                 .expect("writing to a String cannot fail");
             }
@@ -615,6 +711,24 @@ impl Response {
                 release,
             });
         }
+        if let Some(rest) = line.strip_prefix("inserted ") {
+            let mut tokens = rest.split_whitespace();
+            let group_size = parse_u64(expect_kv(tokens.next(), "group_size")?)?;
+            let republished = match expect_kv(tokens.next(), "republished")? {
+                "true" => true,
+                "false" => false,
+                other => return Err(bad(format!("bad republished flag `{other}`"))),
+            };
+            return Ok(Response::Inserted {
+                group_size,
+                republished,
+            });
+        }
+        if let Some(rest) = line.strip_prefix("flushed ") {
+            let mut tokens = rest.split_whitespace();
+            let events = parse_u64(expect_kv(tokens.next(), "events")?)?;
+            return Ok(Response::Flushed { events });
+        }
         if let Some(rest) = line.strip_prefix("stats ") {
             let mut tokens = rest.split_whitespace();
             return Ok(Response::Stats(StatsSnapshot {
@@ -624,6 +738,7 @@ impl Response {
                 cache_hits: parse_u64(expect_kv(tokens.next(), "cache_hits")?)?,
                 cache_misses: parse_u64(expect_kv(tokens.next(), "cache_misses")?)?,
                 sessions: parse_u64(expect_kv(tokens.next(), "sessions")?)?,
+                inserts: parse_u64(expect_kv(tokens.next(), "inserts")?)?,
             }));
         }
         if let Some(rest) = line.strip_prefix("error ") {
@@ -684,8 +799,10 @@ mod tests {
             Request::Quit,
             Request::Info,
             Request::Stats,
+            Request::Flush,
             Request::Query(q1.clone()),
             Request::Batch(vec![q1, q2]),
+            Request::Insert(WireRecord::new(vec![("Job", "eng"), ("Disease", "flu")])),
         ] {
             roundtrip_request(&r);
         }
@@ -743,12 +860,26 @@ mod tests {
                 cache_hits: 5,
                 cache_misses: 3,
                 sessions: 2,
+                inserts: 7,
             }),
+            Response::Inserted {
+                group_size: 501,
+                republished: true,
+            },
+            Response::Inserted {
+                group_size: 1,
+                republished: false,
+            },
+            Response::Flushed { events: 12345 },
             Response::Pong,
             Response::Bye,
             Response::Error {
                 code: ErrorCode::BadQuery,
                 message: "query needs a condition on the SA column `Disease`".into(),
+            },
+            Response::Error {
+                code: ErrorCode::ReadOnly,
+                message: "serving a static artifact; restart with --wal to ingest".into(),
             },
         ] {
             roundtrip_response(&r);
@@ -795,6 +926,9 @@ mod tests {
             ("ping me", ErrorCode::Parse),
             ("count =v", ErrorCode::Parse),
             ("count k=", ErrorCode::Parse),
+            ("insert", ErrorCode::Parse),
+            ("insert Job", ErrorCode::Parse),
+            ("flush now", ErrorCode::Parse),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert_eq!(err.code, code, "line `{line}` -> {err}");
@@ -824,6 +958,7 @@ mod tests {
             ErrorCode::BadQuery,
             ErrorCode::Busy,
             ErrorCode::Internal,
+            ErrorCode::ReadOnly,
         ] {
             assert_eq!(ErrorCode::from_str_token(code.as_str()), Some(code));
         }

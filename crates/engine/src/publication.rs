@@ -16,9 +16,12 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use rp_core::groups::SaSpec;
+use rp_core::incremental::GroupStatus;
 use rp_core::privacy::PrivacyParams;
 use rp_core::sps::SpsStats;
-use rp_table::{AttrId, Attribute, Schema, Table, TableBuilder};
+use rp_table::{AttrId, Schema, Table, TableBuilder};
+
+use crate::codec::{read_schema, write_schema, Lines};
 
 /// Summary of the Equation-10 design check the publisher ran before SPS:
 /// how the *uniform-perturbation* design stood against `(λ, δ)` on the
@@ -61,11 +64,55 @@ impl DesignCheck {
     }
 }
 
+/// Snapshot of one live personal group inside a streaming (v2)
+/// publication: everything [`crate::stream::StreamPublisher`] needs to
+/// resume the group exactly where the live run left it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveGroupSnapshot {
+    /// Public-attribute codes (schema order, SA excluded).
+    pub key: Vec<u32>,
+    /// Raw SA histogram (owner-side secret state).
+    pub raw_hist: Vec<u64>,
+    /// Published (perturbed) SA histogram.
+    pub published_hist: Vec<u64>,
+    /// The group's RNG cursor: the full state of its counter-based
+    /// per-group generator (see `crate::stream::rng`).
+    pub rng_state: u64,
+    /// Compliance status at snapshot time.
+    pub status: GroupStatus,
+    /// Raw records covered by the group's last SPS re-publication.
+    pub republished_len: u64,
+}
+
+/// The live extension of a v2 publication: the owner-side state of a
+/// streaming run, serialized alongside the batch fields so live and
+/// batch releases share one artifact format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveState {
+    /// Rows of [`Publication::table`] that belong to the immutable batch
+    /// base; the remaining rows are materialized from the live groups.
+    pub base_rows: usize,
+    /// Sequence number of the last WAL event this snapshot covers;
+    /// restore replays only events after it.
+    pub wal_seq: u64,
+    /// Records inserted into the stream so far.
+    pub inserted: u64,
+    /// Re-publication events so far.
+    pub republished: u64,
+    /// Every live group, sorted by key (the canonical order).
+    pub groups: Vec<LiveGroupSnapshot>,
+}
+
 /// A reconstruction-private release: the published table `D*₂` plus the
 /// metadata required to audit it and to answer count queries from it.
 ///
 /// Build one with [`crate::Publisher`], persist it with
 /// [`Publication::save`], and answer from it with [`crate::QueryEngine`].
+/// A release produced by the streaming path additionally carries a
+/// [`LiveState`] extension (the v2 on-disk format) from which
+/// [`crate::stream::StreamPublisher`] resumes; batch consumers can ignore
+/// it — the [`Publication::table`] already includes the rows
+/// materialized from the live groups.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Publication {
     table: Table,
@@ -75,6 +122,7 @@ pub struct Publication {
     seed: u64,
     stats: SpsStats,
     check: DesignCheck,
+    live: Option<LiveState>,
 }
 
 impl Publication {
@@ -107,7 +155,41 @@ impl Publication {
             seed,
             stats,
             check,
+            live: None,
         }
+    }
+
+    /// Attaches a live-state extension (turning the artifact into the v2
+    /// format on save). Intended for [`crate::stream::StreamPublisher`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live.base_rows` exceeds the table's row count or the
+    /// live published histograms do not sum to the non-base rows.
+    pub fn with_live(mut self, live: LiveState) -> Self {
+        assert!(
+            live.base_rows <= self.table.rows(),
+            "base_rows {} exceeds table rows {}",
+            live.base_rows,
+            self.table.rows()
+        );
+        let live_rows: u64 = live
+            .groups
+            .iter()
+            .map(|g| g.published_hist.iter().sum::<u64>())
+            .sum();
+        assert_eq!(
+            live_rows,
+            (self.table.rows() - live.base_rows) as u64,
+            "live published histograms must account for every non-base row"
+        );
+        self.live = Some(live);
+        self
+    }
+
+    /// The live-state extension of a streaming (v2) release, if any.
+    pub fn live(&self) -> Option<&LiveState> {
+        self.live.as_ref()
     }
 
     /// The published table `D*₂`.
@@ -161,13 +243,15 @@ impl Publication {
         SaSpec::new(&self.table, self.sa)
     }
 
-    /// Serializes the publication to the v1 on-disk format.
+    /// Serializes the publication to its on-disk format: v1 for batch
+    /// releases, v2 when a [`LiveState`] extension is attached.
     ///
     /// The format is line-oriented and tab-separated: a magic line, one
     /// `key\t...` metadata line per field, one `attr` line per schema
     /// attribute (name followed by its domain values), then the records as
-    /// rows of dictionary codes. Identical publications serialize to
-    /// identical bytes, so `save ∘ load` is the identity on files.
+    /// rows of dictionary codes; a v2 artifact appends a `live` header and
+    /// one `lgroup` line per live group. Identical publications serialize
+    /// to identical bytes, so `save ∘ load` is the identity on files.
     ///
     /// # Errors
     ///
@@ -175,13 +259,12 @@ impl Publication {
     /// value contains a tab or newline (unrepresentable in the format).
     pub fn save<W: Write>(&self, mut w: W) -> Result<(), PublicationError> {
         let schema = self.table.schema();
-        for (_, attr) in schema.iter() {
-            check_writable(attr.name())?;
-            for v in attr.dictionary().values() {
-                check_writable(v)?;
-            }
-        }
-        writeln!(w, "{MAGIC}")?;
+        let magic = if self.live.is_some() {
+            MAGIC_V2
+        } else {
+            MAGIC_V1
+        };
+        writeln!(w, "{magic}")?;
         writeln!(w, "sa\t{}", self.sa)?;
         writeln!(w, "p\t{}", self.p)?;
         writeln!(w, "lambda\t{}", self.params.lambda())?;
@@ -204,14 +287,7 @@ impl Publication {
             self.check.total_records,
             self.check.violating_records
         )?;
-        writeln!(w, "attrs\t{}", schema.arity())?;
-        for (_, attr) in schema.iter() {
-            write!(w, "attr\t{}", attr.name())?;
-            for v in attr.dictionary().values() {
-                write!(w, "\t{v}")?;
-            }
-            writeln!(w)?;
-        }
+        write_schema(&mut w, schema)?;
         writeln!(w, "rows\t{}", self.table.rows())?;
         let arity = schema.arity();
         for r in 0..self.table.rows() {
@@ -223,6 +299,34 @@ impl Publication {
                 }
             }
             writeln!(w)?;
+        }
+        if let Some(live) = &self.live {
+            writeln!(
+                w,
+                "live\t{}\t{}\t{}\t{}\t{}",
+                live.groups.len(),
+                live.base_rows,
+                live.wal_seq,
+                live.inserted,
+                live.republished
+            )?;
+            for g in &live.groups {
+                write!(w, "lgroup")?;
+                for &code in &g.key {
+                    write!(w, "\t{code}")?;
+                }
+                for &c in &g.raw_hist {
+                    write!(w, "\t{c}")?;
+                }
+                for &c in &g.published_hist {
+                    write!(w, "\t{c}")?;
+                }
+                let status = match g.status {
+                    GroupStatus::Compliant => 'c',
+                    GroupStatus::NeedsResampling => 'f',
+                };
+                writeln!(w, "\t{}\t{}\t{}", g.rng_state, status, g.republished_len)?;
+            }
         }
         Ok(())
     }
@@ -237,21 +341,28 @@ impl Publication {
         self.save(BufWriter::new(file))
     }
 
-    /// Deserializes a publication from the v1 on-disk format.
+    /// Deserializes a publication from the on-disk format (v1 or v2 —
+    /// the two magics; v1 artifacts keep loading unchanged).
     ///
     /// # Errors
     ///
     /// Returns an error on I/O failure or any structural problem (bad
-    /// magic, missing fields, malformed numbers, out-of-domain codes).
+    /// magic, missing fields, malformed numbers, out-of-domain codes, an
+    /// inconsistent live section).
     pub fn load<R: BufRead>(r: R) -> Result<Self, PublicationError> {
         let mut lines = Lines::new(r);
-        let magic_err = {
+        let version = {
             let magic = lines.next_line()?;
-            (magic != MAGIC).then(|| format!("expected magic `{MAGIC}`, got `{magic}`"))
+            match magic {
+                m if m == MAGIC_V1 => 1,
+                m if m == MAGIC_V2 => 2,
+                other => {
+                    let message =
+                        format!("expected magic `{MAGIC_V1}` or `{MAGIC_V2}`, got `{other}`");
+                    return Err(PublicationError::Format { line: 1, message });
+                }
+            }
         };
-        if let Some(message) = magic_err {
-            return Err(PublicationError::Format { line: 1, message });
-        }
         let sa: AttrId = lines.field("sa")?.parse_one()?;
         let sa_line = lines.line_no;
         let p: f64 = lines.field("p")?.parse_one()?;
@@ -282,18 +393,8 @@ impl Publication {
             total_records: check_fields.parse_at(2)?,
             violating_records: check_fields.parse_at(3)?,
         };
-        let arity: usize = lines.field("attrs")?.parse_one()?;
-        // Like `rows` below, `attrs` is untrusted: cap the pre-allocations
-        // so a corrupt header cannot trigger a capacity-overflow panic or a
-        // huge reservation (a real arity past the cap still loads, slower).
-        let mut attributes = Vec::with_capacity(arity.min(1 << 10));
-        for _ in 0..arity {
-            let f = lines.field("attr")?;
-            if f.values.is_empty() {
-                return Err(f.error("attr line needs a name"));
-            }
-            attributes.push(Attribute::new(f.values[0], f.values[1..].iter().copied()));
-        }
+        let attributes = read_schema(&mut lines)?;
+        let arity = attributes.len();
         if sa >= arity {
             return Err(PublicationError::Format {
                 line: sa_line,
@@ -318,7 +419,9 @@ impl Publication {
         // The row count is untrusted input: cap the pre-allocation so a
         // corrupt header cannot force a huge reservation before any record
         // is parsed (the builder grows past the cap as real rows arrive).
-        let mut builder = TableBuilder::with_capacity(schema, rows.min(1 << 20));
+        // Schema clones are Arc-backed, so keeping one for the live
+        // section's key validation is free.
+        let mut builder = TableBuilder::with_capacity(schema.clone(), rows.min(1 << 20));
         let mut codes = Vec::with_capacity(arity.min(1 << 10));
         for _ in 0..rows {
             let line_no = lines.line_no + 1;
@@ -350,6 +453,11 @@ impl Publication {
                     message: e.to_string(),
                 })?;
         }
+        let live = if version >= 2 {
+            Some(read_live(&mut lines, &schema, sa, rows, m)?)
+        } else {
+            None
+        };
         // A rows header that undercounts the actual content would otherwise
         // load as a silently truncated release.
         lines.expect_eof()?;
@@ -361,6 +469,7 @@ impl Publication {
             seed,
             stats,
             check,
+            live,
         })
     }
 
@@ -375,13 +484,100 @@ impl Publication {
     }
 }
 
-const MAGIC: &str = "rp-publication v1";
+const MAGIC_V1: &str = "rp-publication v1";
+const MAGIC_V2: &str = "rp-publication v2";
 
-fn check_writable(s: &str) -> Result<(), PublicationError> {
-    if s.contains('\t') || s.contains('\n') || s.contains('\r') {
-        return Err(PublicationError::Unrepresentable(s.to_string()));
+/// Parses the live section of a v2 artifact, validating it against the
+/// already-parsed batch part (key domains, histogram arity `m`, and that
+/// the live published histograms account exactly for the non-base rows).
+fn read_live<R: BufRead>(
+    lines: &mut Lines<R>,
+    schema: &Schema,
+    sa: AttrId,
+    rows: usize,
+    m: usize,
+) -> Result<LiveState, PublicationError> {
+    let header = lines.field("live")?;
+    let count: usize = header.parse_at(0)?;
+    let base_rows: usize = header.parse_at(1)?;
+    let wal_seq: u64 = header.parse_at(2)?;
+    let inserted: u64 = header.parse_at(3)?;
+    let republished: u64 = header.parse_at(4)?;
+    if base_rows > rows {
+        return Err(lines.err(format!(
+            "live base_rows {base_rows} exceeds row count {rows}"
+        )));
     }
-    Ok(())
+    let na_attrs: Vec<AttrId> = (0..schema.arity()).filter(|&a| a != sa).collect();
+    let width = na_attrs.len() + 2 * m + 3;
+    // Like the row count, the group count is untrusted: cap the
+    // pre-allocation; real groups past the cap still load.
+    let mut groups: Vec<LiveGroupSnapshot> = Vec::with_capacity(count.min(1 << 16));
+    let mut live_rows = 0u64;
+    for _ in 0..count {
+        let f = lines.field("lgroup")?;
+        if f.values.len() != width {
+            return Err(f.error(format!(
+                "lgroup line needs {width} fields, got {}",
+                f.values.len()
+            )));
+        }
+        let mut key = Vec::with_capacity(na_attrs.len());
+        for (i, &attr) in na_attrs.iter().enumerate() {
+            let code: u32 = f.parse_at(i)?;
+            let domain = schema.attribute(attr).domain_size();
+            if code as usize >= domain {
+                return Err(f.error(format!(
+                    "key code {code} out of range for attribute `{}` (domain {domain})",
+                    schema.attribute(attr).name()
+                )));
+            }
+            key.push(code);
+        }
+        let base = na_attrs.len();
+        let mut raw_hist = Vec::with_capacity(m);
+        let mut published_hist = Vec::with_capacity(m);
+        for i in 0..m {
+            raw_hist.push(f.parse_at(base + i)?);
+        }
+        for i in 0..m {
+            published_hist.push(f.parse_at(base + m + i)?);
+        }
+        let rng_state: u64 = f.parse_at(base + 2 * m)?;
+        let status = match f.values[base + 2 * m + 1] {
+            "c" => GroupStatus::Compliant,
+            "f" => GroupStatus::NeedsResampling,
+            other => return Err(f.error(format!("bad status `{other}` (want `c` or `f`)"))),
+        };
+        let republished_len: u64 = f.parse_at(base + 2 * m + 2)?;
+        if let Some(prev) = groups.last() {
+            if prev.key >= key {
+                return Err(f.error("lgroup keys must be strictly increasing"));
+            }
+        }
+        live_rows += published_hist.iter().sum::<u64>();
+        groups.push(LiveGroupSnapshot {
+            key,
+            raw_hist,
+            published_hist,
+            rng_state,
+            status,
+            republished_len,
+        });
+    }
+    if live_rows != (rows - base_rows) as u64 {
+        return Err(lines.err(format!(
+            "live published histograms sum to {live_rows} but the artifact has {} non-base rows",
+            rows - base_rows
+        )));
+    }
+    Ok(LiveState {
+        base_rows,
+        wal_seq,
+        inserted,
+        republished,
+        groups,
+    })
 }
 
 /// Errors raised by publication (de)serialization.
@@ -427,114 +623,6 @@ impl std::error::Error for PublicationError {
 impl From<io::Error> for PublicationError {
     fn from(e: io::Error) -> Self {
         PublicationError::Io(e)
-    }
-}
-
-/// Line reader with position tracking for error messages.
-struct Lines<R> {
-    inner: R,
-    line_no: usize,
-    buf: String,
-}
-
-/// One parsed `key\tv1\tv2...` metadata line.
-struct Field<'a> {
-    key: &'a str,
-    values: Vec<&'a str>,
-    line: usize,
-}
-
-impl<R: BufRead> Lines<R> {
-    fn new(inner: R) -> Self {
-        Self {
-            inner,
-            line_no: 0,
-            buf: String::new(),
-        }
-    }
-
-    fn err(&self, message: String) -> PublicationError {
-        PublicationError::Format {
-            line: self.line_no,
-            message,
-        }
-    }
-
-    fn next_line(&mut self) -> Result<&str, PublicationError> {
-        self.buf.clear();
-        let n = self.inner.read_line(&mut self.buf)?;
-        self.line_no += 1;
-        if n == 0 {
-            return Err(PublicationError::Format {
-                line: self.line_no,
-                message: "unexpected end of input".to_string(),
-            });
-        }
-        Ok(self.buf.trim_end_matches(['\n', '\r']))
-    }
-
-    fn expect_eof(&mut self) -> Result<(), PublicationError> {
-        self.buf.clear();
-        if self.inner.read_line(&mut self.buf)? != 0 {
-            return Err(PublicationError::Format {
-                line: self.line_no + 1,
-                message: "trailing content after the declared row count".to_string(),
-            });
-        }
-        Ok(())
-    }
-
-    fn field(&mut self, key: &'static str) -> Result<Field<'_>, PublicationError> {
-        let line_no = self.line_no + 1;
-        let line = self.next_line()?;
-        let mut parts = line.split('\t');
-        let got = parts.next().unwrap_or("");
-        if got != key {
-            return Err(PublicationError::Format {
-                line: line_no,
-                message: format!("expected `{key}` line, got `{got}`"),
-            });
-        }
-        Ok(Field {
-            key,
-            values: parts.collect(),
-            line: line_no,
-        })
-    }
-}
-
-impl Field<'_> {
-    fn error(&self, message: impl Into<String>) -> PublicationError {
-        PublicationError::Format {
-            line: self.line,
-            message: message.into(),
-        }
-    }
-
-    fn parse_at<T: std::str::FromStr>(&self, i: usize) -> Result<T, PublicationError>
-    where
-        T::Err: fmt::Display,
-    {
-        let raw = self
-            .values
-            .get(i)
-            .ok_or_else(|| self.error(format!("`{}` line needs field {i}", self.key)))?;
-        raw.parse()
-            .map_err(|e| self.error(format!("bad `{}` field `{raw}`: {e}", self.key)))
-    }
-
-    fn parse_one<T: std::str::FromStr>(&self) -> Result<T, PublicationError>
-    where
-        T::Err: fmt::Display,
-    {
-        if self.values.len() != 1 {
-            return Err(self.error(format!(
-                "`{}` line needs exactly one value, got {}",
-                self.key,
-                self.values.len()
-            )));
-        }
-        self.parse_at(0)
     }
 }
 
@@ -715,6 +803,125 @@ mod tests {
             p.save(&mut bytes),
             Err(PublicationError::Unrepresentable(_))
         ));
+    }
+
+    /// A v2 publication: the 50 base rows plus two live groups
+    /// materialized as 5 extra rows.
+    fn demo_v2_publication() -> Publication {
+        let schema = Schema::new(vec![
+            Attribute::new("Gender", ["male", "female"]),
+            Attribute::new("Disease", ["flu", "hiv", "none"]),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..50u32 {
+            b.push_codes(&[i % 2, i % 3]).unwrap();
+        }
+        // Materialized live rows, sorted by (key, sa).
+        for codes in [[0, 0], [0, 0], [0, 2], [1, 1], [1, 1]] {
+            b.push_codes(&codes).unwrap();
+        }
+        let live = LiveState {
+            base_rows: 50,
+            wal_seq: 7,
+            inserted: 5,
+            republished: 1,
+            groups: vec![
+                LiveGroupSnapshot {
+                    key: vec![0],
+                    raw_hist: vec![1, 1, 1],
+                    published_hist: vec![2, 0, 1],
+                    rng_state: 0xDEAD_BEEF,
+                    status: GroupStatus::Compliant,
+                    republished_len: 3,
+                },
+                LiveGroupSnapshot {
+                    key: vec![1],
+                    raw_hist: vec![0, 2, 0],
+                    published_hist: vec![0, 2, 0],
+                    rng_state: 42,
+                    status: GroupStatus::NeedsResampling,
+                    republished_len: 0,
+                },
+            ],
+        };
+        Publication::from_parts(
+            b.build(),
+            1,
+            0.5,
+            PrivacyParams::new(0.3, 0.3),
+            42,
+            SpsStats::default(),
+            DesignCheck::default(),
+        )
+        .with_live(live)
+    }
+
+    #[test]
+    fn v2_save_load_round_trips_value_and_bytes() {
+        let p = demo_v2_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.starts_with("rp-publication v2\n"), "{text}");
+        let p2 = Publication::load(&bytes[..]).unwrap();
+        assert_eq!(p, p2);
+        assert_eq!(p2.live().unwrap().groups.len(), 2);
+        let mut second = Vec::new();
+        p2.save(&mut second).unwrap();
+        assert_eq!(bytes, second, "v2 save ∘ load must be byte-identical");
+    }
+
+    #[test]
+    fn v1_artifacts_still_load_without_live_state() {
+        let p = demo_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        assert!(bytes.starts_with(b"rp-publication v1\n"));
+        let p2 = Publication::load(&bytes[..]).unwrap();
+        assert!(p2.live().is_none());
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn v2_rejects_inconsistent_live_sections() {
+        let p = demo_v2_publication();
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        for (needle, replacement, expect) in [
+            // Published sums no longer match the non-base rows.
+            ("\t2\t0\t1\t3735928559", "\t9\t0\t1\t3735928559", "sum to"),
+            // Unknown status token.
+            ("\t3735928559\tc\t3", "\t3735928559\tz\t3", "bad status"),
+            // base_rows beyond the row count.
+            ("live\t2\t50\t7", "live\t2\t5000\t7", "exceeds row count"),
+            // Key out of the attribute domain.
+            ("lgroup\t1\t0\t2\t0", "lgroup\t7\t0\t2\t0", "out of range"),
+            // Truncated live section: fewer lgroup lines than declared.
+            ("live\t2\t50\t7", "live\t3\t50\t7", "end of input"),
+        ] {
+            let broken = text.replace(needle, replacement);
+            assert_ne!(text, broken, "fixture must contain `{needle}`");
+            let err = Publication::load(broken.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains(expect), "{needle} -> {err}");
+        }
+        // Reordered groups violate the canonical key order.
+        let g0 = text
+            .lines()
+            .find(|l| l.starts_with("lgroup\t0"))
+            .unwrap()
+            .to_string();
+        let g1 = text
+            .lines()
+            .find(|l| l.starts_with("lgroup\t1"))
+            .unwrap()
+            .to_string();
+        let swapped = text
+            .replace(&g0, "PLACEHOLDER")
+            .replace(&g1, &g0)
+            .replace("PLACEHOLDER", &g1);
+        let err = Publication::load(swapped.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"), "{err}");
     }
 
     #[test]

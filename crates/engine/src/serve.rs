@@ -12,7 +12,7 @@
 //! request per line until `quit` or end of input:
 //!
 //! ```text
-//! HELLO rp/1 sa=Disease records=6000 groups=6 p=0.5
+//! HELLO rp/2 sa=Disease records=6000 groups=6 p=0.5
 //! > info
 //! publication sa=Disease records=6000 groups=6 p=0.5 lambda=0.3 delta=0.3 seed=7
 //! > count Job=engineer Disease=asthma

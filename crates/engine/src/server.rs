@@ -317,7 +317,10 @@ mod tests {
         assert!(
             matches!(
                 Response::parse(&banner).unwrap(),
-                Response::Hello { version: 1, .. }
+                Response::Hello {
+                    version: crate::protocol::PROTOCOL_VERSION,
+                    ..
+                }
             ),
             "{banner}"
         );

@@ -27,6 +27,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -35,9 +36,10 @@ use rp_table::CountQuery;
 use crate::engine::{Answer, QueryEngine};
 use crate::protocol::{
     ErrorCode, ProtocolError, ReleaseMeta, Request, Response, StatsSnapshot, WireAnswer, WireQuery,
-    PROTOCOL_VERSION,
+    WireRecord, PROTOCOL_VERSION,
 };
 use crate::publication::Publication;
+use crate::stream::{StreamError, StreamPublisher};
 
 /// Default answer-cache capacity of [`ServiceConfig`].
 pub const DEFAULT_CACHE_ENTRIES: usize = 1024;
@@ -70,6 +72,8 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Single-query answers this session computed into the shared cache.
     pub cache_misses: u64,
+    /// Records this session inserted into the live release.
+    pub inserts: u64,
 }
 
 /// Bounded FIFO answer cache. Insertion order alone decides eviction, so
@@ -111,6 +115,14 @@ impl AnswerCache {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Drops every cached answer whose query satisfies `stale` — the
+    /// insert path's surgical invalidation. Eviction order keeps the
+    /// surviving entries' relative FIFO positions.
+    fn invalidate_matching(&mut self, stale: impl Fn(&CountQuery) -> bool) {
+        self.map.retain(|query, _| !stale(query));
+        self.order.retain(|query| self.map.contains_key(query));
+    }
 }
 
 /// Aggregate counters shared by all sessions of one service.
@@ -122,6 +134,15 @@ struct AggregateStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     sessions: AtomicU64,
+    inserts: AtomicU64,
+}
+
+/// The live half of a streaming service: the stream publisher behind a
+/// lock, plus where `flush` persists snapshots.
+#[derive(Debug)]
+struct StreamBackend {
+    publisher: Mutex<StreamPublisher>,
+    state_out: Option<PathBuf>,
 }
 
 /// The shared query-answering service every transport runs over.
@@ -133,6 +154,9 @@ struct AggregateStats {
 pub struct QueryService {
     engine: Arc<QueryEngine>,
     release: Option<ReleaseMeta>,
+    /// The live stream behind `insert`/`flush`; `None` for a static
+    /// (batch-artifact) service, which answers them `read-only`.
+    stream: Option<StreamBackend>,
     /// Mirrors the cache's capacity so a disabled cache (capacity 0)
     /// never takes the lock on the hot path.
     cache_capacity: usize,
@@ -152,10 +176,64 @@ impl QueryService {
         Self {
             engine,
             release,
+            stream: None,
             cache_capacity: config.cache_entries,
             cache: Mutex::new(AnswerCache::new(config.cache_entries)),
             stats: AggregateStats::default(),
         }
+    }
+
+    /// Builds a *streaming* service: the engine answers the immutable
+    /// base of `stream` and every answer is merged with the live view,
+    /// so `insert`/`flush` work and queries see new records immediately.
+    /// `state_out` is where `flush` writes the v2 snapshot (WAL sync
+    /// alone when `None`).
+    ///
+    /// Cache coherence is surgical: an insert to group *g* invalidates
+    /// exactly the cached answers whose NA match set contains *g* —
+    /// other entries keep serving hits.
+    pub fn streaming(
+        stream: StreamPublisher,
+        state_out: Option<PathBuf>,
+        config: ServiceConfig,
+    ) -> Self {
+        let base = stream.base();
+        let release = ReleaseMeta {
+            lambda: base.params().lambda(),
+            delta: base.params().delta(),
+            seed: base.seed(),
+        };
+        let mut service = Self::new(Arc::new(QueryEngine::new(base)), Some(release), config);
+        service.stream = Some(StreamBackend {
+            publisher: Mutex::new(stream),
+            state_out,
+        });
+        service
+    }
+
+    /// Whether this service accepts `insert`/`flush`.
+    pub fn is_streaming(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Syncs the WAL and writes the snapshot (when configured), exactly
+    /// like a client `flush`. Transport shutdown paths call this so a
+    /// server never exits with acknowledged-but-unsynced events. Returns
+    /// the durable event count, or `None` on a static service.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stream failure (I/O, snapshot serialization).
+    pub fn checkpoint(&self) -> Result<Option<u64>, StreamError> {
+        let Some(backend) = &self.stream else {
+            return Ok(None);
+        };
+        let mut publisher = backend.publisher.lock().expect("stream lock poisoned");
+        let events = publisher.flush()?;
+        if let Some(path) = &backend.state_out {
+            publisher.save_snapshot(path)?;
+        }
+        Ok(Some(events))
     }
 
     /// Builds the engine from a publication artifact and wraps it in a
@@ -178,13 +256,29 @@ impl QueryService {
         &self.engine
     }
 
+    /// Records and groups of the served view: the base release plus, on
+    /// a streaming service, the live records and the live groups whose
+    /// key the base does not already contain (a shared key is one group,
+    /// not two).
+    fn records_groups(&self) -> (u64, u64) {
+        let mut records = self.engine.records();
+        let mut groups = self.engine.groups() as u64;
+        if let Some(backend) = &self.stream {
+            let publisher = backend.publisher.lock().expect("stream lock poisoned");
+            records += publisher.live_records();
+            groups += publisher.novel_live_groups() as u64;
+        }
+        (records, groups)
+    }
+
     /// The versioned banner a transport must send when a session opens.
     pub fn hello(&self) -> Response {
+        let (records, groups) = self.records_groups();
         Response::Hello {
             version: PROTOCOL_VERSION,
             sa: self.sa_name().to_string(),
-            records: self.engine.records(),
-            groups: self.engine.groups() as u64,
+            records,
+            groups,
             p: self.engine.p(),
         }
     }
@@ -209,6 +303,7 @@ impl QueryService {
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
             sessions: self.stats.sessions.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
         }
     }
 
@@ -258,13 +353,16 @@ impl QueryService {
         match request {
             Request::Ping => Response::Pong,
             Request::Quit => Response::Bye,
-            Request::Info => Response::Info {
-                sa: self.sa_name().to_string(),
-                records: self.engine.records(),
-                groups: self.engine.groups() as u64,
-                p: self.engine.p(),
-                release: self.release,
-            },
+            Request::Info => {
+                let (records, groups) = self.records_groups();
+                Response::Info {
+                    sa: self.sa_name().to_string(),
+                    records,
+                    groups,
+                    p: self.engine.p(),
+                    release: self.release,
+                }
+            }
             // Snapshot precedes counting, so a `stats` response reports
             // the totals as of just before the request itself.
             Request::Stats => Response::Stats(self.stats()),
@@ -276,7 +374,75 @@ impl QueryService {
                 Ok(answers) => Response::Batch(answers),
                 Err(e) => Response::from(e),
             },
+            Request::Insert(record) => match self.insert(record, session) {
+                Ok(r) => r,
+                Err(e) => Response::from(e),
+            },
+            Request::Flush => match self.flush() {
+                Ok(r) => r,
+                Err(e) => Response::from(e),
+            },
         }
+    }
+
+    /// The streaming backend, or the `read-only` refusal.
+    fn backend(&self) -> Result<&StreamBackend, ProtocolError> {
+        self.stream.as_ref().ok_or_else(|| ProtocolError {
+            code: ErrorCode::ReadOnly,
+            message: "serving a static artifact; restart `rpctl serve` with --wal to ingest"
+                .to_string(),
+        })
+    }
+
+    /// One insert: log + apply under the stream lock, then surgically
+    /// drop exactly the cached answers whose match set contains the
+    /// record's group.
+    fn insert(
+        &self,
+        record: &WireRecord,
+        session: &mut SessionStats,
+    ) -> Result<Response, ProtocolError> {
+        let backend = self.backend()?;
+        let mut publisher = backend.publisher.lock().expect("stream lock poisoned");
+        let values: Vec<(&str, &str)> = record
+            .fields
+            .iter()
+            .map(|(c, v)| (c.as_str(), v.as_str()))
+            .collect();
+        let outcome = publisher
+            .insert_values(&values)
+            .map_err(|e| ProtocolError {
+                code: match e {
+                    StreamError::Io(_) => ErrorCode::Internal,
+                    _ => ErrorCode::BadQuery,
+                },
+                message: e.to_string(),
+            })?;
+        if self.cache_capacity > 0 {
+            self.cache
+                .lock()
+                .expect("cache lock poisoned")
+                .invalidate_matching(|query| publisher.key_matches(&outcome.key, query));
+        }
+        session.inserts += 1;
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(Response::Inserted {
+            group_size: outcome.group_size,
+            republished: outcome.republished,
+        })
+    }
+
+    /// One flush: WAL sync plus snapshot (when configured).
+    fn flush(&self) -> Result<Response, ProtocolError> {
+        self.backend()?; // read-only refusal before any I/O
+        let events = self
+            .checkpoint()
+            .map_err(|e| ProtocolError {
+                code: ErrorCode::Internal,
+                message: e.to_string(),
+            })?
+            .expect("backend() guarantees a stream");
+        Ok(Response::Flushed { events })
     }
 
     /// Resolves a wire query against the engine schema, splitting the SA
@@ -313,6 +479,38 @@ impl QueryService {
             .expect("canonicalizing a valid query cannot re-introduce the SA")
     }
 
+    /// The base-release counts for a canonical query.
+    fn base_counts(&self, key: &CountQuery) -> Result<(u64, u64), ProtocolError> {
+        self.engine.counts(key).map_err(|e| ProtocolError {
+            code: ErrorCode::BadQuery,
+            message: e.to_string(),
+        })
+    }
+
+    /// Answers one canonical query against the served view: base-release
+    /// counts (bitmap-indexed) plus, on a streaming service, the live
+    /// groups' counts, estimated over the union.
+    fn compute(&self, key: &CountQuery) -> Result<Answer, ProtocolError> {
+        let (mut support, mut observed) = self.base_counts(key)?;
+        if let Some(backend) = &self.stream {
+            let publisher = backend.publisher.lock().expect("stream lock poisoned");
+            let (live_support, live_observed) = publisher.live_support_observed(key);
+            support += live_support;
+            observed += live_observed;
+        }
+        Ok(self.engine.answer_from_counts(support, observed))
+    }
+
+    /// Records a cache miss and stores the freshly computed answer.
+    fn cache_miss(&self, key: CountQuery, answer: Answer, session: &mut SessionStats) {
+        session.cache_misses += 1;
+        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, answer);
+    }
+
     fn answer_single(
         &self,
         q: &WireQuery,
@@ -327,18 +525,36 @@ impl QueryService {
                 return Ok(WireAnswer::from(&hit));
             }
         }
-        let answer = self.engine.answer(&key).map_err(|e| ProtocolError {
-            code: ErrorCode::BadQuery,
-            message: e.to_string(),
-        })?;
-        if self.cache_capacity > 0 {
-            session.cache_misses += 1;
-            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-            self.cache
-                .lock()
-                .expect("cache lock poisoned")
-                .insert(key, answer);
-        }
+        let answer = match &self.stream {
+            None => {
+                // Static release: the engine is immutable, so computing
+                // and caching need no coordination.
+                let (support, observed) = self.base_counts(&key)?;
+                let answer = self.engine.answer_from_counts(support, observed);
+                if self.cache_capacity > 0 {
+                    self.cache_miss(key, answer, session);
+                }
+                answer
+            }
+            Some(backend) => {
+                // Streaming: compute AND cache under the stream lock.
+                // Releasing it in between would race with a concurrent
+                // insert — its surgical invalidation could run before
+                // this (pre-insert) answer lands in the cache, leaving a
+                // stale entry behind. The insert path takes the locks in
+                // the same stream→cache order, so no deadlock.
+                let publisher = backend.publisher.lock().expect("stream lock poisoned");
+                let (mut support, mut observed) = self.base_counts(&key)?;
+                let (live_support, live_observed) = publisher.live_support_observed(&key);
+                support += live_support;
+                observed += live_observed;
+                let answer = self.engine.answer_from_counts(support, observed);
+                if self.cache_capacity > 0 {
+                    self.cache_miss(key, answer, session);
+                }
+                answer
+            }
+        };
         Ok(WireAnswer::from(&answer))
     }
 
@@ -349,6 +565,14 @@ impl QueryService {
                 code: e.code,
                 message: format!("query {}: {}", i + 1, e.message),
             })?);
+        }
+        if self.stream.is_some() {
+            // The live view has no prepared index (its group set mutates
+            // under inserts); answer query by query over base + live.
+            return resolved
+                .iter()
+                .map(|q| self.compute(q).map(|a| WireAnswer::from(&a)))
+                .collect();
         }
         let prepared = self.engine.prepare(&resolved).map_err(|e| ProtocolError {
             code: ErrorCode::Internal,
@@ -551,6 +775,165 @@ mod tests {
         // counted, so it reports only the ping.
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.answered, 1);
+    }
+
+    fn stream_tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rp-service-stream-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(format!("{}.spill", path.display()));
+        path
+    }
+
+    fn streaming_service(name: &str, cache_entries: usize) -> QueryService {
+        let stream = StreamPublisher::open(
+            fixture_publication(),
+            &stream_tmp(name),
+            crate::stream::StreamConfig::default(),
+        )
+        .unwrap();
+        QueryService::streaming(stream, None, ServiceConfig { cache_entries })
+    }
+
+    #[test]
+    fn static_service_answers_insert_and_flush_read_only() {
+        let s = service(4);
+        let mut session = SessionStats::default();
+        for line in ["insert Job=eng Disease=flu", "flush"] {
+            let r = s.handle_line(line, &mut session).unwrap();
+            let Response::Error { code, .. } = r else {
+                panic!("expected read-only error for `{line}`, got {r:?}");
+            };
+            assert_eq!(code, ErrorCode::ReadOnly, "line `{line}`");
+        }
+        assert!(!s.is_streaming());
+        assert_eq!(s.checkpoint().unwrap(), None);
+    }
+
+    #[test]
+    fn streaming_service_merges_live_records_into_answers() {
+        let s = streaming_service("merge.rpwal", 8);
+        assert!(s.is_streaming());
+        let mut session = SessionStats::default();
+        let before = s.handle_line("count Job=eng Disease=flu", &mut session);
+        let Some(Response::Answer(a0)) = before else {
+            panic!("expected answer, got {before:?}");
+        };
+        assert_eq!(a0.support, 200, "base-only before any insert");
+        // Three inserts into the queried group: the next answer must see
+        // exactly them (the fixture's SPS degenerated to UP, and inserts
+        // retain published size exactly).
+        for _ in 0..3 {
+            let r = s
+                .handle_line("insert Job=eng Disease=flu", &mut session)
+                .unwrap();
+            assert!(
+                matches!(
+                    r,
+                    Response::Inserted {
+                        group_size: _,
+                        republished: false
+                    }
+                ),
+                "{r:?}"
+            );
+        }
+        let after = s.handle_line("count Job=eng Disease=flu", &mut session);
+        let Some(Response::Answer(a1)) = after else {
+            panic!("expected answer, got {after:?}");
+        };
+        assert_eq!(a1.support, 203, "live records joined the support");
+        assert_eq!(session.inserts, 3);
+        assert_eq!(s.stats().inserts, 3);
+        // The banner and info also report the live view — records grow,
+        // but inserts into existing base keys add no new groups.
+        let Response::Hello {
+            records, groups, ..
+        } = s.hello()
+        else {
+            panic!("expected hello");
+        };
+        assert_eq!(records, 403);
+        assert_eq!(groups, 2, "shared keys must not double-count");
+        // Batches agree with singles on the merged view.
+        let batch = s.handle_line(
+            "batch Job=eng Disease=flu; Job=doc Disease=none",
+            &mut session,
+        );
+        let Some(Response::Batch(answers)) = batch else {
+            panic!("expected batch, got {batch:?}");
+        };
+        assert_eq!(answers[0], a1);
+    }
+
+    #[test]
+    fn insert_invalidates_exactly_the_intersecting_cache_entries() {
+        let s = streaming_service("invalidate.rpwal", 16);
+        let mut session = SessionStats::default();
+        // Warm three entries: two touching Job=eng, one disjoint.
+        s.handle_line("count Job=eng Disease=flu", &mut session);
+        s.handle_line("count Disease=flu", &mut session); // wildcard Job: intersects every group
+        s.handle_line("count Job=doc Disease=none", &mut session);
+        assert_eq!(s.cached_answers(), 3);
+        assert_eq!(session.cache_misses, 3);
+        // Insert into (Job=eng): must evict the two intersecting entries
+        // and keep the doc-only one.
+        s.handle_line("insert Job=eng Disease=none", &mut session)
+            .unwrap();
+        assert_eq!(s.cached_answers(), 1, "only the disjoint entry survives");
+        s.handle_line("count Job=doc Disease=none", &mut session);
+        assert_eq!(session.cache_hits, 1, "disjoint entry still serves hits");
+        // The invalidated query recomputes against the live view.
+        let r = s.handle_line("count Job=eng Disease=flu", &mut session);
+        let Some(Response::Answer(a)) = r else {
+            panic!("expected answer");
+        };
+        assert_eq!(a.support, 201);
+        assert_eq!(session.cache_misses, 4);
+    }
+
+    #[test]
+    fn flush_syncs_and_writes_the_snapshot() {
+        let state_out = stream_tmp("flush-state.rppub");
+        let stream = StreamPublisher::open(
+            fixture_publication(),
+            &stream_tmp("flush.rpwal"),
+            crate::stream::StreamConfig::default(),
+        )
+        .unwrap();
+        let s = QueryService::streaming(stream, Some(state_out.clone()), ServiceConfig::default());
+        let mut session = SessionStats::default();
+        s.handle_line("insert Job=eng Disease=flu", &mut session)
+            .unwrap();
+        let r = s.handle_line("flush", &mut session).unwrap();
+        let Response::Flushed { events } = r else {
+            panic!("expected flushed, got {r:?}");
+        };
+        assert_eq!(events, 1);
+        let snapshot = Publication::load_from_path(&state_out).unwrap();
+        assert_eq!(snapshot.live().unwrap().inserted, 1);
+        assert_eq!(snapshot.table().rows(), 401);
+    }
+
+    #[test]
+    fn bad_insert_records_are_typed_errors() {
+        let s = streaming_service("bad-insert.rpwal", 4);
+        let mut session = SessionStats::default();
+        for line in [
+            "insert Job=eng",                     // missing columns
+            "insert Job=eng Job=doc Disease=flu", // duplicate
+            "insert Job=zzz Disease=flu",         // unknown value
+            "insert Nope=1 Job=eng Disease=flu",  // unknown column
+        ] {
+            let r = s.handle_line(line, &mut session).unwrap();
+            let Response::Error { code, .. } = r else {
+                panic!("expected error for `{line}`, got {r:?}");
+            };
+            assert_eq!(code, ErrorCode::BadQuery, "line `{line}`");
+        }
+        assert_eq!(s.stats().inserts, 0, "failed inserts are not counted");
     }
 
     #[test]

@@ -1,0 +1,1198 @@
+//! The streaming publication subsystem: a durable, bounded-memory,
+//! deterministically replayable live release.
+//!
+//! The paper's Section 3.1 argues data perturbation is uniquely amenable
+//! to record insertion — each record is perturbed independently, and a
+//! group that outgrows its threshold `sg` is re-sampled in place. The
+//! in-memory sketch of that claim lives in `rp-core::incremental`; this
+//! module wraps it in the machinery a server needs to run it for real:
+//!
+//! * **[`wal`]** — a write-ahead log of inserts and re-publications with
+//!   the crate's usual codec discipline (versioned header recording the
+//!   seed, `(p, λ, δ)` and the schema up front; `parse ∘ encode = id`;
+//!   contiguous sequence numbers; torn tails truncated on open).
+//! * **[`rng`]** — one counter-based RNG *per group*, derived from
+//!   `(stream seed, group key)`. A group's stream depends only on its own
+//!   event count, so WAL replay is exact regardless of how unrelated
+//!   groups interleaved, and the whole cursor snapshots as one `u64`.
+//! * **spill** — cold groups shed their owner-side secret state (raw
+//!   histogram, RNG cursor) to disk when the resident bound is exceeded;
+//!   published histograms stay resident because queries touch them.
+//! * **snapshot/restore** — [`StreamPublisher::snapshot`] materializes
+//!   the whole stream as a v2 [`Publication`]: base rows + live rows in
+//!   one table (so batch consumers just see a bigger release) plus the
+//!   [`LiveState`] extension to resume
+//!   from. Restore = load snapshot + replay the WAL tail.
+//!
+//! ## The determinism contract, extended to streams
+//!
+//! A stream's state is a pure function of `(base artifact, WAL)`:
+//! replaying a WAL against the base from a clean start is byte-identical
+//! to the live run, and any snapshot + tail replay lands on the same
+//! bytes — no matter how many restarts, where they fell, or whether cold
+//! groups were spilled in between. The root determinism suite
+//! (`tests/stream_determinism.rs`) proves this property over random
+//! insert interleavings and restart points.
+
+pub mod rng;
+mod spill;
+pub mod wal;
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+
+use rp_core::incremental::{GroupStatus, IncrementalPublisher, LiveGroup};
+use rp_core::privacy::PrivacyParams;
+use rp_table::{AttrId, CountQuery, Schema, TableBuilder, TableError, Term};
+
+use crate::publication::{LiveGroupSnapshot, LiveState, Publication, PublicationError};
+use crate::stream::rng::GroupRng;
+use crate::stream::spill::{SpillStore, SpilledGroup};
+use crate::stream::wal::{Wal, WalEvent, WalHeader};
+
+/// Tuning knobs of a [`StreamPublisher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamConfig {
+    /// Maximum live groups whose secret state stays resident; `0` means
+    /// unbounded. Exceeding the bound spills the least-recently-inserted
+    /// group's raw histogram and RNG cursor to the side file — published
+    /// histograms always stay resident for query answering, and spilling
+    /// never changes a single output byte.
+    pub max_resident: usize,
+}
+
+/// Errors raised by the streaming subsystem.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A structural problem in a WAL or snapshot at a 1-based line.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Artifact/WAL/record inconsistency (wrong schema, stale log,
+    /// replayed event for an unknown group, ...).
+    Mismatch(String),
+    /// A record failed schema validation on insert.
+    Table(TableError),
+    /// The publication artifact failed to (de)serialize.
+    Publication(PublicationError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "I/O error: {e}"),
+            StreamError::Format { line, message } => write!(f, "line {line}: {message}"),
+            StreamError::Mismatch(m) => write!(f, "{m}"),
+            StreamError::Table(e) => write!(f, "{e}"),
+            StreamError::Publication(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Table(e) => Some(e),
+            StreamError::Publication(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<TableError> for StreamError {
+    fn from(e: TableError) -> Self {
+        StreamError::Table(e)
+    }
+}
+
+impl From<PublicationError> for StreamError {
+    fn from(e: PublicationError) -> Self {
+        // Format errors keep their line numbers; everything else wraps.
+        match e {
+            PublicationError::Format { line, message } => StreamError::Format { line, message },
+            other => StreamError::Publication(other),
+        }
+    }
+}
+
+/// What one insert did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The group key the record landed in (public-attribute codes).
+    pub key: Vec<u32>,
+    /// Raw group size after the insert.
+    pub group_size: u64,
+    /// Whether the insert pushed the group past `sg` and it was
+    /// re-sampled through SPS (logged as its own WAL event).
+    pub republished: bool,
+}
+
+/// A durable, bounded-memory live publication: the streaming counterpart
+/// of [`crate::Publisher`].
+///
+/// Opened over a base artifact (a v1 batch release to start streaming on,
+/// or a v2 snapshot to resume) plus a WAL path. Every insert is logged
+/// before it is applied; a group crossing its threshold is automatically
+/// re-sampled through SPS and the re-publication is logged too.
+/// [`StreamPublisher::snapshot`] folds the whole live state back into a
+/// v2 [`Publication`].
+#[derive(Debug)]
+pub struct StreamPublisher {
+    base: Publication,
+    /// Group keys present in the base release — so group counts (and the
+    /// snapshot's `SpsStats::groups`) count a key shared by base and
+    /// live once, not twice.
+    base_keys: HashSet<Vec<u32>>,
+    schema: Schema,
+    sa: AttrId,
+    m: usize,
+    seed: u64,
+    inner: IncrementalPublisher,
+    /// Per-group RNG cursors of the hot groups.
+    rngs: HashMap<Vec<u32>, u64>,
+    /// Published histograms of spilled groups (kept resident: queries
+    /// touch every group).
+    cold: HashMap<Vec<u32>, Vec<u64>>,
+    spill: Option<SpillStore>,
+    spill_path: PathBuf,
+    /// LRU bookkeeping over the hot set: clock → key and key → clock.
+    lru: BTreeMap<u64, Vec<u32>>,
+    touch: HashMap<Vec<u32>, u64>,
+    clock: u64,
+    /// `None` in replay-only mode (no appends).
+    wal: Option<Wal>,
+    wal_seq: u64,
+    inserted: u64,
+    republished: u64,
+    config: StreamConfig,
+}
+
+impl StreamPublisher {
+    /// Opens a stream for appending: `artifact` is the base release (v1)
+    /// or a snapshot to resume (v2), `wal_path` the log. An existing log
+    /// is validated against the artifact and its tail (events after the
+    /// snapshot's cursor) replayed; a missing log is created fresh,
+    /// taking over at the snapshot's cursor — so "snapshot, archive the
+    /// old log, start a new one" is the supported truncation story.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, a log that does not belong to
+    /// this artifact, or a log with a gap against the snapshot.
+    pub fn open(
+        artifact: Publication,
+        wal_path: &Path,
+        config: StreamConfig,
+    ) -> Result<Self, StreamError> {
+        Self::build(artifact, wal_path, config, true)
+    }
+
+    /// Reconstructs the stream state by replay only — no appends, the
+    /// log is left untouched. This is `rpctl replay`: prove that base +
+    /// WAL (or snapshot + tail) lands on the same bytes as the live run.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamPublisher::open`], plus an error if the log is missing
+    /// (a replay without a log is meaningless).
+    pub fn replay(
+        artifact: Publication,
+        wal_path: &Path,
+        config: StreamConfig,
+    ) -> Result<Self, StreamError> {
+        if !wal_path.exists() {
+            return Err(StreamError::Mismatch(format!(
+                "cannot replay: no WAL at {}",
+                wal_path.display()
+            )));
+        }
+        Self::build(artifact, wal_path, config, false)
+    }
+
+    fn build(
+        artifact: Publication,
+        wal_path: &Path,
+        config: StreamConfig,
+        append: bool,
+    ) -> Result<Self, StreamError> {
+        let (base, live) = split_artifact(artifact)?;
+        let schema = base.schema().clone();
+        let sa = base.sa();
+        let m = schema.attribute(sa).domain_size();
+        let covered = live.as_ref().map_or(0, |l| l.wal_seq);
+        let header = WalHeader {
+            seed: base.seed(),
+            p: base.p(),
+            params: base.params(),
+            sa,
+            schema: schema.clone(),
+            base_rows: base.table().rows(),
+            first_seq: covered + 1,
+        };
+        let spill_path = PathBuf::from(format!("{}.spill", wal_path.display()));
+        let base_keys = group_keys(base.table(), sa);
+        let mut stream = Self {
+            seed: base.seed(),
+            inner: IncrementalPublisher::new(base.p(), m, base.params()),
+            base,
+            base_keys,
+            schema,
+            sa,
+            m,
+            rngs: HashMap::new(),
+            cold: HashMap::new(),
+            spill: None,
+            spill_path,
+            lru: BTreeMap::new(),
+            touch: HashMap::new(),
+            clock: 0,
+            wal: None,
+            wal_seq: covered,
+            inserted: live.as_ref().map_or(0, |l| l.inserted),
+            republished: live.as_ref().map_or(0, |l| l.republished),
+            config,
+        };
+        if let Some(live) = live {
+            for g in live.groups {
+                stream.restore_group(g);
+            }
+        }
+        // `open_append` validates the log's sequence coverage against
+        // `header.first_seq = covered + 1`: a log starting past it is
+        // missing events, a log (even an empty one) whose next append
+        // would rewind behind the snapshot is stale.
+        let (wal, events) = if wal_path.exists() {
+            let (wal, events) = Wal::open_append(wal_path, &header)?;
+            (wal, events)
+        } else if append {
+            (Wal::create(wal_path, &header)?, Vec::new())
+        } else {
+            unreachable!("replay checked existence")
+        };
+        for event in &events {
+            if event.seq() > covered {
+                stream.apply(event)?;
+            }
+        }
+        if append {
+            stream.wal = Some(wal);
+        }
+        Ok(stream)
+    }
+
+    /// Restores one snapshot group into the hot set.
+    fn restore_group(&mut self, g: LiveGroupSnapshot) {
+        self.rngs.insert(g.key.clone(), g.rng_state);
+        self.inner.put_group(LiveGroup {
+            key: g.key.clone(),
+            raw_hist: g.raw_hist,
+            published_hist: g.published_hist,
+            status: g.status,
+            republished_len: g.republished_len,
+        });
+        self.touch_key(g.key);
+        // Residency is enforced lazily on the next insert: restore loads
+        // hot and lets the LRU spill the cold majority as traffic
+        // arrives, which keeps restore a pure in-memory operation.
+    }
+
+    // -- accessors ---------------------------------------------------------
+
+    /// The immutable base release the stream grows on.
+    pub fn base(&self) -> &Publication {
+        &self.base
+    }
+
+    /// The published schema (shared by base and live records).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The sensitive attribute index.
+    pub fn sa(&self) -> AttrId {
+        self.sa
+    }
+
+    /// Retention probability `p`.
+    pub fn p(&self) -> f64 {
+        self.base.p()
+    }
+
+    /// The enforced `(λ, δ)` requirement.
+    pub fn params(&self) -> PrivacyParams {
+        self.base.params()
+    }
+
+    /// Records inserted into the stream so far (all restarts included).
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// SPS re-publication events so far.
+    pub fn republished(&self) -> u64 {
+        self.republished
+    }
+
+    /// Sequence number of the last applied WAL event.
+    pub fn wal_seq(&self) -> u64 {
+        self.wal_seq
+    }
+
+    /// Live groups (hot + spilled).
+    pub fn live_groups(&self) -> usize {
+        self.inner.group_count() + self.cold.len()
+    }
+
+    /// Live groups whose key does not already exist in the base release
+    /// — the number of *new* personal groups the stream added. Group
+    /// totals (`HELLO`/`info`, the snapshot's `SpsStats::groups`) use
+    /// this so a key shared by base and live counts once.
+    pub fn novel_live_groups(&self) -> usize {
+        self.inner
+            .groups()
+            .map(|g| &g.key)
+            .chain(self.cold.keys())
+            .filter(|key| !self.base_keys.contains(key.as_slice()))
+            .count()
+    }
+
+    /// Live groups whose secret state is currently resident.
+    pub fn resident_groups(&self) -> usize {
+        self.inner.group_count()
+    }
+
+    /// Live groups whose secret state is spilled to disk.
+    pub fn spilled_groups(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Published records contributed by the live groups.
+    pub fn live_records(&self) -> u64 {
+        let hot: u64 = self
+            .inner
+            .groups()
+            .map(|g| g.published_hist.iter().sum::<u64>())
+            .sum();
+        let cold: u64 = self.cold.values().map(|h| h.iter().sum::<u64>()).sum();
+        hot + cold
+    }
+
+    // -- the insert path ---------------------------------------------------
+
+    /// Inserts one record given as `(column, value)` pairs — every schema
+    /// column exactly once, resolved by name. The record is logged,
+    /// perturbed and applied; if its group crosses `sg`, the group is
+    /// re-sampled through SPS and the re-publication logged too.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown columns or values, missing/duplicate
+    /// columns, a read-only (replay) stream, or WAL I/O failure.
+    pub fn insert_values(&mut self, values: &[(&str, &str)]) -> Result<InsertOutcome, StreamError> {
+        let arity = self.schema.arity();
+        let mut codes: Vec<Option<u32>> = vec![None; arity];
+        for &(col, value) in values {
+            let attr = self.schema.attr_id(col)?;
+            if codes[attr].is_some() {
+                return Err(StreamError::Mismatch(format!(
+                    "column `{col}` appears more than once"
+                )));
+            }
+            let code = self
+                .schema
+                .attribute(attr)
+                .dictionary()
+                .code(value)
+                .ok_or_else(|| {
+                    StreamError::Table(TableError::UnknownValue {
+                        attribute: col.to_string(),
+                        value: value.to_string(),
+                    })
+                })?;
+            codes[attr] = Some(code);
+        }
+        let codes: Vec<u32> = codes
+            .into_iter()
+            .enumerate()
+            .map(|(attr, c)| {
+                c.ok_or_else(|| {
+                    StreamError::Mismatch(format!(
+                        "record is missing column `{}`",
+                        self.schema.attribute(attr).name()
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        self.insert_codes(&codes)
+    }
+
+    /// Inserts one record given as dictionary codes in schema order.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamPublisher::insert_values`].
+    pub fn insert_codes(&mut self, codes: &[u32]) -> Result<InsertOutcome, StreamError> {
+        let arity = self.schema.arity();
+        if codes.len() != arity {
+            return Err(StreamError::Mismatch(format!(
+                "record needs {arity} codes, got {}",
+                codes.len()
+            )));
+        }
+        for (attr, &code) in codes.iter().enumerate() {
+            let domain = self.schema.attribute(attr).domain_size();
+            if code as usize >= domain {
+                return Err(StreamError::Table(TableError::CodeOutOfRange {
+                    attribute: self.schema.attribute(attr).name().to_string(),
+                    code,
+                    domain_size: domain,
+                }));
+            }
+        }
+        if self.wal.is_none() {
+            return Err(StreamError::Mismatch(
+                "stream is read-only (opened for replay)".into(),
+            ));
+        }
+        // Write-ahead: the event is logged before it is applied.
+        let seq = self.wal.as_ref().expect("checked above").next_seq();
+        let insert = WalEvent::Insert {
+            seq,
+            codes: codes.to_vec(),
+        };
+        self.wal.as_mut().expect("checked above").append(&insert)?;
+        let status = self.apply(&insert)?;
+        let key = self.key_of(codes);
+        let mut republished = false;
+        if status == GroupStatus::NeedsResampling {
+            // The paper's remedy, automated: re-sample the group through
+            // SPS in place. Its own WAL event keeps replay literal.
+            let event = WalEvent::Republish {
+                seq: seq + 1,
+                key: key.clone(),
+            };
+            self.wal.as_mut().expect("checked above").append(&event)?;
+            self.apply(&event)?;
+            republished = true;
+        }
+        let group_size = self
+            .inner
+            .group(&key)
+            .expect("group exists after insert")
+            .len();
+        Ok(InsertOutcome {
+            key,
+            group_size,
+            republished,
+        })
+    }
+
+    /// Applies one WAL event to the in-memory state. Used verbatim by
+    /// both the live path (after appending) and replay (after reading),
+    /// so the two cannot drift.
+    fn apply(&mut self, event: &WalEvent) -> Result<GroupStatus, StreamError> {
+        let status = match event {
+            WalEvent::Insert { codes, .. } => {
+                let key = self.key_of(codes);
+                let sa_code = codes[self.sa];
+                self.make_hot(&key, true)?;
+                let mut rng = self.group_rng(&key);
+                let status = self.inner.insert(&mut rng, &key, sa_code);
+                self.rngs.insert(key.clone(), rng.state());
+                self.touch_key(key);
+                self.inserted += 1;
+                self.enforce_residency()?;
+                status
+            }
+            WalEvent::Republish { key, .. } => {
+                self.make_hot(key, false)?;
+                let mut rng = self.group_rng(key);
+                let status = self.inner.republish_group(&mut rng, key);
+                self.rngs.insert(key.clone(), rng.state());
+                self.republished += 1;
+                status
+            }
+        };
+        self.wal_seq = event.seq();
+        Ok(status)
+    }
+
+    /// The group key of a full code row (SA position removed).
+    fn key_of(&self, codes: &[u32]) -> Vec<u32> {
+        codes
+            .iter()
+            .enumerate()
+            .filter(|&(a, _)| a != self.sa)
+            .map(|(_, &c)| c)
+            .collect()
+    }
+
+    /// The hot group's RNG, freshly derived for a brand-new group.
+    fn group_rng(&self, key: &[u32]) -> GroupRng {
+        match self.rngs.get(key) {
+            Some(&state) => GroupRng::from_state(state),
+            None => GroupRng::for_group(self.seed, key),
+        }
+    }
+
+    /// Ensures a group's secret state is resident, reloading it from the
+    /// spill store if it went cold. `may_create` distinguishes inserts
+    /// (which create groups) from republishes (which must find one).
+    fn make_hot(&mut self, key: &[u32], may_create: bool) -> Result<(), StreamError> {
+        if self.inner.group(key).is_some() {
+            return Ok(());
+        }
+        if let Some(published) = self.cold.remove(key) {
+            let spill = self
+                .spill
+                .as_mut()
+                .expect("cold groups imply a spill store");
+            let state = spill.read(key)?;
+            spill.forget(key);
+            self.inner.put_group(LiveGroup {
+                key: key.to_vec(),
+                raw_hist: state.raw_hist,
+                published_hist: published,
+                status: state.status,
+                republished_len: state.republished_len,
+            });
+            self.rngs.insert(key.to_vec(), state.rng_state);
+            self.touch_key(key.to_vec());
+            return Ok(());
+        }
+        if !may_create {
+            return Err(StreamError::Mismatch(format!(
+                "replayed event references unknown group {key:?} (corrupted log?)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Bumps a key to most-recently-used.
+    fn touch_key(&mut self, key: Vec<u32>) {
+        if let Some(old) = self.touch.get(&key) {
+            self.lru.remove(old);
+        }
+        self.clock += 1;
+        self.lru.insert(self.clock, key.clone());
+        self.touch.insert(key, self.clock);
+    }
+
+    /// Spills least-recently-inserted groups until the hot set fits the
+    /// configured bound.
+    fn enforce_residency(&mut self) -> Result<(), StreamError> {
+        if self.config.max_resident == 0 {
+            return Ok(());
+        }
+        while self.inner.group_count() > self.config.max_resident {
+            let (&clock, _) = self.lru.iter().next().expect("hot set is non-empty");
+            let key = self.lru.remove(&clock).expect("entry just observed");
+            self.touch.remove(&key);
+            let group = self.inner.take_group(&key).expect("LRU tracks hot groups");
+            let rng_state = self.rngs.remove(&key).expect("hot groups carry a cursor");
+            if self.spill.is_none() {
+                self.spill = Some(SpillStore::create(&self.spill_path, self.m)?);
+            }
+            self.spill.as_mut().expect("just created").spill(
+                &key,
+                &SpilledGroup {
+                    raw_hist: group.raw_hist,
+                    rng_state,
+                    status: group.status,
+                    republished_len: group.republished_len,
+                },
+            )?;
+            self.cold.insert(key, group.published_hist);
+        }
+        Ok(())
+    }
+
+    // -- durability --------------------------------------------------------
+
+    /// Syncs the WAL to stable storage — the durability point. Returns
+    /// the sequence number now durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O failure, or a mismatch on a read-only stream.
+    pub fn flush(&mut self) -> Result<u64, StreamError> {
+        match &mut self.wal {
+            Some(wal) => {
+                wal.sync()?;
+                Ok(self.wal_seq)
+            }
+            None => Err(StreamError::Mismatch(
+                "stream is read-only (opened for replay)".into(),
+            )),
+        }
+    }
+
+    /// Materializes the stream as a v2 [`Publication`]: the base rows
+    /// plus every live group's published histogram expanded to rows
+    /// (sorted by key, then SA code — the canonical order), with the
+    /// [`LiveState`] extension attached.
+    /// A pure function of the stream state: live run, clean-start replay
+    /// and snapshot+tail restore all serialize to identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a spilled group cannot be read back.
+    pub fn snapshot(&mut self) -> Result<Publication, StreamError> {
+        let mut keys: Vec<Vec<u32>> = self
+            .inner
+            .groups()
+            .map(|g| g.key.clone())
+            .chain(self.cold.keys().cloned())
+            .collect();
+        keys.sort_unstable();
+        let mut groups = Vec::with_capacity(keys.len());
+        for key in keys {
+            let snapshot = match self.inner.group(&key) {
+                Some(g) => LiveGroupSnapshot {
+                    key: key.clone(),
+                    raw_hist: g.raw_hist.clone(),
+                    published_hist: g.published_hist.clone(),
+                    rng_state: *self.rngs.get(&key).expect("hot groups carry a cursor"),
+                    status: g.status,
+                    republished_len: g.republished_len,
+                },
+                None => {
+                    let published = self.cold.get(&key).expect("key came from a live set");
+                    let state = self
+                        .spill
+                        .as_mut()
+                        .expect("cold groups imply a spill store")
+                        .read(&key)?;
+                    LiveGroupSnapshot {
+                        key: key.clone(),
+                        raw_hist: state.raw_hist,
+                        published_hist: published.clone(),
+                        rng_state: state.rng_state,
+                        status: state.status,
+                        republished_len: state.republished_len,
+                    }
+                }
+            };
+            groups.push(snapshot);
+        }
+        let base_table = self.base.table();
+        let base_rows = base_table.rows();
+        let arity = self.schema.arity();
+        let live_rows: u64 = groups
+            .iter()
+            .map(|g| g.published_hist.iter().sum::<u64>())
+            .sum();
+        let mut builder =
+            TableBuilder::with_capacity(self.schema.clone(), base_rows + live_rows as usize);
+        let mut row = Vec::with_capacity(arity);
+        for r in 0..base_rows {
+            row.clear();
+            for a in 0..arity {
+                row.push(base_table.code(r, a));
+            }
+            builder.push_codes(&row).expect("base rows are in-domain");
+        }
+        for g in &groups {
+            for (sa_code, &count) in g.published_hist.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                row.clear();
+                let mut k = g.key.iter();
+                for a in 0..arity {
+                    if a == self.sa {
+                        row.push(sa_code as u32);
+                    } else {
+                        row.push(*k.next().expect("key covers every NA attribute"));
+                    }
+                }
+                builder
+                    .push_codes_batch(&row, count as usize)
+                    .expect("live rows are in-domain");
+            }
+        }
+        let mut stats = self.base.stats();
+        stats.groups += groups
+            .iter()
+            .filter(|g| !self.base_keys.contains(&g.key))
+            .count();
+        stats.groups_sampled += self.republished as usize;
+        stats.input_records += self.inserted;
+        stats.output_records = base_rows as u64 + live_rows;
+        let live = LiveState {
+            base_rows,
+            wal_seq: self.wal_seq,
+            inserted: self.inserted,
+            republished: self.republished,
+            groups,
+        };
+        Ok(Publication::from_parts(
+            builder.build(),
+            self.sa,
+            self.base.p(),
+            self.base.params(),
+            self.base.seed(),
+            stats,
+            self.base.check(),
+        )
+        .with_live(live))
+    }
+
+    /// Snapshots to a file (buffered).
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamPublisher::snapshot`], plus file-creation and
+    /// serialization errors.
+    pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<(), StreamError> {
+        let publication = self.snapshot()?;
+        let file = File::create(path)?;
+        publication.save(BufWriter::new(file))?;
+        Ok(())
+    }
+
+    // -- the live query view -----------------------------------------------
+
+    /// `(support, observed)` of the live groups matching the query's NA
+    /// conditions — the live half of an answer (the base half comes from
+    /// the [`crate::QueryEngine`] over the base release).
+    pub fn live_support_observed(&self, query: &CountQuery) -> (u64, u64) {
+        let sa_value = query.sa_value() as usize;
+        let mut support = 0u64;
+        let mut observed = 0u64;
+        for g in self.inner.groups() {
+            if self.key_matches(&g.key, query) {
+                support += g.published_hist.iter().sum::<u64>();
+                observed += g.published_hist[sa_value];
+            }
+        }
+        for (key, hist) in &self.cold {
+            if self.key_matches(key, query) {
+                support += hist.iter().sum::<u64>();
+                observed += hist[sa_value];
+            }
+        }
+        (support, observed)
+    }
+
+    /// Whether a group key matches the query's NA conditions — the exact
+    /// predicate the cache-invalidation guarantee is stated over: an
+    /// insert to group *g* invalidates precisely the cached answers
+    /// whose match set contains *g*.
+    pub fn key_matches(&self, key: &[u32], query: &CountQuery) -> bool {
+        for &(attr, term) in query.na_pattern().terms() {
+            if let Term::Value(code) = term {
+                // NA keys drop the SA position from schema order.
+                let pos = if attr > self.sa { attr - 1 } else { attr };
+                if key[pos] != code {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Splits an artifact into its immutable base publication (table
+/// truncated to the base rows, batch counters rolled back to the base
+/// release) and its live extension.
+fn split_artifact(artifact: Publication) -> Result<(Publication, Option<LiveState>), StreamError> {
+    let Some(live) = artifact.live().cloned() else {
+        return Ok((artifact, None));
+    };
+    let table = artifact.table();
+    let arity = table.schema().arity();
+    let mut builder = TableBuilder::with_capacity(table.schema().clone(), live.base_rows);
+    let mut row = Vec::with_capacity(arity);
+    for r in 0..live.base_rows {
+        row.clear();
+        for a in 0..arity {
+            row.push(table.code(r, a));
+        }
+        builder.push_codes(&row)?;
+    }
+    // Roll the stream's contributions back out of the snapshot counters
+    // so re-snapshotting reproduces them identically (saturating: a
+    // hand-edited artifact must not panic here). The group rollback
+    // mirrors `snapshot`: only live groups whose key is absent from the
+    // base were counted.
+    let base = builder.build();
+    let base_key_set = group_keys(&base, artifact.sa());
+    let novel = live
+        .groups
+        .iter()
+        .filter(|g| !base_key_set.contains(&g.key))
+        .count();
+    let mut stats = artifact.stats();
+    stats.groups = stats.groups.saturating_sub(novel);
+    stats.groups_sampled = stats
+        .groups_sampled
+        .saturating_sub(live.republished as usize);
+    stats.input_records = stats.input_records.saturating_sub(live.inserted);
+    stats.output_records = live.base_rows as u64;
+    let base = Publication::from_parts(
+        base,
+        artifact.sa(),
+        artifact.p(),
+        artifact.params(),
+        artifact.seed(),
+        stats,
+        artifact.check(),
+    );
+    Ok((base, Some(live)))
+}
+
+/// The set of personal-group keys (public-attribute codes, schema order)
+/// present in a table.
+fn group_keys(table: &rp_table::Table, sa: AttrId) -> HashSet<Vec<u32>> {
+    let arity = table.schema().arity();
+    let mut keys = HashSet::new();
+    let mut key = Vec::with_capacity(arity.saturating_sub(1));
+    for r in 0..table.rows() {
+        key.clear();
+        for a in 0..arity {
+            if a != sa {
+                key.push(table.code(r, a));
+            }
+        }
+        if !keys.contains(&key) {
+            keys.insert(key.clone());
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publisher::Publisher;
+    use rp_table::Attribute;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rp-stream-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(format!("{}.spill", path.display()));
+        path
+    }
+
+    fn base_publication() -> Publication {
+        let schema = Schema::new(vec![
+            Attribute::new("Job", ["eng", "doc"]),
+            Attribute::new("City", ["rome", "oslo"]),
+            Attribute::new("Disease", ["flu", "none"]),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..200u32 {
+            b.push_codes(&[i % 2, (i / 2) % 2, (i / 4) % 2]).unwrap();
+        }
+        Publisher::new(b.build()).sa(2).seed(11).publish().unwrap()
+    }
+
+    fn save_bytes(p: &Publication) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        p.save(&mut bytes).unwrap();
+        bytes
+    }
+
+    /// A deterministic pseudo-stream of records over the fixture schema.
+    fn record(i: u32) -> Vec<u32> {
+        vec![i % 2, (i / 3) % 2, (i * 7 / 5) % 2]
+    }
+
+    #[test]
+    fn inserts_log_and_apply_and_snapshot_round_trips() {
+        let wal = tmp("basic.rpwal");
+        let mut s =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        for i in 0..300u32 {
+            let outcome = s.insert_codes(&record(i)).unwrap();
+            assert_eq!(outcome.key.len(), 2);
+        }
+        assert_eq!(s.inserted(), 300);
+        assert_eq!(s.live_records(), 300);
+        s.flush().unwrap();
+        let snapshot = s.snapshot().unwrap();
+        assert_eq!(snapshot.table().rows(), 200 + 300);
+        assert_eq!(snapshot.live().unwrap().inserted, 300);
+        // The snapshot round-trips bytes.
+        let bytes = save_bytes(&snapshot);
+        let reloaded = Publication::load(&bytes[..]).unwrap();
+        assert_eq!(save_bytes(&reloaded), bytes);
+    }
+
+    #[test]
+    fn clean_start_replay_is_byte_identical_to_the_live_run() {
+        let wal = tmp("replay.rpwal");
+        let mut live =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        for i in 0..500u32 {
+            live.insert_codes(&record(i)).unwrap();
+        }
+        live.flush().unwrap();
+        let live_bytes = save_bytes(&live.snapshot().unwrap());
+        drop(live);
+        let mut replayed =
+            StreamPublisher::replay(base_publication(), &wal, StreamConfig::default()).unwrap();
+        assert_eq!(save_bytes(&replayed.snapshot().unwrap()), live_bytes);
+        // Replay-only streams refuse writes.
+        assert!(replayed.insert_codes(&record(0)).is_err());
+        assert!(replayed.flush().is_err());
+    }
+
+    #[test]
+    fn snapshot_plus_tail_restore_matches_the_uninterrupted_run() {
+        let wal_a = tmp("uninterrupted.rpwal");
+        let mut a =
+            StreamPublisher::open(base_publication(), &wal_a, StreamConfig::default()).unwrap();
+        for i in 0..400u32 {
+            a.insert_codes(&record(i)).unwrap();
+        }
+        let reference = save_bytes(&a.snapshot().unwrap());
+
+        // Same stream, interrupted at 150 with a snapshot, then resumed
+        // from (snapshot, same WAL) — the tail after the snapshot cursor
+        // replays on open.
+        let wal_b = tmp("interrupted.rpwal");
+        let mut b =
+            StreamPublisher::open(base_publication(), &wal_b, StreamConfig::default()).unwrap();
+        for i in 0..150u32 {
+            b.insert_codes(&record(i)).unwrap();
+        }
+        let mid = b.snapshot().unwrap();
+        for i in 150..220u32 {
+            b.insert_codes(&record(i)).unwrap();
+        }
+        b.flush().unwrap();
+        drop(b); // crash: events 150..220 exist only in the WAL
+        let mut b2 = StreamPublisher::open(mid, &wal_b, StreamConfig::default()).unwrap();
+        assert_eq!(b2.inserted(), 220, "tail replayed");
+        for i in 220..400u32 {
+            b2.insert_codes(&record(i)).unwrap();
+        }
+        assert_eq!(save_bytes(&b2.snapshot().unwrap()), reference);
+    }
+
+    #[test]
+    fn bounded_residency_spills_and_changes_no_bytes() {
+        let wal_a = tmp("unbounded.rpwal");
+        let wal_b = tmp("bounded.rpwal");
+        let mut a =
+            StreamPublisher::open(base_publication(), &wal_a, StreamConfig::default()).unwrap();
+        let mut b =
+            StreamPublisher::open(base_publication(), &wal_b, StreamConfig { max_resident: 2 })
+                .unwrap();
+        for i in 0..400u32 {
+            a.insert_codes(&record(i)).unwrap();
+            b.insert_codes(&record(i)).unwrap();
+        }
+        assert!(b.resident_groups() <= 2, "{}", b.resident_groups());
+        assert!(b.spilled_groups() > 0);
+        assert_eq!(
+            save_bytes(&a.snapshot().unwrap()),
+            save_bytes(&b.snapshot().unwrap()),
+            "spilling must not change a single published byte"
+        );
+        // The live view answers identically too.
+        let q = CountQuery::new(vec![(0, 0)], 2, 0).unwrap();
+        assert_eq!(a.live_support_observed(&q), b.live_support_observed(&q));
+    }
+
+    #[test]
+    fn growth_past_sg_republishes_automatically_and_logs_it() {
+        let wal = tmp("republish.rpwal");
+        let mut s =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        // Hammer one skewed group until it crosses its threshold.
+        let mut republished = 0u32;
+        for i in 0..2000u32 {
+            let outcome = s.insert_codes(&[0, 0, u32::from(i % 10 == 0)]).unwrap();
+            if outcome.republished {
+                republished += 1;
+            }
+        }
+        assert!(republished >= 1, "the group must cross sg");
+        assert_eq!(s.republished(), u64::from(republished));
+        // The log records the republish events.
+        s.flush().unwrap();
+        let (_, events, _) = wal::read_wal(&wal).unwrap();
+        let logged = events
+            .iter()
+            .filter(|e| matches!(e, WalEvent::Republish { .. }))
+            .count();
+        assert_eq!(logged, republished as usize);
+        // And replay (which applies them literally) matches.
+        let mut replayed =
+            StreamPublisher::replay(base_publication(), &wal, StreamConfig::default()).unwrap();
+        let mut live = s;
+        assert_eq!(
+            save_bytes(&replayed.snapshot().unwrap()),
+            save_bytes(&live.snapshot().unwrap())
+        );
+    }
+
+    #[test]
+    fn insert_values_resolves_names_and_rejects_bad_records() {
+        let wal = tmp("values.rpwal");
+        let mut s =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        let outcome = s
+            .insert_values(&[("Disease", "flu"), ("Job", "eng"), ("City", "oslo")])
+            .unwrap();
+        assert_eq!(outcome.key, vec![0, 1]);
+        for (values, needle) in [
+            (vec![("Job", "eng"), ("City", "oslo")], "missing column"),
+            (
+                vec![("Job", "eng"), ("Job", "doc"), ("Disease", "flu")],
+                "more than once",
+            ),
+            (
+                vec![("Job", "zzz"), ("City", "oslo"), ("Disease", "flu")],
+                "zzz",
+            ),
+            (
+                vec![("Nope", "eng"), ("City", "oslo"), ("Disease", "flu")],
+                "Nope",
+            ),
+        ] {
+            let err = s.insert_values(&values).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+        // Bad records never reach the log.
+        s.flush().unwrap();
+        let (_, events, _) = wal::read_wal(&wal).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn fresh_wal_after_snapshot_continues_the_sequence() {
+        let wal1 = tmp("rotate-1.rpwal");
+        let mut s =
+            StreamPublisher::open(base_publication(), &wal1, StreamConfig::default()).unwrap();
+        for i in 0..100u32 {
+            s.insert_codes(&record(i)).unwrap();
+        }
+        let snapshot = s.snapshot().unwrap();
+        let covered = s.wal_seq();
+        drop(s);
+        // The old log is archived; a fresh one takes over at the cursor.
+        let wal2 = tmp("rotate-2.rpwal");
+        let mut s2 =
+            StreamPublisher::open(snapshot.clone(), &wal2, StreamConfig::default()).unwrap();
+        for i in 100..150u32 {
+            s2.insert_codes(&record(i)).unwrap();
+        }
+        assert!(s2.wal_seq() > covered);
+        let final_bytes = save_bytes(&s2.snapshot().unwrap());
+        drop(s2);
+        // Snapshot + new log replays to the same bytes.
+        let mut replayed =
+            StreamPublisher::replay(snapshot, &wal2, StreamConfig::default()).unwrap();
+        assert_eq!(save_bytes(&replayed.snapshot().unwrap()), final_bytes);
+    }
+
+    #[test]
+    fn stale_and_gapped_logs_are_rejected() {
+        let wal = tmp("stale.rpwal");
+        let mut s =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        for i in 0..50u32 {
+            s.insert_codes(&record(i)).unwrap();
+        }
+        let early = s.snapshot().unwrap();
+        for i in 50..100u32 {
+            s.insert_codes(&record(i)).unwrap();
+        }
+        let late = s.snapshot().unwrap();
+        drop(s);
+        // A snapshot older than the log start (fresh log + stale
+        // snapshot) is a gap.
+        let fresh = tmp("fresh-after-late.rpwal");
+        let mut s2 = StreamPublisher::open(late, &fresh, StreamConfig::default()).unwrap();
+        s2.insert_codes(&record(0)).unwrap();
+        drop(s2);
+        let err = StreamPublisher::open(early, &fresh, StreamConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn empty_leftover_wal_is_rejected_as_stale() {
+        // A header-only WAL from an earlier session (first_seq = 1, no
+        // events) must not be accepted by a snapshot that already covers
+        // events — appending would rewind the sequence numbering.
+        let wal = tmp("empty-stale.rpwal");
+        let mut s =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        for i in 0..30u32 {
+            s.insert_codes(&record(i)).unwrap();
+        }
+        let snapshot = s.snapshot().unwrap();
+        drop(s);
+        let leftover = tmp("empty-leftover.rpwal");
+        let fresh =
+            StreamPublisher::open(base_publication(), &leftover, StreamConfig::default()).unwrap();
+        drop(fresh); // header written, zero events
+        let err = StreamPublisher::open(snapshot, &leftover, StreamConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn group_counts_do_not_double_count_base_keys() {
+        let wal = tmp("group-count.rpwal");
+        let mut s =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        // The base fixture covers every (Job, City) combination, so an
+        // insert into an existing key adds no new group...
+        s.insert_codes(&[0, 0, 0]).unwrap();
+        assert_eq!(s.live_groups(), 1);
+        assert_eq!(s.novel_live_groups(), 0);
+        let snapshot = s.snapshot().unwrap();
+        assert_eq!(
+            snapshot.stats().groups,
+            s.base().stats().groups,
+            "a shared key is one group, not two"
+        );
+        // ...and the snapshot's grouped view agrees with the counter.
+        let engine = crate::QueryEngine::new(&snapshot);
+        assert_eq!(engine.groups(), snapshot.stats().groups);
+    }
+
+    #[test]
+    fn live_view_and_key_matching_agree_with_count_queries() {
+        let wal = tmp("view.rpwal");
+        let mut s =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        for i in 0..200u32 {
+            s.insert_codes(&record(i)).unwrap();
+        }
+        // Wildcard NA: everything matches.
+        let all = CountQuery::new(vec![], 2, 0).unwrap();
+        let (support, observed) = s.live_support_observed(&all);
+        assert_eq!(support, 200);
+        assert!(observed <= support);
+        // A pinned condition partitions the support.
+        let eng = CountQuery::new(vec![(0, 0)], 2, 0).unwrap();
+        let doc = CountQuery::new(vec![(0, 1)], 2, 0).unwrap();
+        let (se, _) = s.live_support_observed(&eng);
+        let (sd, _) = s.live_support_observed(&doc);
+        assert_eq!(se + sd, 200);
+        assert!(s.key_matches(&[0, 1], &eng));
+        assert!(!s.key_matches(&[1, 1], &eng));
+    }
+}

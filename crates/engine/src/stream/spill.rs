@@ -1,0 +1,251 @@
+//! The cold-group spill store: bounds the *owner-side* resident memory of
+//! a stream.
+//!
+//! Queries need every group's **published** histogram, so that stays
+//! resident; what a cold group can shed is its secret state — the raw
+//! histogram, the RNG cursor, the compliance status and the
+//! re-publication baseline. When the hot set exceeds the configured
+//! residency bound, the least-recently-inserted group's secret state is
+//! appended here (latest record wins) and reloaded the next time an
+//! insert touches the group.
+//!
+//! The store is *working state*, not part of the durability contract:
+//! the WAL and the v2 snapshot are. On restart the spill file is
+//! recreated empty, and spilling never changes a single published byte —
+//! the round trip is lossless (`spill_round_trip_is_lossless` below, and
+//! the determinism suite exercises it end to end).
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use rp_core::incremental::GroupStatus;
+
+use crate::stream::StreamError;
+
+/// The secret state of one spilled group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SpilledGroup {
+    /// Raw SA histogram.
+    pub raw_hist: Vec<u64>,
+    /// The group's RNG cursor.
+    pub rng_state: u64,
+    /// Compliance status at spill time.
+    pub status: GroupStatus,
+    /// Raw records covered by the last SPS re-publication.
+    pub republished_len: u64,
+}
+
+/// Append-only on-disk store of spilled group state with an in-memory
+/// `key → offset` index (latest record wins; stale records are dead
+/// weight until the file is recreated on restart).
+#[derive(Debug)]
+pub(crate) struct SpillStore {
+    file: File,
+    index: HashMap<Vec<u32>, u64>,
+    end: u64,
+    m: usize,
+}
+
+impl SpillStore {
+    /// Creates (or truncates) the spill file.
+    pub fn create(path: &Path, m: usize) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            index: HashMap::new(),
+            end: 0,
+            m,
+        })
+    }
+
+    /// Number of groups currently indexed.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether a group's state is held here.
+    #[cfg(test)]
+    pub fn contains(&self, key: &[u32]) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Appends a group's secret state (replacing any previous record for
+    /// the key in the index).
+    pub fn spill(&mut self, key: &[u32], group: &SpilledGroup) -> std::io::Result<()> {
+        assert_eq!(group.raw_hist.len(), self.m, "raw histogram arity");
+        let mut line = String::from("g");
+        for &code in key {
+            line.push('\t');
+            line.push_str(&code.to_string());
+        }
+        for &c in &group.raw_hist {
+            line.push('\t');
+            line.push_str(&c.to_string());
+        }
+        let status = match group.status {
+            GroupStatus::Compliant => 'c',
+            GroupStatus::NeedsResampling => 'f',
+        };
+        line.push_str(&format!(
+            "\t{}\t{}\t{}\n",
+            group.rng_state, status, group.republished_len
+        ));
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.write_all(line.as_bytes())?;
+        self.index.insert(key.to_vec(), self.end);
+        self.end += line.len() as u64;
+        Ok(())
+    }
+
+    /// Reads a group's latest spilled state without removing it from the
+    /// index (used when snapshotting the whole stream).
+    pub fn read(&mut self, key: &[u32]) -> Result<SpilledGroup, StreamError> {
+        let offset = *self
+            .index
+            .get(key)
+            .ok_or_else(|| StreamError::Mismatch(format!("group {key:?} is not spilled")))?;
+        self.file.seek(SeekFrom::Start(offset))?;
+        // Chunked line read (records are a few hundred bytes; byte-wise
+        // reads on an unbuffered File would cost one syscall per byte).
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 512];
+        loop {
+            let n = self.file.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            if let Some(end) = chunk[..n].iter().position(|&b| b == b'\n') {
+                buf.extend_from_slice(&chunk[..end]);
+                break;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let line = String::from_utf8(buf)
+            .map_err(|_| StreamError::Mismatch("spill record is not UTF-8".into()))?;
+        self.parse(key, &line)
+    }
+
+    /// Removes a group from the index (it is hot again); the stale bytes
+    /// stay in the file until it is recreated.
+    pub fn forget(&mut self, key: &[u32]) {
+        self.index.remove(key);
+    }
+
+    fn parse(&self, key: &[u32], line: &str) -> Result<SpilledGroup, StreamError> {
+        let bad = |message: String| StreamError::Mismatch(format!("spill record: {message}"));
+        let mut parts = line.split('\t');
+        if parts.next() != Some("g") {
+            return Err(bad("missing `g` tag".into()));
+        }
+        for &expected in key {
+            let got: u32 = parts
+                .next()
+                .ok_or_else(|| bad("short key".into()))?
+                .parse()
+                .map_err(|e| bad(format!("bad key code: {e}")))?;
+            if got != expected {
+                return Err(bad(format!("key mismatch (index corruption): {got}")));
+            }
+        }
+        let mut raw_hist = Vec::with_capacity(self.m);
+        for _ in 0..self.m {
+            raw_hist.push(
+                parts
+                    .next()
+                    .ok_or_else(|| bad("short histogram".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("bad count: {e}")))?,
+            );
+        }
+        let rng_state: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing rng state".into()))?
+            .parse()
+            .map_err(|e| bad(format!("bad rng state: {e}")))?;
+        let status = match parts.next() {
+            Some("c") => GroupStatus::Compliant,
+            Some("f") => GroupStatus::NeedsResampling,
+            other => return Err(bad(format!("bad status {other:?}"))),
+        };
+        let republished_len: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing republished_len".into()))?
+            .parse()
+            .map_err(|e| bad(format!("bad republished_len: {e}")))?;
+        if parts.next().is_some() {
+            return Err(bad("trailing fields".into()));
+        }
+        Ok(SpilledGroup {
+            raw_hist,
+            rng_state,
+            status,
+            republished_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rp-spill-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn group(seed: u64) -> SpilledGroup {
+        SpilledGroup {
+            raw_hist: vec![seed, seed + 1, 0],
+            rng_state: seed * 31,
+            status: if seed.is_multiple_of(2) {
+                GroupStatus::Compliant
+            } else {
+                GroupStatus::NeedsResampling
+            },
+            republished_len: seed / 2,
+        }
+    }
+
+    #[test]
+    fn spill_round_trip_is_lossless() {
+        let mut store = SpillStore::create(&tmp("roundtrip.spill"), 3).unwrap();
+        for k in 0..20u64 {
+            store.spill(&[k as u32, 1], &group(k)).unwrap();
+        }
+        assert_eq!(store.len(), 20);
+        for k in (0..20u64).rev() {
+            assert_eq!(store.read(&[k as u32, 1]).unwrap(), group(k));
+        }
+    }
+
+    #[test]
+    fn latest_record_wins_and_forget_removes() {
+        let mut store = SpillStore::create(&tmp("latest.spill"), 3).unwrap();
+        store.spill(&[5], &group(1)).unwrap();
+        store.spill(&[5], &group(2)).unwrap();
+        assert_eq!(store.read(&[5]).unwrap(), group(2));
+        assert_eq!(store.len(), 1);
+        store.forget(&[5]);
+        assert!(!store.contains(&[5]));
+        assert!(store.read(&[5]).is_err());
+    }
+
+    #[test]
+    fn interleaved_reads_do_not_corrupt_writes() {
+        let mut store = SpillStore::create(&tmp("interleave.spill"), 3).unwrap();
+        store.spill(&[0], &group(3)).unwrap();
+        let _ = store.read(&[0]).unwrap(); // moves the file cursor
+        store.spill(&[1], &group(4)).unwrap(); // must still append at end
+        assert_eq!(store.read(&[0]).unwrap(), group(3));
+        assert_eq!(store.read(&[1]).unwrap(), group(4));
+    }
+}

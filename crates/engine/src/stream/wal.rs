@@ -1,0 +1,590 @@
+//! The insert write-ahead log: a line-oriented, versioned record of every
+//! mutation a [`crate::stream::StreamPublisher`] applied.
+//!
+//! Same codec discipline as the rest of the crate's formats
+//! (`parse ∘ encode = id`, tab-separated, versioned magic): the header
+//! records everything needed to re-derive the run — the stream seed, the
+//! perturbation parameters `(p, λ, δ)`, the schema and the base-release
+//! fingerprint — followed by one event per line:
+//!
+//! ```text
+//! wal    := "rp-wal v1" NL
+//!           "seed" TAB u64 NL  "p" TAB f64 NL
+//!           "lambda" TAB f64 NL  "delta" TAB f64 NL
+//!           "sa" TAB attr NL
+//!           "attrs" TAB n NL  ("attr" TAB name (TAB value)* NL){n}
+//!           "base" TAB rows NL
+//!           "start" TAB first_seq NL
+//!           event*
+//! event  := "i" TAB seq (TAB code){arity} NL      -- one inserted record
+//!         | "r" TAB seq (TAB code){arity-1} NL    -- SPS re-publication of a group key
+//! ```
+//!
+//! Sequence numbers are contiguous from the header's `first_seq` (1 for
+//! a stream's first log; a log started fresh after a snapshot records
+//! where it takes over), so a snapshot can record "the last event I
+//! cover" and restore replays exactly the tail. A torn final line (crash
+//! mid-append) is detected by its missing newline and truncated away on
+//! open — the WAL never replays a half-written event.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use rp_core::privacy::PrivacyParams;
+use rp_table::Schema;
+
+use crate::codec::{read_schema, write_schema, Lines};
+use crate::publication::PublicationError;
+use crate::stream::StreamError;
+
+/// Magic line opening every WAL file.
+pub const WAL_MAGIC: &str = "rp-wal v1";
+
+/// The WAL header: the full initial condition of a stream, recorded up
+/// front so a clean-start replay needs nothing but the base artifact the
+/// header fingerprints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalHeader {
+    /// The stream seed every per-group RNG derives from.
+    pub seed: u64,
+    /// Retention probability of the perturbation.
+    pub p: f64,
+    /// The enforced `(λ, δ)` requirement.
+    pub params: PrivacyParams,
+    /// The sensitive attribute index.
+    pub sa: usize,
+    /// The published schema (shared by base and live records).
+    pub schema: Schema,
+    /// Rows of the immutable base release the stream grows on.
+    pub base_rows: usize,
+    /// Sequence number of the first event this log may contain: 1 for a
+    /// stream's first log, `snapshot.wal_seq + 1` for a log started
+    /// fresh after a snapshot (the archived predecessor holds the rest).
+    pub first_seq: u64,
+}
+
+impl WalHeader {
+    /// Whether two headers describe the same stream (everything but
+    /// `first_seq`, which legitimately differs across log rotations).
+    pub fn same_stream(&self, other: &WalHeader) -> bool {
+        self.seed == other.seed
+            && self.p == other.p
+            && self.params == other.params
+            && self.sa == other.sa
+            && self.schema == other.schema
+            && self.base_rows == other.base_rows
+    }
+
+    fn write<W: Write>(&self, mut w: W) -> Result<(), PublicationError> {
+        writeln!(w, "{WAL_MAGIC}")?;
+        writeln!(w, "seed\t{}", self.seed)?;
+        writeln!(w, "p\t{}", self.p)?;
+        writeln!(w, "lambda\t{}", self.params.lambda())?;
+        writeln!(w, "delta\t{}", self.params.delta())?;
+        writeln!(w, "sa\t{}", self.sa)?;
+        write_schema(&mut w, &self.schema)?;
+        writeln!(w, "base\t{}", self.base_rows)?;
+        writeln!(w, "start\t{}", self.first_seq)?;
+        Ok(())
+    }
+
+    fn read<R: BufRead>(lines: &mut Lines<R>) -> Result<Self, PublicationError> {
+        let magic_err = {
+            let magic = lines.next_line()?;
+            (magic != WAL_MAGIC).then(|| format!("expected magic `{WAL_MAGIC}`, got `{magic}`"))
+        };
+        if let Some(message) = magic_err {
+            return Err(PublicationError::Format { line: 1, message });
+        }
+        let seed: u64 = lines.field("seed")?.parse_one()?;
+        let p: f64 = lines.field("p")?.parse_one()?;
+        if !(p > 0.0 && p < 1.0) {
+            return Err(lines.err(format!("retention p must lie in (0, 1), got {p}")));
+        }
+        let lambda: f64 = lines.field("lambda")?.parse_one()?;
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(lines.err(format!("lambda must be positive and finite, got {lambda}")));
+        }
+        let delta: f64 = lines.field("delta")?.parse_one()?;
+        if !(delta > 0.0 && delta <= 1.0) {
+            return Err(lines.err(format!("delta must lie in (0, 1], got {delta}")));
+        }
+        let sa: usize = lines.field("sa")?.parse_one()?;
+        let attributes = read_schema(lines)?;
+        if sa >= attributes.len() {
+            return Err(lines.err(format!(
+                "sa index {sa} out of range for arity {}",
+                attributes.len()
+            )));
+        }
+        let base_rows: usize = lines.field("base")?.parse_one()?;
+        let first_seq: u64 = lines.field("start")?.parse_one()?;
+        if first_seq == 0 {
+            return Err(lines.err("first_seq must be at least 1".into()));
+        }
+        Ok(Self {
+            seed,
+            p,
+            params: PrivacyParams::new(lambda, delta),
+            sa,
+            schema: Schema::new(attributes),
+            base_rows,
+            first_seq,
+        })
+    }
+}
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalEvent {
+    /// One record inserted: full dictionary codes in schema order.
+    Insert {
+        /// Contiguous 1-based sequence number.
+        seq: u64,
+        /// The record's codes (arity values, SA at its schema position).
+        codes: Vec<u32>,
+    },
+    /// One group re-published through SPS.
+    Republish {
+        /// Contiguous 1-based sequence number.
+        seq: u64,
+        /// The group key (public-attribute codes, schema order).
+        key: Vec<u32>,
+    },
+}
+
+impl WalEvent {
+    /// The event's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            WalEvent::Insert { seq, .. } | WalEvent::Republish { seq, .. } => *seq,
+        }
+    }
+
+    /// Encodes the canonical line for this event (no trailing newline).
+    pub fn encode(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let (tag, seq, codes) = match self {
+            WalEvent::Insert { seq, codes } => ('i', seq, codes),
+            WalEvent::Republish { seq, key } => ('r', seq, key),
+        };
+        write!(out, "{tag}\t{seq}").expect("writing to a String cannot fail");
+        for &c in codes {
+            write!(out, "\t{c}").expect("writing to a String cannot fail");
+        }
+        out
+    }
+
+    /// Parses one event line, validating the code count and domains
+    /// against the header's schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StreamError::Format`] on anything that is not a
+    /// canonical event line for this schema.
+    pub fn parse(line: &str, line_no: usize, header: &WalHeader) -> Result<Self, StreamError> {
+        let bad = |message: String| StreamError::Format {
+            line: line_no,
+            message,
+        };
+        let mut parts = line.split('\t');
+        let tag = parts.next().unwrap_or("");
+        let seq: u64 = parts
+            .next()
+            .ok_or_else(|| bad("event needs a sequence number".into()))?
+            .parse()
+            .map_err(|e| bad(format!("bad sequence number: {e}")))?;
+        let mut codes = Vec::new();
+        for part in parts {
+            codes.push(
+                part.parse::<u32>()
+                    .map_err(|e| bad(format!("bad code `{part}`: {e}")))?,
+            );
+        }
+        let arity = header.schema.arity();
+        let (want, attrs): (usize, Vec<usize>) = match tag {
+            "i" => (arity, (0..arity).collect()),
+            "r" => (arity - 1, (0..arity).filter(|&a| a != header.sa).collect()),
+            other => return Err(bad(format!("unknown event tag `{other}`"))),
+        };
+        if codes.len() != want {
+            return Err(bad(format!(
+                "`{tag}` event needs {want} codes, got {}",
+                codes.len()
+            )));
+        }
+        for (&code, &attr) in codes.iter().zip(&attrs) {
+            let domain = header.schema.attribute(attr).domain_size();
+            if code as usize >= domain {
+                return Err(bad(format!(
+                    "code {code} out of range for attribute `{}` (domain {domain})",
+                    header.schema.attribute(attr).name()
+                )));
+            }
+        }
+        Ok(match tag {
+            "i" => WalEvent::Insert { seq, codes },
+            _ => WalEvent::Republish { seq, key: codes },
+        })
+    }
+}
+
+/// Reads a WAL file: header, then every *complete* event line. Returns
+/// the header, the events, and the byte offset of the end of the last
+/// complete line (a torn final line — crash mid-append — is excluded).
+///
+/// Sequence numbers are checked for contiguity from 1, so a gap or
+/// duplicate (manual tampering, interleaved writers) fails loudly
+/// instead of replaying a corrupted history.
+pub fn read_wal(path: &Path) -> Result<(WalHeader, Vec<WalEvent>, u64), StreamError> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let header = {
+        let mut lines = Lines::new(&mut reader);
+        WalHeader::read(&mut lines)?
+    };
+    // Track the offset of the last complete line so a torn tail can be
+    // truncated before appending resumes.
+    let mut offset = reader.stream_position()?;
+    let mut events = Vec::new();
+    let mut line = String::new();
+    // Lines consumed by the header: magic + 5 fields + attrs + one line
+    // per attribute + base + start.
+    let mut line_no = 9 + header.schema.arity();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        if !line.ends_with('\n') {
+            // Torn final line: the append was cut mid-write. Ignore it —
+            // the event was never acknowledged as durable.
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            return Err(StreamError::Format {
+                line: line_no,
+                message: "blank line inside the event log".into(),
+            });
+        }
+        let event = WalEvent::parse(trimmed, line_no, &header)?;
+        let expected = events
+            .last()
+            .map_or(header.first_seq, |e: &WalEvent| e.seq() + 1);
+        if event.seq() != expected {
+            return Err(StreamError::Format {
+                line: line_no,
+                message: format!("event sequence {} (expected {expected})", event.seq()),
+            });
+        }
+        events.push(event);
+        offset += n as u64;
+    }
+    Ok((header, events, offset))
+}
+
+/// An open WAL accepting appends. Create with [`Wal::create`] (new file,
+/// header written) or [`Wal::open_append`] (existing file validated, torn
+/// tail truncated, positioned at the end).
+#[derive(Debug)]
+pub struct Wal {
+    writer: BufWriter<File>,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Creates a fresh WAL at `path`, writing the header. Refuses to
+    /// overwrite an existing file — an existing log must be opened with
+    /// [`Wal::open_append`] so its history is validated, not clobbered.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, an already-existing file, or a
+    /// schema not representable in the line format.
+    pub fn create(path: &Path, header: &WalHeader) -> Result<Self, StreamError> {
+        let file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        let mut writer = BufWriter::new(file);
+        header.write(&mut writer)?;
+        writer.flush()?;
+        Ok(Self {
+            writer,
+            next_seq: header.first_seq,
+        })
+    }
+
+    /// Opens an existing WAL for appending: validates the header against
+    /// `expected` — including that the log's sequence coverage dovetails
+    /// with `expected.first_seq` (the caller's first uncovered event) —
+    /// reads every complete event, truncates a torn final line, and
+    /// positions writes at the end. Returns the log handle and the
+    /// events read (for replay).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, malformed content, a header that
+    /// does not match the expected stream parameters, a log that starts
+    /// after the expected sequence (events are missing), or a stale log
+    /// whose next append would rewind the sequence.
+    pub fn open_append(
+        path: &Path,
+        expected: &WalHeader,
+    ) -> Result<(Self, Vec<WalEvent>), StreamError> {
+        let (header, events, end) = read_wal(path)?;
+        if !header.same_stream(expected) {
+            return Err(StreamError::Mismatch(format!(
+                "WAL header at {} does not match the stream's artifact \
+                 (seed/parameters/schema/base differ)",
+                path.display()
+            )));
+        }
+        // The snapshot covers events 1..expected.first_seq; the log must
+        // pick up no later than that (no gap) and its next append — the
+        // last event + 1, or the header's first_seq for a log that is
+        // still empty — must not rewind behind the snapshot (stale log).
+        if header.first_seq > expected.first_seq {
+            return Err(StreamError::Mismatch(format!(
+                "WAL at {} starts at event {} but the snapshot covers only {} — \
+                 events are missing (archived log newer than the snapshot?)",
+                path.display(),
+                header.first_seq,
+                expected.first_seq - 1
+            )));
+        }
+        let log_next = events.last().map_or(header.first_seq, |e| e.seq() + 1);
+        if log_next < expected.first_seq {
+            return Err(StreamError::Mismatch(format!(
+                "WAL at {} ends at event {} but the snapshot covers {} — stale log \
+                 (appending would rewind the sequence)",
+                path.display(),
+                log_next - 1,
+                expected.first_seq - 1
+            )));
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(end)?; // drop a torn tail, if any
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::End(0))?;
+        let next_seq = events.last().map_or(header.first_seq, |e| e.seq() + 1);
+        Ok((Self { writer, next_seq }, events))
+    }
+
+    /// The sequence number the next appended event must carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one event (buffered; call [`Wal::sync`] for durability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's sequence number is not the next in line —
+    /// the caller constructs events from [`Wal::next_seq`], so a gap is
+    /// a logic error, never data.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O failure.
+    pub fn append(&mut self, event: &WalEvent) -> std::io::Result<()> {
+        assert_eq!(
+            event.seq(),
+            self.next_seq,
+            "WAL events must be appended in sequence"
+        );
+        writeln!(self.writer, "{}", event.encode())?;
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered events and syncs file data to stable storage —
+    /// the durability point `flush` requests commit to.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O failure.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_table::Attribute;
+
+    fn header() -> WalHeader {
+        WalHeader {
+            seed: 7,
+            p: 0.5,
+            params: PrivacyParams::new(0.3, 0.3),
+            sa: 1,
+            schema: Schema::new(vec![
+                Attribute::new("Job", ["eng", "doc"]),
+                Attribute::new("Disease", ["flu", "none"]),
+            ]),
+            base_rows: 40,
+            first_seq: 1,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rp-wal-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn events_round_trip_through_the_line_codec() {
+        let h = header();
+        for event in [
+            WalEvent::Insert {
+                seq: 1,
+                codes: vec![0, 1],
+            },
+            WalEvent::Republish {
+                seq: 2,
+                key: vec![1],
+            },
+        ] {
+            let line = event.encode();
+            let parsed = WalEvent::parse(&line, 1, &h).unwrap();
+            assert_eq!(parsed, event, "line `{line}`");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_events() {
+        let h = header();
+        for (line, needle) in [
+            ("x\t1\t0\t0", "unknown event tag"),
+            ("i\t1\t0", "needs 2 codes"),
+            ("i\tone\t0\t0", "bad sequence"),
+            ("i\t1\t0\t9", "out of range"),
+            ("r\t1\t0\t0", "needs 1 codes"),
+            ("i", "sequence number"),
+        ] {
+            let err = WalEvent::parse(line, 3, &h).unwrap_err();
+            assert!(err.to_string().contains(needle), "`{line}` -> {err}");
+        }
+    }
+
+    #[test]
+    fn create_append_read_round_trips() {
+        let path = tmp("roundtrip.rpwal");
+        let _ = std::fs::remove_file(&path);
+        let h = header();
+        let mut wal = Wal::create(&path, &h).unwrap();
+        let events = vec![
+            WalEvent::Insert {
+                seq: 1,
+                codes: vec![0, 1],
+            },
+            WalEvent::Insert {
+                seq: 2,
+                codes: vec![1, 0],
+            },
+            WalEvent::Republish {
+                seq: 3,
+                key: vec![0],
+            },
+        ];
+        for e in &events {
+            wal.append(e).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let (h2, read, _) = read_wal(&path).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(read, events);
+        // Reopen for append and continue the sequence.
+        let (mut wal, replayed) = Wal::open_append(&path, &h).unwrap();
+        assert_eq!(replayed, events);
+        assert_eq!(wal.next_seq(), 4);
+        wal.append(&WalEvent::Insert {
+            seq: 4,
+            codes: vec![0, 0],
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        let (_, all, _) = read_wal(&path).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_truncated_on_reopen() {
+        let path = tmp("torn.rpwal");
+        let _ = std::fs::remove_file(&path);
+        let h = header();
+        let mut wal = Wal::create(&path, &h).unwrap();
+        wal.append(&WalEvent::Insert {
+            seq: 1,
+            codes: vec![0, 1],
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: half an event, no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "i\t2\t1").unwrap();
+        }
+        let (_, events, _) = read_wal(&path).unwrap();
+        assert_eq!(events.len(), 1, "torn line must not replay");
+        let (mut wal, replayed) = Wal::open_append(&path, &h).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(wal.next_seq(), 2);
+        wal.append(&WalEvent::Insert {
+            seq: 2,
+            codes: vec![1, 1],
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        let (_, events, _) = read_wal(&path).unwrap();
+        assert_eq!(events.len(), 2, "the torn bytes were truncated away");
+    }
+
+    #[test]
+    fn sequence_gaps_and_header_mismatches_are_rejected() {
+        let path = tmp("gaps.rpwal");
+        let _ = std::fs::remove_file(&path);
+        let h = header();
+        let mut wal = Wal::create(&path, &h).unwrap();
+        wal.append(&WalEvent::Insert {
+            seq: 1,
+            codes: vec![0, 1],
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "i\t3\t0\t0").unwrap(); // gap: 2 is missing
+        }
+        let err = read_wal(&path).unwrap_err();
+        assert!(err.to_string().contains("sequence"), "{err}");
+
+        let other = WalHeader {
+            seed: 8,
+            ..header()
+        };
+        let path2 = tmp("mismatch.rpwal");
+        let _ = std::fs::remove_file(&path2);
+        Wal::create(&path2, &h).unwrap();
+        let err = Wal::open_append(&path2, &other).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite() {
+        let path = tmp("exists.rpwal");
+        let _ = std::fs::remove_file(&path);
+        let h = header();
+        Wal::create(&path, &h).unwrap();
+        assert!(Wal::create(&path, &h).is_err());
+    }
+}

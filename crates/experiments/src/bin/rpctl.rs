@@ -9,11 +9,18 @@
 //! rpctl publish --input data.csv --sa Income --output release.rppub
 //!               [--csv published.csv --p 0.5 --lambda 0.3 --delta 0.3
 //!                --no-generalize --seed N --threads N]
+//! rpctl publish --adult adult.data --sa Income --output release.rppub
 //! rpctl query   --publication release.rppub --where Gender=Male --value >50K
 //!               [--raw data.csv]
 //! rpctl query   --connect HOST:PORT --where Gender=Male --value >50K
 //! rpctl serve   --publication release.rppub
 //!               [--listen HOST:PORT --max-conns N --cache N]
+//!               [--wal stream.rpwal --state-out state.rppub --max-resident N]
+//! rpctl ingest  --connect HOST:PORT --input new.csv
+//! rpctl ingest  --publication state.rppub --wal stream.rpwal --input new.csv
+//!               --output state2.rppub [--max-resident N]
+//! rpctl replay  --publication base-or-snapshot.rppub --wal stream.rpwal
+//!               --output replayed.rppub
 //! ```
 //!
 //! `publish` runs the full paper pipeline — χ²-generalization of the
@@ -32,10 +39,26 @@
 //! stdin/stdout, or over TCP with `--listen` (thread-per-connection over
 //! one shared engine, bounded answer cache, connection cap); `query
 //! --connect` is the matching TCP client.
+//!
+//! With `--wal`, `serve` becomes a **streaming** server: `insert`/`flush`
+//! requests mutate the live release (each record perturbed on arrival,
+//! groups re-sampled through SPS when they cross `sg`), every mutation is
+//! write-ahead logged, `flush` syncs the log and writes the v2 snapshot
+//! to `--state-out`, and `--max-resident` bounds the owner-side memory by
+//! spilling cold groups. `ingest` feeds a CSV into a streaming server
+//! (over TCP, or locally straight into the WAL); `replay` reconstructs
+//! the stream state from artifact + WAL and writes the snapshot — byte-
+//! identical to the live run's, which is the determinism contract
+//! extended to streams.
+//!
+//! `publish --adult <path>` loads the raw UCI ADULT file when it exists
+//! (falling back to `RP_ADULT_PATH`, then to the synthetic shape-matched
+//! generator), so paper figures can be validated against the real data.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -43,9 +66,10 @@ use rp_core::audit::{audit, render as render_audit};
 use rp_core::generalize::Generalization;
 use rp_core::groups::{PersonalGroups, SaSpec};
 use rp_core::privacy::PrivacyParams;
+use rp_datagen::adult::AdultSource;
 use rp_engine::{
     serve, Publication, Publisher, QueryEngine, QueryService, Request, Response, Server,
-    ServerConfig, ServiceConfig, WireAnswer, WireQuery,
+    ServerConfig, ServiceConfig, StreamConfig, StreamPublisher, WireAnswer, WireQuery, WireRecord,
 };
 use rp_table::{read_csv, write_csv, Pattern, Table, Term};
 
@@ -71,15 +95,22 @@ struct Options {
     connect: Option<String>,
     max_conns: usize,
     cache: usize,
+    wal: Option<String>,
+    state_out: Option<String>,
+    max_resident: usize,
+    adult: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rpctl audit   --input FILE --sa COLUMN [--p P --lambda L --delta D]\n  \
-         rpctl publish --input FILE --sa COLUMN --output FILE.rppub [--csv FILE.csv] [--p P --lambda L --delta D --no-generalize --seed N --threads N]\n  \
+         rpctl publish --input FILE | --adult FILE --sa COLUMN --output FILE.rppub [--csv FILE.csv] [--p P --lambda L --delta D --no-generalize --seed N --threads N]\n  \
          rpctl query   --publication FILE.rppub --where COL=VALUE ... --value SA_VALUE [--raw FILE.csv]\n  \
          rpctl query   --connect HOST:PORT --where COL=VALUE ... --value SA_VALUE\n  \
-         rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES]"
+         rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES] [--wal FILE.rpwal --state-out FILE.rppub --max-resident N]\n  \
+         rpctl ingest  --connect HOST:PORT --input FILE.csv\n  \
+         rpctl ingest  --publication FILE.rppub --wal FILE.rpwal --input FILE.csv --output FILE.rppub [--max-resident N]\n  \
+         rpctl replay  --publication FILE.rppub --wal FILE.rpwal --output FILE.rppub"
     );
     ExitCode::from(2)
 }
@@ -139,6 +170,10 @@ fn parse(args: &[String]) -> Option<Options> {
                 }
             }
             "--cache" => opts.cache = it.next()?.parse().ok()?,
+            "--wal" => opts.wal = Some(it.next()?.clone()),
+            "--state-out" => opts.state_out = Some(it.next()?.clone()),
+            "--max-resident" => opts.max_resident = it.next()?.parse().ok()?,
+            "--adult" => opts.adult = Some(it.next()?.clone()),
             _ => return None,
         }
     }
@@ -190,10 +225,33 @@ fn cmd_audit(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_publish(opts: &Options) -> Result<(), String> {
-    let input = opts.input.as_deref().ok_or("--input is required")?;
     let output = opts.output.as_deref().ok_or("--output is required")?;
     let sa_name = opts.sa.as_deref().ok_or("--sa is required")?;
-    let table = load(input)?;
+    let table = match (&opts.adult, &opts.input) {
+        (Some(_), Some(_)) => return Err("--input and --adult are mutually exclusive".into()),
+        (Some(adult), None) => {
+            let (table, source) =
+                rp_datagen::adult::load_or_synthesize(Some(Path::new(adult.as_str())))
+                    .map_err(|e| format!("cannot load UCI file: {e}"))?;
+            match source {
+                AdultSource::Uci(path) => {
+                    println!(
+                        "loaded UCI ADULT extract: {} ({} records)",
+                        path.display(),
+                        table.rows()
+                    );
+                }
+                AdultSource::Synthetic => println!(
+                    "no UCI file at {adult} (or ${}); using the synthetic ADULT table ({} records)",
+                    rp_datagen::adult::RP_ADULT_PATH_ENV,
+                    table.rows()
+                ),
+            }
+            table
+        }
+        (None, Some(input)) => load(input)?,
+        (None, None) => return Err("--input or --adult is required".into()),
+    };
     let sa = sa_attr(&table, sa_name)?;
     let published_input = if opts.generalize {
         let spec = SaSpec::new(&table, sa);
@@ -305,61 +363,104 @@ fn print_answer(answer: &WireAnswer, p: f64, p_source: &str) {
     }
 }
 
+/// An open client session after the `HELLO` handshake: the socket halves
+/// plus the banner's release description.
+struct RemoteSession {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    sa: String,
+    records: u64,
+    p: f64,
+}
+
+impl RemoteSession {
+    /// Connects, reads the banner, and checks the protocol revision —
+    /// the shared head of every TCP client (`query --connect`,
+    /// `ingest --connect`).
+    fn connect(addr: &str) -> Result<Self, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone socket: {e}"))?,
+        );
+        let mut session = Self {
+            addr: addr.to_string(),
+            reader,
+            writer: stream,
+            sa: String::new(),
+            records: 0,
+            p: 0.0,
+        };
+        let version = match session.read_response()? {
+            Response::Hello {
+                version,
+                sa,
+                records,
+                p,
+                ..
+            } => {
+                session.sa = sa;
+                session.records = records;
+                session.p = p;
+                version
+            }
+            // A server at its connection cap refuses with one structured
+            // line before any banner — surface the code and retry hint.
+            Response::Error { code, message } => {
+                return Err(format!("server refused ({code}): {message}"));
+            }
+            other => {
+                return Err(format!(
+                    "{addr} did not send a HELLO banner (got `{}`)",
+                    other.encode()
+                ));
+            }
+        };
+        if version != rp_engine::PROTOCOL_VERSION {
+            return Err(format!(
+                "{addr} speaks rp/{version}, this client speaks rp/{}; upgrade one side",
+                rp_engine::PROTOCOL_VERSION
+            ));
+        }
+        eprintln!(
+            "connected to {addr} (rp/{version}, {} records, sa = {})",
+            session.records, session.sa
+        );
+        Ok(session)
+    }
+
+    fn read_response(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read from {}: {e}", self.addr))?;
+        if line.is_empty() {
+            return Err(format!("{} closed the connection", self.addr));
+        }
+        Response::parse(&line).map_err(|e| format!("bad response from {}: {e}", self.addr))
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), String> {
+        writeln!(self.writer, "{}", request.encode())
+            .map_err(|e| format!("write to {}: {e}", self.addr))
+    }
+}
+
 /// Speaks the `rp_engine::protocol` over TCP: HELLO banner (which names
 /// the SA column), one `count` request, one response, `quit`.
 fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
     let value = opts.value.as_deref().ok_or("--value is required")?;
-    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let mut reader = BufReader::new(
-        stream
-            .try_clone()
-            .map_err(|e| format!("cannot clone socket: {e}"))?,
-    );
-    let mut writer = stream;
-    let read_response = |reader: &mut BufReader<TcpStream>| -> Result<Response, String> {
-        let mut line = String::new();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| format!("read from {addr}: {e}"))?;
-        if line.is_empty() {
-            return Err(format!("{addr} closed the connection"));
-        }
-        Response::parse(&line).map_err(|e| format!("bad response from {addr}: {e}"))
-    };
-    let (version, sa, records, p) = match read_response(&mut reader)? {
-        Response::Hello {
-            version,
-            sa,
-            records,
-            p,
-            ..
-        } => (version, sa, records, p),
-        // A server at its connection cap refuses with one structured line
-        // before any banner — surface the code and its retry hint.
-        Response::Error { code, message } => {
-            return Err(format!("server refused ({code}): {message}"));
-        }
-        other => {
-            return Err(format!(
-                "{addr} did not send a HELLO banner (got `{}`)",
-                other.encode()
-            ));
-        }
-    };
-    if version != rp_engine::PROTOCOL_VERSION {
-        return Err(format!(
-            "{addr} speaks rp/{version}, this client speaks rp/{}; upgrade one side",
-            rp_engine::PROTOCOL_VERSION
-        ));
-    }
-    eprintln!("connected to {addr} (rp/{version}, {records} records, sa = {sa})");
+    let mut session = RemoteSession::connect(addr)?;
+    let p = session.p;
     let mut conditions: Vec<(String, String)> = opts.conditions.clone();
-    conditions.push((sa, value.to_string()));
-    let request = Request::Query(WireQuery::new(conditions.clone()));
-    writeln!(writer, "{}", request.encode()).map_err(|e| format!("write to {addr}: {e}"))?;
-    let response = read_response(&mut reader)?;
+    conditions.push((session.sa.clone(), value.to_string()));
+    session.send(&Request::Query(WireQuery::new(conditions.clone())))?;
+    let response = session.read_response()?;
     // Best-effort farewell; the answer is already in hand.
-    let _ = writeln!(writer, "quit");
+    let _ = writeln!(session.writer, "quit");
     match response {
         Response::Answer(answer) => {
             print_answer(&answer, p, "server");
@@ -425,21 +526,41 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             );
         }
     }
-    let service = QueryService::from_publication(
-        &publication,
-        ServiceConfig {
-            cache_entries: opts.cache,
-        },
-    );
+    let sa_name = publication.sa_name().to_string();
+    let p = publication.p();
+    let config = ServiceConfig {
+        cache_entries: opts.cache,
+    };
+    let service = if let Some(wal) = opts.wal.as_deref() {
+        let stream = StreamPublisher::open(
+            publication,
+            Path::new(wal),
+            StreamConfig {
+                max_resident: opts.max_resident,
+            },
+        )
+        .map_err(|e| format!("cannot open stream (wal = {wal}): {e}"))?;
+        eprintln!(
+            "streaming: wal = {wal}, {} events applied, {} live groups ({} records); \
+             `insert COL=VALUE ...` to ingest, `flush` to commit{}",
+            stream.wal_seq(),
+            stream.live_groups(),
+            stream.live_records(),
+            match opts.state_out.as_deref() {
+                Some(path) => format!(" (snapshot -> {path})"),
+                None => String::new(),
+            }
+        );
+        QueryService::streaming(stream, opts.state_out.as_deref().map(PathBuf::from), config)
+    } else {
+        QueryService::from_publication(&publication, config)
+    };
     eprintln!(
-        "serving {} records in {} groups (sa = {}, p = {}, cache = {} entries); \
-         one `count COL=VALUE ... {}=VALUE` query per line, `quit` to stop",
+        "serving {} records in {} groups (sa = {sa_name}, p = {p}, cache = {} entries); \
+         one `count COL=VALUE ... {sa_name}=VALUE` query per line, `quit` to stop",
         service.engine().records(),
         service.engine().groups(),
-        publication.sa_name(),
-        publication.p(),
         opts.cache,
-        publication.sa_name()
     );
     if let Some(addr) = opts.listen.as_deref() {
         let server = Server::bind(
@@ -458,17 +579,180 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
              connect with `rpctl query --connect {bound} ...`",
             opts.max_conns
         );
+        let service = Arc::clone(server.service());
         server.run().map_err(|e| format!("serve loop: {e}"))?;
+        checkpoint_on_exit(&service);
     } else {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         let stats =
             serve(&service, stdin.lock(), stdout.lock()).map_err(|e| format!("serve loop: {e}"))?;
         eprintln!(
-            "served {} requests ({} answered, {} errors, {} cache hits)",
-            stats.requests, stats.answered, stats.errors, stats.cache_hits
+            "served {} requests ({} answered, {} errors, {} cache hits, {} inserts)",
+            stats.requests, stats.answered, stats.errors, stats.cache_hits, stats.inserts
         );
+        checkpoint_on_exit(&service);
     }
+    Ok(())
+}
+
+/// Final durability point of a streaming server: sync the WAL (and write
+/// the snapshot) so a graceful shutdown never loses acknowledged events.
+fn checkpoint_on_exit(service: &QueryService) {
+    match service.checkpoint() {
+        Ok(Some(events)) => eprintln!("checkpoint: {events} events durable"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: final checkpoint failed: {e}"),
+    }
+}
+
+/// Reads an ingest CSV (header + value rows) into `(columns, rows)`.
+fn load_ingest_rows(path: &str) -> Result<(Vec<String>, Vec<Vec<String>>), String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut lines = BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("{path} is empty"))?
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let columns: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line.map_err(|e| format!("read {path}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let values: Vec<String> = line.split(',').map(|s| s.trim().to_string()).collect();
+        if values.len() != columns.len() {
+            return Err(format!(
+                "{path} line {}: {} fields, expected {}",
+                i + 2,
+                values.len(),
+                columns.len()
+            ));
+        }
+        rows.push(values);
+    }
+    Ok((columns, rows))
+}
+
+fn cmd_ingest(opts: &Options) -> Result<(), String> {
+    let input = opts.input.as_deref().ok_or("--input is required")?;
+    let (columns, rows) = load_ingest_rows(input)?;
+    if let Some(addr) = opts.connect.as_deref() {
+        return cmd_ingest_remote(addr, &columns, &rows);
+    }
+    // Local ingest: straight into the WAL, then snapshot.
+    let wal = opts
+        .wal
+        .as_deref()
+        .ok_or("--wal is required (or --connect)")?;
+    let output = opts.output.as_deref().ok_or("--output is required")?;
+    let publication = load_publication(opts)?;
+    let mut stream = StreamPublisher::open(
+        publication,
+        Path::new(wal),
+        StreamConfig {
+            max_resident: opts.max_resident,
+        },
+    )
+    .map_err(|e| format!("cannot open stream (wal = {wal}): {e}"))?;
+    let mut republished = 0u64;
+    for (i, row) in rows.iter().enumerate() {
+        let values: Vec<(&str, &str)> = columns
+            .iter()
+            .map(String::as_str)
+            .zip(row.iter().map(String::as_str))
+            .collect();
+        let outcome = stream
+            .insert_values(&values)
+            .map_err(|e| format!("{input} record {}: {e}", i + 1))?;
+        republished += u64::from(outcome.republished);
+    }
+    stream.flush().map_err(|e| format!("flush: {e}"))?;
+    stream
+        .save_snapshot(output)
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!(
+        "ingested {} records ({republished} re-publications); wal = {wal} ({} events), \
+         snapshot = {output} ({} live groups, {} live records)",
+        rows.len(),
+        stream.wal_seq(),
+        stream.live_groups(),
+        stream.live_records()
+    );
+    Ok(())
+}
+
+/// Feeds the rows into a streaming server over TCP: one `insert` line per
+/// record, then `flush` (durability on the server), then `quit`.
+fn cmd_ingest_remote(addr: &str, columns: &[String], rows: &[Vec<String>]) -> Result<(), String> {
+    let mut session = RemoteSession::connect(addr)?;
+    let mut republished = 0u64;
+    for (i, row) in rows.iter().enumerate() {
+        let record = WireRecord::new(
+            columns
+                .iter()
+                .cloned()
+                .zip(row.iter().cloned())
+                .collect::<Vec<(String, String)>>(),
+        );
+        session.send(&Request::Insert(record))?;
+        match session.read_response()? {
+            Response::Inserted { republished: r, .. } => republished += u64::from(r),
+            Response::Error { code, message } => {
+                return Err(format!("record {} refused ({code}): {message}", i + 1));
+            }
+            other => return Err(format!("unexpected response: {}", other.encode())),
+        }
+    }
+    session.send(&Request::Flush)?;
+    let events = match session.read_response()? {
+        Response::Flushed { events } => events,
+        Response::Error { code, message } => {
+            return Err(format!("flush refused ({code}): {message}"));
+        }
+        other => return Err(format!("unexpected response: {}", other.encode())),
+    };
+    let _ = writeln!(session.writer, "quit");
+    println!(
+        "ingested {} records over {addr} ({republished} re-publications); \
+         server durable through event {events}",
+        rows.len()
+    );
+    Ok(())
+}
+
+fn cmd_replay(opts: &Options) -> Result<(), String> {
+    let wal = opts.wal.as_deref().ok_or("--wal is required")?;
+    let output = opts.output.as_deref().ok_or("--output is required")?;
+    let publication = load_publication(opts)?;
+    let from_snapshot = publication.live().is_some();
+    let mut stream = StreamPublisher::replay(
+        publication,
+        Path::new(wal),
+        StreamConfig {
+            max_resident: opts.max_resident,
+        },
+    )
+    .map_err(|e| format!("replay failed: {e}"))?;
+    stream
+        .save_snapshot(output)
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!(
+        "replayed {} through event {} ({}): {} inserts, {} re-publications, \
+         {} live groups, {} live records -> {output}",
+        wal,
+        stream.wal_seq(),
+        if from_snapshot {
+            "snapshot + tail"
+        } else {
+            "clean start"
+        },
+        stream.inserted(),
+        stream.republished(),
+        stream.live_groups(),
+        stream.live_records()
+    );
     Ok(())
 }
 
@@ -482,6 +766,8 @@ fn main() -> ExitCode {
         "publish" => cmd_publish(&opts),
         "query" => cmd_query(&opts),
         "serve" => cmd_serve(&opts),
+        "ingest" => cmd_ingest(&opts),
+        "replay" => cmd_replay(&opts),
         _ => return usage(),
     };
     match result {

@@ -79,7 +79,7 @@ fn incremental_publisher_matches_batch_semantics() {
             .iter()
             .map(|&a| d.generalized.code(row, a))
             .collect();
-        publisher.insert(&mut rng, &key, d.generalized.code(row, spec.sa()));
+        let _ = publisher.insert(&mut rng, &key, d.generalized.code(row, spec.sa()));
     }
     let batch = PersonalGroups::build(&d.generalized, spec);
     assert_eq!(publisher.group_count(), batch.len());

@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use rp_repro::engine::protocol::{ErrorCode, ReleaseMeta, StatsSnapshot, WireAnswer};
 use rp_repro::engine::{
     serve, Publisher, QueryService, Request, Response, Server, ServerConfig, ServiceConfig,
-    WireQuery,
+    WireQuery, WireRecord,
 };
 use rp_repro::table::{Attribute, Schema, TableBuilder};
 
@@ -46,12 +46,19 @@ fn arb_wire_query(rng: &mut StdRng) -> WireQuery {
 }
 
 fn arb_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..6u32) {
+    match rng.gen_range(0..8u32) {
         0 => Request::Ping,
         1 => Request::Quit,
         2 => Request::Info,
         3 => Request::Stats,
         4 => Request::Query(arb_wire_query(rng)),
+        5 => Request::Flush,
+        6 => {
+            let n = rng.gen_range(1..=4usize);
+            Request::Insert(WireRecord {
+                fields: (0..n).map(|_| arb_condition(rng)).collect(),
+            })
+        }
         _ => {
             let n = rng.gen_range(1..=3usize);
             Request::Batch((0..n).map(|_| arb_wire_query(rng)).collect())
@@ -85,7 +92,7 @@ fn arb_answer(rng: &mut StdRng) -> WireAnswer {
 }
 
 fn arb_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..10u32) {
         0 => Response::Hello {
             version: rng.gen_range(1..100u32),
             sa: COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string(),
@@ -120,9 +127,17 @@ fn arb_response(rng: &mut StdRng) -> Response {
             cache_hits: rng.gen_range(0..u64::MAX),
             cache_misses: rng.gen_range(0..u64::MAX),
             sessions: rng.gen_range(0..u64::MAX),
+            inserts: rng.gen_range(0..u64::MAX),
         }),
         5 => Response::Pong,
         6 => Response::Bye,
+        7 => Response::Inserted {
+            group_size: rng.gen_range(0..u64::MAX),
+            republished: rng.gen_range(0..2u32) == 0,
+        },
+        8 => Response::Flushed {
+            events: rng.gen_range(0..u64::MAX),
+        },
         _ => Response::Error {
             code: [
                 ErrorCode::Parse,
@@ -130,7 +145,8 @@ fn arb_response(rng: &mut StdRng) -> Response {
                 ErrorCode::BadQuery,
                 ErrorCode::Busy,
                 ErrorCode::Internal,
-            ][rng.gen_range(0..5usize)],
+                ErrorCode::ReadOnly,
+            ][rng.gen_range(0..6usize)],
             message: "query needs a condition on the SA column `Disease`".to_string(),
         },
     }
@@ -204,6 +220,10 @@ const SCRIPT: &[&str] = &[
     "count Nope=1 Disease=flu",
     "count Job=eng Job=doc Disease=flu",
     "batch Job=eng Disease=flu; City=oslo Disease=none",
+    // Streaming verbs on a static artifact: deterministic `read-only`
+    // errors on every transport.
+    "insert Job=eng City=rome Disease=flu",
+    "flush",
     "Disease=flu Job=eng",
     "quit",
 ];
@@ -265,9 +285,10 @@ fn concurrent_tcp_sessions_match_sequential_stdio_bytes() {
     let stats = service.stats();
     assert_eq!(stats.sessions, CLIENTS as u64);
     assert_eq!(stats.requests, (SCRIPT.len() * CLIENTS) as u64);
-    // 4 of the script lines are errors (unknown command, missing SA,
-    // unknown column, duplicated column), on every session.
-    assert_eq!(stats.errors, 4 * CLIENTS as u64);
+    // 6 of the script lines are errors (unknown command, missing SA,
+    // unknown column, duplicated column, and the two read-only streaming
+    // verbs), on every session.
+    assert_eq!(stats.errors, 6 * CLIENTS as u64);
     // Every session's repeated query hits the shared cache (its first
     // occurrence already populated it within the same session); the first
     // occurrences may race and each count a miss, so only the repeat is
