@@ -5,6 +5,9 @@
 //!   WAL append + per-group RNG perturbation + live-group update
 //!   (buffered log; the sync cost is `flush`'s, measured separately);
 //! * `stream/flush` — the durability point: WAL sync to stable storage;
+//! * `stream/commit_batch{1,8,64}` — one *durable* insert under group
+//!   commit at that batch size: the batch's single fsync amortized over
+//!   its inserts (batch 1 is sync-per-insert, the floor);
 //! * `stream/replay_1k` — rebuilding stream state from a 1000-event WAL
 //!   (clean start), the restart-time cost;
 //! * `stream/snapshot_1k` — materializing the v2 artifact (base + live
@@ -84,6 +87,31 @@ fn bench_stream(c: &mut Criterion) {
             stream.flush().unwrap()
         });
     });
+
+    // Group commit: each iteration pushes one full batch through the
+    // durable path (appends + exactly one fsync), so the per-iteration
+    // time divided by the batch size is the amortized per-insert cost.
+    for batch in [1u64, 8, 64] {
+        group.bench_function(format!("commit_batch{batch}"), |b| {
+            let mut stream = StreamPublisher::open(
+                base_publication(),
+                &tmp(&format!("commit-{batch}.rpwal")),
+                StreamConfig {
+                    commit_batch: batch,
+                    ..StreamConfig::default()
+                },
+            )
+            .unwrap();
+            let mut i = 0u32;
+            b.iter(|| {
+                for _ in 0..batch {
+                    stream.insert_codes(&record(i)).unwrap();
+                    i += 1;
+                }
+                stream.durable_seq()
+            });
+        });
+    }
 
     {
         let wal = tmp("replay-1k.rpwal");

@@ -120,6 +120,7 @@
 
 mod codec;
 pub mod engine;
+mod fsutil;
 pub mod protocol;
 pub mod publication;
 pub mod publisher;

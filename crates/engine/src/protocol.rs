@@ -509,6 +509,13 @@ pub enum Response {
     },
     /// Answer to [`Request::Flush`]: the WAL is durable through this
     /// many events.
+    ///
+    /// Flush is the protocol's durability barrier. Under group commit
+    /// an `inserted` response only acknowledges that the event is
+    /// *logged* — it may sit in the commit batch's OS buffer until the
+    /// batch fills, the commit window expires, or this request forces
+    /// the sync. A client that needs an insert to survive a crash sends
+    /// `flush` and waits for `flushed` before acting on it.
     Flushed {
         /// Sequence number of the last durable event.
         events: u64,

@@ -12,7 +12,7 @@
 
 use std::fmt;
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
 
 use rp_core::groups::SaSpec;
@@ -331,14 +331,16 @@ impl Publication {
         Ok(())
     }
 
-    /// Saves to a file path (buffered).
+    /// Saves to a file path, atomically and durably: the artifact is
+    /// written to a temp sibling, fsynced, renamed over `path`, and the
+    /// parent directory synced — a crash mid-save leaves the previous
+    /// artifact intact, never a torn or clobbered file.
     ///
     /// # Errors
     ///
     /// As [`Publication::save`], plus file-creation errors.
     pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), PublicationError> {
-        let file = File::create(path)?;
-        self.save(BufWriter::new(file))
+        crate::fsutil::write_atomic(path.as_ref(), |w| self.save(w))
     }
 
     /// Deserializes a publication from the on-disk format (v1 or v2 —

@@ -432,7 +432,9 @@ impl QueryService {
         })
     }
 
-    /// One flush: WAL sync plus snapshot (when configured).
+    /// One flush: WAL sync plus snapshot (when configured). This is the
+    /// durability barrier that closes any open group-commit batch —
+    /// inserts are acknowledged when logged, durable when flushed.
     fn flush(&self) -> Result<Response, ProtocolError> {
         self.backend()?; // read-only refusal before any I/O
         let events = self

@@ -10,13 +10,22 @@
 //! * **[`wal`]** — a write-ahead log of inserts and re-publications with
 //!   the crate's usual codec discipline (versioned header recording the
 //!   seed, `(p, λ, δ)` and the schema up front; `parse ∘ encode = id`;
-//!   contiguous sequence numbers; torn tails truncated on open).
+//!   contiguous sequence numbers; torn tails truncated on open), plus
+//!   [`compaction`](wal::compact_wal): events superseded by a later
+//!   re-publication collapse into per-group state records, and replay of
+//!   the compacted log is byte-identical to replay of the full one.
+//! * **commit** — a group-commit log manager over the WAL: appends
+//!   accumulate and one `fsync` makes a whole batch durable
+//!   ([`StreamConfig::commit_batch`] / `commit_window_ms`), amortizing
+//!   the dominant cost of the insert path.
 //! * **[`rng`]** — one counter-based RNG *per group*, derived from
 //!   `(stream seed, group key)`. A group's stream depends only on its own
 //!   event count, so WAL replay is exact regardless of how unrelated
 //!   groups interleaved, and the whole cursor snapshots as one `u64`.
 //! * **spill** — cold groups shed their owner-side secret state (raw
-//!   histogram, RNG cursor) to disk when the resident bound is exceeded;
+//!   histogram, RNG cursor) to a page-managed side heap when the resident
+//!   bound is exceeded (fixed-size pages, buffer pool with clock
+//!   eviction, in-place rewrite — the file stops growing under churn);
 //!   published histograms stay resident because queries touch them.
 //! * **snapshot/restore** — [`StreamPublisher::snapshot`] materializes
 //!   the whole stream as a v2 [`Publication`]: base rows + live rows in
@@ -33,15 +42,39 @@
 //! groups were spilled in between. The root determinism suite
 //! (`tests/stream_determinism.rs`) proves this property over random
 //! insert interleavings and restart points.
+//!
+//! ## The durability contract
+//!
+//! Three artifacts, three different promises (tortured end to end by
+//! `tests/stream_crash.rs`):
+//!
+//! * **WAL** — an insert is *acknowledged* once logged and *durable*
+//!   once synced. With group commit off (the default) the two coincide
+//!   only at [`StreamPublisher::flush`]; with `commit_batch` /
+//!   `commit_window_ms` set, at most one batch (or window) of
+//!   acknowledged events can roll back in a crash, and
+//!   [`StreamPublisher::durable_seq`] reports the guaranteed cursor.
+//!   Recovery truncates a torn final line and replays the longest
+//!   complete prefix — commit policy changes durability *timing*, never
+//!   one written byte.
+//! * **Snapshot** — replacement is atomic: the new artifact is written
+//!   to a temp sibling, fsynced, renamed over the target, and the
+//!   directory synced. A crash at any byte leaves either the complete
+//!   old snapshot or the complete new one, never a torn mix.
+//! * **Spill** — explicitly *outside* the durability contract: it is
+//!   working state, recreated empty on every open and never consulted by
+//!   recovery. Corrupting or deleting it cannot change a recovered byte;
+//!   a torn record *read back during a run* is a loud
+//!   [`StreamError::Format`], never a silent truncation.
 
+mod commit;
 pub mod rng;
 mod spill;
 pub mod wal;
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::fs::File;
-use std::io::{self, BufWriter};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use rp_core::incremental::{GroupStatus, IncrementalPublisher, LiveGroup};
@@ -49,6 +82,7 @@ use rp_core::privacy::PrivacyParams;
 use rp_table::{AttrId, CountQuery, Schema, TableBuilder, TableError, Term};
 
 use crate::publication::{LiveGroupSnapshot, LiveState, Publication, PublicationError};
+use crate::stream::commit::LogManager;
 use crate::stream::rng::GroupRng;
 use crate::stream::spill::{SpillStore, SpilledGroup};
 use crate::stream::wal::{Wal, WalEvent, WalHeader};
@@ -62,6 +96,20 @@ pub struct StreamConfig {
     /// histograms always stay resident for query answering, and spilling
     /// never changes a single output byte.
     pub max_resident: usize,
+    /// Group commit by count: fsync the WAL automatically after this
+    /// many logged events. `0` (the default) disables count-based
+    /// commit — the log is synced only on an explicit
+    /// [`flush`](StreamPublisher::flush) or when the commit window
+    /// expires. Larger batches amortize the sync cost over more inserts
+    /// at the price of a wider crash-loss window; the *written bytes*
+    /// are identical under every setting.
+    pub commit_batch: u64,
+    /// Group commit by time: with appends pending, fsync once this many
+    /// milliseconds have elapsed since the last sync (checked on the
+    /// insert path). `0` (the default) disables the timer. Wall-clock
+    /// time only ever decides *when* durability happens, never what is
+    /// written, so replay determinism is unaffected.
+    pub commit_window_ms: u64,
 }
 
 /// Errors raised by the streaming subsystem.
@@ -175,7 +223,7 @@ pub struct StreamPublisher {
     touch: HashMap<Vec<u32>, u64>,
     clock: u64,
     /// `None` in replay-only mode (no appends).
-    wal: Option<Wal>,
+    wal: Option<LogManager>,
     wal_seq: u64,
     inserted: u64,
     republished: u64,
@@ -276,21 +324,57 @@ impl StreamPublisher {
         // `header.first_seq = covered + 1`: a log starting past it is
         // missing events, a log (even an empty one) whose next append
         // would rewind behind the snapshot is stale.
-        let (wal, events) = if wal_path.exists() {
-            let (wal, events) = Wal::open_append(wal_path, &header)?;
-            (wal, events)
+        let (wal, file) = if wal_path.exists() {
+            let (wal, file) = Wal::open_append(wal_path, &header)?;
+            (wal, Some(file))
         } else if append {
-            (Wal::create(wal_path, &header)?, Vec::new())
+            (Wal::create(wal_path, &header)?, None)
         } else {
             unreachable!("replay checked existence")
         };
-        for event in &events {
-            if event.seq() > covered {
-                stream.apply(event)?;
+        if let Some(file) = file {
+            if let Some(compaction) = &file.compaction {
+                if covered == 0 {
+                    // Clean start on a compacted log: the state records
+                    // stand in for the absorbed events.
+                    for g in &compaction.groups {
+                        stream.restore_group(LiveGroupSnapshot {
+                            key: g.key.clone(),
+                            raw_hist: g.raw_hist.clone(),
+                            published_hist: g.published_hist.clone(),
+                            rng_state: g.rng_state,
+                            status: g.status,
+                            republished_len: g.republished_len,
+                        });
+                    }
+                    stream.inserted += compaction.absorbed_inserts;
+                    stream.republished += compaction.absorbed_republishes;
+                    stream.wal_seq = compaction.floor_seq;
+                } else if covered < compaction.floor_seq {
+                    // The snapshot's cursor falls strictly inside the
+                    // absorbed range: those events no longer exist
+                    // individually, so a partial replay is impossible.
+                    // Refuse rather than guess.
+                    return Err(StreamError::Mismatch(format!(
+                        "snapshot covers events through {covered} but the WAL at {} is \
+                         compacted through {}: resume from the base artifact or from a \
+                         snapshot taken at or past the compaction floor",
+                        wal_path.display(),
+                        compaction.floor_seq
+                    )));
+                }
+                // covered >= floor: the snapshot supersedes the whole
+                // compaction section; only retained events past the
+                // cursor replay below.
+            }
+            for event in &file.events {
+                if event.seq() > covered {
+                    stream.apply(event)?;
+                }
             }
         }
         if append {
-            stream.wal = Some(wal);
+            stream.wal = Some(LogManager::new(wal, &config));
         }
         Ok(stream)
     }
@@ -495,6 +579,9 @@ impl StreamPublisher {
             .group(&key)
             .expect("group exists after insert")
             .len();
+        // Group commit: the log manager decides whether this insert's
+        // batch (or an expired commit window) warrants an fsync now.
+        self.wal.as_mut().expect("checked above").maybe_commit()?;
         Ok(InsertOutcome {
             key,
             group_size,
@@ -528,7 +615,9 @@ impl StreamPublisher {
                 status
             }
         };
-        self.wal_seq = event.seq();
+        // `max`, not assignment: a compacted log can retain events below
+        // the absorption floor the cursor already sits at.
+        self.wal_seq = self.wal_seq.max(event.seq());
         Ok(status)
     }
 
@@ -624,8 +713,12 @@ impl StreamPublisher {
 
     // -- durability --------------------------------------------------------
 
-    /// Syncs the WAL to stable storage — the durability point. Returns
-    /// the sequence number now durable.
+    /// Forces the WAL to stable storage — the durability point — and
+    /// returns the sequence number now durable. Under group commit
+    /// ([`StreamConfig::commit_batch`] / `commit_window_ms`) inserts
+    /// are acknowledged before they are synced; this is the explicit
+    /// barrier that closes the gap. With nothing pending it skips the
+    /// fsync entirely, so an idle flush is free.
     ///
     /// # Errors
     ///
@@ -633,12 +726,24 @@ impl StreamPublisher {
     pub fn flush(&mut self) -> Result<u64, StreamError> {
         match &mut self.wal {
             Some(wal) => {
-                wal.sync()?;
+                wal.commit()?;
                 Ok(self.wal_seq)
             }
             None => Err(StreamError::Mismatch(
                 "stream is read-only (opened for replay)".into(),
             )),
+        }
+    }
+
+    /// The highest WAL sequence number guaranteed to survive a crash.
+    /// Lags [`wal_seq`](Self::wal_seq) by up to one commit batch (or
+    /// window) while group commit holds acknowledged events in the OS
+    /// buffer; [`flush`](Self::flush) closes the gap. A replay-only
+    /// stream reports its cursor: everything it knows came from disk.
+    pub fn durable_seq(&self) -> u64 {
+        match &self.wal {
+            Some(wal) => wal.durable_seq(),
+            None => self.wal_seq,
         }
     }
 
@@ -753,7 +858,10 @@ impl StreamPublisher {
         .with_live(live))
     }
 
-    /// Snapshots to a file (buffered).
+    /// Snapshots to a file, atomically and durably (temp sibling +
+    /// fsync + rename + parent-directory sync): a crash mid-snapshot
+    /// leaves the previous snapshot intact — the snapshot atomicity
+    /// rule of the durability contract.
     ///
     /// # Errors
     ///
@@ -761,9 +869,9 @@ impl StreamPublisher {
     /// serialization errors.
     pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<(), StreamError> {
         let publication = self.snapshot()?;
-        let file = File::create(path)?;
-        publication.save(BufWriter::new(file))?;
-        Ok(())
+        crate::fsutil::write_atomic(path.as_ref(), |w| {
+            publication.save(w).map_err(StreamError::from)
+        })
     }
 
     // -- the live query view -----------------------------------------------
@@ -957,6 +1065,114 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_changes_durability_timing_not_bytes() {
+        let wal_sync = tmp("commit-sync.rpwal");
+        let wal_batch = tmp("commit-batch.rpwal");
+        let mut sync =
+            StreamPublisher::open(base_publication(), &wal_sync, StreamConfig::default()).unwrap();
+        let mut batched = StreamPublisher::open(
+            base_publication(),
+            &wal_batch,
+            StreamConfig {
+                commit_batch: 8,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..100u32 {
+            sync.insert_codes(&record(i)).unwrap();
+            sync.flush().unwrap();
+            batched.insert_codes(&record(i)).unwrap();
+        }
+        // The durable cursor trails the applied cursor by the open tail
+        // of the current batch...
+        assert_eq!(sync.durable_seq(), sync.wal_seq());
+        assert!(batched.durable_seq() < batched.wal_seq());
+        assert!(batched.wal_seq() - batched.durable_seq() < 8 + 2);
+        // ...until an explicit flush closes the gap.
+        batched.flush().unwrap();
+        assert_eq!(batched.durable_seq(), batched.wal_seq());
+        // The commit policy never changes a written byte: logs and
+        // snapshots agree exactly.
+        assert_eq!(
+            std::fs::read(&wal_sync).unwrap(),
+            std::fs::read(&wal_batch).unwrap()
+        );
+        assert_eq!(
+            save_bytes(&sync.snapshot().unwrap()),
+            save_bytes(&batched.snapshot().unwrap())
+        );
+    }
+
+    #[test]
+    fn compacted_wal_replays_byte_identically() {
+        let wal = tmp("compact-replay.rpwal");
+        let mut live =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        // Skewed traffic forces republications, which make compaction
+        // actually absorb a prefix.
+        for i in 0..2000u32 {
+            live.insert_codes(&[0, 0, u32::from(i % 10 == 0)]).unwrap();
+        }
+        for i in 0..200u32 {
+            live.insert_codes(&record(i)).unwrap();
+        }
+        live.flush().unwrap();
+        assert!(live.republished() > 0, "fixture must republish");
+        let live_bytes = save_bytes(&live.snapshot().unwrap());
+        drop(live);
+        let full = wal::read_wal(&wal).unwrap();
+        let stats = wal::compact_wal(&wal, &wal).unwrap();
+        assert!(stats.absorbed > 0, "compaction must absorb something");
+        assert!(stats.events_out < full.events.len());
+        // Clean-start replay of the compacted log lands on the same
+        // snapshot bytes as the live run over the full log.
+        let mut replayed =
+            StreamPublisher::replay(base_publication(), &wal, StreamConfig::default()).unwrap();
+        assert_eq!(save_bytes(&replayed.snapshot().unwrap()), live_bytes);
+        // And the compacted log remains appendable: new inserts resume
+        // the sequence past everything absorbed.
+        let mut resumed =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        let before = resumed.wal_seq();
+        resumed.insert_codes(&record(7)).unwrap();
+        resumed.flush().unwrap();
+        assert!(resumed.wal_seq() > before);
+    }
+
+    #[test]
+    fn snapshot_inside_the_absorbed_range_is_refused() {
+        let wal = tmp("compact-mid.rpwal");
+        let mut live =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        for i in 0..500u32 {
+            live.insert_codes(&[0, 0, u32::from(i % 10 == 0)]).unwrap();
+        }
+        live.flush().unwrap();
+        let early = live.snapshot().unwrap();
+        let early_seq = live.wal_seq();
+        for i in 0..1500u32 {
+            live.insert_codes(&[0, 0, u32::from(i % 10 == 0)]).unwrap();
+        }
+        live.flush().unwrap();
+        let late = live.snapshot().unwrap();
+        drop(live);
+        let stats = wal::compact_wal(&wal, &wal).unwrap();
+        assert!(
+            stats.floor_seq > early_seq,
+            "the early snapshot must fall inside the absorbed range"
+        );
+        // A snapshot whose cursor the compaction swallowed cannot replay
+        // its tail: the stream says so instead of guessing.
+        let err = StreamPublisher::open(early, &wal, StreamConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("compacted"), "{err}");
+        // A snapshot at/past the floor resumes fine and matches.
+        let mut resumed =
+            StreamPublisher::open(late.clone(), &wal, StreamConfig::default()).unwrap();
+        assert_eq!(save_bytes(&resumed.snapshot().unwrap()), save_bytes(&late));
+    }
+
+    #[test]
     fn snapshot_plus_tail_restore_matches_the_uninterrupted_run() {
         let wal_a = tmp("uninterrupted.rpwal");
         let mut a =
@@ -995,9 +1211,15 @@ mod tests {
         let wal_b = tmp("bounded.rpwal");
         let mut a =
             StreamPublisher::open(base_publication(), &wal_a, StreamConfig::default()).unwrap();
-        let mut b =
-            StreamPublisher::open(base_publication(), &wal_b, StreamConfig { max_resident: 2 })
-                .unwrap();
+        let mut b = StreamPublisher::open(
+            base_publication(),
+            &wal_b,
+            StreamConfig {
+                max_resident: 2,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
         for i in 0..400u32 {
             a.insert_codes(&record(i)).unwrap();
             b.insert_codes(&record(i)).unwrap();
@@ -1031,7 +1253,7 @@ mod tests {
         assert_eq!(s.republished(), u64::from(republished));
         // The log records the republish events.
         s.flush().unwrap();
-        let (_, events, _) = wal::read_wal(&wal).unwrap();
+        let events = wal::read_wal(&wal).unwrap().events;
         let logged = events
             .iter()
             .filter(|e| matches!(e, WalEvent::Republish { .. }))
@@ -1076,8 +1298,7 @@ mod tests {
         }
         // Bad records never reach the log.
         s.flush().unwrap();
-        let (_, events, _) = wal::read_wal(&wal).unwrap();
-        assert_eq!(events.len(), 1);
+        assert_eq!(wal::read_wal(&wal).unwrap().events.len(), 1);
     }
 
     #[test]

@@ -6,16 +6,35 @@
 //! histogram, the RNG cursor, the compliance status and the
 //! re-publication baseline. When the hot set exceeds the configured
 //! residency bound, the least-recently-inserted group's secret state is
-//! appended here (latest record wins) and reloaded the next time an
-//! insert touches the group.
+//! stored here and reloaded the next time an insert touches the group.
+//!
+//! ## Page and buffer management
+//!
+//! The store is a small page-managed heap, not an append-only log:
+//!
+//! * the file is an array of fixed [`PAGE_SIZE`] pages; a record owns an
+//!   *extent* — one or more contiguous pages — and records re-spill **in
+//!   place** when they still fit their extent, so the file stops growing
+//!   under churn (`churn_does_not_grow_the_file` below);
+//! * pages freed by [`forget`](SpillStore::forget) go on a free list and
+//!   are reused before the file's high-water mark moves;
+//! * all I/O goes through a bounded buffer pool ([`POOL_FRAMES`] frames)
+//!   with clock (second-chance) eviction and dirty write-back — hot
+//!   records never touch the disk, and an evicted page is written back
+//!   whole, so any page the pool later reloads is complete on disk.
+//!
+//! A record is a newline-terminated line; a read that finds no trailing
+//! newline inside the extent is a **torn record** and fails loudly with
+//! [`StreamError::Format`] instead of silently truncating the state.
 //!
 //! The store is *working state*, not part of the durability contract:
-//! the WAL and the v2 snapshot are. On restart the spill file is
-//! recreated empty, and spilling never changes a single published byte —
-//! the round trip is lossless (`spill_round_trip_is_lossless` below, and
-//! the determinism suite exercises it end to end).
+//! the WAL and the v2 snapshot are, and the store is never fsynced. On
+//! restart the spill file is recreated empty, and spilling never changes
+//! a single published byte — the round trip is lossless
+//! (`spill_round_trip_is_lossless` below, and the determinism suite
+//! exercises it end to end).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -23,6 +42,13 @@ use std::path::Path;
 use rp_core::incremental::GroupStatus;
 
 use crate::stream::StreamError;
+
+/// Fixed page size of the spill heap.
+const PAGE_SIZE: usize = 4096;
+
+/// Buffer-pool capacity in frames (pages): 64 × 4 KiB = 256 KiB of
+/// cached spill state regardless of how many groups go cold.
+const POOL_FRAMES: usize = 64;
 
 /// The secret state of one spilled group.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,14 +63,47 @@ pub(crate) struct SpilledGroup {
     pub republished_len: u64,
 }
 
-/// Append-only on-disk store of spilled group state with an in-memory
-/// `key → offset` index (latest record wins; stale records are dead
-/// weight until the file is recreated on restart).
+/// A record's location: `pages` contiguous pages starting at `page`,
+/// holding `len` bytes of record (newline included).
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    page: u64,
+    pages: u64,
+    len: usize,
+}
+
+impl Extent {
+    fn page_span(len: usize) -> u64 {
+        (len.div_ceil(PAGE_SIZE)) as u64
+    }
+}
+
+/// One buffer-pool slot.
+#[derive(Debug)]
+struct Frame {
+    page: u64,
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    /// Clock reference bit: set on use, cleared as the hand sweeps by.
+    referenced: bool,
+}
+
+/// Page-managed on-disk store of spilled group state: an in-memory
+/// `key → extent` index over a paged file, fronted by a clock-evicting
+/// buffer pool.
 #[derive(Debug)]
 pub(crate) struct SpillStore {
     file: File,
-    index: HashMap<Vec<u32>, u64>,
-    end: u64,
+    index: HashMap<Vec<u32>, Extent>,
+    /// Pages below the high-water mark currently owned by no record.
+    free: BTreeSet<u64>,
+    /// File high-water mark, in pages.
+    pages: u64,
+    frames: Vec<Frame>,
+    /// `page → frame slot` for pages resident in the pool.
+    resident: HashMap<u64, usize>,
+    /// Clock hand over `frames`.
+    hand: usize,
     m: usize,
 }
 
@@ -60,7 +119,11 @@ impl SpillStore {
         Ok(Self {
             file,
             index: HashMap::new(),
-            end: 0,
+            free: BTreeSet::new(),
+            pages: 0,
+            frames: Vec::new(),
+            resident: HashMap::new(),
+            hand: 0,
             m,
         })
     }
@@ -77,8 +140,33 @@ impl SpillStore {
         self.index.contains_key(key)
     }
 
-    /// Appends a group's secret state (replacing any previous record for
-    /// the key in the index).
+    /// File high-water mark in pages (the file never grows past
+    /// `pages × PAGE_SIZE` bytes).
+    #[cfg(test)]
+    pub fn file_pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Writes every dirty frame back and empties the pool, so the file
+    /// alone holds the store's content. Test-only: production code never
+    /// needs the file and the pool to agree (the pool is authoritative).
+    #[cfg(test)]
+    pub fn flush_and_drop_cache(&mut self) -> std::io::Result<()> {
+        for slot in 0..self.frames.len() {
+            if self.frames[slot].dirty {
+                self.write_back(slot)?;
+            }
+        }
+        self.frames.clear();
+        self.resident.clear();
+        self.hand = 0;
+        Ok(())
+    }
+
+    /// Stores a group's secret state. A key that is already spilled and
+    /// whose new record fits its old extent is rewritten **in place**;
+    /// otherwise the old pages are freed and the record goes to the
+    /// first fitting free run (or extends the file as a last resort).
     pub fn spill(&mut self, key: &[u32], group: &SpilledGroup) -> std::io::Result<()> {
         assert_eq!(group.raw_hist.len(), self.m, "raw histogram arity");
         let mut line = String::from("g");
@@ -98,45 +186,194 @@ impl SpillStore {
             "\t{}\t{}\t{}\n",
             group.rng_state, status, group.republished_len
         ));
-        self.file.seek(SeekFrom::Start(self.end))?;
-        self.file.write_all(line.as_bytes())?;
-        self.index.insert(key.to_vec(), self.end);
-        self.end += line.len() as u64;
+        let bytes = line.as_bytes();
+        let need = Extent::page_span(bytes.len());
+        let extent = match self.index.get(key).copied() {
+            // In-place rewrite: the record still fits where it lives.
+            Some(old) if need <= old.pages => {
+                for excess in old.page + need..old.page + old.pages {
+                    self.free.insert(excess);
+                }
+                Extent {
+                    page: old.page,
+                    pages: need,
+                    len: bytes.len(),
+                }
+            }
+            other => {
+                if let Some(old) = other {
+                    self.free_extent(old);
+                }
+                self.allocate(bytes.len())
+            }
+        };
+        self.write_record(extent, bytes)?;
+        self.index.insert(key.to_vec(), extent);
         Ok(())
     }
 
     /// Reads a group's latest spilled state without removing it from the
     /// index (used when snapshotting the whole stream).
     pub fn read(&mut self, key: &[u32]) -> Result<SpilledGroup, StreamError> {
-        let offset = *self
+        let extent = *self
             .index
             .get(key)
             .ok_or_else(|| StreamError::Mismatch(format!("group {key:?} is not spilled")))?;
-        self.file.seek(SeekFrom::Start(offset))?;
-        // Chunked line read (records are a few hundred bytes; byte-wise
-        // reads on an unbuffered File would cost one syscall per byte).
-        let mut buf = Vec::new();
-        let mut chunk = [0u8; 512];
-        loop {
-            let n = self.file.read(&mut chunk)?;
+        let buf = self.read_record(extent)?;
+        // A record must close with its newline; anything else is a torn
+        // write (or foreign truncation of the file) and the state cannot
+        // be trusted. Fail loudly rather than hand back a prefix.
+        match buf.split_last() {
+            Some((b'\n', body)) => {
+                let line = std::str::from_utf8(body)
+                    .map_err(|_| StreamError::Mismatch("spill record is not UTF-8".into()))?;
+                self.parse(key, line)
+            }
+            _ => Err(StreamError::Format {
+                line: extent.page as usize + 1,
+                message: format!(
+                    "torn spill record for group {key:?}: no trailing newline in its extent"
+                ),
+            }),
+        }
+    }
+
+    /// Removes a group from the index (it is hot again) and returns its
+    /// pages to the free list for reuse.
+    pub fn forget(&mut self, key: &[u32]) {
+        if let Some(extent) = self.index.remove(key) {
+            self.free_extent(extent);
+        }
+    }
+
+    // -- page allocation ---------------------------------------------------
+
+    fn free_extent(&mut self, extent: Extent) {
+        for page in extent.page..extent.page + extent.pages {
+            self.free.insert(page);
+        }
+    }
+
+    /// First-fit allocation: the lowest free run of enough contiguous
+    /// pages, else fresh pages past the high-water mark.
+    fn allocate(&mut self, len: usize) -> Extent {
+        let need = Extent::page_span(len);
+        let mut run_start = None;
+        let mut run_len = 0u64;
+        for &page in &self.free {
+            match run_start {
+                Some(start) if page == start + run_len => run_len += 1,
+                _ => {
+                    run_start = Some(page);
+                    run_len = 1;
+                }
+            }
+            if run_len == need {
+                let start = run_start.expect("run in progress");
+                for p in start..start + need {
+                    self.free.remove(&p);
+                }
+                return Extent {
+                    page: start,
+                    pages: need,
+                    len,
+                };
+            }
+        }
+        let start = self.pages;
+        self.pages += need;
+        Extent {
+            page: start,
+            pages: need,
+            len,
+        }
+    }
+
+    // -- buffer pool -------------------------------------------------------
+
+    /// Pins `page` into the pool, loading it from the file (or zeroes,
+    /// for a page that never reached the disk) on a miss.
+    fn frame_for(&mut self, page: u64) -> std::io::Result<usize> {
+        if let Some(&slot) = self.resident.get(&page) {
+            self.frames[slot].referenced = true;
+            return Ok(slot);
+        }
+        let slot = if self.frames.len() < POOL_FRAMES {
+            self.frames.push(Frame {
+                page,
+                data: Box::new([0u8; PAGE_SIZE]),
+                dirty: false,
+                referenced: true,
+            });
+            self.frames.len() - 1
+        } else {
+            // Clock sweep: clear reference bits until a cold frame turns
+            // up, write it back if dirty, take its slot.
+            let victim = loop {
+                let here = self.hand;
+                self.hand = (self.hand + 1) % self.frames.len();
+                let frame = &mut self.frames[here];
+                if frame.referenced {
+                    frame.referenced = false;
+                } else {
+                    break here;
+                }
+            };
+            if self.frames[victim].dirty {
+                self.write_back(victim)?;
+            }
+            self.resident.remove(&self.frames[victim].page);
+            let frame = &mut self.frames[victim];
+            frame.page = page;
+            frame.dirty = false;
+            frame.referenced = true;
+            frame.data.fill(0);
+            victim
+        };
+        // Load whatever the file holds; a short read (sparse hole or a
+        // page evicted-before-written neighbor) leaves zeroes, which is
+        // exactly what an unwritten page is.
+        self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
+        let mut filled = 0;
+        while filled < PAGE_SIZE {
+            let n = self.file.read(&mut self.frames[slot].data[filled..])?;
             if n == 0 {
                 break;
             }
-            if let Some(end) = chunk[..n].iter().position(|&b| b == b'\n') {
-                buf.extend_from_slice(&chunk[..end]);
-                break;
-            }
-            buf.extend_from_slice(&chunk[..n]);
+            filled += n;
         }
-        let line = String::from_utf8(buf)
-            .map_err(|_| StreamError::Mismatch("spill record is not UTF-8".into()))?;
-        self.parse(key, &line)
+        self.resident.insert(page, slot);
+        Ok(slot)
     }
 
-    /// Removes a group from the index (it is hot again); the stale bytes
-    /// stay in the file until it is recreated.
-    pub fn forget(&mut self, key: &[u32]) {
-        self.index.remove(key);
+    /// Writes one frame's full page back to the file.
+    fn write_back(&mut self, slot: usize) -> std::io::Result<()> {
+        let page = self.frames[slot].page;
+        self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
+        self.file.write_all(&self.frames[slot].data[..])?;
+        self.frames[slot].dirty = false;
+        Ok(())
+    }
+
+    fn write_record(&mut self, extent: Extent, bytes: &[u8]) -> std::io::Result<()> {
+        for (i, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+            let slot = self.frame_for(extent.page + i as u64)?;
+            self.frames[slot].data[..chunk.len()].copy_from_slice(chunk);
+            self.frames[slot].dirty = true;
+        }
+        Ok(())
+    }
+
+    fn read_record(&mut self, extent: Extent) -> Result<Vec<u8>, StreamError> {
+        let mut buf = Vec::with_capacity(extent.len);
+        let mut remaining = extent.len;
+        for i in 0..extent.pages {
+            let take = remaining.min(PAGE_SIZE);
+            let slot = self.frame_for(extent.page + i)?;
+            buf.extend_from_slice(&self.frames[slot].data[..take]);
+            remaining -= take;
+        }
+        Ok(buf)
     }
 
     fn parse(&self, key: &[u32], line: &str) -> Result<SpilledGroup, StreamError> {
@@ -243,9 +480,66 @@ mod tests {
     fn interleaved_reads_do_not_corrupt_writes() {
         let mut store = SpillStore::create(&tmp("interleave.spill"), 3).unwrap();
         store.spill(&[0], &group(3)).unwrap();
-        let _ = store.read(&[0]).unwrap(); // moves the file cursor
-        store.spill(&[1], &group(4)).unwrap(); // must still append at end
+        let _ = store.read(&[0]).unwrap();
+        store.spill(&[1], &group(4)).unwrap();
         assert_eq!(store.read(&[0]).unwrap(), group(3));
         assert_eq!(store.read(&[1]).unwrap(), group(4));
+    }
+
+    #[test]
+    fn round_trip_survives_pool_eviction() {
+        let mut store = SpillStore::create(&tmp("evict.spill"), 3).unwrap();
+        // 4× the pool capacity: most records' pages get evicted (written
+        // back) and must reload from the file intact.
+        let n = (POOL_FRAMES * 4) as u64;
+        for k in 0..n {
+            store.spill(&[k as u32], &group(k)).unwrap();
+        }
+        for k in 0..n {
+            assert_eq!(store.read(&[k as u32]).unwrap(), group(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn churn_does_not_grow_the_file() {
+        let mut store = SpillStore::create(&tmp("churn.spill"), 3).unwrap();
+        for k in 0..8u64 {
+            store.spill(&[k as u32], &group(k)).unwrap();
+        }
+        let high_water = store.file_pages();
+        // Spill/reload/re-spill cycles reuse freed pages and rewrite
+        // in place: an append-only store would grow without bound here.
+        for round in 0..200u64 {
+            let k = round % 8;
+            store.forget(&[k as u32]);
+            store.spill(&[k as u32], &group(round)).unwrap();
+        }
+        assert_eq!(store.len(), 8);
+        assert_eq!(
+            store.file_pages(),
+            high_water,
+            "churn over a fixed working set must not move the high-water mark"
+        );
+        for k in 0..8u64 {
+            let expected = 192 + k; // last round that touched this key
+            assert_eq!(store.read(&[k as u32]).unwrap(), group(expected));
+        }
+    }
+
+    #[test]
+    fn torn_record_fails_loudly_instead_of_truncating() {
+        let path = tmp("torn.spill");
+        let mut store = SpillStore::create(&path, 3).unwrap();
+        store.spill(&[9], &group(6)).unwrap();
+        store.flush_and_drop_cache().unwrap();
+        // Overwrite the record's trailing newline on disk — the classic
+        // torn-write shape a crash mid-write leaves behind.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let nl = bytes.iter().position(|&b| b == b'\n').expect("newline");
+        bytes[nl] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.read(&[9]).unwrap_err();
+        assert!(matches!(err, StreamError::Format { .. }), "{err:?}");
+        assert!(err.to_string().contains("torn spill record"), "{err}");
     }
 }

@@ -8,16 +8,22 @@
 //! fingerprint — followed by one event per line:
 //!
 //! ```text
-//! wal    := "rp-wal v1" NL
-//!           "seed" TAB u64 NL  "p" TAB f64 NL
-//!           "lambda" TAB f64 NL  "delta" TAB f64 NL
-//!           "sa" TAB attr NL
-//!           "attrs" TAB n NL  ("attr" TAB name (TAB value)* NL){n}
-//!           "base" TAB rows NL
-//!           "start" TAB first_seq NL
-//!           event*
-//! event  := "i" TAB seq (TAB code){arity} NL      -- one inserted record
-//!         | "r" TAB seq (TAB code){arity-1} NL    -- SPS re-publication of a group key
+//! wal     := "rp-wal v1" NL
+//!            "seed" TAB u64 NL  "p" TAB f64 NL
+//!            "lambda" TAB f64 NL  "delta" TAB f64 NL
+//!            "sa" TAB attr NL
+//!            "attrs" TAB n NL  ("attr" TAB name (TAB value)* NL){n}
+//!            "base" TAB rows NL
+//!            "start" TAB first_seq NL
+//!            compact?
+//!            event*
+//! event   := "i" TAB seq (TAB code){arity} NL      -- one inserted record
+//!          | "r" TAB seq (TAB code){arity-1} NL    -- SPS re-publication of a group key
+//! compact := "compact" TAB floor TAB inserts TAB republishes TAB n NL
+//!            sgroup{n}
+//! sgroup  := "s" (TAB code){arity-1}               -- group key
+//!            (TAB count){m} (TAB count){m}         -- raw + published histograms
+//!            TAB rng TAB ("c"|"f") TAB len NL      -- cursor, status, republish baseline
 //! ```
 //!
 //! Sequence numbers are contiguous from the header's `first_seq` (1 for
@@ -26,16 +32,39 @@
 //! cover" and restore replays exactly the tail. A torn final line (crash
 //! mid-append) is detected by its missing newline and truncated away on
 //! open — the WAL never replays a half-written event.
+//!
+//! ## The compaction rule
+//!
+//! An SPS re-publication (`r`) re-derives a group's published histogram
+//! from its raw histogram, so a group's state after its *last* `r` event
+//! is a pure function of its own event subsequence up to that point —
+//! per-group RNG streams make it independent of how other groups
+//! interleaved. [`compact_wal`] exploits this: for every group with at
+//! least one `r` event it absorbs all of that group's events up to and
+//! including its last `r` into a single `s` state record (key-sorted),
+//! and retains everything else untouched. The `compact` line records the
+//! absorption floor (the highest absorbed sequence number) and the
+//! absorbed insert/republish counts so replay reconstructs the stream
+//! counters exactly. Below the floor, retained sequence numbers are
+//! merely strictly increasing (absorbed events leave gaps); above it
+//! they are contiguous as usual. Replaying a compacted log is
+//! byte-identical to replaying the original (the determinism suite
+//! proves it); a snapshot whose cursor lies strictly *between* zero and
+//! the floor cannot resume on a compacted log and is refused loudly.
 
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use rp_core::incremental::{GroupStatus, IncrementalPublisher, LiveGroup};
 use rp_core::privacy::PrivacyParams;
 use rp_table::Schema;
 
 use crate::codec::{read_schema, write_schema, Lines};
+use crate::fsutil;
 use crate::publication::PublicationError;
+use crate::stream::rng::GroupRng;
 use crate::stream::StreamError;
 
 /// Magic line opening every WAL file.
@@ -231,14 +260,161 @@ impl WalEvent {
     }
 }
 
-/// Reads a WAL file: header, then every *complete* event line. Returns
-/// the header, the events, and the byte offset of the end of the last
-/// complete line (a torn final line — crash mid-append — is excluded).
+/// The state of one group absorbed by WAL compaction: everything replay
+/// needs to resume the group as if its absorbed events had been applied
+/// one by one (mirrors the snapshot's live-group record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactGroup {
+    /// The group key (public-attribute codes, schema order).
+    pub key: Vec<u32>,
+    /// Raw SA histogram after the absorbed events.
+    pub raw_hist: Vec<u64>,
+    /// Published SA histogram after the absorbed events.
+    pub published_hist: Vec<u64>,
+    /// The group's RNG cursor after the absorbed events.
+    pub rng_state: u64,
+    /// Compliance status after the absorbed events.
+    pub status: GroupStatus,
+    /// Raw records covered by the last SPS re-publication.
+    pub republished_len: u64,
+}
+
+impl CompactGroup {
+    fn encode(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("s");
+        for &c in &self.key {
+            write!(out, "\t{c}").expect("writing to a String cannot fail");
+        }
+        for &c in self.raw_hist.iter().chain(&self.published_hist) {
+            write!(out, "\t{c}").expect("writing to a String cannot fail");
+        }
+        let status = match self.status {
+            GroupStatus::Compliant => 'c',
+            GroupStatus::NeedsResampling => 'f',
+        };
+        write!(
+            out,
+            "\t{}\t{status}\t{}",
+            self.rng_state, self.republished_len
+        )
+        .expect("writing to a String cannot fail");
+        out
+    }
+
+    fn parse(line: &str, line_no: usize, header: &WalHeader) -> Result<Self, StreamError> {
+        let bad = |message: String| StreamError::Format {
+            line: line_no,
+            message,
+        };
+        let mut parts = line.split('\t');
+        if parts.next() != Some("s") {
+            return Err(bad("expected an `s` state record".into()));
+        }
+        let m = header.schema.attribute(header.sa).domain_size();
+        let arity = header.schema.arity();
+        let mut key = Vec::with_capacity(arity - 1);
+        for attr in (0..arity).filter(|&a| a != header.sa) {
+            let code: u32 = parts
+                .next()
+                .ok_or_else(|| bad("`s` record has a short key".into()))?
+                .parse()
+                .map_err(|e| bad(format!("bad key code: {e}")))?;
+            let domain = header.schema.attribute(attr).domain_size();
+            if code as usize >= domain {
+                return Err(bad(format!(
+                    "key code {code} out of range for attribute `{}` (domain {domain})",
+                    header.schema.attribute(attr).name()
+                )));
+            }
+            key.push(code);
+        }
+        let mut hists = [Vec::with_capacity(m), Vec::with_capacity(m)];
+        for hist in &mut hists {
+            for _ in 0..m {
+                hist.push(
+                    parts
+                        .next()
+                        .ok_or_else(|| bad("`s` record has a short histogram".into()))?
+                        .parse::<u64>()
+                        .map_err(|e| bad(format!("bad count: {e}")))?,
+                );
+            }
+        }
+        let [raw_hist, published_hist] = hists;
+        let rng_state: u64 = parts
+            .next()
+            .ok_or_else(|| bad("`s` record is missing the rng state".into()))?
+            .parse()
+            .map_err(|e| bad(format!("bad rng state: {e}")))?;
+        let status = match parts.next() {
+            Some("c") => GroupStatus::Compliant,
+            Some("f") => GroupStatus::NeedsResampling,
+            other => return Err(bad(format!("bad status {other:?}"))),
+        };
+        let republished_len: u64 = parts
+            .next()
+            .ok_or_else(|| bad("`s` record is missing republished_len".into()))?
+            .parse()
+            .map_err(|e| bad(format!("bad republished_len: {e}")))?;
+        if parts.next().is_some() {
+            return Err(bad("trailing fields on `s` record".into()));
+        }
+        Ok(Self {
+            key,
+            raw_hist,
+            published_hist,
+            rng_state,
+            status,
+            republished_len,
+        })
+    }
+}
+
+/// The compaction section of a WAL: per-group state absorbing every
+/// event at or below `floor_seq` that a later re-publication superseded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalCompaction {
+    /// Highest absorbed sequence number. Retained events at or below it
+    /// are strictly increasing (absorption leaves gaps); above it the
+    /// sequence is contiguous as in an uncompacted log.
+    pub floor_seq: u64,
+    /// Insert events absorbed into the state records.
+    pub absorbed_inserts: u64,
+    /// Re-publication events absorbed into the state records.
+    pub absorbed_republishes: u64,
+    /// Absorbed group states, strictly sorted by key.
+    pub groups: Vec<CompactGroup>,
+}
+
+/// Everything read from one WAL file: the header, the optional
+/// compaction section, every complete event, and the byte offset of the
+/// end of the last complete line (a torn final line — crash mid-append —
+/// is excluded so appending resumes cleanly).
+#[derive(Debug)]
+pub struct WalFile {
+    /// The validated header.
+    pub header: WalHeader,
+    /// The compaction section, if the log was compacted.
+    pub compaction: Option<WalCompaction>,
+    /// Every complete event, sequence-validated.
+    pub events: Vec<WalEvent>,
+    /// Byte offset just past the last complete line.
+    pub end_offset: u64,
+}
+
+/// Reads a WAL file: header, optional compaction section, then every
+/// *complete* event line.
 ///
-/// Sequence numbers are checked for contiguity from 1, so a gap or
-/// duplicate (manual tampering, interleaved writers) fails loudly
-/// instead of replaying a corrupted history.
-pub fn read_wal(path: &Path) -> Result<(WalHeader, Vec<WalEvent>, u64), StreamError> {
+/// Sequence numbers are checked — contiguous from the header's
+/// `first_seq`, or (in a compacted log) strictly increasing up to the
+/// compaction floor and contiguous past it — so a gap or duplicate
+/// (manual tampering, interleaved writers) fails loudly instead of
+/// replaying a corrupted history. A torn *event* tail is truncated away
+/// silently (the event was never durable); a torn compaction section is
+/// a loud error, because compacted logs are written atomically and a
+/// partial section can only mean external corruption.
+pub fn read_wal(path: &Path) -> Result<WalFile, StreamError> {
     let file = File::open(path)?;
     let mut reader = BufReader::new(file);
     let header = {
@@ -248,11 +424,14 @@ pub fn read_wal(path: &Path) -> Result<(WalHeader, Vec<WalEvent>, u64), StreamEr
     // Track the offset of the last complete line so a torn tail can be
     // truncated before appending resumes.
     let mut offset = reader.stream_position()?;
+    let mut compaction: Option<WalCompaction> = None;
     let mut events = Vec::new();
     let mut line = String::new();
     // Lines consumed by the header: magic + 5 fields + attrs + one line
     // per attribute + base + start.
     let mut line_no = 9 + header.schema.arity();
+    let mut first_line = true;
+    let mut last_seq = header.first_seq - 1;
     loop {
         line.clear();
         let n = reader.read_line(&mut line)?;
@@ -260,12 +439,30 @@ pub fn read_wal(path: &Path) -> Result<(WalHeader, Vec<WalEvent>, u64), StreamEr
             break;
         }
         line_no += 1;
-        if !line.ends_with('\n') {
+        let torn = !line.ends_with('\n');
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if first_line && trimmed.starts_with("compact\t") {
+            first_line = false;
+            if torn {
+                return Err(StreamError::Format {
+                    line: line_no,
+                    message: "truncated compaction header".into(),
+                });
+            }
+            offset += n as u64;
+            let (section, lines_read, bytes_read) =
+                read_compact_section(trimmed, &mut reader, line_no, &header)?;
+            line_no += lines_read;
+            offset += bytes_read;
+            compaction = Some(section);
+            continue;
+        }
+        first_line = false;
+        if torn {
             // Torn final line: the append was cut mid-write. Ignore it —
             // the event was never acknowledged as durable.
             break;
         }
-        let trimmed = line.trim_end_matches(['\n', '\r']);
         if trimmed.is_empty() {
             return Err(StreamError::Format {
                 line: line_no,
@@ -273,19 +470,111 @@ pub fn read_wal(path: &Path) -> Result<(WalHeader, Vec<WalEvent>, u64), StreamEr
             });
         }
         let event = WalEvent::parse(trimmed, line_no, &header)?;
-        let expected = events
-            .last()
-            .map_or(header.first_seq, |e: &WalEvent| e.seq() + 1);
-        if event.seq() != expected {
-            return Err(StreamError::Format {
-                line: line_no,
-                message: format!("event sequence {} (expected {expected})", event.seq()),
-            });
+        let floor = compaction.as_ref().map_or(0, |c| c.floor_seq);
+        if event.seq() <= floor {
+            // Below the compaction floor absorption leaves gaps, but the
+            // retained order must still be strictly increasing.
+            if event.seq() <= last_seq {
+                return Err(StreamError::Format {
+                    line: line_no,
+                    message: format!(
+                        "event sequence {} out of order (expected past {last_seq})",
+                        event.seq()
+                    ),
+                });
+            }
+        } else {
+            let expected = last_seq.max(floor) + 1;
+            if event.seq() != expected {
+                return Err(StreamError::Format {
+                    line: line_no,
+                    message: format!("event sequence {} (expected {expected})", event.seq()),
+                });
+            }
         }
+        last_seq = event.seq();
         events.push(event);
         offset += n as u64;
     }
-    Ok((header, events, offset))
+    Ok(WalFile {
+        header,
+        compaction,
+        events,
+        end_offset: offset,
+    })
+}
+
+/// Parses the `compact` line plus its counted `s` records. Returns the
+/// section and the lines/bytes it consumed past the `compact` line.
+fn read_compact_section<R: BufRead>(
+    compact_line: &str,
+    reader: &mut R,
+    compact_line_no: usize,
+    header: &WalHeader,
+) -> Result<(WalCompaction, usize, u64), StreamError> {
+    let bad = |line: usize, message: String| StreamError::Format { line, message };
+    let fields: Vec<&str> = compact_line.split('\t').skip(1).collect();
+    if fields.len() != 4 {
+        return Err(bad(
+            compact_line_no,
+            format!("`compact` line needs 4 fields, got {}", fields.len()),
+        ));
+    }
+    let parse_u64 = |raw: &str, what: &str| -> Result<u64, StreamError> {
+        raw.parse()
+            .map_err(|e| bad(compact_line_no, format!("bad {what} `{raw}`: {e}")))
+    };
+    let floor_seq = parse_u64(fields[0], "compaction floor")?;
+    let absorbed_inserts = parse_u64(fields[1], "absorbed insert count")?;
+    let absorbed_republishes = parse_u64(fields[2], "absorbed republish count")?;
+    let n_groups = parse_u64(fields[3], "group count")? as usize;
+    if floor_seq < header.first_seq {
+        return Err(bad(
+            compact_line_no,
+            format!(
+                "compaction floor {floor_seq} precedes the log start {}",
+                header.first_seq
+            ),
+        ));
+    }
+    // The count is untrusted: cap the pre-allocation (a real count past
+    // the cap still loads, slower).
+    let mut groups = Vec::with_capacity(n_groups.min(1 << 10));
+    let mut line = String::new();
+    let mut bytes = 0u64;
+    for i in 0..n_groups {
+        let line_no = compact_line_no + i + 1;
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || !line.ends_with('\n') {
+            return Err(bad(
+                line_no,
+                format!("truncated compaction section ({i} of {n_groups} state records)"),
+            ));
+        }
+        let g = CompactGroup::parse(line.trim_end_matches(['\n', '\r']), line_no, header)?;
+        if let Some(prev) = groups.last() {
+            let prev: &CompactGroup = prev;
+            if prev.key >= g.key {
+                return Err(bad(
+                    line_no,
+                    "compaction state records must be strictly sorted by key".into(),
+                ));
+            }
+        }
+        groups.push(g);
+        bytes += n as u64;
+    }
+    Ok((
+        WalCompaction {
+            floor_seq,
+            absorbed_inserts,
+            absorbed_republishes,
+            groups,
+        },
+        n_groups,
+        bytes,
+    ))
 }
 
 /// An open WAL accepting appends. Create with [`Wal::create`] (new file,
@@ -295,11 +584,19 @@ pub fn read_wal(path: &Path) -> Result<(WalHeader, Vec<WalEvent>, u64), StreamEr
 pub struct Wal {
     writer: BufWriter<File>,
     next_seq: u64,
+    path: PathBuf,
+    /// Whether the directory entry is known durable. [`Wal::create`]
+    /// syncs the parent directory up front; a log opened for append
+    /// syncs it on the first [`Wal::sync`] instead.
+    dir_synced: bool,
 }
 
 impl Wal {
-    /// Creates a fresh WAL at `path`, writing the header. Refuses to
-    /// overwrite an existing file — an existing log must be opened with
+    /// Creates a fresh WAL at `path`, writing the header **durably**:
+    /// the header bytes are fsynced and so is the parent directory, so a
+    /// crash right after a stream reports itself live can leave neither
+    /// a torn header nor a missing directory entry. Refuses to overwrite
+    /// an existing file — an existing log must be opened with
     /// [`Wal::open_append`] so its history is validated, not clobbered.
     ///
     /// # Errors
@@ -311,9 +608,13 @@ impl Wal {
         let mut writer = BufWriter::new(file);
         header.write(&mut writer)?;
         writer.flush()?;
+        writer.get_ref().sync_all()?;
+        fsutil::sync_parent_dir(path)?;
         Ok(Self {
             writer,
             next_seq: header.first_seq,
+            path: path.to_path_buf(),
+            dir_synced: true,
         })
     }
 
@@ -322,7 +623,7 @@ impl Wal {
     /// with `expected.first_seq` (the caller's first uncovered event) —
     /// reads every complete event, truncates a torn final line, and
     /// positions writes at the end. Returns the log handle and the
-    /// events read (for replay).
+    /// parsed file (compaction section + events, for replay).
     ///
     /// # Errors
     ///
@@ -330,12 +631,9 @@ impl Wal {
     /// does not match the expected stream parameters, a log that starts
     /// after the expected sequence (events are missing), or a stale log
     /// whose next append would rewind the sequence.
-    pub fn open_append(
-        path: &Path,
-        expected: &WalHeader,
-    ) -> Result<(Self, Vec<WalEvent>), StreamError> {
-        let (header, events, end) = read_wal(path)?;
-        if !header.same_stream(expected) {
+    pub fn open_append(path: &Path, expected: &WalHeader) -> Result<(Self, WalFile), StreamError> {
+        let wal_file = read_wal(path)?;
+        if !wal_file.header.same_stream(expected) {
             return Err(StreamError::Mismatch(format!(
                 "WAL header at {} does not match the stream's artifact \
                  (seed/parameters/schema/base differ)",
@@ -343,19 +641,20 @@ impl Wal {
             )));
         }
         // The snapshot covers events 1..expected.first_seq; the log must
-        // pick up no later than that (no gap) and its next append — the
-        // last event + 1, or the header's first_seq for a log that is
-        // still empty — must not rewind behind the snapshot (stale log).
-        if header.first_seq > expected.first_seq {
+        // pick up no later than that (no gap) and its next append — past
+        // the last event, the compaction floor, or the header's
+        // first_seq for a log that is still empty — must not rewind
+        // behind the snapshot (stale log).
+        if wal_file.header.first_seq > expected.first_seq {
             return Err(StreamError::Mismatch(format!(
                 "WAL at {} starts at event {} but the snapshot covers only {} — \
                  events are missing (archived log newer than the snapshot?)",
                 path.display(),
-                header.first_seq,
+                wal_file.header.first_seq,
                 expected.first_seq - 1
             )));
         }
-        let log_next = events.last().map_or(header.first_seq, |e| e.seq() + 1);
+        let log_next = Self::next_after(&wal_file);
         if log_next < expected.first_seq {
             return Err(StreamError::Mismatch(format!(
                 "WAL at {} ends at event {} but the snapshot covers {} — stale log \
@@ -366,11 +665,32 @@ impl Wal {
             )));
         }
         let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(end)?; // drop a torn tail, if any
+        file.set_len(wal_file.end_offset)?; // drop a torn tail, if any
         let mut writer = BufWriter::new(file);
         writer.seek(SeekFrom::End(0))?;
-        let next_seq = events.last().map_or(header.first_seq, |e| e.seq() + 1);
-        Ok((Self { writer, next_seq }, events))
+        Ok((
+            Self {
+                writer,
+                next_seq: log_next,
+                path: path.to_path_buf(),
+                dir_synced: false,
+            },
+            wal_file,
+        ))
+    }
+
+    /// The sequence number following everything a parsed log covers: its
+    /// last event, or the compaction floor, or (empty log) the header's
+    /// start.
+    fn next_after(wal_file: &WalFile) -> u64 {
+        let floor = wal_file.compaction.as_ref().map_or(0, |c| c.floor_seq);
+        wal_file
+            .events
+            .last()
+            .map_or(0, WalEvent::seq)
+            .max(floor)
+            .max(wal_file.header.first_seq - 1)
+            + 1
     }
 
     /// The sequence number the next appended event must carry.
@@ -401,15 +721,169 @@ impl Wal {
     }
 
     /// Flushes buffered events and syncs file data to stable storage —
-    /// the durability point `flush` requests commit to.
+    /// the durability point `flush` requests commit to. The first sync
+    /// of a log opened for append also syncs the parent directory, in
+    /// case the creating process never reached its own directory sync.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O failure.
     pub fn sync(&mut self) -> std::io::Result<()> {
         self.writer.flush()?;
-        self.writer.get_ref().sync_data()
+        self.writer.get_ref().sync_data()?;
+        if !self.dir_synced {
+            fsutil::sync_parent_dir(&self.path)?;
+            self.dir_synced = true;
+        }
+        Ok(())
     }
+}
+
+/// What [`compact_wal`] did, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Events in the input log (after its own compaction section).
+    pub events_in: usize,
+    /// Events retained in the output log.
+    pub events_out: usize,
+    /// Events newly absorbed into state records by this pass.
+    pub absorbed: u64,
+    /// State records in the output's compaction section.
+    pub groups: usize,
+    /// The output's absorption floor (0 when nothing was absorbable).
+    pub floor_seq: u64,
+}
+
+/// Compacts a WAL: every event of a group that a later `r` event of the
+/// same group supersedes is absorbed into one `s` state record, computed
+/// by simulating exactly that group's event subsequence (valid because a
+/// group's state is a pure function of its own events under per-group
+/// RNG streams). Retained events keep their sequence numbers; replaying
+/// the compacted log is byte-identical to replaying the original. The
+/// output is written atomically and durably, so `output` may equal
+/// `input` for in-place rotation. An already-compacted input composes:
+/// its state records seed the simulation.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, a malformed input log, or a
+/// republish event referencing a group with no prior state.
+pub fn compact_wal(input: &Path, output: &Path) -> Result<CompactionStats, StreamError> {
+    let wal_file = read_wal(input)?;
+    let header = &wal_file.header;
+    let m = header.schema.attribute(header.sa).domain_size();
+    let mut sim = IncrementalPublisher::new(header.p, m, header.params);
+    let mut rngs: HashMap<Vec<u32>, u64> = HashMap::new();
+    let (mut floor, mut absorbed_i, mut absorbed_r) =
+        wal_file.compaction.as_ref().map_or((0, 0, 0), |c| {
+            (c.floor_seq, c.absorbed_inserts, c.absorbed_republishes)
+        });
+    if let Some(prior) = &wal_file.compaction {
+        for g in &prior.groups {
+            sim.put_group(LiveGroup {
+                key: g.key.clone(),
+                raw_hist: g.raw_hist.clone(),
+                published_hist: g.published_hist.clone(),
+                status: g.status,
+                republished_len: g.republished_len,
+            });
+            rngs.insert(g.key.clone(), g.rng_state);
+        }
+    }
+    // The group key of an event (SA position removed for inserts).
+    let key_of = |event: &WalEvent| -> Vec<u32> {
+        match event {
+            WalEvent::Insert { codes, .. } => codes
+                .iter()
+                .enumerate()
+                .filter(|&(a, _)| a != header.sa)
+                .map(|(_, &c)| c)
+                .collect(),
+            WalEvent::Republish { key, .. } => key.clone(),
+        }
+    };
+    // Per group, the sequence number of its last re-publication: every
+    // event of the group at or before it is absorbable.
+    let mut last_republish: HashMap<Vec<u32>, u64> = HashMap::new();
+    for event in &wal_file.events {
+        if let WalEvent::Republish { seq, key } = event {
+            last_republish.insert(key.clone(), *seq);
+        }
+    }
+    let mut retained = Vec::new();
+    let mut absorbed_now = 0u64;
+    for event in &wal_file.events {
+        let key = key_of(event);
+        let absorb = last_republish.get(&key).is_some_and(|&q| event.seq() <= q);
+        if !absorb {
+            retained.push(event.clone());
+            continue;
+        }
+        let mut rng = match rngs.get(&key) {
+            Some(&state) => GroupRng::from_state(state),
+            None => GroupRng::for_group(header.seed, &key),
+        };
+        match event {
+            WalEvent::Insert { codes, .. } => {
+                // The status is deliberately dropped: whether the group
+                // needed re-sampling at this point is recorded by the
+                // *next* `r` event in the log, not re-decided here.
+                let _ = sim.insert(&mut rng, &key, codes[header.sa]);
+                absorbed_i += 1;
+            }
+            WalEvent::Republish { seq, .. } => {
+                if sim.group(&key).is_none() {
+                    return Err(StreamError::Mismatch(format!(
+                        "event {seq} re-publishes group {key:?} with no prior state \
+                         (corrupted log?)"
+                    )));
+                }
+                sim.republish_group(&mut rng, &key);
+                absorbed_r += 1;
+            }
+        }
+        rngs.insert(key, rng.state());
+        floor = floor.max(event.seq());
+        absorbed_now += 1;
+    }
+    let mut groups: Vec<CompactGroup> = sim
+        .groups()
+        .map(|g| CompactGroup {
+            key: g.key.clone(),
+            raw_hist: g.raw_hist.clone(),
+            published_hist: g.published_hist.clone(),
+            rng_state: *rngs.get(&g.key).expect("simulated groups carry a cursor"),
+            status: g.status,
+            republished_len: g.republished_len,
+        })
+        .collect();
+    groups.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+    let stats = CompactionStats {
+        events_in: wal_file.events.len(),
+        events_out: retained.len(),
+        absorbed: absorbed_now,
+        groups: groups.len(),
+        floor_seq: floor,
+    };
+    fsutil::write_atomic::<StreamError>(output, |w| {
+        header.write(&mut *w).map_err(StreamError::from)?;
+        if !groups.is_empty() {
+            writeln!(
+                w,
+                "compact\t{floor}\t{absorbed_i}\t{absorbed_r}\t{}",
+                groups.len()
+            )
+            .map_err(StreamError::from)?;
+            for g in &groups {
+                writeln!(w, "{}", g.encode()).map_err(StreamError::from)?;
+            }
+        }
+        for event in &retained {
+            writeln!(w, "{}", event.encode()).map_err(StreamError::from)?;
+        }
+        Ok(())
+    })?;
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -498,12 +972,13 @@ mod tests {
         }
         wal.sync().unwrap();
         drop(wal);
-        let (h2, read, _) = read_wal(&path).unwrap();
-        assert_eq!(h2, h);
-        assert_eq!(read, events);
+        let file = read_wal(&path).unwrap();
+        assert_eq!(file.header, h);
+        assert_eq!(file.events, events);
+        assert!(file.compaction.is_none());
         // Reopen for append and continue the sequence.
         let (mut wal, replayed) = Wal::open_append(&path, &h).unwrap();
-        assert_eq!(replayed, events);
+        assert_eq!(replayed.events, events);
         assert_eq!(wal.next_seq(), 4);
         wal.append(&WalEvent::Insert {
             seq: 4,
@@ -511,8 +986,7 @@ mod tests {
         })
         .unwrap();
         wal.sync().unwrap();
-        let (_, all, _) = read_wal(&path).unwrap();
-        assert_eq!(all.len(), 4);
+        assert_eq!(read_wal(&path).unwrap().events.len(), 4);
     }
 
     #[test]
@@ -533,10 +1007,10 @@ mod tests {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
             write!(f, "i\t2\t1").unwrap();
         }
-        let (_, events, _) = read_wal(&path).unwrap();
+        let events = read_wal(&path).unwrap().events;
         assert_eq!(events.len(), 1, "torn line must not replay");
         let (mut wal, replayed) = Wal::open_append(&path, &h).unwrap();
-        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed.events.len(), 1);
         assert_eq!(wal.next_seq(), 2);
         wal.append(&WalEvent::Insert {
             seq: 2,
@@ -544,7 +1018,7 @@ mod tests {
         })
         .unwrap();
         wal.sync().unwrap();
-        let (_, events, _) = read_wal(&path).unwrap();
+        let events = read_wal(&path).unwrap().events;
         assert_eq!(events.len(), 2, "the torn bytes were truncated away");
     }
 
@@ -586,5 +1060,146 @@ mod tests {
         let h = header();
         Wal::create(&path, &h).unwrap();
         assert!(Wal::create(&path, &h).is_err());
+    }
+
+    /// A log where group `[0]` re-publishes at seq 3 and group `[1]`
+    /// never does: events 1..3 are absorbable, 4..5 are not.
+    fn compactable_log(name: &str) -> (std::path::PathBuf, WalHeader) {
+        let path = tmp(name);
+        let _ = std::fs::remove_file(&path);
+        let h = header();
+        let mut wal = Wal::create(&path, &h).unwrap();
+        for event in [
+            WalEvent::Insert {
+                seq: 1,
+                codes: vec![0, 0],
+            },
+            WalEvent::Insert {
+                seq: 2,
+                codes: vec![0, 1],
+            },
+            WalEvent::Republish {
+                seq: 3,
+                key: vec![0],
+            },
+            WalEvent::Insert {
+                seq: 4,
+                codes: vec![1, 0],
+            },
+            WalEvent::Insert {
+                seq: 5,
+                codes: vec![0, 1],
+            },
+        ] {
+            wal.append(&event).unwrap();
+        }
+        wal.sync().unwrap();
+        (path, h)
+    }
+
+    #[test]
+    fn compaction_absorbs_superseded_events() {
+        let (path, h) = compactable_log("compact-src.rpwal");
+        let out = tmp("compact-out.rpwal");
+        let stats = compact_wal(&path, &out).unwrap();
+        assert_eq!(stats.events_in, 5);
+        assert_eq!(stats.events_out, 2, "events 4 and 5 are retained");
+        assert_eq!(stats.absorbed, 3);
+        assert_eq!(stats.groups, 1);
+        assert_eq!(stats.floor_seq, 3);
+        let file = read_wal(&out).unwrap();
+        let c = file.compaction.expect("compaction section");
+        assert_eq!(c.floor_seq, 3);
+        assert_eq!(c.absorbed_inserts, 2);
+        assert_eq!(c.absorbed_republishes, 1);
+        assert_eq!(c.groups.len(), 1);
+        assert_eq!(c.groups[0].key, vec![0]);
+        assert_eq!(c.groups[0].raw_hist.iter().sum::<u64>(), 2);
+        assert_eq!(
+            file.events.iter().map(WalEvent::seq).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        // Appending resumes past everything the log covers.
+        let (wal, _) = Wal::open_append(&out, &h).unwrap();
+        assert_eq!(wal.next_seq(), 6);
+    }
+
+    #[test]
+    fn compacting_twice_is_idempotent() {
+        let (path, _) = compactable_log("compact-twice.rpwal");
+        let once = tmp("compact-once.rpwal");
+        let twice = tmp("compact-twice-out.rpwal");
+        compact_wal(&path, &once).unwrap();
+        let stats = compact_wal(&once, &twice).unwrap();
+        assert_eq!(stats.absorbed, 0, "nothing new to absorb");
+        assert_eq!(
+            std::fs::read(&once).unwrap(),
+            std::fs::read(&twice).unwrap(),
+            "a second pass is byte-identical"
+        );
+    }
+
+    #[test]
+    fn in_place_compaction_is_supported() {
+        let (path, h) = compactable_log("compact-inplace.rpwal");
+        compact_wal(&path, &path).unwrap();
+        let file = read_wal(&path).unwrap();
+        assert!(file.compaction.is_some());
+        assert_eq!(file.events.len(), 2);
+        let (wal, _) = Wal::open_append(&path, &h).unwrap();
+        assert_eq!(wal.next_seq(), 6);
+    }
+
+    #[test]
+    fn torn_compaction_section_errors_loudly() {
+        let (path, _) = compactable_log("compact-torn-src.rpwal");
+        let out = tmp("compact-torn.rpwal");
+        compact_wal(&path, &out).unwrap();
+        let bytes = std::fs::read(&out).unwrap();
+        // Cut inside the `s` record (the line after `compact`).
+        let compact_at = bytes
+            .windows(8)
+            .position(|w| w == b"compact\t")
+            .expect("compact line");
+        let s_end = compact_at
+            + bytes[compact_at..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .unwrap()
+            + 4;
+        std::fs::write(&out, &bytes[..s_end]).unwrap();
+        let err = read_wal(&out).unwrap_err();
+        assert!(err.to_string().contains("truncated compaction"), "{err}");
+    }
+
+    #[test]
+    fn sequence_rules_below_and_above_the_floor() {
+        let h = header();
+        let (src, _) = compactable_log("compact-seq-src.rpwal");
+        let out = tmp("compact-seq.rpwal");
+        compact_wal(&src, &out).unwrap();
+        let bytes = std::fs::read(&out).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let (head, _events) = text.split_at(text.find("i\t4").unwrap());
+        // Retained events below the floor may leave gaps but must stay
+        // strictly increasing...
+        let ok = tmp("below-floor-ok.rpwal");
+        std::fs::write(&ok, format!("{head}i\t2\t1\t0\ni\t4\t1\t0\ni\t5\t0\t1\n")).unwrap();
+        let file = read_wal(&ok).unwrap();
+        assert_eq!(
+            file.events.iter().map(WalEvent::seq).collect::<Vec<_>>(),
+            vec![2, 4, 5]
+        );
+        // ...an out-of-order pair below the floor is rejected...
+        let bad = tmp("below-floor-bad.rpwal");
+        std::fs::write(&bad, format!("{head}i\t2\t1\t0\ni\t1\t1\t0\n")).unwrap();
+        let err = read_wal(&bad).unwrap_err();
+        assert!(err.to_string().contains("sequence"), "{err}");
+        // ...and above the floor the sequence must be contiguous.
+        let gap = tmp("above-floor-gap.rpwal");
+        std::fs::write(&gap, format!("{head}i\t5\t1\t0\n")).unwrap();
+        let err = read_wal(&gap).unwrap_err();
+        assert!(err.to_string().contains("sequence"), "{err}");
+        let _ = h;
     }
 }

@@ -15,12 +15,14 @@
 //! rpctl query   --connect HOST:PORT --where Gender=Male --value >50K
 //! rpctl serve   --publication release.rppub
 //!               [--listen HOST:PORT --max-conns N --cache N]
-//!               [--wal stream.rpwal --state-out state.rppub --max-resident N]
+//!               [--wal stream.rpwal --state-out state.rppub --max-resident N
+//!                --commit-batch N --commit-window MS]
 //! rpctl ingest  --connect HOST:PORT --input new.csv
 //! rpctl ingest  --publication state.rppub --wal stream.rpwal --input new.csv
-//!               --output state2.rppub [--max-resident N]
+//!               --output state2.rppub [--max-resident N --commit-batch N]
 //! rpctl replay  --publication base-or-snapshot.rppub --wal stream.rpwal
 //!               --output replayed.rppub
+//! rpctl compact --wal stream.rpwal [--output compacted.rpwal]
 //! ```
 //!
 //! `publish` runs the full paper pipeline — χ²-generalization of the
@@ -45,11 +47,18 @@
 //! groups re-sampled through SPS when they cross `sg`), every mutation is
 //! write-ahead logged, `flush` syncs the log and writes the v2 snapshot
 //! to `--state-out`, and `--max-resident` bounds the owner-side memory by
-//! spilling cold groups. `ingest` feeds a CSV into a streaming server
-//! (over TCP, or locally straight into the WAL); `replay` reconstructs
-//! the stream state from artifact + WAL and writes the snapshot — byte-
-//! identical to the live run's, which is the determinism contract
-//! extended to streams.
+//! spilling cold groups. `--commit-batch N` / `--commit-window MS` turn on
+//! group commit: the WAL is fsynced every N events (or at least every MS
+//! milliseconds while events are pending) instead of only on explicit
+//! `flush`, amortizing the sync cost over a batch — the logged bytes are
+//! identical either way, only durability *timing* changes. `ingest` feeds
+//! a CSV into a streaming server (over TCP, or locally straight into the
+//! WAL); `replay` reconstructs the stream state from artifact + WAL and
+//! writes the snapshot — byte-identical to the live run's, which is the
+//! determinism contract extended to streams. `compact` rewrites a WAL
+//! dropping events superseded by a later re-publication (their effect
+//! moves into per-group state records) — replay of the compacted log is
+//! byte-identical to replay of the full one.
 //!
 //! `publish --adult <path>` loads the raw UCI ADULT file when it exists
 //! (falling back to `RP_ADULT_PATH`, then to the synthetic shape-matched
@@ -98,7 +107,20 @@ struct Options {
     wal: Option<String>,
     state_out: Option<String>,
     max_resident: usize,
+    commit_batch: u64,
+    commit_window: u64,
     adult: Option<String>,
+}
+
+impl Options {
+    /// The stream tuning the flags describe.
+    fn stream_config(&self) -> StreamConfig {
+        StreamConfig {
+            max_resident: self.max_resident,
+            commit_batch: self.commit_batch,
+            commit_window_ms: self.commit_window,
+        }
+    }
 }
 
 fn usage() -> ExitCode {
@@ -107,10 +129,11 @@ fn usage() -> ExitCode {
          rpctl publish --input FILE | --adult FILE --sa COLUMN --output FILE.rppub [--csv FILE.csv] [--p P --lambda L --delta D --no-generalize --seed N --threads N]\n  \
          rpctl query   --publication FILE.rppub --where COL=VALUE ... --value SA_VALUE [--raw FILE.csv]\n  \
          rpctl query   --connect HOST:PORT --where COL=VALUE ... --value SA_VALUE\n  \
-         rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES] [--wal FILE.rpwal --state-out FILE.rppub --max-resident N]\n  \
+         rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES] [--wal FILE.rpwal --state-out FILE.rppub --max-resident N --commit-batch N --commit-window MS]\n  \
          rpctl ingest  --connect HOST:PORT --input FILE.csv\n  \
-         rpctl ingest  --publication FILE.rppub --wal FILE.rpwal --input FILE.csv --output FILE.rppub [--max-resident N]\n  \
-         rpctl replay  --publication FILE.rppub --wal FILE.rpwal --output FILE.rppub"
+         rpctl ingest  --publication FILE.rppub --wal FILE.rpwal --input FILE.csv --output FILE.rppub [--max-resident N --commit-batch N]\n  \
+         rpctl replay  --publication FILE.rppub --wal FILE.rpwal --output FILE.rppub\n  \
+         rpctl compact --wal FILE.rpwal [--output FILE.rpwal]"
     );
     ExitCode::from(2)
 }
@@ -173,6 +196,8 @@ fn parse(args: &[String]) -> Option<Options> {
             "--wal" => opts.wal = Some(it.next()?.clone()),
             "--state-out" => opts.state_out = Some(it.next()?.clone()),
             "--max-resident" => opts.max_resident = it.next()?.parse().ok()?,
+            "--commit-batch" => opts.commit_batch = it.next()?.parse().ok()?,
+            "--commit-window" => opts.commit_window = it.next()?.parse().ok()?,
             "--adult" => opts.adult = Some(it.next()?.clone()),
             _ => return None,
         }
@@ -532,14 +557,8 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         cache_entries: opts.cache,
     };
     let service = if let Some(wal) = opts.wal.as_deref() {
-        let stream = StreamPublisher::open(
-            publication,
-            Path::new(wal),
-            StreamConfig {
-                max_resident: opts.max_resident,
-            },
-        )
-        .map_err(|e| format!("cannot open stream (wal = {wal}): {e}"))?;
+        let stream = StreamPublisher::open(publication, Path::new(wal), opts.stream_config())
+            .map_err(|e| format!("cannot open stream (wal = {wal}): {e}"))?;
         eprintln!(
             "streaming: wal = {wal}, {} events applied, {} live groups ({} records); \
              `insert COL=VALUE ...` to ingest, `flush` to commit{}",
@@ -648,14 +667,8 @@ fn cmd_ingest(opts: &Options) -> Result<(), String> {
         .ok_or("--wal is required (or --connect)")?;
     let output = opts.output.as_deref().ok_or("--output is required")?;
     let publication = load_publication(opts)?;
-    let mut stream = StreamPublisher::open(
-        publication,
-        Path::new(wal),
-        StreamConfig {
-            max_resident: opts.max_resident,
-        },
-    )
-    .map_err(|e| format!("cannot open stream (wal = {wal}): {e}"))?;
+    let mut stream = StreamPublisher::open(publication, Path::new(wal), opts.stream_config())
+        .map_err(|e| format!("cannot open stream (wal = {wal}): {e}"))?;
     let mut republished = 0u64;
     for (i, row) in rows.iter().enumerate() {
         let values: Vec<(&str, &str)> = columns
@@ -727,14 +740,8 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
     let output = opts.output.as_deref().ok_or("--output is required")?;
     let publication = load_publication(opts)?;
     let from_snapshot = publication.live().is_some();
-    let mut stream = StreamPublisher::replay(
-        publication,
-        Path::new(wal),
-        StreamConfig {
-            max_resident: opts.max_resident,
-        },
-    )
-    .map_err(|e| format!("replay failed: {e}"))?;
+    let mut stream = StreamPublisher::replay(publication, Path::new(wal), opts.stream_config())
+        .map_err(|e| format!("replay failed: {e}"))?;
     stream
         .save_snapshot(output)
         .map_err(|e| format!("cannot write {output}: {e}"))?;
@@ -756,6 +763,21 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_compact(opts: &Options) -> Result<(), String> {
+    let wal = opts.wal.as_deref().ok_or("--wal is required")?;
+    // Default is in place: the rewrite is atomic (temp file + rename),
+    // so a crash mid-compaction leaves the original log intact.
+    let output = opts.output.as_deref().unwrap_or(wal);
+    let stats = rp_engine::stream::wal::compact_wal(Path::new(wal), Path::new(output))
+        .map_err(|e| format!("cannot compact {wal}: {e}"))?;
+    println!(
+        "compacted {wal} -> {output}: {} events in, {} retained, {} absorbed \
+         into {} group state records (floor = event {})",
+        stats.events_in, stats.events_out, stats.absorbed, stats.groups, stats.floor_seq
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(opts) = parse(&args) else {
@@ -768,6 +790,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&opts),
         "ingest" => cmd_ingest(&opts),
         "replay" => cmd_replay(&opts),
+        "compact" => cmd_compact(&opts),
         _ => return usage(),
     };
     match result {

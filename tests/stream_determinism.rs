@@ -114,6 +114,10 @@ proptest! {
         cuts.dedup();
         let config = StreamConfig {
             max_resident: if rng.gen_bool(0.5) { 2 } else { 0 },
+            // Group commit changes durability timing only, never bytes;
+            // random batches let the property double as proof.
+            commit_batch: if rng.gen_bool(0.5) { rng.gen_range(2..32) } else { 0 },
+            ..StreamConfig::default()
         };
         let wal = tmp(&format!("split-{case_seed:016x}.rpwal"));
         // `artifact` is what a restart reopens: the base at first, then
@@ -216,4 +220,64 @@ fn republication_heavy_stream_replays_exactly() {
     let mut replayed =
         StreamPublisher::replay(base_publication(), &wal, StreamConfig::default()).unwrap();
     assert_eq!(save_bytes(&replayed.snapshot().unwrap()), live_bytes);
+}
+
+/// WAL compaction absorbs events superseded by a later re-publication
+/// into per-group state records; replaying the compacted log must land
+/// on exactly the bytes of replaying the full log — and the compacted
+/// log must remain appendable with the stream continuing byte-for-byte.
+#[test]
+fn compacted_replay_is_byte_identical_to_full_replay() {
+    use rp_repro::engine::stream::wal;
+
+    let wal_full = tmp("compact-full.rpwal");
+    let mut live =
+        StreamPublisher::open(base_publication(), &wal_full, StreamConfig::default()).unwrap();
+    for i in 0..3000u32 {
+        live.insert_codes(&[1, 1, u32::from(i % 10 == 0)]).unwrap();
+    }
+    // A mixed tail keeps several groups live past the absorption floor.
+    for i in 0..300u32 {
+        live.insert_codes(&[i % 3, (i / 3) % 2, (i / 6) % 3])
+            .unwrap();
+    }
+    assert!(live.republished() > 0, "the stream must re-publish");
+    live.flush().unwrap();
+    let full_bytes = save_bytes(&live.snapshot().unwrap());
+    drop(live);
+
+    let wal_compact = tmp("compact-small.rpwal");
+    let stats = wal::compact_wal(&wal_full, &wal_compact).unwrap();
+    assert!(stats.absorbed > 0, "compaction must absorb events");
+    assert!(
+        stats.events_out < stats.events_in,
+        "the compacted log must be shorter"
+    );
+    let mut replayed =
+        StreamPublisher::replay(base_publication(), &wal_compact, StreamConfig::default()).unwrap();
+    assert_eq!(
+        save_bytes(&replayed.snapshot().unwrap()),
+        full_bytes,
+        "compacted replay diverged from full replay"
+    );
+
+    // Appending the same suffix to the full and the compacted log keeps
+    // producing identical snapshots: compaction is transparent forward.
+    for target in [&wal_full, &wal_compact] {
+        let mut resumed =
+            StreamPublisher::open(base_publication(), target, StreamConfig::default()).unwrap();
+        for i in 0..50u32 {
+            resumed.insert_codes(&[i % 3, 0, i % 3]).unwrap();
+        }
+        resumed.flush().unwrap();
+    }
+    let mut a =
+        StreamPublisher::replay(base_publication(), &wal_full, StreamConfig::default()).unwrap();
+    let mut b =
+        StreamPublisher::replay(base_publication(), &wal_compact, StreamConfig::default()).unwrap();
+    assert_eq!(
+        save_bytes(&a.snapshot().unwrap()),
+        save_bytes(&b.snapshot().unwrap()),
+        "post-compaction appends diverged"
+    );
 }
