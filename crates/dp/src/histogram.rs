@@ -4,16 +4,150 @@
 //! The paper contrasts data perturbation (publish perturbed records,
 //! reconstruct) with output perturbation (publish noisy query answers).
 //! The standard DP way to support arbitrary conjunctive count queries is
-//! to release the full contingency table over `NA × SA` with Laplace noise
-//! `Lap(1/ε)` per cell (disjoint cells ⇒ sensitivity 1), and answer every
-//! query by summing noisy cells. This module implements that release so
-//! the two publishing philosophies can be compared on the same query pools
-//! — including the Section-2 observation that big noisy aggregates are
+//! to release the full contingency table over `NA × SA` with per-cell
+//! noise (disjoint cells ⇒ sensitivity 1), and answer every query by
+//! summing noisy cells. This module implements that release twice, over
+//! the same exact-count and cell-walk machinery:
+//!
+//! * [`DpHistogram`] — `Lap(1/ε)` per cell, the classic ε-DP release;
+//! * [`BinomialHistogram`] — centered `Binomial(N, p)` noise per cell
+//!   with `N` calibrated to a target `(ε, δ)` by Theorem 1 of
+//!   arXiv 1805.10559 (see
+//!   [`calibrated_binomial`](crate::mechanism::calibrated_binomial)),
+//!   the baseline `rpctl bakeoff` pits against SPS data perturbation.
+//!
+//! Both support the Section-2 observation that big noisy aggregates are
 //! precise enough to disclose ratios.
 
 use rand::Rng;
 use rp_stats::dist::Laplace;
 use rp_table::{AttrId, CountQuery, Table};
+
+use crate::mechanism::calibrated_binomial::{CalibratedBinomial, QuerySensitivity};
+use crate::mechanism::Mechanism;
+
+/// Validates the released attribute set and materializes the *exact*
+/// contingency table of `table` over `attrs` — the shared head of every
+/// noisy release.
+///
+/// Single released attribute: the table's own histogram kernel (errors
+/// cannot occur — the attribute is validated here and table codes are
+/// domain-checked at construction). Several attributes: mixed-radix cell
+/// indexes accumulated column by column, then one counting pass — no
+/// per-row per-attribute table walk.
+fn exact_cells(table: &Table, attrs: &[AttrId]) -> (Vec<usize>, Vec<f64>) {
+    assert!(!attrs.is_empty(), "histogram needs at least one attribute");
+    for (i, a) in attrs.iter().enumerate() {
+        assert!(*a < table.schema().arity(), "attribute {a} out of range");
+        assert!(!attrs[i + 1..].contains(a), "attribute {a} repeated");
+    }
+    let domain_sizes: Vec<usize> = attrs
+        .iter()
+        .map(|&a| table.schema().attribute(a).domain_size())
+        .collect();
+    let total_cells = domain_sizes
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .expect("cell count overflows");
+    assert!(
+        total_cells <= 1 << 28,
+        "contingency table with {total_cells} cells is too large to release"
+    );
+    let mut cells = vec![0.0f64; total_cells];
+    if let [attr] = attrs {
+        let counts = table
+            .histogram(*attr)
+            .expect("released attribute was validated against the schema");
+        for (cell, count) in cells.iter_mut().zip(counts) {
+            *cell = count as f64;
+        }
+    } else {
+        let mut indexes = vec![0usize; table.rows()];
+        for (&a, &d) in attrs.iter().zip(&domain_sizes) {
+            let column = table.column(a).codes();
+            for (index, &code) in indexes.iter_mut().zip(column) {
+                *index = *index * d + code as usize;
+            }
+        }
+        for &index in &indexes {
+            cells[index] += 1.0;
+        }
+    }
+    (domain_sizes, cells)
+}
+
+/// Sums the noisy cells consistent with `query` and counts how many were
+/// summed — the shared answering walk. Conditions on attributes outside
+/// the released set panic.
+fn sum_matching(
+    attrs: &[AttrId],
+    domain_sizes: &[usize],
+    cells: &[f64],
+    query: &CountQuery,
+) -> (f64, usize) {
+    // Wanted code per released attribute (None = sum over it).
+    let mut wanted: Vec<Option<u32>> = vec![None; attrs.len()];
+    for &(attr, term) in query.na_pattern().terms() {
+        let pos = attrs
+            .iter()
+            .position(|&a| a == attr)
+            .unwrap_or_else(|| panic!("attribute {attr} not in the released histogram"));
+        if let rp_table::Term::Value(code) = term {
+            wanted[pos] = Some(code);
+        }
+    }
+    let sa_pos = attrs
+        .iter()
+        .position(|&a| a == query.sa_attr())
+        .expect("SA attribute not in the released histogram");
+    wanted[sa_pos] = Some(query.sa_value());
+
+    // Sum over all cells consistent with `wanted` by a recursive
+    // cross-product walk (depth = attrs.len(), small by construction).
+    let mut total = 0.0;
+    let mut summed = 0usize;
+    fn walk(
+        dims: &[usize],
+        wanted: &[Option<u32>],
+        cells: &[f64],
+        depth: usize,
+        base: usize,
+        total: &mut f64,
+        summed: &mut usize,
+    ) {
+        if depth == dims.len() {
+            *total += cells[base];
+            *summed += 1;
+            return;
+        }
+        match wanted[depth] {
+            Some(code) => walk(
+                dims,
+                wanted,
+                cells,
+                depth + 1,
+                base * dims[depth] + code as usize,
+                total,
+                summed,
+            ),
+            None => {
+                for v in 0..dims[depth] {
+                    walk(
+                        dims,
+                        wanted,
+                        cells,
+                        depth + 1,
+                        base * dims[depth] + v,
+                        total,
+                        summed,
+                    );
+                }
+            }
+        }
+    }
+    walk(domain_sizes, &wanted, cells, 0, 0, &mut total, &mut summed);
+    (total, summed)
+}
 
 /// A noisy contingency table over a set of grouping attributes.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,53 +176,11 @@ impl DpHistogram {
         attrs: &[AttrId],
         epsilon: f64,
     ) -> Self {
-        assert!(!attrs.is_empty(), "histogram needs at least one attribute");
         assert!(
             epsilon > 0.0 && epsilon.is_finite(),
             "epsilon must be positive"
         );
-        for (i, a) in attrs.iter().enumerate() {
-            assert!(*a < table.schema().arity(), "attribute {a} out of range");
-            assert!(!attrs[i + 1..].contains(a), "attribute {a} repeated");
-        }
-        let domain_sizes: Vec<usize> = attrs
-            .iter()
-            .map(|&a| table.schema().attribute(a).domain_size())
-            .collect();
-        let total_cells = domain_sizes
-            .iter()
-            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
-            .expect("cell count overflows");
-        assert!(
-            total_cells <= 1 << 28,
-            "contingency table with {total_cells} cells is too large to release"
-        );
-        // Exact counts. Single released attribute: the table's own
-        // histogram kernel (errors cannot occur — the attribute was
-        // validated above and table codes are domain-checked at
-        // construction). Several attributes: mixed-radix cell indexes
-        // accumulated column by column, then one counting pass — no
-        // per-row per-attribute table walk.
-        let mut cells = vec![0.0f64; total_cells];
-        if let [attr] = attrs {
-            let counts = table
-                .histogram(*attr)
-                .expect("released attribute was validated against the schema");
-            for (cell, count) in cells.iter_mut().zip(counts) {
-                *cell = count as f64;
-            }
-        } else {
-            let mut indexes = vec![0usize; table.rows()];
-            for (&a, &d) in attrs.iter().zip(&domain_sizes) {
-                let column = table.column(a).codes();
-                for (index, &code) in indexes.iter_mut().zip(column) {
-                    *index = *index * d + code as usize;
-                }
-            }
-            for &index in &indexes {
-                cells[index] += 1.0;
-            }
-        }
+        let (domain_sizes, mut cells) = exact_cells(table, attrs);
         // One Laplace draw per cell; disjoint cells make the release ε-DP.
         let noise = Laplace::new(1.0 / epsilon);
         for c in &mut cells {
@@ -124,65 +216,106 @@ impl DpHistogram {
     /// Panics if the query conditions on an attribute absent from the
     /// release.
     pub fn answer(&self, query: &CountQuery) -> f64 {
-        // Wanted code per released attribute (None = sum over it).
-        let mut wanted: Vec<Option<u32>> = vec![None; self.attrs.len()];
-        for &(attr, term) in query.na_pattern().terms() {
-            let pos = self
-                .attrs
-                .iter()
-                .position(|&a| a == attr)
-                .unwrap_or_else(|| panic!("attribute {attr} not in the released histogram"));
-            if let rp_table::Term::Value(code) = term {
-                wanted[pos] = Some(code);
-            }
-        }
-        let sa_pos = self
-            .attrs
-            .iter()
-            .position(|&a| a == query.sa_attr())
-            .expect("SA attribute not in the released histogram");
-        wanted[sa_pos] = Some(query.sa_value());
+        sum_matching(&self.attrs, &self.domain_sizes, &self.cells, query).0
+    }
+}
 
-        // Sum over all cells consistent with `wanted` by a recursive
-        // cross-product walk (depth = attrs.len(), small by construction).
-        let mut total = 0.0;
-        fn walk(
-            dims: &[usize],
-            wanted: &[Option<u32>],
-            cells: &[f64],
-            depth: usize,
-            base: usize,
-            total: &mut f64,
-        ) {
-            if depth == dims.len() {
-                *total += cells[base];
-                return;
-            }
-            match wanted[depth] {
-                Some(code) => walk(
-                    dims,
-                    wanted,
-                    cells,
-                    depth + 1,
-                    base * dims[depth] + code as usize,
-                    total,
-                ),
-                None => {
-                    for v in 0..dims[depth] {
-                        walk(
-                            dims,
-                            wanted,
-                            cells,
-                            depth + 1,
-                            base * dims[depth] + v,
-                            total,
-                        );
-                    }
-                }
-            }
+/// A contingency table released under the calibrated binomial mechanism:
+/// every cell carries one centered `s·(X − N·p)` draw, `X ~ Binomial(N, p)`,
+/// with `N` the smallest trial count making the `d`-cell release
+/// `(ε, δ)`-DP per Theorem 1 of arXiv 1805.10559.
+///
+/// This is the output-perturbation side of `rpctl bakeoff`: it answers the
+/// same conjunctive count queries as a `QueryEngine` over an SPS release,
+/// so per-query utility (bias, error, CI width) is directly comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinomialHistogram {
+    attrs: Vec<AttrId>,
+    domain_sizes: Vec<usize>,
+    cells: Vec<f64>,
+    mechanism: CalibratedBinomial,
+}
+
+impl BinomialHistogram {
+    /// Releases the histogram of `table` over `attrs` with per-cell
+    /// binomial noise calibrated to `(target_epsilon, delta)` at success
+    /// probability `p` and quantization scale `s = 1`. The calibration
+    /// dimension `d` is the released cell count and the sensitivities are
+    /// the histogram's `Δ₁ = Δ₂ = Δ∞ = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same structural errors as [`DpHistogram::release`],
+    /// on invalid `(ε, δ, p)`, and when no feasible trial count exists
+    /// for the target (see
+    /// [`smallest_n`](crate::mechanism::calibrated_binomial::smallest_n)).
+    pub fn release<R: Rng + ?Sized>(
+        rng: &mut R,
+        table: &Table,
+        attrs: &[AttrId],
+        target_epsilon: f64,
+        delta: f64,
+        p: f64,
+    ) -> Self {
+        let (domain_sizes, mut cells) = exact_cells(table, attrs);
+        let mechanism = CalibratedBinomial::calibrate(
+            target_epsilon,
+            delta,
+            p,
+            1.0,
+            cells.len() as u64,
+            QuerySensitivity::histogram(),
+        )
+        .unwrap_or_else(|| {
+            panic!(
+                "no feasible binomial trial count for (epsilon = {target_epsilon}, \
+                 delta = {delta}) over {} cells",
+                cells.len()
+            )
+        });
+        for c in &mut cells {
+            *c += mechanism.sample_noise(rng);
         }
-        walk(&self.domain_sizes, &wanted, &self.cells, 0, 0, &mut total);
-        total
+        Self {
+            attrs: attrs.to_vec(),
+            domain_sizes,
+            cells,
+            mechanism,
+        }
+    }
+
+    /// The calibrated mechanism (trial count, achieved ε, per-cell noise
+    /// variance `N·p·(1−p)`).
+    pub fn mechanism(&self) -> &CalibratedBinomial {
+        &self.mechanism
+    }
+
+    /// Number of cells (the calibration dimension `d`).
+    pub fn cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Answers a conjunctive count query by summing the matching noisy
+    /// cells (same contract as [`DpHistogram::answer`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query conditions on an attribute absent from the
+    /// release.
+    pub fn answer(&self, query: &CountQuery) -> f64 {
+        self.answer_detailed(query).0
+    }
+
+    /// [`Self::answer`] plus the number of noisy cells the answer summed —
+    /// the answer's noise variance is `summed · N·p·(1−p)`, which the
+    /// bake-off turns into a 95% confidence interval.
+    pub fn answer_detailed(&self, query: &CountQuery) -> (f64, usize) {
+        sum_matching(&self.attrs, &self.domain_sizes, &self.cells, query)
+    }
+
+    /// The noise variance of an answer that summed `summed` cells.
+    pub fn answer_variance(&self, summed: usize) -> f64 {
+        summed as f64 * self.mechanism.noise_variance()
     }
 }
 
@@ -262,6 +395,44 @@ mod tests {
             refined + hist.answer(&CountQuery::new(vec![(0, 0)], 1, 0).expect("valid count query"));
         let conf = refined / base;
         assert!((conf - 0.8).abs() < 0.01, "Conf' = {conf}");
+    }
+
+    #[test]
+    fn binomial_release_calibrates_to_cell_count() {
+        let t = demo_table();
+        let mut rng = StdRng::seed_from_u64(7);
+        let hist = BinomialHistogram::release(&mut rng, &t, &[0, 1, 2], 1.0, 1e-6, 0.5);
+        assert_eq!(hist.cells(), 24);
+        // d = 24 tightens the constraint over d = 4's 1611 trials.
+        assert!(hist.mechanism().trials() > 1_611);
+        assert!(hist.mechanism().epsilon() <= 1.0);
+    }
+
+    #[test]
+    fn binomial_answers_track_truth_and_report_summed_cells() {
+        let t = demo_table();
+        let mut rng = StdRng::seed_from_u64(8);
+        let hist = BinomialHistogram::release(&mut rng, &t, &[0, 1, 2], 1.0, 1e-6, 0.5);
+        let q = CountQuery::new(vec![(0, 0)], 2, 0).expect("valid count query");
+        let truth = q.answer(&t) as f64;
+        let (noisy, summed) = hist.answer_detailed(&q);
+        // G fixed, SA fixed, J free: 3 cells summed.
+        assert_eq!(summed, 3);
+        let sd = hist.answer_variance(summed).sqrt();
+        assert!(
+            (noisy - truth).abs() < 5.0 * sd,
+            "noisy {noisy} too far from {truth} (sd {sd})"
+        );
+        assert_eq!(hist.answer(&q), noisy);
+    }
+
+    #[test]
+    fn binomial_release_is_deterministic_after_release() {
+        let t = demo_table();
+        let mut rng = StdRng::seed_from_u64(9);
+        let hist = BinomialHistogram::release(&mut rng, &t, &[0, 1, 2], 0.5, 1e-6, 0.5);
+        let q = CountQuery::new(vec![(1, 1)], 2, 2).expect("valid count query");
+        assert_eq!(hist.answer(&q), hist.answer(&q));
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //!
 //! * [`mechanism`] — the Laplace, Gaussian and geometric mechanisms with
 //!   explicit sensitivity handling (the paper uses `Lap(b)` with `b = Δ/ε`,
-//!   `Δ = 2` for its two-query attack).
+//!   `Δ = 2` for its two-query attack), plus the Theorem-1-calibrated
+//!   binomial mechanism of arXiv 1805.10559
+//!   ([`mechanism::calibrated_binomial`]) used as the head-to-head DP
+//!   baseline in `rpctl bakeoff`.
 //! * [`accountant`] — basic sequential composition accounting.
 //! * [`attack`] — the two-query ratio attack of Equation 2, which reproduces
 //!   Table 1 and exposes the Lemma-1 / Corollary-2 predictions.
@@ -28,7 +31,8 @@ pub mod mechanism;
 
 pub use accountant::{BudgetExceeded, SequentialAccountant};
 pub use attack::{AttackOutcome, MeanSe, RatioAttack};
-pub use histogram::DpHistogram;
+pub use histogram::{BinomialHistogram, DpHistogram};
+pub use mechanism::calibrated_binomial::{CalibratedBinomial, QuerySensitivity};
 pub use mechanism::{
     GaussianMechanism, GeometricMechanism, LaplaceMechanism, Mechanism, Sensitivity,
 };

@@ -1,10 +1,13 @@
-//! Output-perturbation mechanisms: Laplace, Gaussian and geometric.
+//! Output-perturbation mechanisms: Laplace, Gaussian, geometric and the
+//! calibrated binomial ([`calibrated_binomial`]).
 //!
 //! These implement the differential-privacy baseline that Section 2 of the
 //! paper analyses. The interface is deliberately small: a mechanism turns a
 //! true count into a noisy answer, and exposes the scale/variance of its
 //! noise so the ratio-attack analysis (Lemma 1 / Corollary 2) can be applied
 //! to it.
+
+pub mod calibrated_binomial;
 
 use rand::Rng;
 use rp_stats::dist::{Gaussian, Laplace, TwoSidedGeometric};

@@ -1,0 +1,926 @@
+//! The multi-tenant publication [`Catalog`]: one server, many releases.
+//!
+//! A catalog owns N named releases, each a full [`QueryService`] with its
+//! own answer cache, aggregate counters and (optionally) live stream —
+//! per-tenant isolation is enforced by construction, because tenants
+//! simply never share state. Sessions route by release name using the
+//! rp/3 catalog verbs (see [`crate::protocol`]): `use` rebinds the
+//! session, `verb@release` qualifies a single request, and un-qualified
+//! verbs keep their rp/2 meaning against the session's current release
+//! (initially the catalog's default), so old transcripts replay
+//! unchanged.
+//!
+//! ## Leases and lifecycle
+//!
+//! Every request checks out a [`Lease`] on its target release: a cheap
+//! `Arc` clone plus a busy count on the tenant. [`Catalog::close`] sets
+//! the release *closing* (new checkouts are refused), then blocks until
+//! the busy count drains to zero before dropping the tenant — a close can
+//! therefore never race an in-flight request's `Arc`. Hot-reload
+//! ([`Catalog::reload`] / [`Catalog::reload_from_source`]) is the
+//! opposite trade: it atomically swaps the service `Arc` without waiting,
+//! so sessions holding the old lease finish against the old release while
+//! new checkouts see the new one — no tenant's session is ever dropped by
+//! another tenant's reload.
+//!
+//! ## The routing fast path
+//!
+//! A [`CatalogSession`] caches its current release's service and lease
+//! accounting, validated per request against the catalog's *epoch* — a
+//! counter bumped by every open, close and reload. A hit costs a handful
+//! of uncontended atomic operations instead of the catalog lock; any
+//! topology change invalidates the cache, and a close that races the
+//! cache is caught by re-checking the closing flag *after* the busy
+//! increment (the increment-then-check / flag-then-wait handshake with
+//! [`Catalog::close`]), so the drain guarantee is identical to the slow
+//! path's.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::protocol::{
+    is_release_name, ErrorCode, ReleaseEntry, Request, Response, PROTOCOL_VERSION,
+};
+use crate::publication::Publication;
+use crate::service::{QueryService, ServiceConfig, SessionStats};
+use crate::stream::StreamError;
+
+/// A failure of a catalog operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// No open release has this name.
+    UnknownRelease(String),
+    /// The release is draining towards [`Catalog::close`]; new checkouts
+    /// (and a second concurrent close) are refused.
+    Closing(String),
+    /// [`Catalog::open`] was given a name that is already open.
+    AlreadyOpen(String),
+    /// The name does not satisfy [`is_release_name`].
+    BadName(String),
+    /// [`Catalog::close`] refused the default release — the anchor of
+    /// every rp/2-compatible session.
+    DefaultRelease(String),
+    /// [`Catalog::reload_from_source`] on a release opened without a
+    /// source artifact path.
+    NoSource(String),
+    /// Loading a source artifact failed (`name`, detail).
+    Load(String, String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownRelease(name) => write!(f, "no release named `{name}`"),
+            CatalogError::Closing(name) => write!(f, "release `{name}` is closing"),
+            CatalogError::AlreadyOpen(name) => write!(f, "release `{name}` is already open"),
+            CatalogError::BadName(name) => write!(
+                f,
+                "bad release name `{name}`: need a token without whitespace, `;`, `=` or `@`"
+            ),
+            CatalogError::DefaultRelease(name) => {
+                write!(f, "cannot close the default release `{name}`")
+            }
+            CatalogError::NoSource(name) => {
+                write!(f, "release `{name}` has no source artifact to reload from")
+            }
+            CatalogError::Load(name, detail) => {
+                write!(f, "reloading release `{name}` failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl CatalogError {
+    /// The wire error this failure maps to when it reaches a session.
+    /// Only routing and reload failures can: the rest guard the
+    /// programmatic `open`/`close` API.
+    fn wire(self) -> Response {
+        let code = match self {
+            CatalogError::UnknownRelease(_) | CatalogError::Closing(_) => ErrorCode::UnknownRelease,
+            _ => ErrorCode::Internal,
+        };
+        Response::Error {
+            code,
+            message: self.to_string(),
+        }
+    }
+}
+
+/// One hosted release: its service, where it can be reloaded from, and
+/// its lease accounting.
+#[derive(Debug)]
+struct Tenant {
+    service: Arc<QueryService>,
+    /// Source artifact (path + service config) for
+    /// [`Catalog::reload_from_source`]; `None` for programmatic opens.
+    source: Option<(PathBuf, ServiceConfig)>,
+    /// Outstanding [`Lease`]s (in-flight requests and session banners).
+    /// Shared with leases and route caches so releasing one never takes
+    /// the catalog lock.
+    busy: Arc<AtomicU64>,
+    /// Set by [`Catalog::close`]: refuse new checkouts, drain, drop.
+    closing: Arc<AtomicBool>,
+}
+
+/// A catalog of named releases behind one server. See the
+/// [module docs](self) for the lease/close/reload lifecycle.
+#[derive(Debug)]
+pub struct Catalog {
+    default: String,
+    state: Mutex<BTreeMap<String, Tenant>>,
+    drained: Condvar,
+    /// Bumped by every open, close and reload; sessions revalidate their
+    /// cached route against it (see the [module docs](self)).
+    epoch: AtomicU64,
+}
+
+/// Drops one unit of lease accounting. Waking [`Catalog::close`] takes
+/// the lock only on the transition to zero of a closing tenant — the
+/// lock round-trip (not the notify itself) is what guarantees the waiter
+/// is parked on the condvar before the wakeup fires.
+fn release_unit(catalog: &Catalog, busy: &AtomicU64, closing: &AtomicBool) {
+    if busy.fetch_sub(1, Ordering::SeqCst) == 1 && closing.load(Ordering::SeqCst) {
+        drop(catalog.state.lock().expect("catalog lock poisoned"));
+        catalog.drained.notify_all();
+    }
+}
+
+impl Catalog {
+    /// Creates an empty catalog whose sessions start on `default` (open
+    /// it before serving). The default release can never be closed.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::BadName`] if `default` is not a release name.
+    pub fn new(default: &str) -> Result<Self, CatalogError> {
+        if !is_release_name(default) {
+            return Err(CatalogError::BadName(default.to_string()));
+        }
+        Ok(Self {
+            default: default.to_string(),
+            state: Mutex::new(BTreeMap::new()),
+            drained: Condvar::new(),
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// The current topology epoch (see the [module docs](self)).
+    fn epoch_now(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Invalidates every session's cached route.
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The release every session starts bound to.
+    pub fn default_name(&self) -> &str {
+        &self.default
+    }
+
+    /// Opens `name` over an existing service (no reload source).
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::BadName`] or [`CatalogError::AlreadyOpen`].
+    pub fn open(&self, name: &str, service: Arc<QueryService>) -> Result<(), CatalogError> {
+        self.insert(name, service, None)
+    }
+
+    /// Loads the artifact at `path` and opens it as `name`, remembering
+    /// the path so [`Catalog::reload_from_source`] can hot-swap it later.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::BadName`], [`CatalogError::AlreadyOpen`] or
+    /// [`CatalogError::Load`].
+    pub fn open_path(
+        &self,
+        name: &str,
+        path: &Path,
+        config: ServiceConfig,
+    ) -> Result<(), CatalogError> {
+        let publication = Publication::load_from_path(path)
+            .map_err(|e| CatalogError::Load(name.to_string(), e.to_string()))?;
+        let service = Arc::new(QueryService::from_publication(&publication, config));
+        self.insert(name, service, Some((path.to_path_buf(), config)))
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        service: Arc<QueryService>,
+        source: Option<(PathBuf, ServiceConfig)>,
+    ) -> Result<(), CatalogError> {
+        if !is_release_name(name) {
+            return Err(CatalogError::BadName(name.to_string()));
+        }
+        let mut state = self.state.lock().expect("catalog lock poisoned");
+        if state.contains_key(name) {
+            return Err(CatalogError::AlreadyOpen(name.to_string()));
+        }
+        state.insert(
+            name.to_string(),
+            Tenant {
+                service,
+                source,
+                busy: Arc::new(AtomicU64::new(0)),
+                closing: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        self.bump_epoch();
+        Ok(())
+    }
+
+    /// Checks out a lease on `name` for one request (or session banner).
+    /// The lease pins the release against [`Catalog::close`] until
+    /// dropped; a reload does *not* wait for it (the lease keeps the old
+    /// service alive through its `Arc`).
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownRelease`] or [`CatalogError::Closing`].
+    pub fn checkout(&self, name: &str) -> Result<Lease<'_>, CatalogError> {
+        let state = self.state.lock().expect("catalog lock poisoned");
+        let tenant = state
+            .get(name)
+            .ok_or_else(|| CatalogError::UnknownRelease(name.to_string()))?;
+        if tenant.closing.load(Ordering::SeqCst) {
+            return Err(CatalogError::Closing(name.to_string()));
+        }
+        tenant.busy.fetch_add(1, Ordering::SeqCst);
+        Ok(Lease {
+            catalog: self,
+            name: name.to_string(),
+            service: Arc::clone(&tenant.service),
+            busy: Arc::clone(&tenant.busy),
+            closing: Arc::clone(&tenant.closing),
+        })
+    }
+
+    /// Closes `name` gracefully: marks it closing (new checkouts answer
+    /// `unknown-release`), *blocks* until every outstanding lease drops,
+    /// then removes the tenant. In-flight requests therefore always
+    /// finish against a live service — close never races the `Arc` drop.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::DefaultRelease`] (the default cannot close),
+    /// [`CatalogError::UnknownRelease`] or [`CatalogError::Closing`]
+    /// (a concurrent close is already draining it).
+    pub fn close(&self, name: &str) -> Result<(), CatalogError> {
+        if name == self.default {
+            return Err(CatalogError::DefaultRelease(name.to_string()));
+        }
+        let mut state = self.state.lock().expect("catalog lock poisoned");
+        {
+            let tenant = state
+                .get(name)
+                .ok_or_else(|| CatalogError::UnknownRelease(name.to_string()))?;
+            if tenant.closing.swap(true, Ordering::SeqCst) {
+                return Err(CatalogError::Closing(name.to_string()));
+            }
+        }
+        self.bump_epoch();
+        while state
+            .get(name)
+            .map(|t| t.busy.load(Ordering::SeqCst))
+            .unwrap_or(0)
+            > 0
+        {
+            state = self.drained.wait(state).expect("catalog lock poisoned");
+        }
+        state.remove(name);
+        Ok(())
+    }
+
+    /// Hot-swaps `name` to a new service without waiting: new checkouts
+    /// see `service` immediately, outstanding leases finish against the
+    /// old one (kept alive by their `Arc` clones). Returns the new
+    /// `(records, groups)`. The reload source is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownRelease`] or [`CatalogError::Closing`].
+    pub fn reload(
+        &self,
+        name: &str,
+        service: Arc<QueryService>,
+    ) -> Result<(u64, u64), CatalogError> {
+        let summary = service.release_summary();
+        let mut state = self.state.lock().expect("catalog lock poisoned");
+        let tenant = state
+            .get_mut(name)
+            .ok_or_else(|| CatalogError::UnknownRelease(name.to_string()))?;
+        if tenant.closing.load(Ordering::SeqCst) {
+            return Err(CatalogError::Closing(name.to_string()));
+        }
+        tenant.service = service;
+        self.bump_epoch();
+        Ok((summary.1, summary.2))
+    }
+
+    /// Reloads `name` from the artifact path it was opened with
+    /// ([`Catalog::open_path`]). The load runs *outside* the catalog
+    /// lock, so a slow disk never stalls other tenants' routing; the swap
+    /// itself is [`Catalog::reload`].
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownRelease`], [`CatalogError::Closing`],
+    /// [`CatalogError::NoSource`] or [`CatalogError::Load`].
+    pub fn reload_from_source(&self, name: &str) -> Result<(u64, u64), CatalogError> {
+        let (path, config) = {
+            let state = self.state.lock().expect("catalog lock poisoned");
+            let tenant = state
+                .get(name)
+                .ok_or_else(|| CatalogError::UnknownRelease(name.to_string()))?;
+            if tenant.closing.load(Ordering::SeqCst) {
+                return Err(CatalogError::Closing(name.to_string()));
+            }
+            tenant
+                .source
+                .clone()
+                .ok_or_else(|| CatalogError::NoSource(name.to_string()))?
+        };
+        let publication = Publication::load_from_path(&path)
+            .map_err(|e| CatalogError::Load(name.to_string(), e.to_string()))?;
+        let service = Arc::new(QueryService::from_publication(&publication, config));
+        self.reload(name, service)
+    }
+
+    /// Lists the open (non-closing) releases, sorted by name.
+    pub fn list(&self) -> Vec<ReleaseEntry> {
+        let state = self.state.lock().expect("catalog lock poisoned");
+        state
+            .iter()
+            .filter(|(_, tenant)| !tenant.closing.load(Ordering::SeqCst))
+            .map(|(name, tenant)| {
+                let (sa, records, groups, _p) = tenant.service.release_summary();
+                ReleaseEntry {
+                    name: name.clone(),
+                    sa,
+                    records,
+                    groups,
+                    live: tenant.service.is_streaming(),
+                }
+            })
+            .collect()
+    }
+
+    /// Outstanding leases on `name`, or `None` if it is not open. Meant
+    /// for tests and monitoring of the close/drain lifecycle.
+    pub fn busy(&self, name: &str) -> Option<u64> {
+        let state = self.state.lock().expect("catalog lock poisoned");
+        state.get(name).map(|t| t.busy.load(Ordering::SeqCst))
+    }
+
+    /// Checkpoints every release that has a live stream (WAL sync +
+    /// snapshot, exactly like a client `flush`), returning per-release
+    /// outcomes. Server shutdown paths call this.
+    pub fn checkpoint_all(&self) -> Vec<(String, Result<Option<u64>, StreamError>)> {
+        let services: Vec<(String, Arc<QueryService>)> = {
+            let state = self.state.lock().expect("catalog lock poisoned");
+            state
+                .iter()
+                .map(|(name, t)| (name.clone(), Arc::clone(&t.service)))
+                .collect()
+        };
+        services
+            .into_iter()
+            .map(|(name, service)| {
+                let outcome = service.checkpoint();
+                (name, outcome)
+            })
+            .collect()
+    }
+}
+
+/// A checked-out release: dereferences to its [`QueryService`] and holds
+/// the release open (against [`Catalog::close`]) until dropped.
+#[derive(Debug)]
+pub struct Lease<'a> {
+    catalog: &'a Catalog,
+    name: String,
+    service: Arc<QueryService>,
+    busy: Arc<AtomicU64>,
+    closing: Arc<AtomicBool>,
+}
+
+impl Lease<'_> {
+    /// The catalog name this lease was checked out under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::ops::Deref for Lease<'_> {
+    type Target = QueryService;
+
+    fn deref(&self) -> &QueryService {
+        &self.service
+    }
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        release_unit(self.catalog, &self.busy, &self.closing);
+    }
+}
+
+/// Counts a catalog-level response into the session counters only — the
+/// routing layer has no tenant to charge, and per-tenant aggregates must
+/// never mix tenants.
+fn count_local(session: &mut SessionStats, response: &Response) {
+    session.requests += 1;
+    if response.is_error() {
+        session.errors += 1;
+    } else {
+        session.answered += 1;
+    }
+}
+
+/// One session's routing state over a [`Catalog`]: the current release
+/// plus the rp/3 verb dispatch. Transports build one per connection and
+/// feed it lines exactly like a bare [`QueryService`].
+///
+/// Tenant-bound requests are charged to the target release's own
+/// aggregate counters (via [`QueryService::handle`]); catalog-level verbs
+/// (`use`, `releases`, `reload`, routing failures, parse errors) are
+/// counted in the [`SessionStats`] only.
+#[derive(Debug)]
+pub struct CatalogSession<'a> {
+    catalog: &'a Catalog,
+    current: String,
+    /// Cached route for the current release, valid while its epoch
+    /// matches the catalog's (see the [module docs](self)).
+    route: Option<RouteCache>,
+}
+
+/// A session's memoised checkout target: the current release's service
+/// and lease accounting, tagged with the catalog epoch it was read at.
+#[derive(Debug)]
+struct RouteCache {
+    epoch: u64,
+    service: Arc<QueryService>,
+    busy: Arc<AtomicU64>,
+    closing: Arc<AtomicBool>,
+}
+
+impl RouteCache {
+    fn from_lease(epoch: u64, lease: &Lease<'_>) -> Self {
+        Self {
+            epoch,
+            service: Arc::clone(&lease.service),
+            busy: Arc::clone(&lease.busy),
+            closing: Arc::clone(&lease.closing),
+        }
+    }
+}
+
+impl<'a> CatalogSession<'a> {
+    /// Starts a session bound to the catalog's default release.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self {
+            catalog,
+            current: catalog.default_name().to_string(),
+            route: None,
+        }
+    }
+
+    /// The release un-qualified verbs currently route to.
+    pub fn current(&self) -> &str {
+        &self.current
+    }
+
+    /// The session banner: the current release's parameters plus its
+    /// catalog name as the trailing `release=` token. An unopened default
+    /// yields the routing error instead (the transport should close).
+    pub fn hello(&self) -> Response {
+        match self.catalog.checkout(&self.current) {
+            Ok(lease) => {
+                let (sa, records, groups, p) = lease.release_summary();
+                Response::Hello {
+                    version: PROTOCOL_VERSION,
+                    sa,
+                    records,
+                    groups,
+                    p,
+                    release: Some(self.current.clone()),
+                }
+            }
+            Err(e) => e.wire(),
+        }
+    }
+
+    /// Handles one raw request line — the catalog counterpart of
+    /// [`QueryService::handle_line`]. Returns `None` for blank lines.
+    pub fn handle_line(&mut self, line: &str, session: &mut SessionStats) -> Option<Response> {
+        match Request::parse(line) {
+            Ok(None) => None,
+            Ok(Some(request)) => Some(self.handle(&request, session)),
+            Err(e) => {
+                let response = Response::from(e);
+                count_local(session, &response);
+                Some(response)
+            }
+        }
+    }
+
+    /// Handles one typed request: catalog verbs are answered here,
+    /// everything else checks out the target release and delegates.
+    pub fn handle(&mut self, request: &Request, session: &mut SessionStats) -> Response {
+        match request {
+            Request::Use(name) => {
+                // Epoch before checkout: if a reload slips in between,
+                // the cache is tagged stale and the next request re-routes.
+                let epoch = self.catalog.epoch_now();
+                let response = match self.catalog.checkout(name) {
+                    Ok(lease) => {
+                        let (sa, records, groups, p) = lease.release_summary();
+                        self.current = name.clone();
+                        self.route = Some(RouteCache::from_lease(epoch, &lease));
+                        Response::Using {
+                            release: name.clone(),
+                            sa,
+                            records,
+                            groups,
+                            p,
+                        }
+                    }
+                    Err(e) => e.wire(),
+                };
+                count_local(session, &response);
+                response
+            }
+            Request::Releases => {
+                let response = Response::Releases(self.catalog.list());
+                count_local(session, &response);
+                response
+            }
+            Request::Reload(name) => {
+                let response = match self.catalog.reload_from_source(name) {
+                    Ok((records, groups)) => Response::Reloaded {
+                        release: name.clone(),
+                        records,
+                        groups,
+                    },
+                    Err(e) => e.wire(),
+                };
+                count_local(session, &response);
+                response
+            }
+            Request::At { release, inner } => match self.catalog.checkout(release) {
+                Ok(lease) => lease.handle(inner, session),
+                Err(e) => {
+                    let response = e.wire();
+                    count_local(session, &response);
+                    response
+                }
+            },
+            unqualified => self.route_current(unqualified, session),
+        }
+    }
+
+    /// Routes an un-qualified request to the current release: the cached
+    /// fast path when the epoch still matches, a full checkout (which
+    /// repopulates the cache) otherwise.
+    fn route_current(&mut self, request: &Request, session: &mut SessionStats) -> Response {
+        let epoch = self.catalog.epoch_now();
+        if let Some(route) = self.route.as_ref().filter(|r| r.epoch == epoch) {
+            route.busy.fetch_add(1, Ordering::SeqCst);
+            // Re-check *after* the increment: a close that set the flag
+            // before this point either saw our unit (and waits for the
+            // release below) or we see its flag and back off to the slow
+            // path, which answers `unknown-release`.
+            if route.closing.load(Ordering::SeqCst) {
+                release_unit(self.catalog, &route.busy, &route.closing);
+            } else {
+                let response = route.service.handle(request, session);
+                release_unit(self.catalog, &route.busy, &route.closing);
+                return response;
+            }
+        }
+        self.route = None;
+        match self.catalog.checkout(&self.current) {
+            Ok(lease) => {
+                self.route = Some(RouteCache::from_lease(epoch, &lease));
+                lease.handle(request, session)
+            }
+            Err(e) => {
+                let response = e.wire();
+                count_local(session, &response);
+                response
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publisher::Publisher;
+    use rp_table::{Attribute, Schema, TableBuilder};
+    use std::time::{Duration, Instant};
+
+    /// Scales by group *count*, not group size: every group stays at 200
+    /// records (under its Equation-10 threshold, so SPS degenerates to UP
+    /// and published counts are exact) while total `records` distinguish
+    /// the releases.
+    fn publication(rows: u32) -> Publication {
+        const JOBS: [&str; 6] = ["eng", "doc", "law", "art", "vet", "cop"];
+        let groups = (rows / 200) as usize;
+        let schema = Schema::new(vec![
+            Attribute::new("Job", JOBS[..groups].iter().copied()),
+            Attribute::new("Disease", ["flu", "none"]),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..rows {
+            b.push_codes(&[i % groups as u32, (i / groups as u32) % 2])
+                .unwrap();
+        }
+        Publisher::new(b.build()).sa(1).seed(3).publish().unwrap()
+    }
+
+    fn service(rows: u32) -> Arc<QueryService> {
+        Arc::new(QueryService::from_publication(
+            &publication(rows),
+            ServiceConfig::default(),
+        ))
+    }
+
+    fn two_tenant_catalog() -> Catalog {
+        let catalog = Catalog::new("alpha").unwrap();
+        catalog.open("alpha", service(400)).unwrap();
+        catalog.open("beta", service(800)).unwrap();
+        catalog
+    }
+
+    #[test]
+    fn open_close_list_lifecycle() {
+        let catalog = two_tenant_catalog();
+        let names: Vec<String> = catalog.list().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        assert_eq!(catalog.list()[0].records, 400);
+        assert_eq!(catalog.list()[1].records, 800);
+        assert_eq!(
+            catalog.open("beta", service(200)).unwrap_err(),
+            CatalogError::AlreadyOpen("beta".into())
+        );
+        assert_eq!(
+            catalog.open("not a token", service(200)).unwrap_err(),
+            CatalogError::BadName("not a token".into())
+        );
+        assert_eq!(
+            catalog.open("with@at", service(200)).unwrap_err(),
+            CatalogError::BadName("with@at".into())
+        );
+        assert_eq!(
+            catalog.close("alpha").unwrap_err(),
+            CatalogError::DefaultRelease("alpha".into())
+        );
+        catalog.close("beta").unwrap();
+        assert_eq!(
+            catalog.close("beta").unwrap_err(),
+            CatalogError::UnknownRelease("beta".into())
+        );
+        assert!(catalog.checkout("beta").is_err());
+        assert_eq!(catalog.list().len(), 1);
+    }
+
+    #[test]
+    fn session_routes_by_use_and_qualifier() {
+        let catalog = two_tenant_catalog();
+        let mut s = CatalogSession::new(&catalog);
+        let mut stats = SessionStats::default();
+
+        let Response::Hello {
+            release, records, ..
+        } = s.hello()
+        else {
+            panic!("expected hello");
+        };
+        assert_eq!(release.as_deref(), Some("alpha"));
+        assert_eq!(records, 400);
+
+        // Un-qualified: current (default) release. The SA-only query's
+        // support is the whole release, so tenants are distinguishable.
+        let r = s.handle_line("count Disease=flu", &mut stats).unwrap();
+        let Response::Answer(a) = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(a.support, 400);
+
+        // Qualified: routes without rebinding.
+        let r = s.handle_line("count@beta Disease=flu", &mut stats).unwrap();
+        let Response::Answer(a) = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(a.support, 800);
+        assert_eq!(s.current(), "alpha");
+
+        // `use` rebinds and reports the target's parameters.
+        let r = s.handle_line("use beta", &mut stats).unwrap();
+        let Response::Using {
+            release,
+            records,
+            sa,
+            ..
+        } = r
+        else {
+            panic!("{r:?}")
+        };
+        assert_eq!(release, "beta");
+        assert_eq!(records, 800);
+        assert_eq!(sa, "Disease");
+        assert_eq!(s.current(), "beta");
+        let r = s.handle_line("count Disease=flu", &mut stats).unwrap();
+        let Response::Answer(a) = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(a.support, 800);
+
+        // Unknown names are structured errors, session keeps serving.
+        for line in ["use gamma", "count@gamma Disease=flu", "reload gamma"] {
+            let r = s.handle_line(line, &mut stats).unwrap();
+            let Response::Error { code, .. } = r else {
+                panic!("{r:?}")
+            };
+            assert_eq!(code, ErrorCode::UnknownRelease, "line `{line}`");
+        }
+        assert_eq!(stats.errors, 3);
+    }
+
+    #[test]
+    fn tenant_stats_and_caches_are_isolated() {
+        let catalog = two_tenant_catalog();
+        let alpha = catalog.checkout("alpha").unwrap();
+        let beta = catalog.checkout("beta").unwrap();
+        let mut s = CatalogSession::new(&catalog);
+        let mut stats = SessionStats::default();
+
+        // Same query twice on alpha (miss + hit), once on beta (miss):
+        // identical canonical keys must not cross tenants.
+        s.handle_line("count Job=eng Disease=flu", &mut stats);
+        s.handle_line("count Job=eng Disease=flu", &mut stats);
+        s.handle_line("count@beta Job=eng Disease=flu", &mut stats);
+        assert_eq!(alpha.stats().cache_misses, 1);
+        assert_eq!(alpha.stats().cache_hits, 1);
+        assert_eq!(alpha.stats().requests, 2);
+        assert_eq!(beta.stats().cache_misses, 1);
+        assert_eq!(beta.stats().cache_hits, 0);
+        assert_eq!(beta.stats().requests, 1);
+        assert_eq!(alpha.cached_answers(), 1);
+        assert_eq!(beta.cached_answers(), 1);
+
+        // Catalog verbs charge no tenant.
+        s.handle_line("releases", &mut stats);
+        s.handle_line("use beta", &mut stats);
+        assert_eq!(alpha.stats().requests, 2);
+        assert_eq!(beta.stats().requests, 1);
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.answered, 5);
+    }
+
+    /// Regression (ISSUE 7 satellite): close on a release with live
+    /// leases must drain — block until busy hits zero — instead of racing
+    /// the Arc drop.
+    #[test]
+    fn close_drains_outstanding_leases() {
+        let catalog = Arc::new({
+            let c = Catalog::new("alpha").unwrap();
+            c.open("alpha", service(400)).unwrap();
+            c.open("beta", service(800)).unwrap();
+            c
+        });
+        let hold = Duration::from_millis(200);
+        let worker = {
+            let catalog = Arc::clone(&catalog);
+            std::thread::spawn(move || {
+                let lease = catalog.checkout("beta").unwrap();
+                // The request is "in flight" for `hold`; the service must
+                // stay answerable the whole time.
+                std::thread::sleep(hold);
+                let mut stats = SessionStats::default();
+                let r = lease.handle(
+                    &Request::parse("count Job=eng Disease=flu")
+                        .unwrap()
+                        .unwrap(),
+                    &mut stats,
+                );
+                assert!(!r.is_error(), "{r:?}");
+            })
+        };
+        // Wait until the worker holds its lease, then close.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while catalog.busy("beta") != Some(1) {
+            assert!(Instant::now() < deadline, "worker never checked out");
+            std::thread::yield_now();
+        }
+        let started = Instant::now();
+        catalog.close("beta").unwrap();
+        assert!(
+            started.elapsed() >= hold / 2,
+            "close returned before the lease drained"
+        );
+        assert_eq!(catalog.busy("beta"), None, "tenant removed after drain");
+        worker.join().unwrap();
+        // While closing/closed, new checkouts answer unknown-release.
+        let mut s = CatalogSession::new(&catalog);
+        let mut stats = SessionStats::default();
+        let r = s.handle_line("use beta", &mut stats).unwrap();
+        assert!(matches!(
+            r,
+            Response::Error {
+                code: ErrorCode::UnknownRelease,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reload_swaps_without_dropping_outstanding_leases() {
+        let catalog = two_tenant_catalog();
+        let old_lease = catalog.checkout("beta").unwrap();
+        let (records, _groups) = catalog.reload("beta", service(1200)).unwrap();
+        assert_eq!(records, 1200);
+        // The outstanding lease still answers against the old release...
+        let mut stats = SessionStats::default();
+        let q = Request::parse("count Disease=flu").unwrap().unwrap();
+        let Response::Answer(a) = old_lease.handle(&q, &mut stats) else {
+            panic!("old lease must keep answering");
+        };
+        assert_eq!(a.support, 800, "old view");
+        // ...while new checkouts see the new one.
+        let new_lease = catalog.checkout("beta").unwrap();
+        let Response::Answer(a) = new_lease.handle(&q, &mut stats) else {
+            panic!("expected answer");
+        };
+        assert_eq!(a.support, 1200, "new view");
+        // And the other tenant never noticed.
+        let alpha = catalog.checkout("alpha").unwrap();
+        assert_eq!(alpha.stats().requests, 0);
+    }
+
+    #[test]
+    fn reload_from_source_rereads_the_artifact() {
+        let dir = std::env::temp_dir().join(format!("rp-catalog-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("beta.rppub");
+        publication(400).save_to_path(&path).unwrap();
+
+        let catalog = Catalog::new("alpha").unwrap();
+        catalog.open("alpha", service(400)).unwrap();
+        catalog
+            .open_path("beta", &path, ServiceConfig::default())
+            .unwrap();
+        assert_eq!(catalog.list()[1].records, 400);
+
+        // Republish the artifact in place, then hot-reload by name.
+        publication(800).save_to_path(&path).unwrap();
+        let mut s = CatalogSession::new(&catalog);
+        let mut stats = SessionStats::default();
+        let r = s.handle_line("reload beta", &mut stats).unwrap();
+        let Response::Reloaded {
+            release, records, ..
+        } = r
+        else {
+            panic!("{r:?}");
+        };
+        assert_eq!(release, "beta");
+        assert_eq!(records, 800);
+        assert_eq!(catalog.list()[1].records, 800);
+
+        // A programmatic open has no source.
+        let r = s.handle_line("reload alpha", &mut stats).unwrap();
+        let Response::Error { code, message } = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(code, ErrorCode::Internal);
+        assert!(message.contains("no source artifact"), "{message}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn catalog_verbs_on_a_bare_service_answer_unknown_release() {
+        let s = service(400);
+        let mut stats = SessionStats::default();
+        for line in [
+            "use beta",
+            "releases",
+            "reload beta",
+            "count@beta Job=eng Disease=flu",
+        ] {
+            let r = s.handle_line(line, &mut stats).unwrap();
+            let Response::Error { code, .. } = r else {
+                panic!("expected error for `{line}`, got {r:?}");
+            };
+            assert_eq!(code, ErrorCode::UnknownRelease, "line `{line}`");
+        }
+    }
+}

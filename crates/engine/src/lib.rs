@@ -61,7 +61,14 @@
 //!   [`Server`] is a TCP listener running that same loop
 //!   thread-per-connection over the shared service, with a connection cap
 //!   and graceful shutdown. Both surfaces answer a given request stream
-//!   byte-identically.
+//!   byte-identically;
+//! * [`catalog`] — multi-tenancy: a [`Catalog`] hosts N named releases
+//!   (each its own [`QueryService`] — caches, counters and streams are
+//!   per-tenant by construction) with open/close/hot-reload lifecycle and
+//!   lease-based drain, and [`CatalogSession`] routes the rp/3 verbs
+//!   (`use`, `releases`, `reload`, `verb@release`) over either transport
+//!   via [`serve_catalog()`](serve::serve_catalog) /
+//!   [`Server::bind_catalog`].
 //!
 //! ## Quickstart
 //!
@@ -118,6 +125,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod catalog;
 mod codec;
 pub mod engine;
 mod fsutil;
@@ -129,14 +137,15 @@ pub mod server;
 pub mod service;
 pub mod stream;
 
+pub use catalog::{Catalog, CatalogError, CatalogSession, Lease};
 pub use engine::{Answer, EngineError, PreparedQueries, QueryEngine};
 pub use protocol::{
-    ErrorCode, ProtocolError, ReleaseMeta, Request, Response, StatsSnapshot, WireAnswer, WireQuery,
-    WireRecord, PROTOCOL_VERSION,
+    ErrorCode, ProtocolError, ReleaseEntry, ReleaseMeta, Request, Response, StatsSnapshot,
+    WireAnswer, WireQuery, WireRecord, PROTOCOL_VERSION,
 };
 pub use publication::{DesignCheck, LiveGroupSnapshot, LiveState, Publication, PublicationError};
 pub use publisher::{PublishError, Publisher};
-pub use serve::serve;
+pub use serve::{serve, serve_catalog};
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownHandle};
 pub use service::{QueryService, ServiceConfig, SessionStats};
 pub use stream::{InsertOutcome, StreamConfig, StreamError, StreamPublisher};

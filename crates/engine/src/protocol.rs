@@ -11,10 +11,14 @@
 //!           | ["count "] cond (" " cond)*
 //!           | "batch " query ("; " query)*
 //!           | "insert " cond (" " cond)*      (one cond per schema column)
+//!           | "use " RELEASE | "releases" | "reload " RELEASE
+//!           | qverb "@" RELEASE rest          (qverb: count|batch|insert|flush|info)
 //! cond     := COLUMN "=" VALUE              (tokens: no whitespace / ";")
 //! query    := ["count "] cond (" " cond)*
+//! RELEASE  := token without "@"
 //!
-//! response := "HELLO rp/2 sa=" NAME " records=" N " groups=" N " p=" P
+//! response := "HELLO rp/3 sa=" NAME " records=" N " groups=" N " p=" P
+//!             [" release=" RELEASE]
 //!           | "pong" | "bye"
 //!           | "publication sa=" NAME " records=" N " groups=" N " p=" P
 //!             [" lambda=" L " delta=" D " seed=" S]
@@ -23,6 +27,11 @@
 //!           | "batch " N "; " answer ("; " answer)*
 //!           | "inserted group_size=" N " republished=" ("true"|"false")
 //!           | "flushed events=" N
+//!           | "using release=" RELEASE " sa=" NAME " records=" N " groups=" N " p=" P
+//!           | "releases " N "; " entry ("; " entry)*
+//!             entry := "name=" RELEASE " sa=" NAME " records=" N " groups=" N
+//!                      " live=" ("true"|"false")
+//!           | "reloaded release=" RELEASE " records=" N " groups=" N
 //!           | "stats requests=" N " answered=" N " errors=" N
 //!             " cache_hits=" N " cache_misses=" N " sessions=" N
 //!             " inserts=" N
@@ -32,6 +41,16 @@
 //! `insert` and `flush` are the streaming pair (rp/2): they mutate the
 //! live release behind a [`crate::QueryService`] opened in streaming
 //! mode, and answer `error code=read-only` on a static artifact.
+//!
+//! The catalog verbs (rp/3) route a session among the named releases of a
+//! [`crate::catalog::Catalog`]: `use` rebinds the session's default
+//! release, `releases` lists the open ones, `reload` hot-swaps one from
+//! its source artifact, and a `verb@release` qualifier answers a single
+//! request against a named release without rebinding. Un-qualified verbs
+//! keep their rp/2 meaning against the session's current (initially the
+//! catalog's default) release, so an rp/2 transcript replayed against a
+//! catalog session still parses and routes. On a single-release server
+//! the catalog verbs answer `error code=unknown-release`.
 //!
 //! Parsing and encoding are exact inverses over the canonical forms:
 //! `parse(encode(x)) == x` for every value expressible in the token
@@ -53,8 +72,11 @@ use std::fmt;
 /// Protocol revision spoken by this build, advertised in the
 /// [`Response::Hello`] banner as `rp/<version>`. Revision 2 added the
 /// streaming pair (`insert`/`flush`, `inserted`/`flushed`), the
-/// `read-only` error code and the `inserts` stats counter.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `read-only` error code and the `inserts` stats counter. Revision 3
+/// added the catalog verbs (`use`/`releases`/`reload`, the `verb@release`
+/// qualifier, the `using`/`releases`/`reloaded` responses), the optional
+/// `release=` token on the banner and the `unknown-release` error code.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Whether `s` can ride the line protocol as a single token in any
 /// position (non-empty, no whitespace, no `;`, no `=`). Column names and
@@ -64,6 +86,13 @@ pub const PROTOCOL_VERSION: u32 = 2;
 /// first-`=` condition split, but a column name never does.)
 pub fn is_token(s: &str) -> bool {
     !s.is_empty() && !s.contains(char::is_whitespace) && !s.contains([';', '='])
+}
+
+/// Whether `s` can name a catalog release on the wire: a [token](is_token)
+/// that additionally contains no `@` (the qualifier separator in
+/// `count@release ...`).
+pub fn is_release_name(s: &str) -> bool {
+    is_token(s) && !s.contains('@')
 }
 
 /// Machine-readable failure classes carried by [`Response::Error`].
@@ -83,6 +112,9 @@ pub enum ErrorCode {
     /// An `insert`/`flush` reached a service without a live stream
     /// behind it (static artifact, no WAL).
     ReadOnly,
+    /// A catalog verb named a release the server does not host — or
+    /// reached a single-release server with no catalog at all.
+    UnknownRelease,
 }
 
 impl ErrorCode {
@@ -95,6 +127,7 @@ impl ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::Internal => "internal",
             ErrorCode::ReadOnly => "read-only",
+            ErrorCode::UnknownRelease => "unknown-release",
         }
     }
 
@@ -107,6 +140,7 @@ impl ErrorCode {
             "busy" => ErrorCode::Busy,
             "internal" => ErrorCode::Internal,
             "read-only" => ErrorCode::ReadOnly,
+            "unknown-release" => ErrorCode::UnknownRelease,
             _ => return None,
         })
     }
@@ -255,6 +289,24 @@ pub enum Request {
     Ping,
     /// End the session.
     Quit,
+    /// Rebind the session's default release (catalog sessions, rp/3).
+    Use(String),
+    /// List the releases the catalog hosts (rp/3).
+    Releases,
+    /// Hot-swap a release from its source artifact (rp/3).
+    Reload(String),
+    /// Answer one request against a named release without rebinding the
+    /// session, encoded as `verb@release ...` (rp/3). Only
+    /// [`Request::Query`], [`Request::Batch`], [`Request::Insert`],
+    /// [`Request::Flush`] and [`Request::Info`] can be qualified; an
+    /// `At` wrapping any other variant (or a nested `At`) is outside the
+    /// wire grammar and encodes to a line the parser rejects.
+    At {
+        /// The release the inner request is routed to.
+        release: String,
+        /// The qualified request.
+        inner: Box<Request>,
+    },
 }
 
 impl Request {
@@ -284,12 +336,72 @@ impl Request {
             Request::Stats => out.push_str("stats"),
             Request::Ping => out.push_str("ping"),
             Request::Quit => out.push_str("quit"),
+            Request::Use(release) => {
+                out.push_str("use ");
+                out.push_str(release);
+            }
+            Request::Releases => out.push_str("releases"),
+            Request::Reload(release) => {
+                out.push_str("reload ");
+                out.push_str(release);
+            }
+            Request::At { release, inner } => {
+                // Splice `@release` onto the inner verb token: `count
+                // Job=eng` becomes `count@alpha Job=eng`. Inner variants
+                // outside the qualifiable set produce out-of-grammar
+                // lines, like other unencodable values.
+                let line = inner.encode();
+                match line.split_once(' ') {
+                    Some((verb, rest)) => {
+                        out.push_str(verb);
+                        out.push('@');
+                        out.push_str(release);
+                        out.push(' ');
+                        out.push_str(rest);
+                    }
+                    None => {
+                        out.push_str(&line);
+                        out.push('@');
+                        out.push_str(release);
+                    }
+                }
+            }
         }
         out
     }
 
+    fn parse_insert_body(rest: &str) -> Result<Self, ProtocolError> {
+        if rest.trim().is_empty() {
+            return Err(ProtocolError::new(
+                ErrorCode::Parse,
+                "empty record; try `insert Column=value ...` covering every column",
+            ));
+        }
+        Ok(Request::Insert(WireRecord {
+            fields: WireQuery::parse_body(rest)?.conditions,
+        }))
+    }
+
+    fn parse_batch_body(rest: &str) -> Result<Self, ProtocolError> {
+        if rest.trim().is_empty() {
+            return Err(ProtocolError::new(ErrorCode::Parse, "empty batch"));
+        }
+        let mut queries = Vec::new();
+        for part in rest.split(';') {
+            let part = part.trim();
+            let body = part.strip_prefix("count ").unwrap_or(part);
+            queries.push(WireQuery::parse_body(body)?);
+        }
+        Ok(Request::Batch(queries))
+    }
+
     /// Parses one request line. Returns `Ok(None)` for blank lines (the
     /// serve loops skip them without counting a request).
+    ///
+    /// rp/3 reserves `@` in the verb position for the release qualifier,
+    /// so an un-verbed condition query whose *first column name* contains
+    /// `@` must spell the `count` verb explicitly; `@` anywhere else
+    /// (values, later columns) is unaffected.
     ///
     /// # Errors
     ///
@@ -305,6 +417,48 @@ impl Request {
             Some((v, r)) => (v, r.trim_start()),
             None => (line, ""),
         };
+        // `verb@release` qualifier (rp/3). A `=` before the `@` means the
+        // token is really a condition like `Job=a@b`; fall through.
+        if let Some((base, release)) = verb.split_once('@') {
+            if !base.contains('=') {
+                if !is_release_name(release) {
+                    return Err(ProtocolError::new(
+                        ErrorCode::Parse,
+                        format!("bad release name `{release}` in `{verb}`"),
+                    ));
+                }
+                let inner = match base {
+                    "count" => Request::Query(WireQuery::parse_body(rest)?),
+                    "batch" => Request::parse_batch_body(rest)?,
+                    "insert" => Request::parse_insert_body(rest)?,
+                    "flush" | "info" => {
+                        if !rest.is_empty() {
+                            return Err(ProtocolError::new(
+                                ErrorCode::Parse,
+                                format!("`{base}@{release}` takes no arguments"),
+                            ));
+                        }
+                        if base == "flush" {
+                            Request::Flush
+                        } else {
+                            Request::Info
+                        }
+                    }
+                    _ => {
+                        return Err(ProtocolError::new(
+                            ErrorCode::UnknownCommand,
+                            format!(
+                                "unknown qualified command `{base}`; only count/batch/insert/flush/info take @{release}"
+                            ),
+                        ));
+                    }
+                };
+                return Ok(Some(Request::At {
+                    release: release.to_string(),
+                    inner: Box::new(inner),
+                }));
+            }
+        }
         let no_args = |req: Request| {
             if rest.is_empty() {
                 Ok(Some(req))
@@ -315,41 +469,32 @@ impl Request {
                 ))
             }
         };
+        let release_arg = || {
+            if !is_release_name(rest) {
+                return Err(ProtocolError::new(
+                    ErrorCode::Parse,
+                    format!("`{verb}` expects one release name, got `{rest}`"),
+                ));
+            }
+            Ok(rest.to_string())
+        };
         match verb {
             "quit" | "exit" => no_args(Request::Quit),
             "ping" => no_args(Request::Ping),
             "info" => no_args(Request::Info),
             "stats" => no_args(Request::Stats),
             "flush" => no_args(Request::Flush),
+            "releases" => no_args(Request::Releases),
+            "use" => Ok(Some(Request::Use(release_arg()?))),
+            "reload" => Ok(Some(Request::Reload(release_arg()?))),
             "count" => Ok(Some(Request::Query(WireQuery::parse_body(rest)?))),
-            "insert" => {
-                if rest.trim().is_empty() {
-                    return Err(ProtocolError::new(
-                        ErrorCode::Parse,
-                        "empty record; try `insert Column=value ...` covering every column",
-                    ));
-                }
-                Ok(Some(Request::Insert(WireRecord {
-                    fields: WireQuery::parse_body(rest)?.conditions,
-                })))
-            }
-            "batch" => {
-                if rest.trim().is_empty() {
-                    return Err(ProtocolError::new(ErrorCode::Parse, "empty batch"));
-                }
-                let mut queries = Vec::new();
-                for part in rest.split(';') {
-                    let part = part.trim();
-                    let body = part.strip_prefix("count ").unwrap_or(part);
-                    queries.push(WireQuery::parse_body(body)?);
-                }
-                Ok(Some(Request::Batch(queries)))
-            }
+            "insert" => Ok(Some(Request::parse_insert_body(rest)?)),
+            "batch" => Ok(Some(Request::parse_batch_body(rest)?)),
             _ if verb.contains('=') => Ok(Some(Request::Query(WireQuery::parse_body(line)?))),
             _ => Err(ProtocolError::new(
                 ErrorCode::UnknownCommand,
                 format!(
-                    "unknown command `{verb}`; try count/batch/insert/flush/info/stats/ping/quit"
+                    "unknown command `{verb}`; try count/batch/insert/flush/info/stats/ping/quit/use/releases/reload"
                 ),
             )),
         }
@@ -447,6 +592,22 @@ pub struct ReleaseMeta {
     pub seed: u64,
 }
 
+/// One catalog release as listed by [`Response::Releases`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseEntry {
+    /// The release's catalog name.
+    pub name: String,
+    /// The sensitive attribute's name.
+    pub sa: String,
+    /// Records in the release.
+    pub records: u64,
+    /// Personal groups in the release.
+    pub groups: u64,
+    /// Whether the release has a live stream behind it (accepts
+    /// `insert`/`flush`).
+    pub live: bool,
+}
+
 /// Aggregate service counters reported by [`Response::Stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -481,6 +642,9 @@ pub enum Response {
         groups: u64,
         /// Retention probability used by the estimator.
         p: f64,
+        /// The catalog name of the session's initial release (catalog
+        /// servers only; `None` on single-release servers).
+        release: Option<String>,
     },
     /// Answer to a [`Request::Query`].
     Answer(WireAnswer),
@@ -519,6 +683,33 @@ pub enum Response {
     Flushed {
         /// Sequence number of the last durable event.
         events: u64,
+    },
+    /// Answer to a [`Request::Use`]: the session is now bound to this
+    /// release, whose banner-level parameters follow so clients can
+    /// retarget (notably the SA name for un-columned query values).
+    Using {
+        /// The release the session now speaks to.
+        release: String,
+        /// The sensitive attribute's name.
+        sa: String,
+        /// Records in the release.
+        records: u64,
+        /// Personal groups in the release.
+        groups: u64,
+        /// Retention probability used by the estimator.
+        p: f64,
+    },
+    /// Answer to [`Request::Releases`].
+    Releases(Vec<ReleaseEntry>),
+    /// Answer to a [`Request::Reload`]: the release was hot-swapped from
+    /// its source artifact.
+    Reloaded {
+        /// The reloaded release's catalog name.
+        release: String,
+        /// Records in the freshly loaded artifact.
+        records: u64,
+        /// Personal groups in the freshly loaded artifact.
+        groups: u64,
     },
     /// Answer to [`Request::Stats`].
     Stats(StatsSnapshot),
@@ -572,12 +763,16 @@ impl Response {
                 records,
                 groups,
                 p,
+                release,
             } => {
                 write!(
                     out,
                     "HELLO rp/{version} sa={sa} records={records} groups={groups} p={p}"
                 )
                 .expect("writing to a String cannot fail");
+                if let Some(release) = release {
+                    write!(out, " release={release}").expect("writing to a String cannot fail");
+                }
             }
             Response::Answer(a) => a.encode_into(&mut out),
             Response::Batch(answers) => {
@@ -620,6 +815,41 @@ impl Response {
             }
             Response::Flushed { events } => {
                 write!(out, "flushed events={events}").expect("writing to a String cannot fail");
+            }
+            Response::Using {
+                release,
+                sa,
+                records,
+                groups,
+                p,
+            } => {
+                write!(
+                    out,
+                    "using release={release} sa={sa} records={records} groups={groups} p={p}"
+                )
+                .expect("writing to a String cannot fail");
+            }
+            Response::Releases(entries) => {
+                write!(out, "releases {}", entries.len()).expect("writing to a String cannot fail");
+                for e in entries {
+                    write!(
+                        out,
+                        "; name={} sa={} records={} groups={} live={}",
+                        e.name, e.sa, e.records, e.groups, e.live
+                    )
+                    .expect("writing to a String cannot fail");
+                }
+            }
+            Response::Reloaded {
+                release,
+                records,
+                groups,
+            } => {
+                write!(
+                    out,
+                    "reloaded release={release} records={records} groups={groups}"
+                )
+                .expect("writing to a String cannot fail");
             }
             Response::Stats(s) => {
                 write!(
@@ -668,12 +898,17 @@ impl Response {
             let records = parse_u64(expect_kv(tokens.next(), "records")?)?;
             let groups = parse_u64(expect_kv(tokens.next(), "groups")?)?;
             let p = parse_f64(expect_kv(tokens.next(), "p")?)?;
+            let release = match tokens.next() {
+                None => None,
+                token => Some(expect_kv(token, "release")?.to_string()),
+            };
             return Ok(Response::Hello {
                 version,
                 sa,
                 records,
                 groups,
                 p,
+                release,
             });
         }
         if line.starts_with("est=") {
@@ -735,6 +970,54 @@ impl Response {
             let mut tokens = rest.split_whitespace();
             let events = parse_u64(expect_kv(tokens.next(), "events")?)?;
             return Ok(Response::Flushed { events });
+        }
+        if let Some(rest) = line.strip_prefix("using ") {
+            let mut tokens = rest.split_whitespace();
+            return Ok(Response::Using {
+                release: expect_kv(tokens.next(), "release")?.to_string(),
+                sa: expect_kv(tokens.next(), "sa")?.to_string(),
+                records: parse_u64(expect_kv(tokens.next(), "records")?)?,
+                groups: parse_u64(expect_kv(tokens.next(), "groups")?)?,
+                p: parse_f64(expect_kv(tokens.next(), "p")?)?,
+            });
+        }
+        if let Some(rest) = line.strip_prefix("releases ") {
+            let mut parts = rest.split(';');
+            let count: usize = parts
+                .next()
+                .and_then(|n| n.trim().parse().ok())
+                .ok_or_else(|| bad("releases response needs a count".into()))?;
+            let entries: Vec<ReleaseEntry> = parts
+                .map(|part| {
+                    let mut tokens = part.split_whitespace();
+                    Ok(ReleaseEntry {
+                        name: expect_kv(tokens.next(), "name")?.to_string(),
+                        sa: expect_kv(tokens.next(), "sa")?.to_string(),
+                        records: parse_u64(expect_kv(tokens.next(), "records")?)?,
+                        groups: parse_u64(expect_kv(tokens.next(), "groups")?)?,
+                        live: match expect_kv(tokens.next(), "live")? {
+                            "true" => true,
+                            "false" => false,
+                            other => return Err(bad(format!("bad live flag `{other}`"))),
+                        },
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if entries.len() != count {
+                return Err(bad(format!(
+                    "releases count {count} does not match {} entries",
+                    entries.len()
+                )));
+            }
+            return Ok(Response::Releases(entries));
+        }
+        if let Some(rest) = line.strip_prefix("reloaded ") {
+            let mut tokens = rest.split_whitespace();
+            return Ok(Response::Reloaded {
+                release: expect_kv(tokens.next(), "release")?.to_string(),
+                records: parse_u64(expect_kv(tokens.next(), "records")?)?,
+                groups: parse_u64(expect_kv(tokens.next(), "groups")?)?,
+            });
         }
         if let Some(rest) = line.strip_prefix("stats ") {
             let mut tokens = rest.split_whitespace();
@@ -816,6 +1099,65 @@ mod tests {
     }
 
     #[test]
+    fn catalog_requests_round_trip() {
+        let q1 = WireQuery::new(vec![("Job", "eng"), ("Disease", "flu")]);
+        let q2 = WireQuery::new(vec![("Disease", "none")]);
+        let at = |release: &str, inner: Request| Request::At {
+            release: release.into(),
+            inner: Box::new(inner),
+        };
+        for r in [
+            Request::Use("alpha".into()),
+            Request::Releases,
+            Request::Reload("beta".into()),
+            at("alpha", Request::Query(q1.clone())),
+            at("beta", Request::Batch(vec![q1.clone(), q2])),
+            at(
+                "alpha",
+                Request::Insert(WireRecord::new(vec![("Job", "eng")])),
+            ),
+            at("beta", Request::Flush),
+            at("alpha", Request::Info),
+        ] {
+            roundtrip_request(&r);
+        }
+    }
+
+    #[test]
+    fn qualifier_reserves_at_in_verb_position_only() {
+        // A value containing `@` still rides as a bare condition: the
+        // token has a `=` before the `@`.
+        assert_eq!(
+            Request::parse("Mail=a@b Disease=flu").unwrap().unwrap(),
+            Request::Query(WireQuery::new(vec![("Mail", "a@b"), ("Disease", "flu")]))
+        );
+        // A first *column* containing `@` needs the explicit verb.
+        assert_eq!(
+            Request::parse("count C@x=v").unwrap().unwrap(),
+            Request::Query(WireQuery::new(vec![("C@x", "v")]))
+        );
+        // Qualified failures.
+        for (line, code) in [
+            ("count@ Job=eng", ErrorCode::Parse),
+            ("count@a@b Job=eng", ErrorCode::Parse),
+            ("ping@alpha", ErrorCode::UnknownCommand),
+            ("stats@alpha", ErrorCode::UnknownCommand),
+            ("use@alpha", ErrorCode::UnknownCommand),
+            ("flush@alpha now", ErrorCode::Parse),
+            ("info@alpha now", ErrorCode::Parse),
+            ("count@alpha", ErrorCode::Parse),
+            ("use", ErrorCode::Parse),
+            ("use two names", ErrorCode::Parse),
+            ("use a@b", ErrorCode::Parse),
+            ("reload", ErrorCode::Parse),
+            ("releases beta", ErrorCode::Parse),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code, code, "line `{line}` -> {err}");
+        }
+    }
+
+    #[test]
     fn responses_round_trip() {
         let answer = WireAnswer {
             estimate: 412.5,
@@ -838,6 +1180,15 @@ mod tests {
                 records: 6000,
                 groups: 6,
                 p: 0.5,
+                release: None,
+            },
+            Response::Hello {
+                version: PROTOCOL_VERSION,
+                sa: "Disease".into(),
+                records: 6000,
+                groups: 6,
+                p: 0.5,
+                release: Some("alpha".into()),
             },
             Response::Answer(answer),
             Response::Batch(vec![answer, no_ci]),
@@ -887,6 +1238,47 @@ mod tests {
             Response::Error {
                 code: ErrorCode::ReadOnly,
                 message: "serving a static artifact; restart with --wal to ingest".into(),
+            },
+        ] {
+            roundtrip_response(&r);
+        }
+    }
+
+    #[test]
+    fn catalog_responses_round_trip() {
+        for r in [
+            Response::Using {
+                release: "alpha".into(),
+                sa: "Disease".into(),
+                records: 6000,
+                groups: 6,
+                p: 0.5,
+            },
+            Response::Releases(vec![
+                ReleaseEntry {
+                    name: "alpha".into(),
+                    sa: "Disease".into(),
+                    records: 6000,
+                    groups: 6,
+                    live: false,
+                },
+                ReleaseEntry {
+                    name: "beta".into(),
+                    sa: "Income".into(),
+                    records: 30162,
+                    groups: 127,
+                    live: true,
+                },
+            ]),
+            Response::Releases(Vec::new()),
+            Response::Reloaded {
+                release: "beta".into(),
+                records: 30163,
+                groups: 127,
+            },
+            Response::Error {
+                code: ErrorCode::UnknownRelease,
+                message: "no release named `gamma`".into(),
             },
         ] {
             roundtrip_response(&r);
@@ -966,6 +1358,7 @@ mod tests {
             ErrorCode::Busy,
             ErrorCode::Internal,
             ErrorCode::ReadOnly,
+            ErrorCode::UnknownRelease,
         ] {
             assert_eq!(ErrorCode::from_str_token(code.as_str()), Some(code));
         }

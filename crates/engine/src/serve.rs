@@ -29,6 +29,7 @@
 
 use std::io::{self, BufRead, Write};
 
+use crate::catalog::{Catalog, CatalogSession};
 use crate::service::{QueryService, SessionStats};
 
 /// Runs one serve session: `HELLO` banner, then request/response lines
@@ -51,6 +52,50 @@ pub fn serve<R: BufRead, W: Write>(
     for line in input.lines() {
         let line = line?;
         let Some(response) = service.handle_line(&line, &mut session) else {
+            continue; // blank line
+        };
+        writeln!(output, "{}", response.encode())?;
+        output.flush()?;
+        if matches!(response, crate::protocol::Response::Bye) {
+            break;
+        }
+    }
+    Ok(session)
+}
+
+/// Runs one *catalog* serve session: the same loop as [`serve`], but
+/// requests route through a [`CatalogSession`] so the rp/3 verbs
+/// (`use`/`releases`/`reload`/`verb@release`) work and un-qualified verbs
+/// hit the catalog's default release. The session start is charged to the
+/// default release's counters.
+///
+/// If the catalog's default release is not open, the banner position
+/// carries the routing error and the session ends immediately.
+///
+/// # Errors
+///
+/// Returns only I/O errors on the transport; protocol-level problems are
+/// reported to the client as `error code=...` lines.
+pub fn serve_catalog<R: BufRead, W: Write>(
+    catalog: &Catalog,
+    input: R,
+    mut output: W,
+) -> io::Result<SessionStats> {
+    let mut routing = CatalogSession::new(catalog);
+    let mut session = SessionStats::default();
+    let banner = routing.hello();
+    let banner_is_error = banner.is_error();
+    if let Ok(lease) = catalog.checkout(routing.current()) {
+        lease.session_started();
+    }
+    writeln!(output, "{}", banner.encode())?;
+    output.flush()?;
+    if banner_is_error {
+        return Ok(session);
+    }
+    for line in input.lines() {
+        let line = line?;
+        let Some(response) = routing.handle_line(&line, &mut session) else {
             continue; // blank line
         };
         writeln!(output, "{}", response.encode())?;

@@ -18,8 +18,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::catalog::Catalog;
 use crate::protocol::{ErrorCode, Response};
-use crate::serve::serve;
+use crate::serve::{serve, serve_catalog};
 use crate::service::QueryService;
 
 /// Default connection cap of [`ServerConfig`].
@@ -69,11 +70,21 @@ impl ShutdownHandle {
     }
 }
 
-/// A bound TCP query server over one shared [`QueryService`].
+/// What a [`Server`] answers from: one shared service, or a whole
+/// multi-tenant catalog (sessions then run the rp/3 routing loop,
+/// [`serve_catalog`]).
+#[derive(Debug, Clone)]
+enum Backend {
+    Single(Arc<QueryService>),
+    Catalog(Arc<Catalog>),
+}
+
+/// A bound TCP query server over one shared [`QueryService`] — or, with
+/// [`Server::bind_catalog`], over a multi-tenant [`Catalog`].
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    service: Arc<QueryService>,
+    backend: Backend,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
 }
@@ -89,9 +100,31 @@ impl Server {
         service: Arc<QueryService>,
         config: ServerConfig,
     ) -> io::Result<Self> {
+        Self::bind_backend(addr, Backend::Single(service), config)
+    }
+
+    /// Binds `addr` over a multi-tenant catalog: every session runs the
+    /// rp/3 routing loop starting on the catalog's default release.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind failure.
+    pub fn bind_catalog(
+        addr: impl ToSocketAddrs,
+        catalog: Arc<Catalog>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Self::bind_backend(addr, Backend::Catalog(catalog), config)
+    }
+
+    fn bind_backend(
+        addr: impl ToSocketAddrs,
+        backend: Backend,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
-            service,
+            backend,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -118,9 +151,22 @@ impl Server {
         })
     }
 
-    /// The service this server answers from.
-    pub fn service(&self) -> &Arc<QueryService> {
-        &self.service
+    /// The service this server answers from (`None` on a catalog
+    /// server — see [`Server::catalog`]).
+    pub fn service(&self) -> Option<&Arc<QueryService>> {
+        match &self.backend {
+            Backend::Single(service) => Some(service),
+            Backend::Catalog(_) => None,
+        }
+    }
+
+    /// The catalog this server answers from (`None` on a single-release
+    /// server — see [`Server::service`]).
+    pub fn catalog(&self) -> Option<&Arc<Catalog>> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Catalog(catalog) => Some(catalog),
+        }
     }
 
     /// Runs the accept loop until shutdown is signalled, then joins the
@@ -150,13 +196,13 @@ impl Server {
                 continue;
             }
             active.fetch_add(1, Ordering::AcqRel);
-            let service = Arc::clone(&self.service);
+            let backend = self.backend.clone();
             // The guard releases the slot even if the session panics; a
             // failed session just means the client disconnected mid-line.
             let slot = SlotGuard(Arc::clone(&active));
             workers.push(std::thread::spawn(move || {
                 let _slot = slot;
-                let _ = handle_connection(&service, stream);
+                let _ = handle_connection(&backend, stream);
             }));
         }
         for worker in workers {
@@ -229,11 +275,14 @@ impl Drop for SlotGuard {
 }
 
 /// One session: buffered reader/writer halves over the same socket, then
-/// the shared loop.
-fn handle_connection(service: &QueryService, stream: TcpStream) -> io::Result<()> {
+/// the shared loop (plain or catalog-routed by backend).
+fn handle_connection(backend: &Backend, stream: TcpStream) -> io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
     let writer = BufWriter::new(stream);
-    serve(service, reader, writer)?;
+    match backend {
+        Backend::Single(service) => serve(service, reader, writer)?,
+        Backend::Catalog(catalog) => serve_catalog(catalog, reader, writer)?,
+    };
     Ok(())
 }
 

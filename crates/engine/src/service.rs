@@ -280,7 +280,16 @@ impl QueryService {
             records,
             groups,
             p: self.engine.p(),
+            release: None,
         }
+    }
+
+    /// The banner-level parameters of the served view, as reported by
+    /// [`Response::Using`] when a catalog session binds this release:
+    /// `(sa, records, groups, p)`.
+    pub fn release_summary(&self) -> (String, u64, u64, f64) {
+        let (records, groups) = self.records_groups();
+        (self.sa_name().to_string(), records, groups, self.engine.p())
     }
 
     /// The sensitive attribute's name in the served schema.
@@ -382,6 +391,17 @@ impl QueryService {
                 Ok(r) => r,
                 Err(e) => Response::from(e),
             },
+            // Catalog verbs (rp/3) are routed by a
+            // [`crate::catalog::CatalogSession`] before they ever reach a
+            // service; a bare single-release service refuses them.
+            Request::Use(_) | Request::Releases | Request::Reload(_) | Request::At { .. } => {
+                Response::Error {
+                    code: ErrorCode::UnknownRelease,
+                    message:
+                        "this server hosts a single release; catalog verbs need `rpctl serve --release NAME=PATH ...`"
+                            .to_string(),
+                }
+            }
         }
     }
 

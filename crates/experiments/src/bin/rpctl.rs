@@ -13,10 +13,18 @@
 //! rpctl query   --publication release.rppub --where Gender=Male --value >50K
 //!               [--raw data.csv]
 //! rpctl query   --connect HOST:PORT --where Gender=Male --value >50K
+//!               [--release NAME]
 //! rpctl serve   --publication release.rppub
 //!               [--listen HOST:PORT --max-conns N --cache N]
 //!               [--wal stream.rpwal --state-out state.rppub --max-resident N
 //!                --commit-batch N --commit-window MS]
+//! rpctl serve   --release alpha=a.rppub --release beta=b.rppub
+//!               [--listen HOST:PORT --max-conns N --cache N]
+//! rpctl releases --connect HOST:PORT
+//! rpctl reload  --connect HOST:PORT --release NAME
+//! rpctl bakeoff --input data.csv --sa Income
+//!               [--p P --lambda L --delta D --seed N]
+//!               [--dp-epsilon E --dp-delta D --dp-p P --max-queries N --detail N]
 //! rpctl ingest  --connect HOST:PORT --input new.csv
 //! rpctl ingest  --publication state.rppub --wal stream.rpwal --input new.csv
 //!               --output state2.rppub [--max-resident N --commit-batch N]
@@ -60,6 +68,23 @@
 //! moves into per-group state records) — replay of the compacted log is
 //! byte-identical to replay of the full one.
 //!
+//! With repeated `--release NAME=PATH` flags (instead of `--publication`),
+//! `serve` hosts a **multi-tenant catalog**: every named artifact gets its
+//! own `QueryService` — its own answer cache and counters — and sessions
+//! route between them with the rp/3 verbs (`use NAME`, `releases`,
+//! `reload NAME`, or a one-shot `count@NAME ...`). The first `--release`
+//! is the default tenant that un-qualified verbs hit, so rp/2-era request
+//! streams keep working unchanged. `releases` and `reload` are the
+//! matching TCP clients; `query --connect --release NAME` targets one
+//! tenant by sending `use` first (and trusts the `using` response — not
+//! the HELLO banner — for that release's SA column and `p`).
+//!
+//! `bakeoff` publishes one CSV under both philosophies — the paper's SPS
+//! data perturbation and a calibrated binomial-DP contingency release
+//! (Theorem 1 of arXiv 1805.10559) — and scores the same query pool
+//! against both, reporting per-query estimates/CI widths and per-mechanism
+//! bias, |error|, RMSE, relative error and CI width.
+//!
 //! `publish --adult <path>` loads the raw UCI ADULT file when it exists
 //! (falling back to `RP_ADULT_PATH`, then to the synthetic shape-matched
 //! generator), so paper figures can be validated against the real data.
@@ -77,9 +102,11 @@ use rp_core::groups::{PersonalGroups, SaSpec};
 use rp_core::privacy::PrivacyParams;
 use rp_datagen::adult::AdultSource;
 use rp_engine::{
-    serve, Publication, Publisher, QueryEngine, QueryService, Request, Response, Server,
-    ServerConfig, ServiceConfig, StreamConfig, StreamPublisher, WireAnswer, WireQuery, WireRecord,
+    serve, serve_catalog, Catalog, Publication, Publisher, QueryEngine, QueryService, Request,
+    Response, Server, ServerConfig, ServiceConfig, StreamConfig, StreamPublisher, WireAnswer,
+    WireQuery, WireRecord,
 };
+use rp_experiments::bakeoff;
 use rp_table::{read_csv, write_csv, Pattern, Table, Term};
 
 /// Parsed command-line options.
@@ -110,6 +137,14 @@ struct Options {
     commit_batch: u64,
     commit_window: u64,
     adult: Option<String>,
+    /// `--release` values: `NAME=PATH` pairs for `serve`, a bare release
+    /// name for `query`/`reload`.
+    releases: Vec<String>,
+    dp_epsilon: f64,
+    dp_delta: f64,
+    dp_p: f64,
+    max_queries: usize,
+    detail: usize,
 }
 
 impl Options {
@@ -128,8 +163,12 @@ fn usage() -> ExitCode {
         "usage:\n  rpctl audit   --input FILE --sa COLUMN [--p P --lambda L --delta D]\n  \
          rpctl publish --input FILE | --adult FILE --sa COLUMN --output FILE.rppub [--csv FILE.csv] [--p P --lambda L --delta D --no-generalize --seed N --threads N]\n  \
          rpctl query   --publication FILE.rppub --where COL=VALUE ... --value SA_VALUE [--raw FILE.csv]\n  \
-         rpctl query   --connect HOST:PORT --where COL=VALUE ... --value SA_VALUE\n  \
+         rpctl query   --connect HOST:PORT --where COL=VALUE ... --value SA_VALUE [--release NAME]\n  \
          rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES] [--wal FILE.rpwal --state-out FILE.rppub --max-resident N --commit-batch N --commit-window MS]\n  \
+         rpctl serve   --release NAME=FILE.rppub [--release NAME=FILE.rppub ...] [--listen HOST:PORT --max-conns N --cache ENTRIES]\n  \
+         rpctl releases --connect HOST:PORT\n  \
+         rpctl reload  --connect HOST:PORT --release NAME\n  \
+         rpctl bakeoff --input FILE.csv --sa COLUMN [--p P --lambda L --delta D --seed N --dp-epsilon E --dp-delta D --dp-p P --max-queries N --detail N]\n  \
          rpctl ingest  --connect HOST:PORT --input FILE.csv\n  \
          rpctl ingest  --publication FILE.rppub --wal FILE.rpwal --input FILE.csv --output FILE.rppub [--max-resident N --commit-batch N]\n  \
          rpctl replay  --publication FILE.rppub --wal FILE.rpwal --output FILE.rppub\n  \
@@ -154,6 +193,10 @@ fn parse(args: &[String]) -> Option<Options> {
         generalize: true,
         max_conns: rp_engine::server::DEFAULT_MAX_CONNS,
         cache: rp_engine::service::DEFAULT_CACHE_ENTRIES,
+        dp_epsilon: 1.0,
+        dp_delta: 1e-6,
+        dp_p: 0.5,
+        detail: 16,
         ..Options::default()
     };
     let mut it = args.iter();
@@ -199,6 +242,12 @@ fn parse(args: &[String]) -> Option<Options> {
             "--commit-batch" => opts.commit_batch = it.next()?.parse().ok()?,
             "--commit-window" => opts.commit_window = it.next()?.parse().ok()?,
             "--adult" => opts.adult = Some(it.next()?.clone()),
+            "--release" => opts.releases.push(it.next()?.clone()),
+            "--dp-epsilon" => opts.dp_epsilon = it.next()?.parse().ok()?,
+            "--dp-delta" => opts.dp_delta = it.next()?.parse().ok()?,
+            "--dp-p" => opts.dp_p = it.next()?.parse().ok()?,
+            "--max-queries" => opts.max_queries = it.next()?.parse().ok()?,
+            "--detail" => opts.detail = it.next()?.parse().ok()?,
             _ => return None,
         }
     }
@@ -472,6 +521,36 @@ impl RemoteSession {
         writeln!(self.writer, "{}", request.encode())
             .map_err(|e| format!("write to {}: {e}", self.addr))
     }
+
+    /// Switches the session to a named catalog release. The `using`
+    /// response — not the HELLO banner, which described the *default*
+    /// release — is the authority for the active release's SA column,
+    /// record count and `p`, so the session fields are rebound from it.
+    fn use_release(&mut self, name: &str) -> Result<(), String> {
+        self.send(&Request::Use(name.to_string()))?;
+        match self.read_response()? {
+            Response::Using {
+                release,
+                sa,
+                records,
+                p,
+                ..
+            } => {
+                self.sa = sa;
+                self.records = records;
+                self.p = p;
+                eprintln!(
+                    "using release {release} ({} records, sa = {})",
+                    self.records, self.sa
+                );
+                Ok(())
+            }
+            Response::Error { code, message } => {
+                Err(format!("cannot use release {name} ({code}): {message}"))
+            }
+            other => Err(format!("unexpected response: {}", other.encode())),
+        }
+    }
 }
 
 /// Speaks the `rp_engine::protocol` over TCP: HELLO banner (which names
@@ -479,6 +558,12 @@ impl RemoteSession {
 fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
     let value = opts.value.as_deref().ok_or("--value is required")?;
     let mut session = RemoteSession::connect(addr)?;
+    // Against a catalog server, `--release` pins the tenant; the SA name
+    // and `p` used below come from the `using` response, because the
+    // HELLO banner described the default release, not this one.
+    if let Some(name) = opts.releases.first() {
+        session.use_release(name)?;
+    }
     let p = session.p;
     let mut conditions: Vec<(String, String)> = opts.conditions.clone();
     conditions.push((session.sa.clone(), value.to_string()));
@@ -533,6 +618,12 @@ fn true_answer(raw: &Table, conditions: &[(&str, &str)]) -> Result<u64, String> 
 }
 
 fn cmd_serve(opts: &Options) -> Result<(), String> {
+    if !opts.releases.is_empty() {
+        if opts.publication.is_some() || opts.wal.is_some() {
+            return Err("--release is mutually exclusive with --publication/--wal".into());
+        }
+        return cmd_serve_catalog(opts);
+    }
     let publication = load_publication(opts)?;
     // The line protocol frames names and values as whitespace-separated
     // tokens; a non-token SA name even breaks the HELLO banner. Serve
@@ -598,7 +689,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
              connect with `rpctl query --connect {bound} ...`",
             opts.max_conns
         );
-        let service = Arc::clone(server.service());
+        let service = Arc::clone(server.service().expect("bound as a single-release server"));
         server.run().map_err(|e| format!("serve loop: {e}"))?;
         checkpoint_on_exit(&service);
     } else {
@@ -623,6 +714,165 @@ fn checkpoint_on_exit(service: &QueryService) {
         Ok(None) => {}
         Err(e) => eprintln!("warning: final checkpoint failed: {e}"),
     }
+}
+
+/// Multi-tenant serve: every `--release NAME=PATH` becomes one catalog
+/// tenant with its own `QueryService`; the first named release is the
+/// default that un-qualified (rp/2-style) verbs route to.
+fn cmd_serve_catalog(opts: &Options) -> Result<(), String> {
+    let mut pairs = Vec::with_capacity(opts.releases.len());
+    for spec in &opts.releases {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--release wants NAME=PATH, got `{spec}`"))?;
+        pairs.push((name, path));
+    }
+    let config = ServiceConfig {
+        cache_entries: opts.cache,
+    };
+    let catalog = Catalog::new(pairs[0].0).map_err(|e| e.to_string())?;
+    for &(name, path) in &pairs {
+        catalog
+            .open_path(name, Path::new(path), config)
+            .map_err(|e| format!("cannot open release {name}: {e}"))?;
+    }
+    for entry in catalog.list() {
+        eprintln!(
+            "release {}: {} records in {} groups (sa = {}){}",
+            entry.name,
+            entry.records,
+            entry.groups,
+            entry.sa,
+            if entry.name == catalog.default_name() {
+                " [default]"
+            } else {
+                ""
+            }
+        );
+    }
+    eprintln!(
+        "catalog: {} releases (cache = {} entries each); `use NAME` to switch, \
+         `releases` to list, `count@NAME ...` for one-shot routing",
+        pairs.len(),
+        opts.cache,
+    );
+    if let Some(addr) = opts.listen.as_deref() {
+        let catalog = Arc::new(catalog);
+        let server = Server::bind_catalog(
+            addr,
+            Arc::clone(&catalog),
+            ServerConfig {
+                max_conns: opts.max_conns,
+            },
+        )
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        let bound = server
+            .local_addr()
+            .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+        eprintln!(
+            "listening on {bound} (max {} concurrent sessions); \
+             connect with `rpctl query --connect {bound} --release NAME ...`",
+            opts.max_conns
+        );
+        server.run().map_err(|e| format!("serve loop: {e}"))?;
+        catalog_checkpoint_on_exit(&catalog);
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let stats = serve_catalog(&catalog, stdin.lock(), stdout.lock())
+            .map_err(|e| format!("serve loop: {e}"))?;
+        eprintln!(
+            "served {} requests ({} answered, {} errors, {} cache hits, {} inserts)",
+            stats.requests, stats.answered, stats.errors, stats.cache_hits, stats.inserts
+        );
+        catalog_checkpoint_on_exit(&catalog);
+    }
+    Ok(())
+}
+
+/// [`checkpoint_on_exit`] across every tenant of a catalog.
+fn catalog_checkpoint_on_exit(catalog: &Catalog) {
+    for (name, outcome) in catalog.checkpoint_all() {
+        match outcome {
+            Ok(Some(events)) => eprintln!("checkpoint {name}: {events} events durable"),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: final checkpoint of {name} failed: {e}"),
+        }
+    }
+}
+
+/// Lists a catalog server's releases over TCP.
+fn cmd_releases(opts: &Options) -> Result<(), String> {
+    let addr = opts.connect.as_deref().ok_or("--connect is required")?;
+    let mut session = RemoteSession::connect(addr)?;
+    session.send(&Request::Releases)?;
+    let response = session.read_response()?;
+    let _ = writeln!(session.writer, "quit");
+    match response {
+        Response::Releases(entries) => {
+            for e in &entries {
+                println!(
+                    "{}: {} records in {} groups (sa = {}{})",
+                    e.name,
+                    e.records,
+                    e.groups,
+                    e.sa,
+                    if e.live { ", live" } else { "" }
+                );
+            }
+            println!("{} releases", entries.len());
+            Ok(())
+        }
+        Response::Error { code, message } => Err(format!("server refused ({code}): {message}")),
+        other => Err(format!("unexpected response: {}", other.encode())),
+    }
+}
+
+/// Hot-reloads one release of a catalog server from its source artifact.
+fn cmd_reload(opts: &Options) -> Result<(), String> {
+    let addr = opts.connect.as_deref().ok_or("--connect is required")?;
+    let name = opts
+        .releases
+        .first()
+        .ok_or("--release NAME names the release to reload")?;
+    let mut session = RemoteSession::connect(addr)?;
+    session.send(&Request::Reload(name.clone()))?;
+    let response = session.read_response()?;
+    let _ = writeln!(session.writer, "quit");
+    match response {
+        Response::Reloaded {
+            release,
+            records,
+            groups,
+        } => {
+            println!("reloaded {release}: {records} records in {groups} groups");
+            Ok(())
+        }
+        Response::Error { code, message } => Err(format!("server refused ({code}): {message}")),
+        other => Err(format!("unexpected response: {}", other.encode())),
+    }
+}
+
+/// SPS vs binomial-DP on one CSV: publish both ways, answer the same
+/// query pool, print per-query estimates and per-mechanism utility.
+fn cmd_bakeoff(opts: &Options) -> Result<(), String> {
+    let input = opts.input.as_deref().ok_or("--input is required")?;
+    let sa_name = opts.sa.as_deref().ok_or("--sa is required")?;
+    let table = load(input)?;
+    let sa = sa_attr(&table, sa_name)?;
+    let config = bakeoff::BakeoffConfig {
+        p: opts.p,
+        lambda: opts.lambda,
+        delta: opts.delta,
+        seed: opts.seed,
+        dp_epsilon: opts.dp_epsilon,
+        dp_delta: opts.dp_delta,
+        dp_p: opts.dp_p,
+        max_queries: opts.max_queries,
+    };
+    let report = bakeoff::run(&table, sa, &config)?;
+    print!("{}", bakeoff::render(&report, opts.detail));
+    Ok(())
 }
 
 /// Reads an ingest CSV (header + value rows) into `(columns, rows)`.
@@ -791,6 +1041,9 @@ fn main() -> ExitCode {
         "ingest" => cmd_ingest(&opts),
         "replay" => cmd_replay(&opts),
         "compact" => cmd_compact(&opts),
+        "releases" => cmd_releases(&opts),
+        "reload" => cmd_reload(&opts),
+        "bakeoff" => cmd_bakeoff(&opts),
         _ => return usage(),
     };
     match result {

@@ -15,11 +15,13 @@
 //! | Figures 3/5 (relative query error) | [`error`] | `repro figure3`, `repro figure5` |
 //! | Extension: enforcement-strategy comparison | [`ablation`] | `repro ablation` |
 //! | Extension: classifier accuracy from publications | [`learning`] | `repro learning` |
+//! | Extension: SPS vs binomial-DP utility | [`bakeoff`] | `rpctl bakeoff` |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod bakeoff;
 pub mod config;
 pub mod error;
 pub mod figure1;

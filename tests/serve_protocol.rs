@@ -2,12 +2,16 @@
 //! service / server layers):
 //!
 //! * the wire protocol round-trips: `parse ∘ encode = id` over generated
-//!   [`Request`]s and [`Response`]s (property test);
+//!   [`Request`]s and [`Response`]s (property test), rp/3 catalog verbs
+//!   (`use`/`releases`/`reload`/`verb@release`) included;
 //! * stdio and TCP are the same protocol: N concurrent TCP clients
 //!   running an interleaved request stream each receive bytes identical
 //!   to the sequential stdio loop's transcript;
 //! * the answer cache changes no response bytes — only the hit counters
-//!   observable through `stats`.
+//!   observable through `stats`;
+//! * two catalog tenants served concurrently stay isolated: per-tenant
+//!   transcripts are byte-identical to their stdio references and no
+//!   session's queries touch the other tenant's cache.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -16,10 +20,10 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rp_repro::engine::protocol::{ErrorCode, ReleaseMeta, StatsSnapshot, WireAnswer};
+use rp_repro::engine::protocol::{ErrorCode, ReleaseEntry, ReleaseMeta, StatsSnapshot, WireAnswer};
 use rp_repro::engine::{
-    serve, Publisher, QueryService, Request, Response, Server, ServerConfig, ServiceConfig,
-    WireQuery, WireRecord,
+    serve, serve_catalog, Catalog, Publisher, QueryService, Request, Response, Server,
+    ServerConfig, ServiceConfig, WireQuery, WireRecord,
 };
 use rp_repro::table::{Attribute, Schema, TableBuilder};
 
@@ -30,6 +34,12 @@ use rp_repro::table::{Attribute, Schema, TableBuilder};
 
 const COLUMNS: [&str; 4] = ["Job", "Disease", "Zip-Code", "Age_Band"];
 const VALUES: [&str; 5] = ["eng", "flu", ">50K", "n/a", "v_7-x"];
+/// Valid catalog release names (tokens without `@`).
+const RELEASES: [&str; 4] = ["alpha", "beta", "adult-2015", "r_0"];
+
+fn arb_release(rng: &mut StdRng) -> String {
+    RELEASES[rng.gen_range(0..RELEASES.len())].to_string()
+}
 
 fn arb_condition(rng: &mut StdRng) -> (String, String) {
     (
@@ -46,7 +56,7 @@ fn arb_wire_query(rng: &mut StdRng) -> WireQuery {
 }
 
 fn arb_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..12u32) {
         0 => Request::Ping,
         1 => Request::Quit,
         2 => Request::Info,
@@ -59,6 +69,29 @@ fn arb_request(rng: &mut StdRng) -> Request {
                 fields: (0..n).map(|_| arb_condition(rng)).collect(),
             })
         }
+        7 => Request::Use(arb_release(rng)),
+        8 => Request::Releases,
+        9 => Request::Reload(arb_release(rng)),
+        10 => Request::At {
+            release: arb_release(rng),
+            // Only routable verbs can carry a qualifier; the parser
+            // rejects `use@x`/`ping@x`, so the generator mirrors that.
+            inner: Box::new(match rng.gen_range(0..5u32) {
+                0 => Request::Query(arb_wire_query(rng)),
+                1 => Request::Batch(
+                    (0..rng.gen_range(1..=3usize))
+                        .map(|_| arb_wire_query(rng))
+                        .collect(),
+                ),
+                2 => Request::Insert(WireRecord {
+                    fields: (0..rng.gen_range(1..=3usize))
+                        .map(|_| arb_condition(rng))
+                        .collect(),
+                }),
+                3 => Request::Flush,
+                _ => Request::Info,
+            }),
+        },
         _ => {
             let n = rng.gen_range(1..=3usize);
             Request::Batch((0..n).map(|_| arb_wire_query(rng)).collect())
@@ -92,13 +125,45 @@ fn arb_answer(rng: &mut StdRng) -> WireAnswer {
 }
 
 fn arb_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..10u32) {
+    match rng.gen_range(0..13u32) {
         0 => Response::Hello {
             version: rng.gen_range(1..100u32),
             sa: COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string(),
             records: rng.gen_range(0..10_000_000u64),
             groups: rng.gen_range(0..100_000u64),
             p: arb_f64(rng),
+            release: if rng.gen_range(0..2u32) == 0 {
+                Some(arb_release(rng))
+            } else {
+                None
+            },
+        },
+        10 => Response::Using {
+            release: arb_release(rng),
+            sa: COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string(),
+            records: rng.gen_range(0..10_000_000u64),
+            groups: rng.gen_range(0..100_000u64),
+            p: arb_f64(rng),
+        },
+        11 => {
+            let n = rng.gen_range(0..=3usize);
+            Response::Releases(
+                (0..n)
+                    .map(|i| ReleaseEntry {
+                        // Distinct names: a listing never repeats a tenant.
+                        name: format!("{}-{i}", arb_release(rng)),
+                        sa: COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string(),
+                        records: rng.gen_range(0..10_000_000u64),
+                        groups: rng.gen_range(0..100_000u64),
+                        live: rng.gen_range(0..2u32) == 0,
+                    })
+                    .collect(),
+            )
+        }
+        12 => Response::Reloaded {
+            release: arb_release(rng),
+            records: rng.gen_range(0..10_000_000u64),
+            groups: rng.gen_range(0..100_000u64),
         },
         1 => Response::Answer(arb_answer(rng)),
         2 => {
@@ -146,7 +211,8 @@ fn arb_response(rng: &mut StdRng) -> Response {
                 ErrorCode::Busy,
                 ErrorCode::Internal,
                 ErrorCode::ReadOnly,
-            ][rng.gen_range(0..6usize)],
+                ErrorCode::UnknownRelease,
+            ][rng.gen_range(0..7usize)],
             message: "query needs a condition on the SA column `Disease`".to_string(),
         },
     }
@@ -190,18 +256,22 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 fn fixture_service(cache_entries: usize) -> QueryService {
+    fixture_service_with(cache_entries, 1800, 41)
+}
+
+fn fixture_service_with(cache_entries: usize, rows: u32, seed: u64) -> QueryService {
     let schema = Schema::new(vec![
         Attribute::new("Job", ["eng", "doc", "law"]),
         Attribute::new("City", ["rome", "oslo"]),
         Attribute::new("Disease", ["flu", "none"]),
     ]);
     let mut b = TableBuilder::new(schema);
-    for i in 0..1800u32 {
+    for i in 0..rows {
         b.push_codes(&[i % 3, (i / 3) % 2, (i / 6) % 2]).unwrap();
     }
     let publication = Publisher::new(b.build())
         .sa(2)
-        .seed(41)
+        .seed(seed)
         .publish()
         .expect("fixture publishes");
     QueryService::from_publication(&publication, ServiceConfig { cache_entries })
@@ -320,4 +390,127 @@ fn every_script_response_parses_as_typed_protocol() {
         let parsed = Response::parse(line);
         assert!(parsed.is_ok(), "unparseable response line `{line}`");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant isolation over TCP.
+// ---------------------------------------------------------------------------
+
+/// A two-tenant catalog: `alpha` (the default) and `beta` differ in size
+/// and seed, so their answers to the same query differ observably. The
+/// tenant service handles are returned for per-tenant cache accounting.
+fn fixture_catalog() -> (Catalog, Arc<QueryService>, Arc<QueryService>) {
+    let alpha = Arc::new(fixture_service_with(1024, 1800, 41));
+    let beta = Arc::new(fixture_service_with(1024, 1200, 43));
+    let catalog = Catalog::new("alpha").expect("valid default name");
+    catalog
+        .open("alpha", Arc::clone(&alpha))
+        .expect("open alpha");
+    catalog.open("beta", Arc::clone(&beta)).expect("open beta");
+    (catalog, alpha, beta)
+}
+
+/// The default tenant's session: rp/2-era un-qualified verbs only.
+const ALPHA_SCRIPT: &[&str] = &[
+    "info",
+    "count Job=eng Disease=flu",
+    "count Job=eng Disease=flu",
+    "releases",
+    "count City=oslo Disease=none",
+    "quit",
+];
+
+/// The second tenant's session: `use beta`, then the same queries.
+const BETA_SCRIPT: &[&str] = &[
+    "use beta",
+    "info",
+    "count Job=eng Disease=flu",
+    "count Job=eng Disease=flu",
+    "count City=oslo Disease=none",
+    "quit",
+];
+
+/// The sequential stdio transcript of `script` over a fresh catalog.
+fn catalog_stdio_transcript(script: &[&str]) -> String {
+    let (catalog, _, _) = fixture_catalog();
+    let input = script.join("\n") + "\n";
+    let mut out = Vec::new();
+    serve_catalog(&catalog, input.as_bytes(), &mut out).expect("in-memory serve cannot fail");
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn concurrent_tenants_get_isolated_byte_identical_transcripts() {
+    let alpha_ref = catalog_stdio_transcript(ALPHA_SCRIPT);
+    let beta_ref = catalog_stdio_transcript(BETA_SCRIPT);
+    // The same queries answered from different releases: if routing or
+    // caching ever leaked across tenants these references would agree.
+    assert_ne!(alpha_ref, beta_ref, "tenants must answer differently");
+
+    let (catalog, alpha, beta) = fixture_catalog();
+    let server = Server::bind_catalog("127.0.0.1:0", Arc::new(catalog), ServerConfig::default())
+        .expect("bind an ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    // Two clients per tenant, all interleaving line-at-a-time.
+    let workers: Vec<_> = [ALPHA_SCRIPT, BETA_SCRIPT, ALPHA_SCRIPT, BETA_SCRIPT]
+        .into_iter()
+        .map(|script| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+                let mut writer = stream;
+                let mut transcript = String::new();
+                let read_line = |reader: &mut BufReader<TcpStream>| {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read response");
+                    line
+                };
+                transcript.push_str(&read_line(&mut reader)); // HELLO banner
+                for request in script {
+                    writeln!(writer, "{request}").expect("send request");
+                    writer.flush().expect("flush");
+                    transcript.push_str(&read_line(&mut reader));
+                }
+                (script, transcript)
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        let (script, transcript) = worker.join().expect("client thread");
+        let reference = if std::ptr::eq(script, ALPHA_SCRIPT) {
+            &alpha_ref
+        } else {
+            &beta_ref
+        };
+        assert_eq!(
+            &transcript, reference,
+            "a tenant session diverged from its stdio reference"
+        );
+    }
+    handle.shutdown().expect("graceful shutdown");
+
+    // Per-tenant cache isolation: each tenant's counters account exactly
+    // for its own sessions' three cache-consulting queries — the other
+    // tenant's identical query lines contributed zero hits or misses.
+    let alpha_stats = alpha.stats();
+    let beta_stats = beta.stats();
+    assert_eq!(
+        alpha_stats.cache_hits + alpha_stats.cache_misses,
+        6,
+        "{alpha_stats:?}"
+    );
+    assert_eq!(
+        beta_stats.cache_hits + beta_stats.cache_misses,
+        6,
+        "{beta_stats:?}"
+    );
+    assert!(alpha_stats.cache_hits >= 2, "{alpha_stats:?}");
+    assert!(beta_stats.cache_hits >= 2, "{beta_stats:?}");
+    // Session starts are charged to the default tenant (the banner's
+    // release); `use beta` does not re-charge.
+    assert_eq!(alpha_stats.sessions, 4);
+    assert_eq!(beta_stats.sessions, 0);
 }
