@@ -45,7 +45,7 @@ use crate::protocol::{
 };
 use crate::publication::Publication;
 use crate::service::{QueryService, ServiceConfig, SessionStats};
-use crate::stream::StreamError;
+use crate::stream::{StreamConfig, StreamError, StreamPublisher};
 
 /// A failure of a catalog operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,14 +110,42 @@ impl CatalogError {
     }
 }
 
+/// Where a release can be rebuilt from on
+/// [`Catalog::reload_from_source`].
+#[derive(Debug, Clone)]
+enum TenantSource {
+    /// A static publication artifact.
+    Artifact {
+        /// The `.rppub` file the release was loaded from.
+        path: PathBuf,
+        /// Service knobs to rebuild with.
+        config: ServiceConfig,
+    },
+    /// A live stream: base artifact plus its WAL. Reloading reopens the
+    /// stream from disk — replaying exactly the durable prefix — which
+    /// is how a degraded release (poisoned WAL) recovers.
+    Stream {
+        /// The base `.rppub` artifact.
+        artifact: PathBuf,
+        /// The write-ahead log of the live release.
+        wal: PathBuf,
+        /// Stream knobs (residency bound, group commit) to reopen with.
+        stream_config: StreamConfig,
+        /// Where `flush` persists snapshots, if anywhere.
+        state_out: Option<PathBuf>,
+        /// Service knobs to rebuild with.
+        config: ServiceConfig,
+    },
+}
+
 /// One hosted release: its service, where it can be reloaded from, and
 /// its lease accounting.
 #[derive(Debug)]
 struct Tenant {
     service: Arc<QueryService>,
-    /// Source artifact (path + service config) for
-    /// [`Catalog::reload_from_source`]; `None` for programmatic opens.
-    source: Option<(PathBuf, ServiceConfig)>,
+    /// Source for [`Catalog::reload_from_source`]; `None` for
+    /// programmatic opens.
+    source: Option<TenantSource>,
     /// Outstanding [`Lease`]s (in-flight requests and session banners).
     /// Shared with leases and route caches so releasing one never takes
     /// the catalog lock.
@@ -208,14 +236,51 @@ impl Catalog {
         let publication = Publication::load_from_path(path)
             .map_err(|e| CatalogError::Load(name.to_string(), e.to_string()))?;
         let service = Arc::new(QueryService::from_publication(&publication, config));
-        self.insert(name, service, Some((path.to_path_buf(), config)))
+        self.insert(
+            name,
+            service,
+            Some(TenantSource::Artifact {
+                path: path.to_path_buf(),
+                config,
+            }),
+        )
+    }
+
+    /// Opens a *streaming* release as `name`: loads the base artifact at
+    /// `artifact`, attaches (creating or replaying) the WAL at `wal`,
+    /// and remembers both so [`Catalog::reload_from_source`] can rebuild
+    /// the release from disk — the recovery path when its stream
+    /// degrades after a storage fault.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::BadName`], [`CatalogError::AlreadyOpen`] or
+    /// [`CatalogError::Load`].
+    pub fn open_stream_path(
+        &self,
+        name: &str,
+        artifact: &Path,
+        wal: &Path,
+        stream_config: StreamConfig,
+        state_out: Option<PathBuf>,
+        config: ServiceConfig,
+    ) -> Result<(), CatalogError> {
+        let source = TenantSource::Stream {
+            artifact: artifact.to_path_buf(),
+            wal: wal.to_path_buf(),
+            stream_config,
+            state_out,
+            config,
+        };
+        let service = build_source(name, &source)?;
+        self.insert(name, service, Some(source))
     }
 
     fn insert(
         &self,
         name: &str,
         service: Arc<QueryService>,
-        source: Option<(PathBuf, ServiceConfig)>,
+        source: Option<TenantSource>,
     ) -> Result<(), CatalogError> {
         if !is_release_name(name) {
             return Err(CatalogError::BadName(name.to_string()));
@@ -325,17 +390,23 @@ impl Catalog {
         Ok((summary.1, summary.2))
     }
 
-    /// Reloads `name` from the artifact path it was opened with
-    /// ([`Catalog::open_path`]). The load runs *outside* the catalog
-    /// lock, so a slow disk never stalls other tenants' routing; the swap
-    /// itself is [`Catalog::reload`].
+    /// Reloads `name` from the source it was opened with
+    /// ([`Catalog::open_path`] or [`Catalog::open_stream_path`]). The
+    /// load runs *outside* the catalog lock, so a slow disk never stalls
+    /// other tenants' routing; the swap itself is [`Catalog::reload`].
+    ///
+    /// For a streaming release this is the **recovery path**: the old
+    /// service is checkpointed best-effort (a degraded stream refuses —
+    /// that is exactly the case being recovered from), then a fresh
+    /// stream is reopened from the artifact and WAL on disk, replaying
+    /// exactly the events that reached stable storage.
     ///
     /// # Errors
     ///
     /// [`CatalogError::UnknownRelease`], [`CatalogError::Closing`],
     /// [`CatalogError::NoSource`] or [`CatalogError::Load`].
     pub fn reload_from_source(&self, name: &str) -> Result<(u64, u64), CatalogError> {
-        let (path, config) = {
+        let (source, old_service) = {
             let state = self.state.lock().expect("catalog lock poisoned");
             let tenant = state
                 .get(name)
@@ -343,14 +414,20 @@ impl Catalog {
             if tenant.closing.load(Ordering::SeqCst) {
                 return Err(CatalogError::Closing(name.to_string()));
             }
-            tenant
+            let source = tenant
                 .source
                 .clone()
-                .ok_or_else(|| CatalogError::NoSource(name.to_string()))?
+                .ok_or_else(|| CatalogError::NoSource(name.to_string()))?;
+            (source, Arc::clone(&tenant.service))
         };
-        let publication = Publication::load_from_path(&path)
-            .map_err(|e| CatalogError::Load(name.to_string(), e.to_string()))?;
-        let service = Arc::new(QueryService::from_publication(&publication, config));
+        if matches!(source, TenantSource::Stream { .. }) {
+            // Push any open commit batch to disk before reopening, so a
+            // healthy reload loses nothing. On a degraded stream this
+            // refuses — the poisoned WAL wrote its last good byte long
+            // ago, and the reopen below recovers the durable prefix.
+            let _ = old_service.checkpoint();
+        }
+        let service = build_source(name, &source)?;
         self.reload(name, service)
     }
 
@@ -398,6 +475,38 @@ impl Catalog {
                 (name, outcome)
             })
             .collect()
+    }
+}
+
+/// Builds a fresh service from a tenant's reload source. Streams are
+/// reopened with passthrough (fault-free) I/O: recovery must never
+/// re-enter an injected schedule.
+fn build_source(name: &str, source: &TenantSource) -> Result<Arc<QueryService>, CatalogError> {
+    let load = |e: &dyn std::fmt::Display| CatalogError::Load(name.to_string(), e.to_string());
+    match source {
+        TenantSource::Artifact { path, config } => {
+            let publication = Publication::load_from_path(path).map_err(|e| load(&e))?;
+            Ok(Arc::new(QueryService::from_publication(
+                &publication,
+                *config,
+            )))
+        }
+        TenantSource::Stream {
+            artifact,
+            wal,
+            stream_config,
+            state_out,
+            config,
+        } => {
+            let publication = Publication::load_from_path(artifact).map_err(|e| load(&e))?;
+            let stream =
+                StreamPublisher::open(publication, wal, *stream_config).map_err(|e| load(&e))?;
+            Ok(Arc::new(QueryService::streaming(
+                stream,
+                state_out.clone(),
+                *config,
+            )))
+        }
     }
 }
 
@@ -904,6 +1013,104 @@ mod tests {
         assert_eq!(code, ErrorCode::Internal);
         assert!(message.contains("no source artifact"), "{message}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reload_recovers_a_degraded_streaming_tenant() {
+        use crate::fault::{FaultHandle, FaultSchedule};
+        let dir = std::env::temp_dir().join(format!("rp-catalog-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("live.rppub");
+        let wal = dir.join("live.rpwal");
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(format!("{}.spill", wal.display()));
+        publication(400).save_to_path(&artifact).unwrap();
+
+        let catalog = Catalog::new("alpha").unwrap();
+        catalog.open("alpha", service(400)).unwrap();
+        catalog
+            .open_stream_path(
+                "live",
+                &artifact,
+                &wal,
+                StreamConfig::default(),
+                None,
+                ServiceConfig::default(),
+            )
+            .unwrap();
+        assert!(catalog.list()[1].live, "streaming tenant reports live");
+
+        // Swap in a fault-injected replacement; the reload source stays
+        // registered. The WAL already exists, so the reopened log's
+        // first flush-time fsync is sync 1 on this schedule.
+        let faults: FaultHandle = Arc::new(FaultSchedule::fsync_at(1));
+        let base = Publication::load_from_path(&artifact).unwrap();
+        let stream =
+            StreamPublisher::open_with(base, &wal, StreamConfig::default(), faults).unwrap();
+        catalog
+            .reload(
+                "live",
+                Arc::new(QueryService::streaming(
+                    stream,
+                    None,
+                    ServiceConfig::default(),
+                )),
+            )
+            .unwrap();
+
+        let mut s = CatalogSession::new(&catalog);
+        let mut stats = SessionStats::default();
+        // The insert is acked (buffered); the flush hits the scripted
+        // fsync failure and the tenant degrades.
+        let r = s
+            .handle_line("insert@live Job=eng Disease=flu", &mut stats)
+            .unwrap();
+        assert!(!r.is_error(), "{r:?}");
+        let r = s.handle_line("flush@live", &mut stats).unwrap();
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::Degraded,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        // Degraded: writes refuse, queries keep answering, and the
+        // other tenant is untouched.
+        let r = s
+            .handle_line("insert@live Job=eng Disease=flu", &mut stats)
+            .unwrap();
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::Degraded,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        let r = s
+            .handle_line("count@live Job=eng Disease=flu", &mut stats)
+            .unwrap();
+        assert!(!r.is_error(), "{r:?}");
+        let r = s
+            .handle_line("count Job=eng Disease=flu", &mut stats)
+            .unwrap();
+        assert!(!r.is_error(), "default tenant unaffected: {r:?}");
+        // `reload` rebuilds the stream from the artifact + WAL on disk:
+        // the release accepts writes again.
+        let r = s.handle_line("reload live", &mut stats).unwrap();
+        assert!(matches!(r, Response::Reloaded { .. }), "{r:?}");
+        let r = s
+            .handle_line("insert@live Job=eng Disease=flu", &mut stats)
+            .unwrap();
+        assert!(!r.is_error(), "recovered release ingests: {r:?}");
+        let r = s.handle_line("flush@live", &mut stats).unwrap();
+        assert!(matches!(r, Response::Flushed { .. }), "{r:?}");
+        let _ = std::fs::remove_file(&artifact);
     }
 
     #[test]

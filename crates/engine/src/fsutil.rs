@@ -13,6 +13,8 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use crate::fault::{self, CheckedFile, FaultHandle};
+
 /// The temporary sibling a pending atomic write goes to: `<path>.tmp`,
 /// in the same directory so the final rename cannot cross filesystems.
 fn tmp_sibling(path: &Path) -> PathBuf {
@@ -32,6 +34,14 @@ pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
     File::open(dir)?.sync_all()
 }
 
+/// [`sync_parent_dir`] behind the fault facade: the directory fsync is
+/// a durability point like any other, so an injected schedule can fail
+/// it too.
+pub(crate) fn sync_parent_dir_with(path: &Path, faults: &FaultHandle) -> io::Result<()> {
+    faults.check_sync()?;
+    sync_parent_dir(path)
+}
+
 /// Writes a file atomically and durably: `write` produces the content
 /// into a buffered temp file in the target's directory, which is then
 /// flushed, fsynced, renamed over `path`, and the parent directory
@@ -39,17 +49,31 @@ pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
 /// target (if one existed) is left untouched.
 pub(crate) fn write_atomic<E: From<io::Error>>(
     path: &Path,
-    write: impl FnOnce(&mut BufWriter<File>) -> Result<(), E>,
+    write: impl FnOnce(&mut BufWriter<CheckedFile>) -> Result<(), E>,
+) -> Result<(), E> {
+    write_atomic_with(path, &fault::passthrough(), write)
+}
+
+/// [`write_atomic`] behind the fault facade: every write to the temp
+/// sibling, its fsync, and the directory fsync after the rename consult
+/// `faults`. The failure contract is unchanged — on any error the temp
+/// file is removed and the previous target is left untouched — which is
+/// also what makes retrying a whole `write_atomic_with` safe: each
+/// attempt starts from a fresh temp sibling.
+pub(crate) fn write_atomic_with<E: From<io::Error>>(
+    path: &Path,
+    faults: &FaultHandle,
+    write: impl FnOnce(&mut BufWriter<CheckedFile>) -> Result<(), E>,
 ) -> Result<(), E> {
     let tmp = tmp_sibling(path);
     let result = (|| {
-        let file = File::create(&tmp)?;
+        let file = CheckedFile::new(File::create(&tmp)?, std::sync::Arc::clone(faults));
         let mut writer = BufWriter::new(file);
         write(&mut writer)?;
         writer.flush()?;
         writer.get_ref().sync_all()?;
         std::fs::rename(&tmp, path)?;
-        sync_parent_dir(path)?;
+        sync_parent_dir_with(path, faults)?;
         Ok(())
     })();
     if result.is_err() {
@@ -86,6 +110,20 @@ mod tests {
         // A second successful write replaces the content.
         write_atomic::<io::Error>(&path, |w| w.write_all(b"second")).unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"second");
+    }
+
+    #[test]
+    fn write_atomic_with_an_injected_fault_leaves_the_target_untouched() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let path = tmp_dir().join("faulted.txt");
+        write_atomic::<io::Error>(&path, |w| w.write_all(b"stable")).unwrap();
+        let faults: FaultHandle =
+            std::sync::Arc::new(FaultSchedule::write_at(1, FaultKind::Enospc));
+        let err =
+            write_atomic_with::<io::Error>(&path, &faults, |w| w.write_all(b"doomed")).unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(std::fs::read(&path).unwrap(), b"stable", "old file intact");
+        assert!(!tmp_sibling(&path).exists(), "no temp litter");
     }
 
     #[test]

@@ -68,7 +68,14 @@
 //!   lease-based drain, and [`CatalogSession`] routes the rp/3 verbs
 //!   (`use`, `releases`, `reload`, `verb@release`) over either transport
 //!   via [`serve_catalog()`](serve::serve_catalog) /
-//!   [`Server::bind_catalog`].
+//!   [`Server::bind_catalog`];
+//! * [`fault`] — deterministic fault injection: an injectable I/O
+//!   facade ([`fault::FaultIo`], default passthrough) threaded through
+//!   every durable writer, driven by a seeded counter-based schedule so
+//!   EIO/ENOSPC/short-write/failed-fsync runs replay exactly from
+//!   `(seed, op count)`. A failed WAL fsync *poisons* the stream
+//!   (never retried, never falsely acked) and degrades its service to
+//!   read-only; catalog `reload` is the recovery path.
 //!
 //! ## Quickstart
 //!
@@ -128,6 +135,7 @@
 pub mod catalog;
 mod codec;
 pub mod engine;
+pub mod fault;
 mod fsutil;
 pub mod protocol;
 pub mod publication;
@@ -139,6 +147,7 @@ pub mod stream;
 
 pub use catalog::{Catalog, CatalogError, CatalogSession, Lease};
 pub use engine::{Answer, EngineError, PreparedQueries, QueryEngine};
+pub use fault::{FaultHandle, FaultIo, FaultKind, FaultSchedule};
 pub use protocol::{
     ErrorCode, ProtocolError, ReleaseEntry, ReleaseMeta, Request, Response, StatsSnapshot,
     WireAnswer, WireQuery, WireRecord, PROTOCOL_VERSION,

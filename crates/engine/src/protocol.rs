@@ -17,7 +17,7 @@
 //! query    := ["count "] cond (" " cond)*
 //! RELEASE  := token without "@"
 //!
-//! response := "HELLO rp/3 sa=" NAME " records=" N " groups=" N " p=" P
+//! response := "HELLO rp/4 sa=" NAME " records=" N " groups=" N " p=" P
 //!             [" release=" RELEASE]
 //!           | "pong" | "bye"
 //!           | "publication sa=" NAME " records=" N " groups=" N " p=" P
@@ -34,7 +34,7 @@
 //!           | "reloaded release=" RELEASE " records=" N " groups=" N
 //!           | "stats requests=" N " answered=" N " errors=" N
 //!             " cache_hits=" N " cache_misses=" N " sessions=" N
-//!             " inserts=" N
+//!             " inserts=" N " degraded=" N " faults=" N
 //!           | "error code=" CODE " " MESSAGE
 //! ```
 //!
@@ -51,6 +51,13 @@
 //! catalog's default) release, so an rp/2 transcript replayed against a
 //! catalog session still parses and routes. On a single-release server
 //! the catalog verbs answer `error code=unknown-release`.
+//!
+//! The degradation surface (rp/4): a release whose WAL poisoned after a
+//! failed write or fsync answers `insert`/`flush` with
+//! `error code=degraded` — the message reports the durable sequence
+//! number, the loss boundary a client can trust — while queries keep
+//! answering from the in-memory state. `stats` gained the `degraded`
+//! and `faults` counters, and catalog `reload` is the recovery path.
 //!
 //! Parsing and encoding are exact inverses over the canonical forms:
 //! `parse(encode(x)) == x` for every value expressible in the token
@@ -76,7 +83,10 @@ use std::fmt;
 /// added the catalog verbs (`use`/`releases`/`reload`, the `verb@release`
 /// qualifier, the `using`/`releases`/`reloaded` responses), the optional
 /// `release=` token on the banner and the `unknown-release` error code.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// Revision 4 added the `degraded` error code (a poisoned live release
+/// refusing writes after a failed WAL write or fsync) and the `degraded`
+/// and `faults` stats counters.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Whether `s` can ride the line protocol as a single token in any
 /// position (non-empty, no whitespace, no `;`, no `=`). Column names and
@@ -115,6 +125,11 @@ pub enum ErrorCode {
     /// A catalog verb named a release the server does not host — or
     /// reached a single-release server with no catalog at all.
     UnknownRelease,
+    /// An `insert`/`flush` reached a live release whose WAL poisoned
+    /// after a failed write or fsync: the release is read-only until it
+    /// is reloaded from disk. The message reports the durable sequence
+    /// number — everything past it should be considered lost.
+    Degraded,
 }
 
 impl ErrorCode {
@@ -128,6 +143,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::ReadOnly => "read-only",
             ErrorCode::UnknownRelease => "unknown-release",
+            ErrorCode::Degraded => "degraded",
         }
     }
 
@@ -141,6 +157,7 @@ impl ErrorCode {
             "internal" => ErrorCode::Internal,
             "read-only" => ErrorCode::ReadOnly,
             "unknown-release" => ErrorCode::UnknownRelease,
+            "degraded" => ErrorCode::Degraded,
             _ => return None,
         })
     }
@@ -625,6 +642,12 @@ pub struct StatsSnapshot {
     pub sessions: u64,
     /// Records inserted into the live release.
     pub inserts: u64,
+    /// Requests refused because a live release is degraded (its WAL
+    /// poisoned after a failed write or fsync).
+    pub degraded: u64,
+    /// Storage faults observed by the service: every degradation plus
+    /// internal I/O errors on insert/flush/checkpoint paths.
+    pub faults: u64,
 }
 
 /// One server response.
@@ -854,8 +877,8 @@ impl Response {
             Response::Stats(s) => {
                 write!(
                     out,
-                    "stats requests={} answered={} errors={} cache_hits={} cache_misses={} sessions={} inserts={}",
-                    s.requests, s.answered, s.errors, s.cache_hits, s.cache_misses, s.sessions, s.inserts
+                    "stats requests={} answered={} errors={} cache_hits={} cache_misses={} sessions={} inserts={} degraded={} faults={}",
+                    s.requests, s.answered, s.errors, s.cache_hits, s.cache_misses, s.sessions, s.inserts, s.degraded, s.faults
                 )
                 .expect("writing to a String cannot fail");
             }
@@ -1029,6 +1052,8 @@ impl Response {
                 cache_misses: parse_u64(expect_kv(tokens.next(), "cache_misses")?)?,
                 sessions: parse_u64(expect_kv(tokens.next(), "sessions")?)?,
                 inserts: parse_u64(expect_kv(tokens.next(), "inserts")?)?,
+                degraded: parse_u64(expect_kv(tokens.next(), "degraded")?)?,
+                faults: parse_u64(expect_kv(tokens.next(), "faults")?)?,
             }));
         }
         if let Some(rest) = line.strip_prefix("error ") {
@@ -1219,6 +1244,8 @@ mod tests {
                 cache_misses: 3,
                 sessions: 2,
                 inserts: 7,
+                degraded: 1,
+                faults: 4,
             }),
             Response::Inserted {
                 group_size: 501,
@@ -1359,6 +1386,7 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::ReadOnly,
             ErrorCode::UnknownRelease,
+            ErrorCode::Degraded,
         ] {
             assert_eq!(ErrorCode::from_str_token(code.as_str()), Some(code));
         }

@@ -25,7 +25,14 @@
 //!
 //! Protocol-level failures answer a structured `error code=...` line and
 //! the loop keeps serving — a bad request must never take a session down.
-//! Only transport I/O errors abort the session.
+//! Only transport I/O errors abort the session. That includes the
+//! per-connection read/write deadlines [`crate::server::Server`] may arm:
+//! when a socket read times out, the blocking read surfaces
+//! `WouldBlock`/`TimedOut`, the server treats the session as idle and
+//! reaps it cleanly (the connection slot is released; nothing is logged
+//! as a failure). Degraded backends still serve — writes answer
+//! `error code=degraded` while reads keep flowing (see
+//! [`crate::service::QueryService`]).
 
 use std::io::{self, BufRead, Write};
 

@@ -11,12 +11,21 @@
 //! banner) and shuts down gracefully: [`ShutdownHandle::signal`] stops
 //! the accept loop, then [`Server::run`] joins the in-flight sessions —
 //! which end at `quit` or when their client disconnects.
+//!
+//! The accept loop is resilient: a failed `accept` (fd exhaustion, a
+//! connection reset before accept) is logged and retried with an
+//! escalating backoff — only shutdown (or the listener being torn down
+//! by the OS) ends the loop. Per-connection read/write deadlines
+//! ([`ServerConfig::read_timeout`] / [`ServerConfig::write_timeout`])
+//! reap idle or wedged sessions so stuck clients cannot pin connection
+//! slots forever.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::catalog::Catalog;
 use crate::protocol::{ErrorCode, Response};
@@ -32,12 +41,23 @@ pub struct ServerConfig {
     /// Maximum concurrent sessions; further connections are refused with
     /// an `error code=busy` line.
     pub max_conns: usize,
+    /// Per-connection socket read deadline. A session whose client sends
+    /// nothing for this long is reaped — its connection closes and the
+    /// slot frees — so idle or wedged clients cannot pin the cap.
+    /// `None` (the default) waits indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write deadline: a client that stops
+    /// draining its responses for this long is disconnected. `None`
+    /// (the default) blocks indefinitely.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             max_conns: DEFAULT_MAX_CONNS,
+            read_timeout: None,
+            write_timeout: None,
         }
     }
 }
@@ -178,17 +198,31 @@ impl Server {
     /// Returns only listener-level failures; per-connection I/O errors
     /// end that session silently (the client went away).
     pub fn run(self) -> io::Result<()> {
+        const BACKOFF_FLOOR: Duration = Duration::from_millis(10);
+        const BACKOFF_CEIL: Duration = Duration::from_millis(500);
         let active = Arc::new(AtomicUsize::new(0));
         let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        let mut backoff = BACKOFF_FLOOR;
         for conn in self.listener.incoming() {
             if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            let Ok(stream) = conn else {
-                // Keep serving through transient accept failures, but
-                // don't busy-spin when they persist (e.g. fd exhaustion).
-                std::thread::sleep(std::time::Duration::from_millis(10));
-                continue;
+            let stream = match conn {
+                Ok(stream) => {
+                    backoff = BACKOFF_FLOOR;
+                    stream
+                }
+                Err(e) => {
+                    // A failed accept is never fatal: transient errors
+                    // (ECONNABORTED, EINTR) and resource exhaustion
+                    // (EMFILE) both clear with time, so log, back off
+                    // with escalation, and keep serving. Only shutdown
+                    // ends the loop.
+                    eprintln!("rp-server: accept failed ({e}); retrying in {backoff:?}");
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_CEIL);
+                    continue;
+                }
             };
             workers.retain(|w| !w.is_finished());
             if active.load(Ordering::Acquire) >= self.config.max_conns {
@@ -197,12 +231,13 @@ impl Server {
             }
             active.fetch_add(1, Ordering::AcqRel);
             let backend = self.backend.clone();
+            let config = self.config;
             // The guard releases the slot even if the session panics; a
             // failed session just means the client disconnected mid-line.
             let slot = SlotGuard(Arc::clone(&active));
             workers.push(std::thread::spawn(move || {
                 let _slot = slot;
-                let _ = handle_connection(&backend, stream);
+                let _ = handle_connection(&backend, stream, &config);
             }));
         }
         for worker in workers {
@@ -275,15 +310,35 @@ impl Drop for SlotGuard {
 }
 
 /// One session: buffered reader/writer halves over the same socket, then
-/// the shared loop (plain or catalog-routed by backend).
-fn handle_connection(backend: &Backend, stream: TcpStream) -> io::Result<()> {
+/// the shared loop (plain or catalog-routed by backend). A session that
+/// trips its read/write deadline is *reaped* — reported as a clean end,
+/// its connection closed — rather than treated as an I/O failure.
+fn handle_connection(
+    backend: &Backend,
+    stream: TcpStream,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
     let reader = BufReader::new(stream.try_clone()?);
     let writer = BufWriter::new(stream);
-    match backend {
-        Backend::Single(service) => serve(service, reader, writer)?,
-        Backend::Catalog(catalog) => serve_catalog(catalog, reader, writer)?,
+    let result = match backend {
+        Backend::Single(service) => serve(service, reader, writer),
+        Backend::Catalog(catalog) => serve_catalog(catalog, reader, writer),
     };
-    Ok(())
+    match result {
+        // Platform-dependent: a timed-out socket read reports
+        // WouldBlock (Unix) or TimedOut (Windows).
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(())
+        }
+        other => other.map(|_| ()),
+    }
 }
 
 /// Answers one `busy` error line and closes (no `HELLO`, no session).
@@ -322,13 +377,15 @@ mod tests {
     }
 
     fn start(max_conns: usize) -> (ServerHandle, Arc<QueryService>) {
+        start_with(ServerConfig {
+            max_conns,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn start_with(config: ServerConfig) -> (ServerHandle, Arc<QueryService>) {
         let service = fixture_service();
-        let server = Server::bind(
-            "127.0.0.1:0",
-            Arc::clone(&service),
-            ServerConfig { max_conns },
-        )
-        .unwrap();
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service), config).unwrap();
         (server.spawn().unwrap(), service)
     }
 
@@ -403,6 +460,38 @@ mod tests {
         );
         first.send("quit");
         assert_eq!(first.read_line(), "bye");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped_and_free_their_slot() {
+        let (handle, _service) = start_with(ServerConfig {
+            max_conns: 1,
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        });
+        let mut idle = Client::connect(handle.addr());
+        let _banner = idle.read_line();
+        // Send nothing: the read deadline passes and the server reaps
+        // the session — observable as EOF on our side.
+        let mut eof = String::new();
+        let n = idle.reader.read_line(&mut eof).unwrap();
+        assert_eq!(n, 0, "server closed the idle connection, got `{eof}`");
+        // The freed slot admits a fresh session on a max_conns=1 server
+        // (retrying over the tiny window between socket close and slot
+        // release).
+        let admitted = (0..50).any(|_| {
+            let mut next = Client::connect(handle.addr());
+            let line = next.read_line();
+            if line.starts_with("HELLO") {
+                next.send("quit");
+                assert_eq!(next.read_line(), "bye");
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            false
+        });
+        assert!(admitted, "reaped slot never freed");
         handle.shutdown().unwrap();
     }
 

@@ -24,6 +24,16 @@
 //! Batches bypass the answer cache and instead reuse the engine's
 //! prepared NA match index ([`QueryEngine::prepare`]), which touches each
 //! group key once for the whole batch.
+//!
+//! ## Degradation
+//!
+//! A streaming service whose WAL poisons (a failed write or fsync — see
+//! the fsync-poisoning rule in [`crate::stream`]) degrades to read-only:
+//! `insert`/`flush` answer `error code=degraded` carrying the durable
+//! sequence number, queries keep answering from the in-memory live view
+//! (which may include acknowledged-but-lost events until recovery), and
+//! the `degraded`/`faults` stats counters record every refusal. Recovery
+//! is reopening the stream from disk — the catalog `reload` verb.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -135,6 +145,8 @@ struct AggregateStats {
     cache_misses: AtomicU64,
     sessions: AtomicU64,
     inserts: AtomicU64,
+    degraded: AtomicU64,
+    faults: AtomicU64,
 }
 
 /// The live half of a streaming service: the stream publisher behind a
@@ -313,7 +325,22 @@ impl QueryService {
             cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
             sessions: self.stats.sessions.load(Ordering::Relaxed),
             inserts: self.stats.inserts.load(Ordering::Relaxed),
+            degraded: self.stats.degraded.load(Ordering::Relaxed),
+            faults: self.stats.faults.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether the live stream behind this service is degraded (its WAL
+    /// poisoned after a failed write or fsync). Always `false` on a
+    /// static service.
+    pub fn is_degraded(&self) -> bool {
+        self.stream.as_ref().is_some_and(|b| {
+            b.publisher
+                .lock()
+                .expect("stream lock poisoned")
+                .degraded()
+                .is_some()
+        })
     }
 
     /// Cached single-query answers currently held.
@@ -431,13 +458,7 @@ impl QueryService {
             .collect();
         let outcome = publisher
             .insert_values(&values)
-            .map_err(|e| ProtocolError {
-                code: match e {
-                    StreamError::Io(_) => ErrorCode::Internal,
-                    _ => ErrorCode::BadQuery,
-                },
-                message: e.to_string(),
-            })?;
+            .map_err(|e| self.stream_error(e))?;
         if self.cache_capacity > 0 {
             self.cache
                 .lock()
@@ -459,12 +480,35 @@ impl QueryService {
         self.backend()?; // read-only refusal before any I/O
         let events = self
             .checkpoint()
-            .map_err(|e| ProtocolError {
-                code: ErrorCode::Internal,
-                message: e.to_string(),
-            })?
+            .map_err(|e| self.stream_error(e))?
             .expect("backend() guarantees a stream");
         Ok(Response::Flushed { events })
+    }
+
+    /// Maps a stream failure to its wire error, recording the fault
+    /// counters: a degradation counts under both `degraded` and
+    /// `faults`, any other I/O failure under `faults` alone, and
+    /// validation failures (bad column, unknown value) under neither.
+    fn stream_error(&self, e: StreamError) -> ProtocolError {
+        let code = match &e {
+            StreamError::Degraded { .. } => ErrorCode::Degraded,
+            StreamError::Io(_) => ErrorCode::Internal,
+            _ => ErrorCode::BadQuery,
+        };
+        match code {
+            ErrorCode::Degraded => {
+                self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                self.stats.faults.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::Internal => {
+                self.stats.faults.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        ProtocolError {
+            code,
+            message: e.to_string(),
+        }
     }
 
     /// Resolves a wire query against the engine schema, splitting the SA
@@ -937,6 +981,59 @@ mod tests {
         let snapshot = Publication::load_from_path(&state_out).unwrap();
         assert_eq!(snapshot.live().unwrap().inserted, 1);
         assert_eq!(snapshot.table().rows(), 401);
+    }
+
+    #[test]
+    fn a_degraded_stream_refuses_writes_but_keeps_answering() {
+        use crate::fault::{FaultHandle, FaultSchedule};
+        // `Wal::create_with` consumes syncs 1–2, so the first flush-time
+        // fsync is sync 3 — scripted to fail.
+        let faults: FaultHandle = Arc::new(FaultSchedule::fsync_at(3));
+        let stream = StreamPublisher::open_with(
+            fixture_publication(),
+            &stream_tmp("degraded.rpwal"),
+            crate::stream::StreamConfig::default(),
+            faults,
+        )
+        .unwrap();
+        let s = QueryService::streaming(stream, None, ServiceConfig::default());
+        let mut session = SessionStats::default();
+        s.handle_line("insert Job=eng Disease=flu", &mut session)
+            .unwrap();
+        // The flush hits the scripted fsync failure: the stream poisons
+        // and the response reports the durable boundary.
+        let r = s.handle_line("flush", &mut session).unwrap();
+        let Response::Error { code, message } = r else {
+            panic!("expected degraded error, got {r:?}");
+        };
+        assert_eq!(code, ErrorCode::Degraded);
+        assert!(message.contains("durable through event 0"), "{message}");
+        assert!(s.is_degraded());
+        // Writes keep refusing — the fsync is never retried-and-acked...
+        let r = s
+            .handle_line("insert Job=eng Disease=flu", &mut session)
+            .unwrap();
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::Degraded,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        // ...while queries keep answering from the in-memory live view.
+        let r = s
+            .handle_line("count Job=eng Disease=flu", &mut session)
+            .unwrap();
+        let Response::Answer(a) = r else {
+            panic!("expected answer, got {r:?}");
+        };
+        assert_eq!(a.support, 201, "the acked insert still answers");
+        let snap = s.stats();
+        assert_eq!(snap.degraded, 2);
+        assert_eq!(snap.faults, 2);
     }
 
     #[test]

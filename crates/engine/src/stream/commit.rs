@@ -17,6 +17,21 @@
 //! bounded by the policy — at most `commit_batch − 1` acknowledged but
 //! unsynced events (or one window's worth) roll back to the durable
 //! prefix, which replay then reconstructs exactly.
+//!
+//! ## The fsync-poisoning rule
+//!
+//! A failed `fsync` is **terminal**. After the kernel reports an fsync
+//! error it may drop the dirty pages it could not write, so a retried
+//! fsync that returns success proves nothing about the bytes the first
+//! one lost — acking on retry is how databases have silently lost
+//! committed data (the "fsyncgate" failure mode). The [`LogManager`]
+//! therefore *latches poisoned* on the first failed sync (or failed
+//! append — a torn buffered line is equally untrustworthy): the durable
+//! cursor freezes at the last successful sync, every later append or
+//! commit refuses with [`StreamError::Degraded`] carrying that cursor,
+//! and the stream's events past the cursor are reported lost. Recovery
+//! is a fresh open (catalog `reload`), which replays exactly the
+//! durable prefix from disk.
 
 use std::time::{Duration, Instant};
 
@@ -40,6 +55,9 @@ pub(crate) struct LogManager {
     durable_seq: u64,
     /// When the last sync happened (or the manager was created).
     last_commit: Instant,
+    /// Set once a sync or append has failed: the manager is dead, and
+    /// every later mutation refuses with the message recorded here.
+    poisoned: Option<String>,
 }
 
 impl LogManager {
@@ -56,6 +74,7 @@ impl LogManager {
             pending: 0,
             durable_seq,
             last_commit: Instant::now(),
+            poisoned: None,
         }
     }
 
@@ -69,10 +88,44 @@ impl LogManager {
         self.durable_seq
     }
 
+    /// Why the manager is poisoned, if it is. A poisoned manager
+    /// refuses every append and commit; the owning stream is read-only
+    /// until it is reopened from disk.
+    pub(crate) fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Latches the poison and returns the degradation error every
+    /// later mutation will repeat: the durable cursor is frozen at the
+    /// last successful sync.
+    fn poison(&mut self, message: String) -> StreamError {
+        self.poisoned = Some(message.clone());
+        StreamError::Degraded {
+            durable_seq: self.durable_seq,
+            message,
+        }
+    }
+
+    /// Refuses the mutation if the manager is already poisoned.
+    fn check_poison(&self) -> Result<(), StreamError> {
+        match &self.poisoned {
+            Some(message) => Err(StreamError::Degraded {
+                durable_seq: self.durable_seq,
+                message: message.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
     /// Appends one event to the log buffer. The event is *logged* but
     /// not yet *durable*; a commit (automatic or explicit) makes it so.
-    pub(crate) fn append(&mut self, event: &WalEvent) -> std::io::Result<()> {
-        self.wal.append(event)?;
+    /// A failed append poisons the manager — a torn buffered line means
+    /// nothing later written to this handle can be trusted.
+    pub(crate) fn append(&mut self, event: &WalEvent) -> Result<(), StreamError> {
+        self.check_poison()?;
+        if let Err(e) = self.wal.append(event) {
+            return Err(self.poison(format!("WAL append failed: {e}")));
+        }
         self.pending += 1;
         Ok(())
     }
@@ -95,9 +148,18 @@ impl LogManager {
     /// Forces everything appended so far to stable storage and returns
     /// the new durable sequence number. A no-op sync-wise when nothing
     /// is pending — an idle flush costs nothing.
+    ///
+    /// A failed sync **poisons** the manager (the fsync-poisoning rule
+    /// above): the sync is never retried, `pending` is deliberately not
+    /// cleared, the durable cursor stays at the last good sync, and the
+    /// returned [`StreamError::Degraded`] — repeated by every later
+    /// mutation — reports that cursor as the loss boundary.
     pub(crate) fn commit(&mut self) -> Result<u64, StreamError> {
+        self.check_poison()?;
         if self.pending > 0 {
-            self.wal.sync()?;
+            if let Err(e) = self.wal.sync() {
+                return Err(self.poison(format!("WAL fsync failed: {e}")));
+            }
             self.durable_seq = self.wal.next_seq() - 1;
             self.pending = 0;
         }
@@ -173,6 +235,56 @@ mod tests {
         assert_eq!(lm.commit().unwrap(), 5);
         // An idle commit is a cheap no-op that reports the same cursor.
         assert_eq!(lm.commit().unwrap(), 5);
+    }
+
+    /// A manager over a WAL whose `nth` fsync is scripted to fail.
+    /// `Wal::create_with` itself consumes two syncs (the header fsync
+    /// and the parent-directory fsync), so the first commit-time sync
+    /// is number 3.
+    fn faulted_manager(name: &str, nth_sync: u64) -> LogManager {
+        use crate::fault::FaultSchedule;
+        let path = std::env::temp_dir().join(format!("rp-commit-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let faults = std::sync::Arc::new(FaultSchedule::fsync_at(nth_sync));
+        let wal = Wal::create_with(&path, &header(), faults).unwrap();
+        LogManager::new(wal, &StreamConfig::default())
+    }
+
+    #[test]
+    fn a_failed_fsync_poisons_the_manager_for_good() {
+        let mut lm = faulted_manager("poison.rpwal", 3);
+        lm.append(&insert(1)).unwrap();
+        lm.append(&insert(2)).unwrap();
+        let err = lm.commit().unwrap_err();
+        assert!(
+            matches!(err, StreamError::Degraded { durable_seq: 0, .. }),
+            "{err}"
+        );
+        assert_eq!(lm.poisoned().map(|m| m.contains("fsync")), Some(true));
+        // The fsync is never retried: a second commit refuses instead
+        // of syncing again and falsely acking the lost events...
+        let err = lm.commit().unwrap_err();
+        assert!(
+            matches!(err, StreamError::Degraded { durable_seq: 0, .. }),
+            "{err}"
+        );
+        // ...appends refuse too, and the durable cursor stays frozen.
+        assert!(lm.append(&insert(3)).is_err());
+        assert_eq!(lm.durable_seq(), 0);
+    }
+
+    #[test]
+    fn poisoning_freezes_the_cursor_at_the_last_good_sync() {
+        let mut lm = faulted_manager("poison-late.rpwal", 4);
+        lm.append(&insert(1)).unwrap();
+        assert_eq!(lm.commit().unwrap(), 1, "sync 3 succeeds");
+        lm.append(&insert(2)).unwrap();
+        let err = lm.commit().unwrap_err();
+        assert!(
+            matches!(err, StreamError::Degraded { durable_seq: 1, .. }),
+            "{err}"
+        );
+        assert_eq!(lm.durable_seq(), 1, "event 2 is reported lost");
     }
 
     #[test]

@@ -66,6 +66,32 @@
 //!   recovery. Corrupting or deleting it cannot change a recovered byte;
 //!   a torn record *read back during a run* is a loud
 //!   [`StreamError::Format`], never a silent truncation.
+//!
+//! ## The fsync-poisoning rule
+//!
+//! A failed WAL `fsync` is **terminal**. After reporting an fsync error
+//! the kernel may drop the dirty pages it could not write, so a retried
+//! fsync that returns success proves nothing about the bytes the first
+//! one lost — retry-and-ack is how systems have silently lost committed
+//! data ("fsyncgate"). The log manager therefore latches *poisoned* on
+//! the first failed sync (a failed append poisons too — a torn buffered
+//! line is equally untrustworthy): the durable cursor freezes at the
+//! last good sync, [`StreamPublisher::durable_seq`] reports
+//! acknowledged-but-unsynced events as lost, and every later
+//! [`insert`](StreamPublisher::insert_codes) or
+//! [`flush`](StreamPublisher::flush) refuses with
+//! [`StreamError::Degraded`] carrying that cursor. The stream keeps
+//! answering queries from its in-memory state; reopening it from disk
+//! (the catalog's `reload`) recovers exactly the durable prefix.
+//!
+//! Spill and snapshot I/O sit outside this rule: a spill page rewrite
+//! and an atomic snapshot replacement are idempotent, so those paths
+//! absorb *transient* faults with bounded retry-with-backoff
+//! ([`crate::fault::with_retry`]) and only a persistent fault surfaces
+//! — loudly, with the stream's state intact. Every durable writer in
+//! the subsystem consults an injectable [`crate::fault::FaultIo`]
+//! facade (default passthrough), so `tests/fault_matrix.rs` can drive
+//! all of the above from a seeded, replayable fault schedule.
 
 mod commit;
 pub mod rng;
@@ -81,6 +107,7 @@ use rp_core::incremental::{GroupStatus, IncrementalPublisher, LiveGroup};
 use rp_core::privacy::PrivacyParams;
 use rp_table::{AttrId, CountQuery, Schema, TableBuilder, TableError, Term};
 
+use crate::fault::{self, FaultHandle};
 use crate::publication::{LiveGroupSnapshot, LiveState, Publication, PublicationError};
 use crate::stream::commit::LogManager;
 use crate::stream::rng::GroupRng;
@@ -131,6 +158,17 @@ pub enum StreamError {
     Table(TableError),
     /// The publication artifact failed to (de)serialize.
     Publication(PublicationError),
+    /// The stream's WAL is poisoned after a failed write or fsync (the
+    /// fsync-poisoning rule): the stream is read-only for mutations and
+    /// reports the prefix guaranteed durable. Reopening the stream from
+    /// disk (the catalog's `reload`) is the recovery path.
+    Degraded {
+        /// Highest sequence number guaranteed to survive — everything
+        /// past it is reported lost.
+        durable_seq: u64,
+        /// The write failure that poisoned the log.
+        message: String,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -141,6 +179,14 @@ impl fmt::Display for StreamError {
             StreamError::Mismatch(m) => write!(f, "{m}"),
             StreamError::Table(e) => write!(f, "{e}"),
             StreamError::Publication(e) => write!(f, "{e}"),
+            StreamError::Degraded {
+                durable_seq,
+                message,
+            } => write!(
+                f,
+                "stream degraded to read-only after a write failure ({message}); \
+                 durable through event {durable_seq} — reload the release to recover"
+            ),
         }
     }
 }
@@ -228,6 +274,9 @@ pub struct StreamPublisher {
     inserted: u64,
     republished: u64,
     config: StreamConfig,
+    /// The fault policy every durable writer of this stream consults
+    /// (passthrough in production, a schedule under fault injection).
+    faults: FaultHandle,
 }
 
 impl StreamPublisher {
@@ -247,7 +296,25 @@ impl StreamPublisher {
         wal_path: &Path,
         config: StreamConfig,
     ) -> Result<Self, StreamError> {
-        Self::build(artifact, wal_path, config, true)
+        Self::build(artifact, wal_path, config, true, fault::passthrough())
+    }
+
+    /// [`StreamPublisher::open`] behind an injectable fault policy:
+    /// every durable write the stream performs (WAL appends and syncs,
+    /// spill page write-backs, snapshot replacement) consults `faults`
+    /// first. Production uses [`StreamPublisher::open`] (passthrough);
+    /// the fault matrix drives this with seeded schedules.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamPublisher::open`], plus whatever `faults` injects.
+    pub fn open_with(
+        artifact: Publication,
+        wal_path: &Path,
+        config: StreamConfig,
+        faults: FaultHandle,
+    ) -> Result<Self, StreamError> {
+        Self::build(artifact, wal_path, config, true, faults)
     }
 
     /// Reconstructs the stream state by replay only — no appends, the
@@ -269,7 +336,7 @@ impl StreamPublisher {
                 wal_path.display()
             )));
         }
-        Self::build(artifact, wal_path, config, false)
+        Self::build(artifact, wal_path, config, false, fault::passthrough())
     }
 
     fn build(
@@ -277,6 +344,7 @@ impl StreamPublisher {
         wal_path: &Path,
         config: StreamConfig,
         append: bool,
+        faults: FaultHandle,
     ) -> Result<Self, StreamError> {
         let (base, live) = split_artifact(artifact)?;
         let schema = base.schema().clone();
@@ -314,6 +382,7 @@ impl StreamPublisher {
             inserted: live.as_ref().map_or(0, |l| l.inserted),
             republished: live.as_ref().map_or(0, |l| l.republished),
             config,
+            faults: std::sync::Arc::clone(&faults),
         };
         if let Some(live) = live {
             for g in live.groups {
@@ -325,10 +394,10 @@ impl StreamPublisher {
         // missing events, a log (even an empty one) whose next append
         // would rewind behind the snapshot is stale.
         let (wal, file) = if wal_path.exists() {
-            let (wal, file) = Wal::open_append(wal_path, &header)?;
+            let (wal, file) = Wal::open_append_with(wal_path, &header, faults)?;
             (wal, Some(file))
         } else if append {
-            (Wal::create(wal_path, &header)?, None)
+            (Wal::create_with(wal_path, &header, faults)?, None)
         } else {
             unreachable!("replay checked existence")
         };
@@ -646,13 +715,17 @@ impl StreamPublisher {
         if self.inner.group(key).is_some() {
             return Ok(());
         }
-        if let Some(published) = self.cold.remove(key) {
+        if self.cold.contains_key(key) {
             let spill = self
                 .spill
                 .as_mut()
                 .expect("cold groups imply a spill store");
+            // Read before removing anything: a failed read leaves the
+            // group spilled and the stream consistent, so the caller
+            // can retry or degrade without having lost state.
             let state = spill.read(key)?;
             spill.forget(key);
+            let published = self.cold.remove(key).expect("checked above");
             self.inner.put_group(LiveGroup {
                 key: key.to_vec(),
                 raw_hist: state.raw_hist,
@@ -689,23 +762,35 @@ impl StreamPublisher {
             return Ok(());
         }
         while self.inner.group_count() > self.config.max_resident {
+            if self.spill.is_none() {
+                self.spill = Some(SpillStore::create_with(
+                    &self.spill_path,
+                    self.m,
+                    std::sync::Arc::clone(&self.faults),
+                )?);
+            }
             let (&clock, _) = self.lru.iter().next().expect("hot set is non-empty");
             let key = self.lru.remove(&clock).expect("entry just observed");
             self.touch.remove(&key);
             let group = self.inner.take_group(&key).expect("LRU tracks hot groups");
             let rng_state = self.rngs.remove(&key).expect("hot groups carry a cursor");
-            if self.spill.is_none() {
-                self.spill = Some(SpillStore::create(&self.spill_path, self.m)?);
-            }
-            self.spill.as_mut().expect("just created").spill(
+            let spilled = self.spill.as_mut().expect("just created").spill(
                 &key,
                 &SpilledGroup {
-                    raw_hist: group.raw_hist,
+                    raw_hist: group.raw_hist.clone(),
                     rng_state,
                     status: group.status,
                     republished_len: group.republished_len,
                 },
-            )?;
+            );
+            if let Err(e) = spilled {
+                // A failed spill must not lose the group: put its state
+                // back and surface the error with the stream intact.
+                self.rngs.insert(key.clone(), rng_state);
+                self.inner.put_group(group);
+                self.touch_key(key);
+                return Err(e.into());
+            }
             self.cold.insert(key, group.published_hist);
         }
         Ok(())
@@ -745,6 +830,15 @@ impl StreamPublisher {
             Some(wal) => wal.durable_seq(),
             None => self.wal_seq,
         }
+    }
+
+    /// Why the stream is degraded (its WAL poisoned after a failed
+    /// write or fsync), if it is. A degraded stream keeps answering
+    /// queries from its in-memory state but refuses `insert`/`flush`
+    /// with [`StreamError::Degraded`]; reopening it from disk (the
+    /// catalog's `reload`) recovers exactly the durable prefix.
+    pub fn degraded(&self) -> Option<&str> {
+        self.wal.as_ref().and_then(LogManager::poisoned)
     }
 
     /// Materializes the stream as a v2 [`Publication`]: the base rows
@@ -869,8 +963,14 @@ impl StreamPublisher {
     /// serialization errors.
     pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<(), StreamError> {
         let publication = self.snapshot()?;
-        crate::fsutil::write_atomic(path.as_ref(), |w| {
-            publication.save(w).map_err(StreamError::from)
+        // Atomic replacement is safe to retry wholesale — each attempt
+        // starts from a fresh temp sibling — so transient injected
+        // faults are absorbed here; a persistent fault surfaces with
+        // the previous snapshot untouched.
+        fault::with_retry(|| {
+            crate::fsutil::write_atomic_with(path.as_ref(), &self.faults, |w| {
+                publication.save(w).map_err(StreamError::from)
+            })
         })
     }
 
@@ -1102,6 +1202,50 @@ mod tests {
             save_bytes(&sync.snapshot().unwrap()),
             save_bytes(&batched.snapshot().unwrap())
         );
+    }
+
+    #[test]
+    fn a_poisoned_wal_degrades_the_stream_to_read_only() {
+        use crate::fault::FaultSchedule;
+        let wal = tmp("poisoned.rpwal");
+        // `Wal::create_with` consumes syncs 1–2 (header + parent dir),
+        // so sync 3 is the first flush-time fsync.
+        let faults: FaultHandle = std::sync::Arc::new(FaultSchedule::fsync_at(3));
+        let mut s =
+            StreamPublisher::open_with(base_publication(), &wal, StreamConfig::default(), faults)
+                .unwrap();
+        for i in 0..10u32 {
+            s.insert_codes(&record(i)).unwrap();
+        }
+        let all = CountQuery::new(vec![], 2, 0).unwrap();
+        let before = s.live_support_observed(&all);
+        // The failing fsync poisons the stream: the acked-but-unsynced
+        // inserts are reported lost via the frozen durable cursor...
+        let err = s.flush().unwrap_err();
+        assert!(
+            matches!(err, StreamError::Degraded { durable_seq: 0, .. }),
+            "{err}"
+        );
+        assert!(s.degraded().is_some());
+        // ...every later mutation refuses...
+        assert!(matches!(
+            s.insert_codes(&record(0)),
+            Err(StreamError::Degraded { .. })
+        ));
+        assert!(matches!(s.flush(), Err(StreamError::Degraded { .. })));
+        assert_eq!(s.durable_seq(), 0);
+        // ...but queries keep answering from the in-memory state.
+        assert_eq!(s.live_support_observed(&all), before);
+        drop(s);
+        // Recovery is a fresh fault-free open: it replays exactly what
+        // reached the disk (at least the durable prefix) and accepts
+        // writes again.
+        let mut recovered =
+            StreamPublisher::open(base_publication(), &wal, StreamConfig::default()).unwrap();
+        assert!(recovered.degraded().is_none());
+        assert!(recovered.wal_seq() >= recovered.durable_seq());
+        recovered.insert_codes(&record(0)).unwrap();
+        recovered.flush().unwrap();
     }
 
     #[test]

@@ -35,12 +35,13 @@
 //! exercises it end to end).
 
 use std::collections::{BTreeSet, HashMap};
-use std::fs::{File, OpenOptions};
+use std::fs::OpenOptions;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use rp_core::incremental::GroupStatus;
 
+use crate::fault::{self, CheckedFile, FaultHandle};
 use crate::stream::StreamError;
 
 /// Fixed page size of the spill heap.
@@ -93,7 +94,7 @@ struct Frame {
 /// buffer pool.
 #[derive(Debug)]
 pub(crate) struct SpillStore {
-    file: File,
+    file: CheckedFile,
     index: HashMap<Vec<u32>, Extent>,
     /// Pages below the high-water mark currently owned by no record.
     free: BTreeSet<u64>,
@@ -108,8 +109,19 @@ pub(crate) struct SpillStore {
 }
 
 impl SpillStore {
-    /// Creates (or truncates) the spill file.
+    /// Creates (or truncates) the spill file with passthrough I/O.
+    #[cfg(test)]
     pub fn create(path: &Path, m: usize) -> std::io::Result<Self> {
+        Self::create_with(path, m, fault::passthrough())
+    }
+
+    /// Creates (or truncates) the spill file behind an injectable
+    /// fault policy: page
+    /// write-backs consult `faults` before touching the disk. Spill
+    /// page I/O is idempotent (a full-page rewrite at a fixed offset),
+    /// so transient injected faults are absorbed by bounded retry —
+    /// unlike a WAL fsync, which is never retried.
+    pub fn create_with(path: &Path, m: usize, faults: FaultHandle) -> std::io::Result<Self> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -117,7 +129,7 @@ impl SpillStore {
             .truncate(true)
             .open(path)?;
         Ok(Self {
-            file,
+            file: CheckedFile::new(file, faults),
             index: HashMap::new(),
             free: BTreeSet::new(),
             pages: 0,
@@ -346,11 +358,19 @@ impl SpillStore {
         Ok(slot)
     }
 
-    /// Writes one frame's full page back to the file.
+    /// Writes one frame's full page back to the file. The rewrite is
+    /// idempotent — a whole page at a fixed offset — so a transient
+    /// fault (even a torn attempt) is safely absorbed by retrying the
+    /// seek-and-write wholesale; only a persistent fault surfaces.
     fn write_back(&mut self, slot: usize) -> std::io::Result<()> {
         let page = self.frames[slot].page;
-        self.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
-        self.file.write_all(&self.frames[slot].data[..])?;
+        let offset = page * PAGE_SIZE as u64;
+        let file = &mut self.file;
+        let data = &self.frames[slot].data;
+        fault::with_retry(|| -> std::io::Result<()> {
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(&data[..])
+        })?;
         self.frames[slot].dirty = false;
         Ok(())
     }
@@ -524,6 +544,41 @@ mod tests {
             let expected = 192 + k; // last round that touched this key
             assert_eq!(store.read(&[k as u32]).unwrap(), group(expected));
         }
+    }
+
+    #[test]
+    fn transient_write_faults_are_absorbed_by_retry() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let faults = std::sync::Arc::new(FaultSchedule::write_at(1, FaultKind::Eio));
+        let mut store =
+            SpillStore::create_with(&tmp("transient.spill"), 3, faults.clone()).unwrap();
+        // Enough records to force eviction write-backs through the
+        // scripted fault; the retry's second attempt succeeds.
+        let n = (POOL_FRAMES * 2) as u64;
+        for k in 0..n {
+            store.spill(&[k as u32], &group(k)).unwrap();
+        }
+        for k in 0..n {
+            assert_eq!(store.read(&[k as u32]).unwrap(), group(k), "key {k}");
+        }
+        assert_eq!(faults.injected(), 1, "the scripted fault did fire");
+    }
+
+    #[test]
+    fn persistent_write_faults_error_loudly() {
+        use crate::fault::FaultSchedule;
+        // Period 1: every operation faults, so bounded retry gives up.
+        let faults = std::sync::Arc::new(FaultSchedule::sampled(5, 1));
+        let mut store = SpillStore::create_with(&tmp("persistent.spill"), 3, faults).unwrap();
+        let n = (POOL_FRAMES * 2) as u64;
+        let mut failed = false;
+        for k in 0..n {
+            if store.spill(&[k as u32], &group(k)).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "eviction write-backs surface the persistent fault");
     }
 
     #[test]

@@ -62,6 +62,7 @@ use rp_core::privacy::PrivacyParams;
 use rp_table::Schema;
 
 use crate::codec::{read_schema, write_schema, Lines};
+use crate::fault::{self, CheckedFile, FaultHandle};
 use crate::fsutil;
 use crate::publication::PublicationError;
 use crate::stream::rng::GroupRng;
@@ -582,7 +583,7 @@ fn read_compact_section<R: BufRead>(
 /// tail truncated, positioned at the end).
 #[derive(Debug)]
 pub struct Wal {
-    writer: BufWriter<File>,
+    writer: BufWriter<CheckedFile>,
     next_seq: u64,
     path: PathBuf,
     /// Whether the directory entry is known durable. [`Wal::create`]
@@ -604,12 +605,27 @@ impl Wal {
     /// Returns an error on I/O failure, an already-existing file, or a
     /// schema not representable in the line format.
     pub fn create(path: &Path, header: &WalHeader) -> Result<Self, StreamError> {
+        Self::create_with(path, header, fault::passthrough())
+    }
+
+    /// [`Wal::create`] behind an injectable fault policy: every header
+    /// write, the header fsync and the directory fsync consult `faults`
+    /// before touching the disk (production passes the passthrough).
+    ///
+    /// # Errors
+    ///
+    /// As [`Wal::create`], plus whatever `faults` injects.
+    pub fn create_with(
+        path: &Path,
+        header: &WalHeader,
+        faults: FaultHandle,
+    ) -> Result<Self, StreamError> {
         let file = OpenOptions::new().write(true).create_new(true).open(path)?;
-        let mut writer = BufWriter::new(file);
+        let mut writer = BufWriter::new(CheckedFile::new(file, faults));
         header.write(&mut writer)?;
         writer.flush()?;
         writer.get_ref().sync_all()?;
-        fsutil::sync_parent_dir(path)?;
+        fsutil::sync_parent_dir_with(path, writer.get_ref().faults())?;
         Ok(Self {
             writer,
             next_seq: header.first_seq,
@@ -632,6 +648,22 @@ impl Wal {
     /// after the expected sequence (events are missing), or a stale log
     /// whose next append would rewind the sequence.
     pub fn open_append(path: &Path, expected: &WalHeader) -> Result<(Self, WalFile), StreamError> {
+        Self::open_append_with(path, expected, fault::passthrough())
+    }
+
+    /// [`Wal::open_append`] behind an injectable fault policy: the
+    /// opened log's future writes and syncs consult `faults` before
+    /// touching the disk (the validating read is never faulted — reads
+    /// are outside the injection surface).
+    ///
+    /// # Errors
+    ///
+    /// As [`Wal::open_append`].
+    pub fn open_append_with(
+        path: &Path,
+        expected: &WalHeader,
+        faults: FaultHandle,
+    ) -> Result<(Self, WalFile), StreamError> {
         let wal_file = read_wal(path)?;
         if !wal_file.header.same_stream(expected) {
             return Err(StreamError::Mismatch(format!(
@@ -666,7 +698,7 @@ impl Wal {
         }
         let file = OpenOptions::new().write(true).open(path)?;
         file.set_len(wal_file.end_offset)?; // drop a torn tail, if any
-        let mut writer = BufWriter::new(file);
+        let mut writer = BufWriter::new(CheckedFile::new(file, faults));
         writer.seek(SeekFrom::End(0))?;
         Ok((
             Self {
@@ -732,7 +764,7 @@ impl Wal {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         if !self.dir_synced {
-            fsutil::sync_parent_dir(&self.path)?;
+            fsutil::sync_parent_dir_with(&self.path, self.writer.get_ref().faults())?;
             self.dir_synced = true;
         }
         Ok(())

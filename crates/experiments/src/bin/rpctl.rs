@@ -13,13 +13,15 @@
 //! rpctl query   --publication release.rppub --where Gender=Male --value >50K
 //!               [--raw data.csv]
 //! rpctl query   --connect HOST:PORT --where Gender=Male --value >50K
-//!               [--release NAME]
+//!               [--release NAME --timeout MS]
 //! rpctl serve   --publication release.rppub
-//!               [--listen HOST:PORT --max-conns N --cache N]
+//!               [--listen HOST:PORT --max-conns N --cache N
+//!                --read-timeout MS --write-timeout MS]
 //!               [--wal stream.rpwal --state-out state.rppub --max-resident N
-//!                --commit-batch N --commit-window MS]
+//!                --commit-batch N --commit-window MS --fault-fsync-at N]
 //! rpctl serve   --release alpha=a.rppub --release beta=b.rppub
 //!               [--listen HOST:PORT --max-conns N --cache N]
+//!               [--wal stream.rpwal ...]   # stream attaches to the first release
 //! rpctl releases --connect HOST:PORT
 //! rpctl reload  --connect HOST:PORT --release NAME
 //! rpctl bakeoff --input data.csv --sa Income
@@ -88,6 +90,17 @@
 //! `publish --adult <path>` loads the raw UCI ADULT file when it exists
 //! (falling back to `RP_ADULT_PATH`, then to the synthetic shape-matched
 //! generator), so paper figures can be validated against the real data.
+//!
+//! Robustness knobs: every TCP client arms a socket read deadline
+//! (`--timeout MS`, default 30000, `0` disables) so a stalled server
+//! produces a clear error and a nonzero exit instead of blocking forever;
+//! `serve` can arm per-connection `--read-timeout`/`--write-timeout`
+//! deadlines so idle sessions are reaped and their connection slots
+//! freed. `--fault-fsync-at N` arms deterministic fault injection on a
+//! streaming release — the Nth WAL fsync fails, the stream poisons and
+//! degrades to read-only (`error code=degraded`), and a catalog `reload`
+//! recovers it from disk. That flag exists for the fault-matrix CI round
+//! and for rehearsing the degradation contract; never use it in production.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -95,6 +108,7 @@ use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use rp_core::audit::{audit, render as render_audit};
 use rp_core::generalize::Generalization;
@@ -102,9 +116,9 @@ use rp_core::groups::{PersonalGroups, SaSpec};
 use rp_core::privacy::PrivacyParams;
 use rp_datagen::adult::AdultSource;
 use rp_engine::{
-    serve, serve_catalog, Catalog, Publication, Publisher, QueryEngine, QueryService, Request,
-    Response, Server, ServerConfig, ServiceConfig, StreamConfig, StreamPublisher, WireAnswer,
-    WireQuery, WireRecord,
+    serve, serve_catalog, Catalog, FaultHandle, FaultSchedule, Publication, Publisher, QueryEngine,
+    QueryService, Request, Response, Server, ServerConfig, ServiceConfig, StreamConfig,
+    StreamPublisher, WireAnswer, WireQuery, WireRecord,
 };
 use rp_experiments::bakeoff;
 use rp_table::{read_csv, write_csv, Pattern, Table, Term};
@@ -136,6 +150,14 @@ struct Options {
     max_resident: usize,
     commit_batch: u64,
     commit_window: u64,
+    /// Client-side socket read deadline in ms (`0` disables).
+    timeout: u64,
+    /// Server-side per-connection read deadline in ms (`0` disables).
+    read_timeout: u64,
+    /// Server-side per-connection write deadline in ms (`0` disables).
+    write_timeout: u64,
+    /// Fail the Nth WAL fsync of a streaming release (`0` disables).
+    fault_fsync_at: u64,
     adult: Option<String>,
     /// `--release` values: `NAME=PATH` pairs for `serve`, a bare release
     /// name for `query`/`reload`.
@@ -156,6 +178,31 @@ impl Options {
             commit_window_ms: self.commit_window,
         }
     }
+
+    /// The server tuning the flags describe (`0` means no deadline).
+    fn server_config(&self) -> ServerConfig {
+        let deadline = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+        ServerConfig {
+            max_conns: self.max_conns,
+            read_timeout: deadline(self.read_timeout),
+            write_timeout: deadline(self.write_timeout),
+        }
+    }
+
+    /// The client-side socket read deadline (`--timeout 0` disables).
+    fn client_timeout(&self) -> Option<Duration> {
+        (self.timeout > 0).then(|| Duration::from_millis(self.timeout))
+    }
+
+    /// The fault policy `--fault-fsync-at` describes: a scripted schedule
+    /// failing exactly that WAL fsync, or passthrough when unset.
+    fn fault_handle(&self) -> FaultHandle {
+        if self.fault_fsync_at > 0 {
+            Arc::new(FaultSchedule::fsync_at(self.fault_fsync_at))
+        } else {
+            rp_engine::fault::passthrough()
+        }
+    }
 }
 
 fn usage() -> ExitCode {
@@ -163,9 +210,9 @@ fn usage() -> ExitCode {
         "usage:\n  rpctl audit   --input FILE --sa COLUMN [--p P --lambda L --delta D]\n  \
          rpctl publish --input FILE | --adult FILE --sa COLUMN --output FILE.rppub [--csv FILE.csv] [--p P --lambda L --delta D --no-generalize --seed N --threads N]\n  \
          rpctl query   --publication FILE.rppub --where COL=VALUE ... --value SA_VALUE [--raw FILE.csv]\n  \
-         rpctl query   --connect HOST:PORT --where COL=VALUE ... --value SA_VALUE [--release NAME]\n  \
-         rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES] [--wal FILE.rpwal --state-out FILE.rppub --max-resident N --commit-batch N --commit-window MS]\n  \
-         rpctl serve   --release NAME=FILE.rppub [--release NAME=FILE.rppub ...] [--listen HOST:PORT --max-conns N --cache ENTRIES]\n  \
+         rpctl query   --connect HOST:PORT --where COL=VALUE ... --value SA_VALUE [--release NAME --timeout MS]\n  \
+         rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES --read-timeout MS --write-timeout MS] [--wal FILE.rpwal --state-out FILE.rppub --max-resident N --commit-batch N --commit-window MS --fault-fsync-at N]\n  \
+         rpctl serve   --release NAME=FILE.rppub [--release NAME=FILE.rppub ...] [--listen HOST:PORT --max-conns N --cache ENTRIES --read-timeout MS --write-timeout MS] [--wal FILE.rpwal ...]\n  \
          rpctl releases --connect HOST:PORT\n  \
          rpctl reload  --connect HOST:PORT --release NAME\n  \
          rpctl bakeoff --input FILE.csv --sa COLUMN [--p P --lambda L --delta D --seed N --dp-epsilon E --dp-delta D --dp-p P --max-queries N --detail N]\n  \
@@ -176,6 +223,10 @@ fn usage() -> ExitCode {
     );
     ExitCode::from(2)
 }
+
+/// How long a TCP client waits on one socket read before declaring the
+/// server stalled (`--timeout`, milliseconds; `0` disables).
+const DEFAULT_CLIENT_TIMEOUT_MS: u64 = 30_000;
 
 /// The machine's usable thread count — the default for `--threads`.
 fn machine_threads() -> usize {
@@ -193,6 +244,7 @@ fn parse(args: &[String]) -> Option<Options> {
         generalize: true,
         max_conns: rp_engine::server::DEFAULT_MAX_CONNS,
         cache: rp_engine::service::DEFAULT_CACHE_ENTRIES,
+        timeout: DEFAULT_CLIENT_TIMEOUT_MS,
         dp_epsilon: 1.0,
         dp_delta: 1e-6,
         dp_p: 0.5,
@@ -241,6 +293,10 @@ fn parse(args: &[String]) -> Option<Options> {
             "--max-resident" => opts.max_resident = it.next()?.parse().ok()?,
             "--commit-batch" => opts.commit_batch = it.next()?.parse().ok()?,
             "--commit-window" => opts.commit_window = it.next()?.parse().ok()?,
+            "--timeout" => opts.timeout = it.next()?.parse().ok()?,
+            "--read-timeout" => opts.read_timeout = it.next()?.parse().ok()?,
+            "--write-timeout" => opts.write_timeout = it.next()?.parse().ok()?,
+            "--fault-fsync-at" => opts.fault_fsync_at = it.next()?.parse().ok()?,
             "--adult" => opts.adult = Some(it.next()?.clone()),
             "--release" => opts.releases.push(it.next()?.clone()),
             "--dp-epsilon" => opts.dp_epsilon = it.next()?.parse().ok()?,
@@ -443,6 +499,8 @@ struct RemoteSession {
     addr: String,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The armed socket read deadline — kept for the timeout message.
+    timeout: Option<Duration>,
     sa: String,
     records: u64,
     p: f64,
@@ -451,10 +509,14 @@ struct RemoteSession {
 impl RemoteSession {
     /// Connects, reads the banner, and checks the protocol revision —
     /// the shared head of every TCP client (`query --connect`,
-    /// `ingest --connect`).
-    fn connect(addr: &str) -> Result<Self, String> {
+    /// `ingest --connect`). `timeout` arms a socket read deadline so a
+    /// stalled server yields a clear error instead of blocking forever.
+    fn connect(addr: &str, timeout: Option<Duration>) -> Result<Self, String> {
         let stream =
             TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("cannot arm read timeout on {addr}: {e}"))?;
         let reader = BufReader::new(
             stream
                 .try_clone()
@@ -464,6 +526,7 @@ impl RemoteSession {
             addr: addr.to_string(),
             reader,
             writer: stream,
+            timeout,
             sa: String::new(),
             records: 0,
             p: 0.0,
@@ -508,9 +571,23 @@ impl RemoteSession {
 
     fn read_response(&mut self) -> Result<Response, String> {
         let mut line = String::new();
-        self.reader
-            .read_line(&mut line)
-            .map_err(|e| format!("read from {}: {e}", self.addr))?;
+        self.reader.read_line(&mut line).map_err(|e| {
+            // A timed-out blocking read surfaces as WouldBlock (Unix) or
+            // TimedOut (Windows); either way the server stalled, not us.
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                let ms = self.timeout.map_or(0, |t| t.as_millis());
+                format!(
+                    "no response from {} within {ms} ms; the server may be stalled \
+                     (raise or disable the deadline with --timeout)",
+                    self.addr
+                )
+            } else {
+                format!("read from {}: {e}", self.addr)
+            }
+        })?;
         if line.is_empty() {
             return Err(format!("{} closed the connection", self.addr));
         }
@@ -557,7 +634,7 @@ impl RemoteSession {
 /// the SA column), one `count` request, one response, `quit`.
 fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
     let value = opts.value.as_deref().ok_or("--value is required")?;
-    let mut session = RemoteSession::connect(addr)?;
+    let mut session = RemoteSession::connect(addr, opts.client_timeout())?;
     // Against a catalog server, `--release` pins the tenant; the SA name
     // and `p` used below come from the `using` response, because the
     // HELLO banner described the default release, not this one.
@@ -619,8 +696,8 @@ fn true_answer(raw: &Table, conditions: &[(&str, &str)]) -> Result<u64, String> 
 
 fn cmd_serve(opts: &Options) -> Result<(), String> {
     if !opts.releases.is_empty() {
-        if opts.publication.is_some() || opts.wal.is_some() {
-            return Err("--release is mutually exclusive with --publication/--wal".into());
+        if opts.publication.is_some() {
+            return Err("--release is mutually exclusive with --publication".into());
         }
         return cmd_serve_catalog(opts);
     }
@@ -648,8 +725,20 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         cache_entries: opts.cache,
     };
     let service = if let Some(wal) = opts.wal.as_deref() {
-        let stream = StreamPublisher::open(publication, Path::new(wal), opts.stream_config())
-            .map_err(|e| format!("cannot open stream (wal = {wal}): {e}"))?;
+        if opts.fault_fsync_at > 0 {
+            eprintln!(
+                "fault injection armed: WAL fsync {} will fail and degrade the stream \
+                 to read-only",
+                opts.fault_fsync_at
+            );
+        }
+        let stream = StreamPublisher::open_with(
+            publication,
+            Path::new(wal),
+            opts.stream_config(),
+            opts.fault_handle(),
+        )
+        .map_err(|e| format!("cannot open stream (wal = {wal}): {e}"))?;
         eprintln!(
             "streaming: wal = {wal}, {} events applied, {} live groups ({} records); \
              `insert COL=VALUE ...` to ingest, `flush` to commit{}",
@@ -673,14 +762,8 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         opts.cache,
     );
     if let Some(addr) = opts.listen.as_deref() {
-        let server = Server::bind(
-            addr,
-            Arc::new(service),
-            ServerConfig {
-                max_conns: opts.max_conns,
-            },
-        )
-        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        let server = Server::bind(addr, Arc::new(service), opts.server_config())
+            .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
         let bound = server
             .local_addr()
             .map_err(|e| format!("cannot resolve listen address: {e}"))?;
@@ -731,10 +814,59 @@ fn cmd_serve_catalog(opts: &Options) -> Result<(), String> {
         cache_entries: opts.cache,
     };
     let catalog = Catalog::new(pairs[0].0).map_err(|e| e.to_string())?;
-    for &(name, path) in &pairs {
+    for (i, &(name, path)) in pairs.iter().enumerate() {
+        // With --wal the *first* release becomes the streaming tenant:
+        // the catalog remembers its artifact+WAL source, so the rp/4
+        // `reload` verb can rebuild it from disk — the recovery path for
+        // a degraded stream.
+        match opts.wal.as_deref().filter(|_| i == 0) {
+            Some(wal) => catalog
+                .open_stream_path(
+                    name,
+                    Path::new(path),
+                    Path::new(wal),
+                    opts.stream_config(),
+                    opts.state_out.as_deref().map(PathBuf::from),
+                    config,
+                )
+                .map_err(|e| format!("cannot open streaming release {name}: {e}"))?,
+            None => catalog
+                .open_path(name, Path::new(path), config)
+                .map_err(|e| format!("cannot open release {name}: {e}"))?,
+        }
+    }
+    if opts.fault_fsync_at > 0 {
+        let wal = opts
+            .wal
+            .as_deref()
+            .ok_or("--fault-fsync-at wants a streaming release; add --wal")?;
+        // Swap the (passthrough) streaming tenant for one opened behind
+        // the scripted schedule. `reload` rebuilds from the recorded
+        // source — passthrough again — so recovery never re-enters an
+        // injected schedule.
+        let (name, path) = pairs[0];
+        let publication =
+            Publication::load_from_path(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+        let stream = StreamPublisher::open_with(
+            publication,
+            Path::new(wal),
+            opts.stream_config(),
+            opts.fault_handle(),
+        )
+        .map_err(|e| format!("cannot open stream (wal = {wal}): {e}"))?;
+        let service = Arc::new(QueryService::streaming(
+            stream,
+            opts.state_out.as_deref().map(PathBuf::from),
+            config,
+        ));
         catalog
-            .open_path(name, Path::new(path), config)
-            .map_err(|e| format!("cannot open release {name}: {e}"))?;
+            .reload(name, service)
+            .map_err(|e| format!("cannot arm faults on {name}: {e}"))?;
+        eprintln!(
+            "fault injection armed on release {name}: WAL fsync {} will fail and \
+             degrade the stream to read-only (`reload {name}` recovers)",
+            opts.fault_fsync_at
+        );
     }
     for entry in catalog.list() {
         eprintln!(
@@ -758,14 +890,8 @@ fn cmd_serve_catalog(opts: &Options) -> Result<(), String> {
     );
     if let Some(addr) = opts.listen.as_deref() {
         let catalog = Arc::new(catalog);
-        let server = Server::bind_catalog(
-            addr,
-            Arc::clone(&catalog),
-            ServerConfig {
-                max_conns: opts.max_conns,
-            },
-        )
-        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        let server = Server::bind_catalog(addr, Arc::clone(&catalog), opts.server_config())
+            .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
         let bound = server
             .local_addr()
             .map_err(|e| format!("cannot resolve listen address: {e}"))?;
@@ -804,7 +930,7 @@ fn catalog_checkpoint_on_exit(catalog: &Catalog) {
 /// Lists a catalog server's releases over TCP.
 fn cmd_releases(opts: &Options) -> Result<(), String> {
     let addr = opts.connect.as_deref().ok_or("--connect is required")?;
-    let mut session = RemoteSession::connect(addr)?;
+    let mut session = RemoteSession::connect(addr, opts.client_timeout())?;
     session.send(&Request::Releases)?;
     let response = session.read_response()?;
     let _ = writeln!(session.writer, "quit");
@@ -835,7 +961,7 @@ fn cmd_reload(opts: &Options) -> Result<(), String> {
         .releases
         .first()
         .ok_or("--release NAME names the release to reload")?;
-    let mut session = RemoteSession::connect(addr)?;
+    let mut session = RemoteSession::connect(addr, opts.client_timeout())?;
     session.send(&Request::Reload(name.clone()))?;
     let response = session.read_response()?;
     let _ = writeln!(session.writer, "quit");
@@ -908,7 +1034,7 @@ fn cmd_ingest(opts: &Options) -> Result<(), String> {
     let input = opts.input.as_deref().ok_or("--input is required")?;
     let (columns, rows) = load_ingest_rows(input)?;
     if let Some(addr) = opts.connect.as_deref() {
-        return cmd_ingest_remote(addr, &columns, &rows);
+        return cmd_ingest_remote(addr, opts.client_timeout(), &columns, &rows);
     }
     // Local ingest: straight into the WAL, then snapshot.
     let wal = opts
@@ -948,8 +1074,13 @@ fn cmd_ingest(opts: &Options) -> Result<(), String> {
 
 /// Feeds the rows into a streaming server over TCP: one `insert` line per
 /// record, then `flush` (durability on the server), then `quit`.
-fn cmd_ingest_remote(addr: &str, columns: &[String], rows: &[Vec<String>]) -> Result<(), String> {
-    let mut session = RemoteSession::connect(addr)?;
+fn cmd_ingest_remote(
+    addr: &str,
+    timeout: Option<Duration>,
+    columns: &[String],
+    rows: &[Vec<String>],
+) -> Result<(), String> {
+    let mut session = RemoteSession::connect(addr, timeout)?;
     let mut republished = 0u64;
     for (i, row) in rows.iter().enumerate() {
         let record = WireRecord::new(

@@ -3,7 +3,9 @@
 //!
 //! * the wire protocol round-trips: `parse ∘ encode = id` over generated
 //!   [`Request`]s and [`Response`]s (property test), rp/3 catalog verbs
-//!   (`use`/`releases`/`reload`/`verb@release`) included;
+//!   (`use`/`releases`/`reload`/`verb@release`) and the rp/4 degradation
+//!   surface (`error code=degraded`, the `degraded`/`faults` stats
+//!   counters) included;
 //! * stdio and TCP are the same protocol: N concurrent TCP clients
 //!   running an interleaved request stream each receive bytes identical
 //!   to the sequential stdio loop's transcript;
@@ -193,6 +195,8 @@ fn arb_response(rng: &mut StdRng) -> Response {
             cache_misses: rng.gen_range(0..u64::MAX),
             sessions: rng.gen_range(0..u64::MAX),
             inserts: rng.gen_range(0..u64::MAX),
+            degraded: rng.gen_range(0..u64::MAX),
+            faults: rng.gen_range(0..u64::MAX),
         }),
         5 => Response::Pong,
         6 => Response::Bye,
@@ -212,7 +216,8 @@ fn arb_response(rng: &mut StdRng) -> Response {
                 ErrorCode::Internal,
                 ErrorCode::ReadOnly,
                 ErrorCode::UnknownRelease,
-            ][rng.gen_range(0..7usize)],
+                ErrorCode::Degraded,
+            ][rng.gen_range(0..8usize)],
             message: "query needs a condition on the SA column `Disease`".to_string(),
         },
     }
