@@ -21,7 +21,13 @@
 //! opposite trade: it atomically swaps the service `Arc` without waiting,
 //! so sessions holding the old lease finish against the old release while
 //! new checkouts see the new one — no tenant's session is ever dropped by
-//! another tenant's reload.
+//! another tenant's reload. [`Catalog::reload_from_source`] on a
+//! streaming release additionally **seals** the old service's WAL write
+//! handle before reopening the log from disk ([`QueryService::seal`]):
+//! old leaseholders keep querying but degrade to read-only, so the old
+//! handle can never append concurrently with — or be truncated under —
+//! the rebuilt release's writer. A concurrent reload of the same release
+//! is refused ([`CatalogError::Reloading`]) for the same reason.
 //!
 //! ## The routing fast path
 //!
@@ -67,6 +73,11 @@ pub enum CatalogError {
     NoSource(String),
     /// Loading a source artifact failed (`name`, detail).
     Load(String, String),
+    /// A concurrent [`Catalog::reload_from_source`] on the same release
+    /// is still rebuilding it. Two rebuilds of a streaming release would
+    /// race two write handles onto one WAL file, so the second caller is
+    /// refused instead.
+    Reloading(String),
 }
 
 impl std::fmt::Display for CatalogError {
@@ -87,6 +98,9 @@ impl std::fmt::Display for CatalogError {
             }
             CatalogError::Load(name, detail) => {
                 write!(f, "reloading release `{name}` failed: {detail}")
+            }
+            CatalogError::Reloading(name) => {
+                write!(f, "release `{name}` is already reloading")
             }
         }
     }
@@ -152,6 +166,10 @@ struct Tenant {
     busy: Arc<AtomicU64>,
     /// Set by [`Catalog::close`]: refuse new checkouts, drain, drop.
     closing: Arc<AtomicBool>,
+    /// Held by an in-flight [`Catalog::reload_from_source`] (which runs
+    /// outside the catalog lock): a second concurrent reload is refused
+    /// rather than racing a second rebuild onto the same WAL file.
+    reloading: Arc<AtomicBool>,
 }
 
 /// A catalog of named releases behind one server. See the
@@ -296,6 +314,7 @@ impl Catalog {
                 source,
                 busy: Arc::new(AtomicU64::new(0)),
                 closing: Arc::new(AtomicBool::new(false)),
+                reloading: Arc::new(AtomicBool::new(false)),
             },
         );
         self.bump_epoch();
@@ -395,18 +414,31 @@ impl Catalog {
     /// load runs *outside* the catalog lock, so a slow disk never stalls
     /// other tenants' routing; the swap itself is [`Catalog::reload`].
     ///
-    /// For a streaming release this is the **recovery path**: the old
-    /// service is checkpointed best-effort (a degraded stream refuses —
-    /// that is exactly the case being recovered from), then a fresh
-    /// stream is reopened from the artifact and WAL on disk, replaying
-    /// exactly the events that reached stable storage.
+    /// For a streaming release this is the **recovery path**, and it is
+    /// equally safe on a *healthy* live release: before the WAL is
+    /// reopened from disk the old service is **sealed**
+    /// ([`QueryService::seal`] — flush, then latch its write handle
+    /// refused, atomically with respect to inserts). The old handle can
+    /// therefore never append concurrently with the reopened one, and
+    /// the reopen's end-of-log repositioning cannot truncate an
+    /// acknowledged commit racing in through it. Sessions still leased
+    /// to the old service keep querying it; their `insert`/`flush` get
+    /// the degraded error until they route to the new service. On a
+    /// degraded stream the seal's flush refuses — the poisoned WAL
+    /// wrote its last good byte long ago — and the reopen recovers
+    /// exactly the durable prefix.
+    ///
+    /// If the rebuild itself fails, the sealed old service stays
+    /// installed: queries keep answering, writes refuse, and a later
+    /// `reload` retries recovery — never a corrupt WAL.
     ///
     /// # Errors
     ///
     /// [`CatalogError::UnknownRelease`], [`CatalogError::Closing`],
-    /// [`CatalogError::NoSource`] or [`CatalogError::Load`].
+    /// [`CatalogError::NoSource`], [`CatalogError::Reloading`] (a
+    /// concurrent reload of the same release) or [`CatalogError::Load`].
     pub fn reload_from_source(&self, name: &str) -> Result<(u64, u64), CatalogError> {
-        let (source, old_service) = {
+        let (source, old_service, reloading) = {
             let state = self.state.lock().expect("catalog lock poisoned");
             let tenant = state
                 .get(name)
@@ -418,17 +450,33 @@ impl Catalog {
                 .source
                 .clone()
                 .ok_or_else(|| CatalogError::NoSource(name.to_string()))?;
-            (source, Arc::clone(&tenant.service))
+            // Claim the rebuild before leaving the lock: two concurrent
+            // rebuilds would race two write handles onto one WAL file.
+            if tenant.reloading.swap(true, Ordering::SeqCst) {
+                return Err(CatalogError::Reloading(name.to_string()));
+            }
+            (
+                source,
+                Arc::clone(&tenant.service),
+                Arc::clone(&tenant.reloading),
+            )
         };
-        if matches!(source, TenantSource::Stream { .. }) {
-            // Push any open commit batch to disk before reopening, so a
-            // healthy reload loses nothing. On a degraded stream this
-            // refuses — the poisoned WAL wrote its last good byte long
-            // ago, and the reopen below recovers the durable prefix.
-            let _ = old_service.checkpoint();
-        }
-        let service = build_source(name, &source)?;
-        self.reload(name, service)
+        let result = (|| {
+            if matches!(source, TenantSource::Stream { .. }) {
+                // Quiesce before reopening: flush any open commit batch,
+                // then seal the old write handle so nothing can append
+                // to (or be truncated out of) the WAL while — and after
+                // — the rebuild reopens it. Best-effort by design: a
+                // degraded stream refuses the flush but is already
+                // write-refusing, which is the property the reopen
+                // needs.
+                let _ = old_service.seal();
+            }
+            let service = build_source(name, &source)?;
+            self.reload(name, service)
+        })();
+        reloading.store(false, Ordering::SeqCst);
+        result
     }
 
     /// Lists the open (non-closing) releases, sorted by name.
@@ -1111,6 +1159,105 @@ mod tests {
         let r = s.handle_line("flush@live", &mut stats).unwrap();
         assert!(matches!(r, Response::Flushed { .. }), "{r:?}");
         let _ = std::fs::remove_file(&artifact);
+    }
+
+    #[test]
+    fn reloading_a_healthy_streaming_tenant_seals_the_old_write_handle() {
+        let dir = std::env::temp_dir().join(format!("rp-catalog-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("healthy.rppub");
+        let wal = dir.join("healthy.rpwal");
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(format!("{}.spill", wal.display()));
+        publication(400).save_to_path(&artifact).unwrap();
+
+        let catalog = Catalog::new("alpha").unwrap();
+        catalog.open("alpha", service(400)).unwrap();
+        catalog
+            .open_stream_path(
+                "live",
+                &artifact,
+                &wal,
+                StreamConfig::default(),
+                None,
+                ServiceConfig::default(),
+            )
+            .unwrap();
+
+        let mut s = CatalogSession::new(&catalog);
+        let mut stats = SessionStats::default();
+        // Acked-but-unsynced tail (no flush): the reload must not lose it.
+        for _ in 0..3 {
+            let r = s
+                .handle_line("insert@live Job=eng Disease=flu", &mut stats)
+                .unwrap();
+            assert!(!r.is_error(), "{r:?}");
+        }
+        // A lease checked out *before* the reload keeps the old service
+        // alive — exactly the writer that must not race the reopened WAL.
+        let old_lease = catalog.checkout("live").unwrap();
+        let (records, _) = catalog.reload_from_source("live").unwrap();
+        assert_eq!(records, 403, "the unsynced tail was flushed, not lost");
+
+        // The old service is sealed: its leaseholder's writes refuse...
+        let ins = Request::parse("insert Job=eng Disease=flu").unwrap().unwrap();
+        let r = old_lease.handle(&ins, &mut stats);
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::Degraded,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        // ...while its queries keep answering.
+        let q = Request::parse("count Job=eng Disease=flu").unwrap().unwrap();
+        assert!(!old_lease.handle(&q, &mut stats).is_error());
+        // The reopened service owns the WAL exclusively: it ingests,
+        // flushes, and serves the full durable history.
+        let r = s
+            .handle_line("insert@live Job=eng Disease=flu", &mut stats)
+            .unwrap();
+        assert!(!r.is_error(), "{r:?}");
+        let r = s.handle_line("flush@live", &mut stats).unwrap();
+        assert!(matches!(r, Response::Flushed { .. }), "{r:?}");
+        assert_eq!(catalog.list()[1].records, 404);
+        let _ = std::fs::remove_file(&artifact);
+    }
+
+    #[test]
+    fn a_concurrent_reload_of_the_same_release_is_refused() {
+        let dir = std::env::temp_dir().join(format!("rp-catalog-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("guard.rppub");
+        publication(400).save_to_path(&path).unwrap();
+        let catalog = Catalog::new("alpha").unwrap();
+        catalog.open("alpha", service(400)).unwrap();
+        catalog
+            .open_path("beta", &path, ServiceConfig::default())
+            .unwrap();
+        // Simulate a rebuild still in flight on another thread.
+        {
+            let state = catalog.state.lock().unwrap();
+            state.get("beta").unwrap().reloading.store(true, Ordering::SeqCst);
+        }
+        assert_eq!(
+            catalog.reload_from_source("beta").unwrap_err(),
+            CatalogError::Reloading("beta".into())
+        );
+        // The finished rebuild releases the claim; reload works again.
+        {
+            let state = catalog.state.lock().unwrap();
+            state
+                .get("beta")
+                .unwrap()
+                .reloading
+                .store(false, Ordering::SeqCst);
+        }
+        catalog.reload_from_source("beta").unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

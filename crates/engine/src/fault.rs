@@ -218,10 +218,15 @@ impl FaultIo for FaultSchedule {
             }
         };
         match kind {
-            FaultKind::ShortWrite => {
+            FaultKind::ShortWrite if len > 1 => {
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 Ok(len / 2)
             }
+            // A 1-byte (or empty) write has no non-empty strict prefix
+            // to tear: approving 0 bytes would surface as `WriteZero`
+            // (or spin a raw retry loop) instead of the armed torn
+            // error, so the tear degrades to a whole-write EIO.
+            FaultKind::ShortWrite => Err(self.inject(FaultKind::Eio, op)),
             other => Err(self.inject(other, op)),
         }
     }
@@ -432,6 +437,27 @@ mod tests {
         file.flush().unwrap();
         drop(file);
         assert_eq!(std::fs::read(&path).unwrap(), b"0123456789");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_short_write_on_a_one_byte_buffer_fails_whole_instead_of_ok_zero() {
+        // Ok(0) would surface as `WriteZero` from `write_all` (or spin a
+        // raw retry loop) without ever reaching the armed torn error.
+        let schedule = FaultSchedule::write_at(1, FaultKind::ShortWrite);
+        let err = schedule.check_write(1).unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+        assert_eq!(schedule.injected(), 1);
+
+        let path = tmp("short-write-one-byte");
+        let schedule = Arc::new(FaultSchedule::write_at(1, FaultKind::ShortWrite));
+        let mut file = CheckedFile::new(std::fs::File::create(&path).unwrap(), schedule);
+        let err = file.write_all(b"x").unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+        file.write_all(b"x").unwrap();
+        file.flush().unwrap();
+        drop(file);
+        assert_eq!(std::fs::read(&path).unwrap(), b"x");
         std::fs::remove_file(&path).unwrap();
     }
 

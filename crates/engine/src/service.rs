@@ -248,6 +248,31 @@ impl QueryService {
         Ok(Some(events))
     }
 
+    /// Like [`QueryService::checkpoint`], but additionally **seals** the
+    /// live stream's WAL write handle: after this returns, no code path
+    /// through this service can ever write the WAL file again —
+    /// `insert`/`flush` refuse with the degraded error — while queries
+    /// keep answering from memory. The flush and the seal latch happen
+    /// under one publisher lock acquisition, so no insert can slip
+    /// between them. The catalog calls this before rebuilding a
+    /// streaming release from disk; a static service seals trivially.
+    ///
+    /// # Errors
+    ///
+    /// The stream failure; an already-degraded stream refuses the flush
+    /// but stays sealed by its own poison either way.
+    pub fn seal(&self) -> Result<Option<u64>, StreamError> {
+        let Some(backend) = &self.stream else {
+            return Ok(None);
+        };
+        let mut publisher = backend.publisher.lock().expect("stream lock poisoned");
+        let events = publisher.seal()?;
+        if let Some(path) = &backend.state_out {
+            publisher.save_snapshot(path)?;
+        }
+        Ok(Some(events))
+    }
+
     /// Builds the engine from a publication artifact and wraps it in a
     /// service carrying the artifact's `(λ, δ, seed)` for `info`.
     pub fn from_publication(publication: &Publication, config: ServiceConfig) -> Self {

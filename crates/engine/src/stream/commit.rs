@@ -130,6 +130,23 @@ impl LogManager {
         Ok(())
     }
 
+    /// Commits any pending tail, then latches the manager **sealed**:
+    /// every later append or commit refuses exactly like a poisoned
+    /// manager, so nothing can ever reach the underlying file handle
+    /// again. The catalog's reload path seals the old manager before
+    /// reopening the WAL from disk — the file never has two live write
+    /// handles, so the reopen's `set_len` repositioning cannot truncate
+    /// a commit racing in through the old one.
+    ///
+    /// On an already-poisoned manager the original poison (and its loss
+    /// boundary) stands: the commit refuses, which is the seal property
+    /// already.
+    pub(crate) fn seal(&mut self) -> Result<u64, StreamError> {
+        let durable = self.commit()?;
+        self.poisoned = Some("WAL handle sealed for reload".to_string());
+        Ok(durable)
+    }
+
     /// Commits if the policy says so: the pending count reached the
     /// batch size, or the commit window expired with appends pending.
     /// Called once per insert by the publisher. Wall-clock time only
@@ -285,6 +302,42 @@ mod tests {
             "{err}"
         );
         assert_eq!(lm.durable_seq(), 1, "event 2 is reported lost");
+    }
+
+    #[test]
+    fn seal_flushes_the_tail_and_refuses_every_later_mutation() {
+        let mut lm = manager("seal.rpwal", 64);
+        lm.append(&insert(1)).unwrap();
+        lm.append(&insert(2)).unwrap();
+        assert_eq!(lm.seal().unwrap(), 2, "the pending tail is synced");
+        assert_eq!(lm.poisoned().map(|m| m.contains("sealed")), Some(true));
+        // Sealed behaves like poisoned: the handle can never write again.
+        assert!(matches!(
+            lm.append(&insert(3)),
+            Err(StreamError::Degraded { durable_seq: 2, .. })
+        ));
+        assert!(matches!(
+            lm.commit(),
+            Err(StreamError::Degraded { durable_seq: 2, .. })
+        ));
+        assert_eq!(lm.durable_seq(), 2);
+    }
+
+    #[test]
+    fn sealing_a_poisoned_manager_keeps_the_original_poison() {
+        let mut lm = faulted_manager("seal-poisoned.rpwal", 3);
+        lm.append(&insert(1)).unwrap();
+        assert!(lm.commit().is_err(), "sync 3 is scripted to fail");
+        let err = lm.seal().unwrap_err();
+        assert!(
+            matches!(err, StreamError::Degraded { durable_seq: 0, .. }),
+            "{err}"
+        );
+        assert_eq!(
+            lm.poisoned().map(|m| m.contains("fsync")),
+            Some(true),
+            "the fsync poison (the true loss boundary) is not overwritten"
+        );
     }
 
     #[test]

@@ -841,6 +841,28 @@ impl StreamPublisher {
         self.wal.as_ref().and_then(LogManager::poisoned)
     }
 
+    /// Flushes the WAL, then **seals** this publisher's write handle:
+    /// every later `insert`/`flush` refuses with
+    /// [`StreamError::Degraded`] (durable through the returned cursor)
+    /// while queries keep answering from memory. The catalog's reload
+    /// path seals the old publisher before reopening the WAL from disk,
+    /// so the old handle can never append — or truncate a racing commit
+    /// — concurrently with the reopened one. On an already-degraded
+    /// stream the original poison stands and its loss boundary is
+    /// reported; a replay-only stream holds no write handle and seals
+    /// trivially.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Degraded`] if the stream was already poisoned, or
+    /// the flush failure that poisoned (and therefore still sealed) it.
+    pub fn seal(&mut self) -> Result<u64, StreamError> {
+        match &mut self.wal {
+            Some(wal) => wal.seal(),
+            None => Ok(self.wal_seq),
+        }
+    }
+
     /// Materializes the stream as a v2 [`Publication`]: the base rows
     /// plus every live group's published histogram expanded to rows
     /// (sorted by key, then SA code — the canonical order), with the
@@ -962,14 +984,20 @@ impl StreamPublisher {
     /// As [`StreamPublisher::snapshot`], plus file-creation and
     /// serialization errors.
     pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<(), StreamError> {
+        use std::io::Write as _;
         let publication = self.snapshot()?;
+        // Serialize exactly once, outside the retry: a serialization
+        // failure is deterministic, so re-running it could never
+        // succeed — only the I/O below is transient-retryable.
+        let mut bytes = Vec::new();
+        publication.save(&mut bytes)?;
         // Atomic replacement is safe to retry wholesale — each attempt
         // starts from a fresh temp sibling — so transient injected
         // faults are absorbed here; a persistent fault surfaces with
         // the previous snapshot untouched.
         fault::with_retry(|| {
             crate::fsutil::write_atomic_with(path.as_ref(), &self.faults, |w| {
-                publication.save(w).map_err(StreamError::from)
+                w.write_all(&bytes).map_err(StreamError::from)
             })
         })
     }
