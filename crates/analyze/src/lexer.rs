@@ -1,0 +1,293 @@
+//! A lightweight Rust lexer: just enough token structure to tell code
+//! from comments and string data, with a line number on every token.
+//!
+//! The rules engine never needs expression trees — every invariant it
+//! checks is visible in the token stream — but it absolutely needs to
+//! know that `unwrap` inside a string literal, a doc comment or a raw
+//! string is *data*, not code. This lexer therefore handles the full
+//! literal grammar that matters for that distinction: line and (nested)
+//! block comments, string escapes, raw strings with arbitrary `#`
+//! fences, byte strings, char literals (including `'"'` and `'\''`) and
+//! the char-versus-lifetime ambiguity.
+
+/// What a token is. Punctuation is kept one character per token — the
+/// rules match multi-character operators by looking at neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal (integers, floats, all radices).
+    Number,
+    /// `"..."` or `b"..."` with escapes.
+    Str,
+    /// `r"..."` / `r#"..."#` / `br#"..."#` with any fence width.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\''`, `'\u{1F600}'`, `b'x'`.
+    Char,
+    /// `'a` in `&'a str` — not a char literal.
+    Lifetime,
+    /// `// ...` to end of line (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* ... */`, nested arbitrarily.
+    BlockComment,
+    /// One punctuation character.
+    Punct(char),
+}
+
+/// One token: kind, byte range in the source, and 1-based line number
+/// of its first character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into tokens. Whitespace is dropped; comments are kept
+/// (the pragma scanner and the SAFETY rule read them). Unterminated
+/// literals extend to end of input rather than panicking — a linter
+/// must survive any input bytes.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: usize,
+    toks: Vec<Tok>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_str_ahead(0) => self.raw_str(0),
+                b'b' if self.peek(1) == Some(b'"') => self.quoted_str(1),
+                b'b' if self.peek(1) == Some(b'r') && self.raw_str_ahead(1) => self.raw_str(1),
+                b'b' if self.peek(1) == Some(b'\'') => self.char_lit(1),
+                b'"' => self.quoted_str(0),
+                b'\'' => self.quote(),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.pos += 1;
+                    TokKind::Punct(b as char)
+                }
+            };
+            self.toks.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, keeping the line counter honest.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// Does a raw string start at `pos + offset` (at the `r`)? True for
+    /// `r"`, `r#`, `r##`... followed eventually by `"`.
+    fn raw_str_ahead(&self, offset: usize) -> bool {
+        let mut i = offset + 1; // past the `r`
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    /// Lexes `r#"..."#` (or `br#"..."#` with `prefix` = 1): the fence is
+    /// however many `#` appear before the opening quote.
+    fn raw_str(&mut self, prefix: usize) -> TokKind {
+        self.pos += prefix + 1; // `r` (and the `b` of `br`)
+        let mut fence = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fence += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening `"`
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    // A close only counts with the full fence behind it.
+                    let mut i = 1;
+                    while i <= fence && self.peek(i) == Some(b'#') {
+                        i += 1;
+                    }
+                    if i == fence + 1 {
+                        self.pos += 1 + fence;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        TokKind::RawStr
+    }
+
+    /// Lexes `"..."` with escapes (`prefix` = 1 for `b"..."`).
+    fn quoted_str(&mut self, prefix: usize) -> TokKind {
+        self.pos += prefix + 1; // prefix and opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Lexes a char literal starting at a known `'` with `prefix` bytes
+    /// before it (`b'x'`).
+    fn char_lit(&mut self, prefix: usize) -> TokKind {
+        self.pos += prefix + 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokKind::Char
+    }
+
+    /// A bare `'`: char literal or lifetime. `'\...` is always a char.
+    /// `'x` with no closing quote right after is a lifetime (`'a str`,
+    /// `'static`); `'x'` is a char.
+    fn quote(&mut self) -> TokKind {
+        if self.peek(1) == Some(b'\\') {
+            return self.char_lit(0);
+        }
+        // `'` ident-char+ not followed by `'` → lifetime.
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut i = 2;
+            while self.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if self.peek(i) != Some(b'\'') {
+                self.pos += i;
+                return TokKind::Lifetime;
+            }
+        }
+        self.char_lit(0)
+    }
+
+    fn ident(&mut self) -> TokKind {
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        TokKind::Ident
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Consume the literal body: digits, radix letters, `_`, and a
+        // `.` only when a digit follows (so `0..10` keeps its range
+        // punctuation and `1.5` stays one token).
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()))
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        TokKind::Number
+    }
+}

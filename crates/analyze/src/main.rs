@@ -1,0 +1,89 @@
+#![deny(unsafe_code)]
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p rp-analyze -- --workspace --deny
+//! ```
+//!
+//! Prints one `path:line: [rule] message` diagnostic per finding, then
+//! a per-rule hit-count summary (so a green run shows what was
+//! scanned, not just silence), and exits nonzero on any finding.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // The scan is always workspace-wide and findings always
+            // fail the run; the flags exist so the CI invocation reads
+            // as policy, not defaults.
+            "--workspace" | "--deny" => {}
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("rp-analyze: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "rp-analyze: unknown argument `{other}`\n\
+                     usage: rp-analyze [--workspace] [--deny] [--root <dir>]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let report = match rp_analyze::analyze_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!(
+                "rp-analyze: failed to read workspace at {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    if !report.findings.is_empty() {
+        println!();
+    }
+    println!(
+        "rp-analyze: scanned {} files under {}",
+        report.files,
+        root.display()
+    );
+    for (rule, found, allowed) in report.counts() {
+        println!("  {rule:<18} {found} findings, {allowed} allowed");
+    }
+    if report.clean() {
+        println!("rp-analyze: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("rp-analyze: {} findings", report.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest when
+/// running under cargo, else the current directory.
+fn workspace_root() -> PathBuf {
+    if let Ok(manifest) = env::var("CARGO_MANIFEST_DIR") {
+        let crate_dir = PathBuf::from(manifest);
+        if let Some(root) = crate_dir.ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}

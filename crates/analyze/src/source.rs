@@ -1,0 +1,328 @@
+//! Per-file analysis context: the token stream plus everything every
+//! rule needs derived once — test-region lines, suppression pragmas,
+//! and the file-local identifier type hints the heuristic rules use.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One suppression pragma: `allow(<rule>, "<reason>")` introduced by
+/// the `rp-analyze` marker at the start of a line comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule the pragma waives.
+    pub rule: String,
+    /// The mandatory human reason recorded next to the waiver.
+    pub reason: String,
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+}
+
+/// A parsed source file plus the derived context rules consume.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The raw source text.
+    pub src: String,
+    /// All tokens, comments included.
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens (the code stream).
+    pub code: Vec<usize>,
+    /// `test_lines[line-1]` — the line sits inside a `#[cfg(test)]` or
+    /// `#[test]` item, so the serving/determinism rules skip it.
+    test_lines: Vec<bool>,
+    /// Suppression pragmas keyed by every line they cover (the pragma's
+    /// own line and the next line).
+    allows: HashMap<usize, Vec<Allow>>,
+    /// Malformed pragmas (missing reason, unparsable body).
+    pub bad_pragmas: Vec<(usize, String)>,
+    /// Identifiers declared with an `f32`/`f64` type ascription in this
+    /// file (fields, params, lets).
+    pub float_idents: HashSet<String>,
+    /// Identifiers declared as `HashMap`/`HashSet` in this file
+    /// (ascription or `= HashMap::new()`-style initializer).
+    pub hash_idents: HashSet<String>,
+    /// Identifiers declared as `RwLock` in this file — gates the
+    /// `.read()`/`.write()` acquisition detector, which would otherwise
+    /// drown in `io::Write` calls.
+    pub rwlock_idents: HashSet<String>,
+}
+
+impl SourceFile {
+    /// Parses `src` and derives the rule context. `path` must be
+    /// workspace-relative (it drives rule scoping).
+    pub fn new(path: &str, src: String) -> Self {
+        let toks = lex(&src);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let lines = src.lines().count().max(1);
+        let mut file = Self {
+            path: path.replace('\\', "/"),
+            src,
+            toks,
+            code,
+            test_lines: vec![false; lines],
+            allows: HashMap::new(),
+            bad_pragmas: Vec::new(),
+            float_idents: HashSet::new(),
+            hash_idents: HashSet::new(),
+            rwlock_idents: HashSet::new(),
+        };
+        file.mark_test_regions();
+        file.collect_pragmas();
+        file.collect_ident_hints();
+        file
+    }
+
+    /// The text of token `i` (an index into `toks`).
+    pub fn text(&self, i: usize) -> &str {
+        self.toks[i].text(&self.src)
+    }
+
+    /// Kind of the `j`-th *code* token, if any.
+    pub fn kind_at(&self, j: usize) -> Option<TokKind> {
+        self.code.get(j).map(|&i| self.toks[i].kind)
+    }
+
+    /// Text of the `j`-th *code* token, if any.
+    pub fn text_at(&self, j: usize) -> Option<&str> {
+        self.code.get(j).map(|&i| self.toks[i].text(&self.src))
+    }
+
+    /// Given the code index of a `.`, the identifier immediately before
+    /// it — the receiver name of a method call chain's last segment.
+    pub fn ident_before(&self, dot: usize) -> Option<&str> {
+        let prev = dot.checked_sub(1)?;
+        if self.kind_at(prev) == Some(TokKind::Ident) {
+            self.text_at(prev)
+        } else {
+            None
+        }
+    }
+
+    /// Every pragma group in the file, for the pragma meta-rule.
+    pub fn all_allows(&self) -> impl Iterator<Item = &Vec<Allow>> {
+        self.allows.values()
+    }
+
+    /// Whether `line` (1-based) is inside a `#[cfg(test)]`/`#[test]`
+    /// region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Looks up a pragma allowing `rule` on `line`, returning its
+    /// recorded reason.
+    pub fn allow_for(&self, rule: &str, line: usize) -> Option<&Allow> {
+        self.allows
+            .get(&line)
+            .and_then(|v| v.iter().find(|a| a.rule == rule))
+    }
+
+    /// Finds `#[cfg(test)]` / `#[test]` attributes in the code stream
+    /// and marks every line of the item they annotate (through its
+    /// closing brace) as test-only.
+    fn mark_test_regions(&mut self) {
+        let mut marks: Vec<(usize, usize)> = Vec::new(); // line ranges
+        let mut c = 0usize;
+        while c < self.code.len() {
+            if self.is_test_attr(c) {
+                let start_line = self.toks[self.code[c]].line;
+                // Walk to the item's opening `{` (skipping any further
+                // attributes and the signature), then to its match.
+                let mut j = c;
+                let mut depth = 0usize;
+                let mut opened = false;
+                while j < self.code.len() {
+                    match self.toks[self.code[j]].kind {
+                        TokKind::Punct('{') => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        TokKind::Punct('}') => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                break;
+                            }
+                        }
+                        // `#[cfg(test)]` on a `use` or a field ends at
+                        // `;` before any brace opens.
+                        TokKind::Punct(';') if !opened => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let end_line = self
+                    .toks
+                    .get(self.code.get(j).copied().unwrap_or(self.toks.len() - 1))
+                    .map(|t| t.line)
+                    .unwrap_or(start_line);
+                marks.push((start_line, end_line));
+                c = j + 1;
+            } else {
+                c += 1;
+            }
+        }
+        for (lo, hi) in marks {
+            for line in lo..=hi {
+                if let Some(slot) = self.test_lines.get_mut(line - 1) {
+                    *slot = true;
+                }
+            }
+        }
+    }
+
+    /// Is the code token at index `c` the `#` of `#[test]` or
+    /// `#[cfg(test)]`/`#[cfg(all(test, ...))]`? A `not(..)` before the
+    /// `test` atom (as in `#[cfg(not(test))]`) keeps the item *in*
+    /// scope — that attribute marks production-only code.
+    fn is_test_attr(&self, c: usize) -> bool {
+        if self.kind_at(c) != Some(TokKind::Punct('#'))
+            || self.kind_at(c + 1) != Some(TokKind::Punct('['))
+        {
+            return false;
+        }
+        let mut depth = 1usize;
+        let mut j = c + 2;
+        let mut saw_cfg = false;
+        let mut saw_not = false;
+        while j < self.code.len() && depth > 0 {
+            match self.kind_at(j) {
+                Some(TokKind::Punct('[')) => depth += 1,
+                Some(TokKind::Punct(']')) => depth -= 1,
+                Some(TokKind::Ident) => {
+                    let text = self.text_at(j).unwrap_or("");
+                    if text == "cfg" {
+                        saw_cfg = true;
+                    }
+                    if text == "not" {
+                        saw_not = true;
+                    }
+                    if text == "test" && !saw_not && (saw_cfg || j == c + 2) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        false
+    }
+
+    /// Parses suppression pragmas out of line comments. Only a comment
+    /// that *starts* with the `rp-analyze:` marker is a pragma — prose
+    /// that mentions the marker mid-sentence is ignored. A pragma
+    /// covers its own line and the following line, so it can sit at the
+    /// end of the offending line or alone above it.
+    fn collect_pragmas(&mut self) {
+        for t in &self.toks {
+            if t.kind != TokKind::LineComment {
+                continue;
+            }
+            let text = t.text(&self.src);
+            let content = text
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim_start();
+            let Some(body) = content.strip_prefix("rp-analyze:") else {
+                continue;
+            };
+            match parse_allow(body.trim()) {
+                Some((rule, reason)) if !reason.trim().is_empty() => {
+                    let allow = Allow {
+                        rule,
+                        reason,
+                        line: t.line,
+                    };
+                    self.allows.entry(t.line).or_default().push(allow.clone());
+                    self.allows.entry(t.line + 1).or_default().push(allow);
+                }
+                _ => self.bad_pragmas.push((
+                    t.line,
+                    format!(
+                        "malformed pragma `{}`: expected `allow(<rule>, \"<reason>\")` \
+                         with a non-empty reason",
+                        body.trim()
+                    ),
+                )),
+            }
+        }
+    }
+
+    /// Collects file-local type hints: identifiers ascribed `f32`/`f64`
+    /// and identifiers bound to `HashMap`/`HashSet`/`RwLock` (by
+    /// ascription or initializer). Purely lexical — an
+    /// under-approximation by design.
+    fn collect_ident_hints(&mut self) {
+        let mut floats = HashSet::new();
+        let mut hashes = HashSet::new();
+        let mut rwlocks = HashSet::new();
+        for w in 0..self.code.len() {
+            if self.kind_at(w) != Some(TokKind::Ident) {
+                continue;
+            }
+            let name = self.text_at(w).unwrap_or("");
+            // `name : [& mut] f64` / `name : HashMap <` / `name : RwLock <`
+            if self.kind_at(w + 1) == Some(TokKind::Punct(':'))
+                && self.kind_at(w + 2) != Some(TokKind::Punct(':'))
+            {
+                let mut j = w + 2;
+                while matches!(self.kind_at(j), Some(TokKind::Punct('&')))
+                    || self.text_at(j) == Some("mut")
+                {
+                    j += 1;
+                }
+                match self.text_at(j) {
+                    Some("f32") | Some("f64") => {
+                        floats.insert(name.to_string());
+                    }
+                    Some("HashMap") | Some("HashSet") => {
+                        hashes.insert(name.to_string());
+                    }
+                    Some("RwLock") => {
+                        rwlocks.insert(name.to_string());
+                    }
+                    _ => {}
+                }
+            }
+            // `name = HashMap ::` / `name = RwLock ::`
+            if self.kind_at(w + 1) == Some(TokKind::Punct('=')) {
+                match self.text_at(w + 2) {
+                    Some("HashMap") | Some("HashSet") => {
+                        hashes.insert(name.to_string());
+                    }
+                    Some("RwLock") => {
+                        rwlocks.insert(name.to_string());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.float_idents = floats;
+        self.hash_idents = hashes;
+        self.rwlock_idents = rwlocks;
+    }
+}
+
+/// Parses `allow(rule, "reason")`, returning the rule name and reason.
+fn parse_allow(body: &str) -> Option<(String, String)> {
+    let rest = body.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let comma = inner.find(',')?;
+    let rule = inner[..comma].trim();
+    let reason = inner[comma + 1..].trim();
+    let reason = reason.strip_prefix('"')?.strip_suffix('"')?;
+    if rule.is_empty() {
+        return None;
+    }
+    Some((rule.to_string(), reason.to_string()))
+}

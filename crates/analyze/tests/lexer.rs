@@ -1,0 +1,139 @@
+//! Golden tests for the lexer: the token-kind sequences that the rules
+//! engine depends on, over the literal grammar corners that a naive
+//! scanner gets wrong (nested block comments, raw-string fences, char
+//! literals containing `"`, lifetimes).
+
+use rp_analyze::lexer::{lex, TokKind};
+
+fn kinds(src: &str) -> Vec<TokKind> {
+    lex(src).iter().map(|t| t.kind).collect()
+}
+
+fn texts(src: &str) -> Vec<String> {
+    lex(src).iter().map(|t| t.text(src).to_string()).collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "/* a /* b /* c */ */ still comment */ code";
+    assert_eq!(kinds(src), vec![TokKind::BlockComment, TokKind::Ident]);
+    assert_eq!(
+        texts(src),
+        vec!["/* a /* b /* c */ */ still comment */", "code"]
+    );
+}
+
+#[test]
+fn raw_strings_with_fences_swallow_quotes_and_escapes() {
+    let src = r####"let s = r#"say "hi" and \ no escapes"# ; done"####;
+    assert_eq!(
+        kinds(src),
+        vec![
+            TokKind::Ident, // let
+            TokKind::Ident, // s
+            TokKind::Punct('='),
+            TokKind::RawStr,
+            TokKind::Punct(';'),
+            TokKind::Ident, // done
+        ]
+    );
+    // A `"#` inside a `##` fence does not close the string.
+    let src2 = "r##\"inner \"# still\"## after";
+    let toks = lex(src2);
+    assert_eq!(toks[0].kind, TokKind::RawStr);
+    assert_eq!(toks[0].text(src2), "r##\"inner \"# still\"##");
+    assert_eq!(toks[1].text(src2), "after");
+}
+
+#[test]
+fn byte_and_plain_strings_with_escapes() {
+    let src = r#"b"bytes \" more" "and \" this" x"#;
+    assert_eq!(kinds(src), vec![TokKind::Str, TokKind::Str, TokKind::Ident]);
+}
+
+#[test]
+fn char_literal_containing_a_double_quote() {
+    // The `"` inside the char must not open a string: `unwrap` after it
+    // has to come through as code.
+    let src = r#"let q = '"'; let s = "x"; s.unwrap()"#;
+    let toks = lex(src);
+    let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+    assert!(kinds.contains(&TokKind::Char));
+    assert!(kinds.contains(&TokKind::Str));
+    assert_eq!(toks.last().map(|t| t.kind), Some(TokKind::Punct(')')));
+    assert!(toks.iter().any(|t| t.text(src) == "unwrap"));
+}
+
+#[test]
+fn escaped_quote_char_and_unicode_escape() {
+    let src = r"let a = '\''; let b = '\u{1F600}';";
+    let chars: Vec<&str> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(chars, vec![r"'\''", r"'\u{1F600}'"]);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str, c: char) -> &'static str { x }";
+    let lifetimes: Vec<&str> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    assert!(!kinds(src).contains(&TokKind::Char));
+}
+
+#[test]
+fn range_punctuation_survives_next_to_numbers() {
+    let src = "for i in 0..10 { let x = 1.5; }";
+    let toks = lex(src);
+    let nums: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Number)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(nums, vec!["0", "10", "1.5"]);
+    // The two range dots are individual puncts.
+    let dots = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Punct('.'))
+        .count();
+    assert_eq!(dots, 2);
+}
+
+#[test]
+fn line_comments_and_doc_comments_keep_their_text() {
+    let src = "// plain\n/// doc\n//! inner\ncode";
+    let comments: Vec<&str> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokKind::LineComment)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(comments, vec!["// plain", "/// doc", "//! inner"]);
+}
+
+#[test]
+fn line_numbers_track_newlines_everywhere() {
+    let src = "a\n\"two\nline string\"\nb\n/* block\ncomment */ c";
+    let toks = lex(src);
+    let by_text: Vec<(String, usize)> = toks
+        .iter()
+        .map(|t| (t.text(src).to_string(), t.line))
+        .collect();
+    assert_eq!(by_text[0], ("a".to_string(), 1));
+    assert_eq!(by_text[1].1, 2); // string starts line 2
+    assert_eq!(by_text[2], ("b".to_string(), 4));
+    assert_eq!(by_text.last().unwrap(), &("c".to_string(), 6));
+}
+
+#[test]
+fn unterminated_literals_do_not_panic() {
+    for src in ["\"open", "r#\"open", "'", "/* open", "b\"open \\", "'\\"] {
+        let toks = lex(src);
+        assert!(!toks.is_empty(), "no tokens for {src:?}");
+    }
+}

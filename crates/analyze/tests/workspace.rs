@@ -1,0 +1,93 @@
+//! The self-test (the checked-in workspace is lint-clean) and the CLI
+//! exit-code contract: 0 on a clean tree, nonzero once a violation is
+//! injected, 2 on usage errors.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze has a workspace two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn checked_in_workspace_is_lint_clean() {
+    let report = rp_analyze::analyze_workspace(&workspace_root()).expect("workspace readable");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The scan actually covered the tree (all ten crates plus the root
+    // package), and every waiver carries a recorded reason.
+    assert!(report.files >= 50, "only {} files scanned", report.files);
+    assert!(!report.suppressed.is_empty());
+    assert!(report
+        .suppressed
+        .iter()
+        .all(|s| !s.reason.trim().is_empty()));
+}
+
+#[test]
+fn cli_exits_zero_and_prints_hit_counts_on_the_real_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rp-analyze"))
+        .args(["--workspace", "--deny", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout:\n{stdout}");
+    assert!(stdout.contains("rp-analyze: clean"), "{stdout}");
+    // A green run lists what it scanned, not just silence.
+    for rule in rp_analyze::RULES {
+        assert!(
+            stdout.contains(rule),
+            "missing {rule} in summary:\n{stdout}"
+        );
+    }
+    assert!(stdout.contains("allowed"), "{stdout}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_an_injected_violation() {
+    let dir = std::env::temp_dir().join(format!("rp-analyze-inject-{}", std::process::id()));
+    let src_dir = dir.join("crates/engine/src");
+    fs::create_dir_all(&src_dir).expect("temp tree");
+    fs::write(
+        src_dir.join("service.rs"),
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("fixture write");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rp-analyze"))
+        .args(["--workspace", "--deny", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("crates/engine/src/service.rs:1: [no-panic-serving]"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn cli_rejects_unknown_flags_with_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rp-analyze"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

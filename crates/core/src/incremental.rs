@@ -214,12 +214,17 @@ impl IncrementalPublisher {
     /// Re-publishes every group currently flagged
     /// [`GroupStatus::NeedsResampling`]; returns how many were fixed.
     pub fn republish_flagged<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
-        let keys: Vec<Vec<u32>> = self
+        let mut keys: Vec<Vec<u32>> = self
             .groups
+            // rp-analyze: allow(determinism, "keys are sorted below before any RNG draw, so map order never reaches the output")
             .values()
             .filter(|g| g.status == GroupStatus::NeedsResampling)
             .map(|g| g.key.clone())
             .collect();
+        // Republish in sorted key order: the RNG consumption order (and
+        // therefore the published histograms) must not depend on
+        // HashMap iteration order.
+        keys.sort_unstable();
         for key in &keys {
             self.republish_group(rng, key);
         }
@@ -269,12 +274,14 @@ impl IncrementalPublisher {
 
     /// Iterates over all live groups (unspecified order).
     pub fn groups(&self) -> impl Iterator<Item = &LiveGroup> {
+        // rp-analyze: allow(determinism, "documented unspecified order; every caller sorts or reduces commutatively before bytes are emitted")
         self.groups.values()
     }
 
     /// Groups currently flagged for resampling.
     pub fn flagged(&self) -> impl Iterator<Item = &LiveGroup> {
         self.groups
+            // rp-analyze: allow(determinism, "documented unspecified order; callers count or re-collect and sort before any output")
             .values()
             .filter(|g| g.status == GroupStatus::NeedsResampling)
     }

@@ -190,12 +190,28 @@ pub struct Catalog {
 /// is parked on the condvar before the wakeup fires.
 fn release_unit(catalog: &Catalog, busy: &AtomicU64, closing: &AtomicBool) {
     if busy.fetch_sub(1, Ordering::SeqCst) == 1 && closing.load(Ordering::SeqCst) {
-        drop(catalog.state.lock().expect("catalog lock poisoned"));
+        drop(catalog.state_guard());
         catalog.drained.notify_all();
     }
 }
 
 impl Catalog {
+    /// Acquires the catalog state lock, recovering from poison instead
+    /// of propagating the panic to every session thread. Safe because
+    /// every critical section over this lock is a single map operation
+    /// plus atomic flag updates — there is no multi-step invariant a
+    /// mid-section panic could tear — and [`Catalog::close`] re-checks
+    /// its drain predicate in a loop after every wakeup.
+    fn state_guard(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Tenant>> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
     /// Creates an empty catalog whose sessions start on `default` (open
     /// it before serving). The default release can never be closed.
     ///
@@ -303,7 +319,7 @@ impl Catalog {
         if !is_release_name(name) {
             return Err(CatalogError::BadName(name.to_string()));
         }
-        let mut state = self.state.lock().expect("catalog lock poisoned");
+        let mut state = self.state_guard();
         if state.contains_key(name) {
             return Err(CatalogError::AlreadyOpen(name.to_string()));
         }
@@ -330,7 +346,7 @@ impl Catalog {
     ///
     /// [`CatalogError::UnknownRelease`] or [`CatalogError::Closing`].
     pub fn checkout(&self, name: &str) -> Result<Lease<'_>, CatalogError> {
-        let state = self.state.lock().expect("catalog lock poisoned");
+        let state = self.state_guard();
         let tenant = state
             .get(name)
             .ok_or_else(|| CatalogError::UnknownRelease(name.to_string()))?;
@@ -361,7 +377,7 @@ impl Catalog {
         if name == self.default {
             return Err(CatalogError::DefaultRelease(name.to_string()));
         }
-        let mut state = self.state.lock().expect("catalog lock poisoned");
+        let mut state = self.state_guard();
         {
             let tenant = state
                 .get(name)
@@ -377,7 +393,15 @@ impl Catalog {
             .unwrap_or(0)
             > 0
         {
-            state = self.drained.wait(state).expect("catalog lock poisoned");
+            state = match self.drained.wait(state) {
+                Ok(guard) => guard,
+                // The predicate loop re-checks the drain condition, so
+                // recovering a poisoned wait cannot return early.
+                Err(poisoned) => {
+                    self.state.clear_poison();
+                    poisoned.into_inner()
+                }
+            };
         }
         state.remove(name);
         Ok(())
@@ -397,7 +421,7 @@ impl Catalog {
         service: Arc<QueryService>,
     ) -> Result<(u64, u64), CatalogError> {
         let summary = service.release_summary();
-        let mut state = self.state.lock().expect("catalog lock poisoned");
+        let mut state = self.state_guard();
         let tenant = state
             .get_mut(name)
             .ok_or_else(|| CatalogError::UnknownRelease(name.to_string()))?;
@@ -439,7 +463,7 @@ impl Catalog {
     /// concurrent reload of the same release) or [`CatalogError::Load`].
     pub fn reload_from_source(&self, name: &str) -> Result<(u64, u64), CatalogError> {
         let (source, old_service, reloading) = {
-            let state = self.state.lock().expect("catalog lock poisoned");
+            let state = self.state_guard();
             let tenant = state
                 .get(name)
                 .ok_or_else(|| CatalogError::UnknownRelease(name.to_string()))?;
@@ -481,7 +505,7 @@ impl Catalog {
 
     /// Lists the open (non-closing) releases, sorted by name.
     pub fn list(&self) -> Vec<ReleaseEntry> {
-        let state = self.state.lock().expect("catalog lock poisoned");
+        let state = self.state_guard();
         state
             .iter()
             .filter(|(_, tenant)| !tenant.closing.load(Ordering::SeqCst))
@@ -501,7 +525,7 @@ impl Catalog {
     /// Outstanding leases on `name`, or `None` if it is not open. Meant
     /// for tests and monitoring of the close/drain lifecycle.
     pub fn busy(&self, name: &str) -> Option<u64> {
-        let state = self.state.lock().expect("catalog lock poisoned");
+        let state = self.state_guard();
         state.get(name).map(|t| t.busy.load(Ordering::SeqCst))
     }
 
@@ -510,7 +534,7 @@ impl Catalog {
     /// outcomes. Server shutdown paths call this.
     pub fn checkpoint_all(&self) -> Vec<(String, Result<Option<u64>, StreamError>)> {
         let services: Vec<(String, Arc<QueryService>)> = {
-            let state = self.state.lock().expect("catalog lock poisoned");
+            let state = self.state_guard();
             state
                 .iter()
                 .map(|(name, t)| (name.clone(), Arc::clone(&t.service)))
@@ -1200,7 +1224,9 @@ mod tests {
         assert_eq!(records, 403, "the unsynced tail was flushed, not lost");
 
         // The old service is sealed: its leaseholder's writes refuse...
-        let ins = Request::parse("insert Job=eng Disease=flu").unwrap().unwrap();
+        let ins = Request::parse("insert Job=eng Disease=flu")
+            .unwrap()
+            .unwrap();
         let r = old_lease.handle(&ins, &mut stats);
         assert!(
             matches!(
@@ -1213,7 +1239,9 @@ mod tests {
             "{r:?}"
         );
         // ...while its queries keep answering.
-        let q = Request::parse("count Job=eng Disease=flu").unwrap().unwrap();
+        let q = Request::parse("count Job=eng Disease=flu")
+            .unwrap()
+            .unwrap();
         assert!(!old_lease.handle(&q, &mut stats).is_error());
         // The reopened service owns the WAL exclusively: it ingests,
         // flushes, and serves the full durable history.
@@ -1241,7 +1269,11 @@ mod tests {
         // Simulate a rebuild still in flight on another thread.
         {
             let state = catalog.state.lock().unwrap();
-            state.get("beta").unwrap().reloading.store(true, Ordering::SeqCst);
+            state
+                .get("beta")
+                .unwrap()
+                .reloading
+                .store(true, Ordering::SeqCst);
         }
         assert_eq!(
             catalog.reload_from_source("beta").unwrap_err(),

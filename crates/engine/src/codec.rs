@@ -16,6 +16,24 @@ use rp_table::{Attribute, Schema};
 
 use crate::publication::PublicationError;
 
+/// Canonical float formatting: every `f64` that reaches an artifact or
+/// the wire is rendered through this one adapter, so float bytes have
+/// exactly one producer and the `canonical-floats` lint can recognize
+/// routed values. The rendering is Rust's shortest-roundtrip `Display`
+/// — byte-identical to the format these files have always used.
+pub(crate) fn canon_f64(v: f64) -> CanonF64 {
+    CanonF64(v)
+}
+
+/// See [`canon_f64`].
+pub(crate) struct CanonF64(f64);
+
+impl fmt::Display for CanonF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
 /// Refuses strings that cannot ride a tab-separated line format.
 pub(crate) fn check_writable(s: &str) -> Result<(), PublicationError> {
     if s.contains('\t') || s.contains('\n') || s.contains('\r') {

@@ -76,6 +76,8 @@
 
 use std::fmt;
 
+use crate::codec::canon_f64;
+
 /// Protocol revision spoken by this build, advertised in the
 /// [`Response::Hello`] banner as `rp/<version>`. Revision 2 added the
 /// streaming pair (`insert`/`flush`, `inserted`/`flushed`), the
@@ -549,15 +551,21 @@ impl From<&crate::Answer> for WireAnswer {
 
 impl WireAnswer {
     fn encode_into(&self, out: &mut String) {
-        use fmt::Write;
-        write!(
+        put(
             out,
-            "est={} support={} observed={} f={}",
-            self.estimate, self.support, self.observed, self.frequency
-        )
-        .expect("writing to a String cannot fail");
+            format_args!(
+                "est={} support={} observed={} f={}",
+                canon_f64(self.estimate),
+                self.support,
+                self.observed,
+                canon_f64(self.frequency)
+            ),
+        );
         if let Some((lo, hi)) = self.ci {
-            write!(out, " ci95={lo},{hi}").expect("writing to a String cannot fail");
+            put(
+                out,
+                format_args!(" ci95={},{}", canon_f64(lo), canon_f64(hi)),
+            );
         }
     }
 
@@ -774,10 +782,18 @@ fn expect_kv<'a>(token: Option<&'a str>, key: &str) -> Result<&'a str, ProtocolE
         })
 }
 
+/// Appends formatted text to a response buffer. Every encoder routes
+/// through here so the serving stack carries exactly one waived panic
+/// site for the infallible `fmt::Write`-to-`String` case.
+fn put(out: &mut String, args: fmt::Arguments<'_>) {
+    use fmt::Write;
+    // rp-analyze: allow(no-panic-serving, "fmt::Write to a String is infallible; sole waived expect for all wire encoders")
+    out.write_fmt(args).expect("infallible String write");
+}
+
 impl Response {
     /// Encodes the canonical line for this response (no trailing newline).
     pub fn encode(&self) -> String {
-        use fmt::Write;
         let mut out = String::new();
         match self {
             Response::Hello {
@@ -788,18 +804,20 @@ impl Response {
                 p,
                 release,
             } => {
-                write!(
-                    out,
-                    "HELLO rp/{version} sa={sa} records={records} groups={groups} p={p}"
-                )
-                .expect("writing to a String cannot fail");
+                put(
+                    &mut out,
+                    format_args!(
+                        "HELLO rp/{version} sa={sa} records={records} groups={groups} p={}",
+                        canon_f64(*p)
+                    ),
+                );
                 if let Some(release) = release {
-                    write!(out, " release={release}").expect("writing to a String cannot fail");
+                    put(&mut out, format_args!(" release={release}"));
                 }
             }
             Response::Answer(a) => a.encode_into(&mut out),
             Response::Batch(answers) => {
-                write!(out, "batch {}", answers.len()).expect("writing to a String cannot fail");
+                put(&mut out, format_args!("batch {}", answers.len()));
                 for a in answers {
                     out.push_str("; ");
                     a.encode_into(&mut out);
@@ -812,32 +830,36 @@ impl Response {
                 p,
                 release,
             } => {
-                write!(
-                    out,
-                    "publication sa={sa} records={records} groups={groups} p={p}"
-                )
-                .expect("writing to a String cannot fail");
+                put(
+                    &mut out,
+                    format_args!(
+                        "publication sa={sa} records={records} groups={groups} p={}",
+                        canon_f64(*p)
+                    ),
+                );
                 if let Some(meta) = release {
-                    write!(
-                        out,
-                        " lambda={} delta={} seed={}",
-                        meta.lambda, meta.delta, meta.seed
-                    )
-                    .expect("writing to a String cannot fail");
+                    put(
+                        &mut out,
+                        format_args!(
+                            " lambda={} delta={} seed={}",
+                            canon_f64(meta.lambda),
+                            canon_f64(meta.delta),
+                            meta.seed
+                        ),
+                    );
                 }
             }
             Response::Inserted {
                 group_size,
                 republished,
             } => {
-                write!(
-                    out,
-                    "inserted group_size={group_size} republished={republished}"
-                )
-                .expect("writing to a String cannot fail");
+                put(
+                    &mut out,
+                    format_args!("inserted group_size={group_size} republished={republished}"),
+                );
             }
             Response::Flushed { events } => {
-                write!(out, "flushed events={events}").expect("writing to a String cannot fail");
+                put(&mut out, format_args!("flushed events={events}"));
             }
             Response::Using {
                 release,
@@ -846,21 +868,24 @@ impl Response {
                 groups,
                 p,
             } => {
-                write!(
-                    out,
-                    "using release={release} sa={sa} records={records} groups={groups} p={p}"
-                )
-                .expect("writing to a String cannot fail");
+                put(
+                    &mut out,
+                    format_args!(
+                        "using release={release} sa={sa} records={records} groups={groups} p={}",
+                        canon_f64(*p)
+                    ),
+                );
             }
             Response::Releases(entries) => {
-                write!(out, "releases {}", entries.len()).expect("writing to a String cannot fail");
+                put(&mut out, format_args!("releases {}", entries.len()));
                 for e in entries {
-                    write!(
-                        out,
-                        "; name={} sa={} records={} groups={} live={}",
-                        e.name, e.sa, e.records, e.groups, e.live
-                    )
-                    .expect("writing to a String cannot fail");
+                    put(
+                        &mut out,
+                        format_args!(
+                            "; name={} sa={} records={} groups={} live={}",
+                            e.name, e.sa, e.records, e.groups, e.live
+                        ),
+                    );
                 }
             }
             Response::Reloaded {
@@ -868,25 +893,24 @@ impl Response {
                 records,
                 groups,
             } => {
-                write!(
-                    out,
-                    "reloaded release={release} records={records} groups={groups}"
-                )
-                .expect("writing to a String cannot fail");
+                put(
+                    &mut out,
+                    format_args!("reloaded release={release} records={records} groups={groups}"),
+                );
             }
             Response::Stats(s) => {
-                write!(
-                    out,
-                    "stats requests={} answered={} errors={} cache_hits={} cache_misses={} sessions={} inserts={} degraded={} faults={}",
-                    s.requests, s.answered, s.errors, s.cache_hits, s.cache_misses, s.sessions, s.inserts, s.degraded, s.faults
-                )
-                .expect("writing to a String cannot fail");
+                put(
+                    &mut out,
+                    format_args!(
+                        "stats requests={} answered={} errors={} cache_hits={} cache_misses={} sessions={} inserts={} degraded={} faults={}",
+                        s.requests, s.answered, s.errors, s.cache_hits, s.cache_misses, s.sessions, s.inserts, s.degraded, s.faults
+                    ),
+                );
             }
             Response::Pong => out.push_str("pong"),
             Response::Bye => out.push_str("bye"),
             Response::Error { code, message } => {
-                write!(out, "error code={code} {message}")
-                    .expect("writing to a String cannot fail");
+                put(&mut out, format_args!("error code={code} {message}"));
             }
         }
         out

@@ -21,7 +21,7 @@ use rp_core::privacy::PrivacyParams;
 use rp_core::sps::SpsStats;
 use rp_table::{AttrId, Schema, Table, TableBuilder};
 
-use crate::codec::{read_schema, write_schema, Lines};
+use crate::codec::{canon_f64, read_schema, write_schema, Lines};
 
 /// Summary of the Equation-10 design check the publisher ran before SPS:
 /// how the *uniform-perturbation* design stood against `(λ, δ)` on the
@@ -266,9 +266,9 @@ impl Publication {
         };
         writeln!(w, "{magic}")?;
         writeln!(w, "sa\t{}", self.sa)?;
-        writeln!(w, "p\t{}", self.p)?;
-        writeln!(w, "lambda\t{}", self.params.lambda())?;
-        writeln!(w, "delta\t{}", self.params.delta())?;
+        writeln!(w, "p\t{}", canon_f64(self.p))?;
+        writeln!(w, "lambda\t{}", canon_f64(self.params.lambda()))?;
+        writeln!(w, "delta\t{}", canon_f64(self.params.delta()))?;
         writeln!(w, "seed\t{}", self.seed)?;
         writeln!(
             w,

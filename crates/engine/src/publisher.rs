@@ -211,6 +211,7 @@ impl fmt::Display for PublishError {
             }
             PublishError::Table(e) => write!(f, "sensitive attribute: {e}"),
             PublishError::InvalidRetention(p) => {
+                // rp-analyze: allow(canonical-floats, "human-facing error message, not artifact or wire bytes")
                 write!(f, "retention p must lie in (0, 1), got {p}")
             }
             PublishError::InvalidLambda(l) => {

@@ -51,6 +51,15 @@ use crate::protocol::{
 use crate::publication::Publication;
 use crate::stream::{StreamError, StreamPublisher};
 
+/// The error a checkpoint/seal returns when the publisher lock was
+/// poisoned by an earlier panic: an I/O-classed stream failure, so the
+/// wire mapping lands on `error code=internal` and the fault counter.
+fn poisoned_stream() -> StreamError {
+    StreamError::Io(std::io::Error::other(
+        "stream state lock poisoned by an earlier panic",
+    ))
+}
+
 /// Default answer-cache capacity of [`ServiceConfig`].
 pub const DEFAULT_CACHE_ENTRIES: usize = 1024;
 
@@ -240,7 +249,7 @@ impl QueryService {
         let Some(backend) = &self.stream else {
             return Ok(None);
         };
-        let mut publisher = backend.publisher.lock().expect("stream lock poisoned");
+        let mut publisher = backend.publisher.lock().map_err(|_| poisoned_stream())?;
         let events = publisher.flush()?;
         if let Some(path) = &backend.state_out {
             publisher.save_snapshot(path)?;
@@ -265,7 +274,7 @@ impl QueryService {
         let Some(backend) = &self.stream else {
             return Ok(None);
         };
-        let mut publisher = backend.publisher.lock().expect("stream lock poisoned");
+        let mut publisher = backend.publisher.lock().map_err(|_| poisoned_stream())?;
         let events = publisher.seal()?;
         if let Some(path) = &backend.state_out {
             publisher.save_snapshot(path)?;
@@ -301,9 +310,12 @@ impl QueryService {
         let mut records = self.engine.records();
         let mut groups = self.engine.groups() as u64;
         if let Some(backend) = &self.stream {
-            let publisher = backend.publisher.lock().expect("stream lock poisoned");
-            records += publisher.live_records();
-            groups += publisher.novel_live_groups() as u64;
+            // A poisoned stream lock degrades `hello`/`info` to the
+            // base view rather than killing the session thread.
+            if let Ok(publisher) = backend.publisher.lock() {
+                records += publisher.live_records();
+                groups += publisher.novel_live_groups() as u64;
+            }
         }
         (records, groups)
     }
@@ -359,18 +371,19 @@ impl QueryService {
     /// poisoned after a failed write or fsync). Always `false` on a
     /// static service.
     pub fn is_degraded(&self) -> bool {
-        self.stream.as_ref().is_some_and(|b| {
-            b.publisher
-                .lock()
-                .expect("stream lock poisoned")
-                .degraded()
-                .is_some()
-        })
+        self.stream
+            .as_ref()
+            .is_some_and(|b| match b.publisher.lock() {
+                Ok(publisher) => publisher.degraded().is_some(),
+                // A lock poisoned by a panicking writer *is* a degraded
+                // stream: the WAL's true state is unknowable.
+                Err(_) => true,
+            })
     }
 
     /// Cached single-query answers currently held.
     pub fn cached_answers(&self) -> usize {
-        self.cache.lock().expect("cache lock poisoned").len()
+        self.cache_guard().len()
     }
 
     /// Handles one raw request line: parse, dispatch, count. Returns
@@ -457,6 +470,44 @@ impl QueryService {
         }
     }
 
+    /// Acquires the stream publisher lock, converting poison into a
+    /// typed `error code=internal` response. The publisher owns
+    /// multi-step WAL/commit state, so a thread that panicked while
+    /// holding this lock may have left that state inconsistent — the
+    /// only safe serving behavior is to refuse stream operations (the
+    /// fault counter records each refusal) while static queries keep
+    /// answering.
+    fn publisher_guard<'a>(
+        &self,
+        backend: &'a StreamBackend,
+    ) -> Result<std::sync::MutexGuard<'a, StreamPublisher>, ProtocolError> {
+        backend.publisher.lock().map_err(|_| {
+            self.stats.faults.fetch_add(1, Ordering::Relaxed);
+            ProtocolError {
+                code: ErrorCode::Internal,
+                message:
+                    "stream state lock poisoned by an earlier panic; restart or reload the release"
+                        .to_string(),
+            }
+        })
+    }
+
+    /// Acquires the answer-cache lock. The cache is correctness-
+    /// transparent — it only ever re-serves answers the deterministic
+    /// engine already computed — so poison is recovered by resetting to
+    /// an empty cache and continuing, never by failing the request.
+    fn cache_guard(&self) -> std::sync::MutexGuard<'_, AnswerCache> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.cache.clear_poison();
+                let mut guard = poisoned.into_inner();
+                *guard = AnswerCache::new(self.cache_capacity);
+                guard
+            }
+        }
+    }
+
     /// The streaming backend, or the `read-only` refusal.
     fn backend(&self) -> Result<&StreamBackend, ProtocolError> {
         self.stream.as_ref().ok_or_else(|| ProtocolError {
@@ -475,7 +526,7 @@ impl QueryService {
         session: &mut SessionStats,
     ) -> Result<Response, ProtocolError> {
         let backend = self.backend()?;
-        let mut publisher = backend.publisher.lock().expect("stream lock poisoned");
+        let mut publisher = self.publisher_guard(backend)?;
         let values: Vec<(&str, &str)> = record
             .fields
             .iter()
@@ -485,9 +536,7 @@ impl QueryService {
             .insert_values(&values)
             .map_err(|e| self.stream_error(e))?;
         if self.cache_capacity > 0 {
-            self.cache
-                .lock()
-                .expect("cache lock poisoned")
+            self.cache_guard()
                 .invalidate_matching(|query| publisher.key_matches(&outcome.key, query));
         }
         session.inserts += 1;
@@ -506,7 +555,10 @@ impl QueryService {
         let events = self
             .checkpoint()
             .map_err(|e| self.stream_error(e))?
-            .expect("backend() guarantees a stream");
+            .ok_or_else(|| ProtocolError {
+                code: ErrorCode::Internal,
+                message: "stream backend vanished during flush".to_string(),
+            })?;
         Ok(Response::Flushed { events })
     }
 
@@ -555,7 +607,7 @@ impl QueryService {
     /// The canonical cache key of a resolved query: NA conditions sorted
     /// by `(attribute, code)`, so condition order on the wire is
     /// irrelevant to cache identity.
-    fn canonical_key(query: &CountQuery) -> CountQuery {
+    fn canonical_key(query: &CountQuery) -> Result<CountQuery, ProtocolError> {
         let mut na: Vec<(rp_table::AttrId, u32)> = query
             .na_pattern()
             .terms()
@@ -566,8 +618,10 @@ impl QueryService {
             })
             .collect();
         na.sort_unstable();
-        CountQuery::new(na, query.sa_attr(), query.sa_value())
-            .expect("canonicalizing a valid query cannot re-introduce the SA")
+        CountQuery::new(na, query.sa_attr(), query.sa_value()).map_err(|e| ProtocolError {
+            code: ErrorCode::Internal,
+            message: format!("canonicalization produced an invalid query: {e}"),
+        })
     }
 
     /// The base-release counts for a canonical query.
@@ -584,7 +638,7 @@ impl QueryService {
     fn compute(&self, key: &CountQuery) -> Result<Answer, ProtocolError> {
         let (mut support, mut observed) = self.base_counts(key)?;
         if let Some(backend) = &self.stream {
-            let publisher = backend.publisher.lock().expect("stream lock poisoned");
+            let publisher = self.publisher_guard(backend)?;
             let (live_support, live_observed) = publisher.live_support_observed(key);
             support += live_support;
             observed += live_observed;
@@ -596,10 +650,7 @@ impl QueryService {
     fn cache_miss(&self, key: CountQuery, answer: Answer, session: &mut SessionStats) {
         session.cache_misses += 1;
         self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(key, answer);
+        self.cache_guard().insert(key, answer);
     }
 
     fn answer_single(
@@ -608,9 +659,9 @@ impl QueryService {
         session: &mut SessionStats,
     ) -> Result<WireAnswer, ProtocolError> {
         let query = self.resolve(q)?;
-        let key = Self::canonical_key(&query);
+        let key = Self::canonical_key(&query)?;
         if self.cache_capacity > 0 {
-            if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+            if let Some(hit) = self.cache_guard().get(&key) {
                 session.cache_hits += 1;
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(WireAnswer::from(&hit));
@@ -634,7 +685,7 @@ impl QueryService {
                 // this (pre-insert) answer lands in the cache, leaving a
                 // stale entry behind. The insert path takes the locks in
                 // the same stream→cache order, so no deadlock.
-                let publisher = backend.publisher.lock().expect("stream lock poisoned");
+                let publisher = self.publisher_guard(backend)?;
                 let (mut support, mut observed) = self.base_counts(&key)?;
                 let (live_support, live_observed) = publisher.live_support_observed(&key);
                 support += live_support;

@@ -519,6 +519,7 @@ impl StreamPublisher {
         self.inner
             .groups()
             .map(|g| &g.key)
+            // rp-analyze: allow(determinism, "feeds a count: set cardinality is iteration-order-independent")
             .chain(self.cold.keys())
             .filter(|key| !self.base_keys.contains(key.as_slice()))
             .count()
@@ -541,6 +542,7 @@ impl StreamPublisher {
             .groups()
             .map(|g| g.published_hist.iter().sum::<u64>())
             .sum();
+        // rp-analyze: allow(determinism, "feeds a sum: u64 addition is commutative, so map order cannot change the total")
         let cold: u64 = self.cold.values().map(|h| h.iter().sum::<u64>()).sum();
         hot + cold
     }
@@ -878,6 +880,7 @@ impl StreamPublisher {
             .inner
             .groups()
             .map(|g| g.key.clone())
+            // rp-analyze: allow(determinism, "collected then sort_unstable()d on the next line before any group is emitted")
             .chain(self.cold.keys().cloned())
             .collect();
         keys.sort_unstable();
@@ -1097,7 +1100,7 @@ fn split_artifact(artifact: Publication) -> Result<(Publication, Option<LiveStat
 /// present in a table.
 fn group_keys(table: &rp_table::Table, sa: AttrId) -> HashSet<Vec<u32>> {
     let arity = table.schema().arity();
-    let mut keys = HashSet::new();
+    let mut seen = HashSet::new();
     let mut key = Vec::with_capacity(arity.saturating_sub(1));
     for r in 0..table.rows() {
         key.clear();
@@ -1106,11 +1109,11 @@ fn group_keys(table: &rp_table::Table, sa: AttrId) -> HashSet<Vec<u32>> {
                 key.push(table.code(r, a));
             }
         }
-        if !keys.contains(&key) {
-            keys.insert(key.clone());
+        if !seen.contains(&key) {
+            seen.insert(key.clone());
         }
     }
-    keys
+    seen
 }
 
 #[cfg(test)]

@@ -122,6 +122,7 @@ impl SpillStore {
     /// so transient injected faults are absorbed by bounded retry —
     /// unlike a WAL fsync, which is never retried.
     pub fn create_with(path: &Path, m: usize, faults: FaultHandle) -> std::io::Result<Self> {
+        // rp-analyze: allow(fault-facade, "facade entry point: the handle is wrapped in CheckedFile below, so every page write-back consults the fault schedule")
         let file = OpenOptions::new()
             .read(true)
             .write(true)

@@ -61,7 +61,7 @@ use rp_core::incremental::{GroupStatus, IncrementalPublisher, LiveGroup};
 use rp_core::privacy::PrivacyParams;
 use rp_table::Schema;
 
-use crate::codec::{read_schema, write_schema, Lines};
+use crate::codec::{canon_f64, read_schema, write_schema, Lines};
 use crate::fault::{self, CheckedFile, FaultHandle};
 use crate::fsutil;
 use crate::publication::PublicationError;
@@ -109,9 +109,9 @@ impl WalHeader {
     fn write<W: Write>(&self, mut w: W) -> Result<(), PublicationError> {
         writeln!(w, "{WAL_MAGIC}")?;
         writeln!(w, "seed\t{}", self.seed)?;
-        writeln!(w, "p\t{}", self.p)?;
-        writeln!(w, "lambda\t{}", self.params.lambda())?;
-        writeln!(w, "delta\t{}", self.params.delta())?;
+        writeln!(w, "p\t{}", canon_f64(self.p))?;
+        writeln!(w, "lambda\t{}", canon_f64(self.params.lambda()))?;
+        writeln!(w, "delta\t{}", canon_f64(self.params.delta()))?;
         writeln!(w, "sa\t{}", self.sa)?;
         write_schema(&mut w, &self.schema)?;
         writeln!(w, "base\t{}", self.base_rows)?;

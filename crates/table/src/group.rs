@@ -241,6 +241,7 @@ pub fn group_by_hash(table: &Table, attrs: &[AttrId]) -> Grouping {
             for (row, &k) in keys.iter().enumerate() {
                 map.entry(k).or_default().push(row as u32);
             }
+            // rp-analyze: allow(determinism, "collected then sorted by packed key on the next line before emission")
             let mut pairs: Vec<(u64, Vec<u32>)> = map.into_iter().collect();
             pairs.sort_unstable_by_key(|&(k, _)| k);
             pairs
@@ -263,6 +264,7 @@ pub fn group_by_hash(table: &Table, attrs: &[AttrId]) -> Grouping {
         map.entry(key).or_default().push(row as u32);
     }
     let mut groups: Vec<Group> = map
+        // rp-analyze: allow(determinism, "collected then sorted by key below before emission")
         .into_iter()
         .map(|(key, rows)| Group { key, rows })
         .collect();
@@ -412,6 +414,7 @@ pub fn group_by_hash_sharded(
                 map.entry(key).or_default().push(row);
             }
             let mut groups: Vec<Group> = map
+                // rp-analyze: allow(determinism, "per-shard groups are collected then sorted by key before the shards are merged")
                 .into_iter()
                 .map(|(key, rows)| Group {
                     key: key.to_vec(),
