@@ -22,6 +22,7 @@ pub const RULES: &[&str] = &[
     "canonical-floats",
     "lock-order",
     "safety",
+    "obs-clock",
     "pragma",
 ];
 
@@ -102,6 +103,15 @@ fn floats_scope(path: &str) -> bool {
     path.starts_with("crates/engine/src/") && path != "crates/engine/src/codec.rs"
 }
 
+/// Every wall-clock read in the workspace must route through the
+/// observability clock (`obs::Clock` / `Registry::now_ns`), so tests can
+/// inject a `MockClock` and timing behavior stays reproducible. Only the
+/// obs module itself — where the production `MonotonicClock` lives — may
+/// read `Instant`/`SystemTime` directly.
+fn obs_clock_scope(path: &str) -> bool {
+    !path.starts_with("crates/engine/src/obs")
+}
+
 // ---------------------------------------------------------------------------
 // The per-file pass.
 // ---------------------------------------------------------------------------
@@ -174,6 +184,9 @@ pub fn check_file(file: &SourceFile) -> (Vec<Finding>, Vec<Suppression>, Vec<Loc
     }
     if floats_scope(&file.path) {
         canonical_floats_rule(file, &mut sink);
+    }
+    if obs_clock_scope(&file.path) {
+        obs_clock_rule(file, &mut sink);
     }
     let edges = lock_edges(file, &mut sink);
     (sink.findings, sink.suppressed, edges)
@@ -338,6 +351,35 @@ fn determinism_rule(file: &SourceFile, sink: &mut Sink<'_>) {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Raw wall-clock reads outside the obs module: every timestamp must
+/// come from the injectable `obs::Clock` (`Registry::now_ns`) so tests
+/// can drive timing with a `MockClock` and the clock has one producer.
+fn obs_clock_rule(file: &SourceFile, sink: &mut Sink<'_>) {
+    let code = &file.code;
+    for (c, &tok_idx) in code.iter().enumerate() {
+        let t = file.toks[tok_idx];
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if t.kind == TokKind::Ident
+            && matches!(t.text(&file.src), "SystemTime" | "Instant")
+            && file.kind_at(c + 1) == Some(TokKind::Punct(':'))
+            && file.kind_at(c + 2) == Some(TokKind::Punct(':'))
+            && file.text_at(c + 3) == Some("now")
+        {
+            sink.emit(
+                "obs-clock",
+                t.line,
+                format!(
+                    "raw `{}::now()` outside the obs module — read the clock through \
+                     `obs::Clock` (`Registry::now_ns`) so tests can inject a MockClock",
+                    t.text(&file.src)
+                ),
+            );
         }
     }
 }

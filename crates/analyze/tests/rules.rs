@@ -31,7 +31,13 @@ pub fn emit(m: &HashMap<u32, u32>) -> Vec<u32> {
 }
 "#;
     let report = run("crates/core/src/emit.rs", src);
-    assert_eq!(rules_hit(&report), vec!["determinism", "determinism"]);
+    // The clock read also violates obs-clock (workspace-wide scope);
+    // findings report in line order, so it lands between the two
+    // determinism hits (clock line 5, iteration line 8).
+    assert_eq!(
+        rules_hit(&report),
+        vec!["determinism", "obs-clock", "determinism"]
+    );
 }
 
 #[test]
@@ -321,6 +327,69 @@ impl S {
 "#;
     let report = run("crates/engine/src/state.rs", src);
     assert!(report.clean(), "{:?}", report.findings);
+}
+
+// -- obs-clock --------------------------------------------------------------
+
+#[test]
+fn obs_clock_fires_on_raw_clock_reads_anywhere() {
+    let src = r#"
+use std::time::Instant;
+pub fn pace() -> Instant {
+    Instant::now()
+}
+"#;
+    // The serving layer is outside determinism scope, so only the
+    // obs-clock rule fires on the raw read.
+    let report = run("crates/engine/src/service.rs", src);
+    assert_eq!(
+        rules_hit(&report),
+        vec!["obs-clock"],
+        "{:?}",
+        report.findings
+    );
+    // Other crates are in scope too: the rule is workspace-wide.
+    let report = run("crates/experiments/src/bin/rpctl.rs", src);
+    assert_eq!(
+        rules_hit(&report),
+        vec!["obs-clock"],
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn obs_clock_pragma_obs_module_and_test_code_are_exempt() {
+    let pragma_src = r#"
+use std::time::Instant;
+pub fn pace() -> Instant {
+    // rp-analyze: allow(obs-clock, "bootstrap: runs before the registry exists")
+    Instant::now()
+}
+"#;
+    let report = run("crates/engine/src/service.rs", pragma_src);
+    assert!(report.clean(), "{:?}", report.findings);
+    assert_eq!(report.suppressed[0].rule, "obs-clock");
+
+    let raw_src = r#"
+use std::time::Instant;
+pub fn pace() -> Instant {
+    Instant::now()
+}
+"#;
+    // The obs module is where the production MonotonicClock lives.
+    assert!(run("crates/engine/src/obs.rs", raw_src).clean());
+    assert!(run("crates/engine/src/obs/clock.rs", raw_src).clean());
+
+    let test_src = r#"
+#[cfg(test)]
+mod tests {
+    pub fn pace() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}
+"#;
+    assert!(run("crates/engine/src/service.rs", test_src).clean());
 }
 
 // -- safety -----------------------------------------------------------------

@@ -10,7 +10,11 @@
 //! * `serve/batch8` — an 8-query batch answered through one prepared NA
 //!   match index;
 //! * `serve/handle_line` — the full per-line path including request
-//!   parsing and response encoding, cache on.
+//!   parsing and response encoding, cache on (observability recording,
+//!   the production default);
+//! * `serve/handle_line_obs_off` — the same path with the metrics
+//!   registry disabled; the ratio against `handle_line` is the
+//!   instrumentation overhead CI guards (budget ~5%).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rp_bench::adult_fixture;
@@ -132,6 +136,19 @@ fn bench_serve(c: &mut Criterion) {
             expect_answered(&r);
             r.encode()
         });
+    });
+    group.bench_function("handle_line_obs_off", |b| {
+        let obs = rp_engine::obs::global();
+        obs.set_enabled(false);
+        let mut session = SessionStats::default();
+        b.iter(|| {
+            let r = cached
+                .handle_line(&line, &mut session)
+                .expect("non-empty line");
+            expect_answered(&r);
+            r.encode()
+        });
+        obs.set_enabled(true);
     });
     group.finish();
 }

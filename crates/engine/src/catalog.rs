@@ -495,11 +495,19 @@ impl Catalog {
                 // write-refusing, which is the property the reopen
                 // needs.
                 let _ = old_service.seal();
+                let obs = crate::obs::global();
+                obs.inc("catalog.seal");
+                obs.trace("catalog.seal");
             }
             let service = build_source(name, &source)?;
             self.reload(name, service)
         })();
         reloading.store(false, Ordering::SeqCst);
+        if result.is_ok() {
+            let obs = crate::obs::global();
+            obs.inc("catalog.reload");
+            obs.trace("catalog.reload");
+        }
         result
     }
 
@@ -782,12 +790,14 @@ impl<'a> CatalogSession<'a> {
             if route.closing.load(Ordering::SeqCst) {
                 release_unit(self.catalog, &route.busy, &route.closing);
             } else {
+                crate::obs::global().inc("catalog.route_fast");
                 let response = route.service.handle(request, session);
                 release_unit(self.catalog, &route.busy, &route.closing);
                 return response;
             }
         }
         self.route = None;
+        crate::obs::global().inc("catalog.route_slow");
         match self.catalog.checkout(&self.current) {
             Ok(lease) => {
                 self.route = Some(RouteCache::from_lease(epoch, &lease));

@@ -189,6 +189,9 @@ impl FaultSchedule {
 
     fn inject(&self, kind: FaultKind, op: u64) -> io::Error {
         self.injected.fetch_add(1, Ordering::Relaxed);
+        let obs = crate::obs::global();
+        obs.inc("fault.injected");
+        obs.trace("fault.injected");
         io::Error::other(format!("injected {kind} (op {op})"))
     }
 }
@@ -220,6 +223,9 @@ impl FaultIo for FaultSchedule {
         match kind {
             FaultKind::ShortWrite if len > 1 => {
                 self.injected.fetch_add(1, Ordering::Relaxed);
+                let obs = crate::obs::global();
+                obs.inc("fault.injected");
+                obs.trace("fault.injected");
                 Ok(len / 2)
             }
             // A 1-byte (or empty) write has no non-empty strict prefix

@@ -75,7 +75,13 @@
 //!   EIO/ENOSPC/short-write/failed-fsync runs replay exactly from
 //!   `(seed, op count)`. A failed WAL fsync *poisons* the stream
 //!   (never retried, never falsely acked) and degrades its service to
-//!   read-only; catalog `reload` is the recovery path.
+//!   read-only; catalog `reload` is the recovery path;
+//! * [`obs`] — observability: a process-global [`obs::Registry`]
+//!   of atomic counters, log₂-bucketed latency histograms and a bounded
+//!   trace ring, threaded through every layer above and exposed by the
+//!   rp/5 `metrics` / `trace` verbs. Instrumentation changes zero response
+//!   bytes of the other verbs, and every production clock read routes
+//!   through [`obs::Clock`] (enforced by `rp-analyze`'s `obs-clock` rule).
 //!
 //! ## Quickstart
 //!
@@ -137,6 +143,7 @@ mod codec;
 pub mod engine;
 pub mod fault;
 mod fsutil;
+pub mod obs;
 pub mod protocol;
 pub mod publication;
 pub mod publisher;
@@ -148,6 +155,7 @@ pub mod stream;
 pub use catalog::{Catalog, CatalogError, CatalogSession, Lease};
 pub use engine::{Answer, EngineError, PreparedQueries, QueryEngine};
 pub use fault::{FaultHandle, FaultIo, FaultKind, FaultSchedule};
+pub use obs::{Clock, HistogramSummary, MockClock, MonotonicClock, Registry, TraceEvent};
 pub use protocol::{
     ErrorCode, ProtocolError, ReleaseEntry, ReleaseMeta, Request, Response, StatsSnapshot,
     WireAnswer, WireQuery, WireRecord, PROTOCOL_VERSION,

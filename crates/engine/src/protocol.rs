@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! request  := "ping" | "quit" | "info" | "stats" | "flush"
+//!           | "metrics" | "trace" [" " N]
 //!           | ["count "] cond (" " cond)*
 //!           | "batch " query ("; " query)*
 //!           | "insert " cond (" " cond)*      (one cond per schema column)
@@ -17,7 +18,7 @@
 //! query    := ["count "] cond (" " cond)*
 //! RELEASE  := token without "@"
 //!
-//! response := "HELLO rp/4 sa=" NAME " records=" N " groups=" N " p=" P
+//! response := "HELLO rp/5 sa=" NAME " records=" N " groups=" N " p=" P
 //!             [" release=" RELEASE]
 //!           | "pong" | "bye"
 //!           | "publication sa=" NAME " records=" N " groups=" N " p=" P
@@ -35,6 +36,9 @@
 //!           | "stats requests=" N " answered=" N " errors=" N
 //!             " cache_hits=" N " cache_misses=" N " sessions=" N
 //!             " inserts=" N " degraded=" N " faults=" N
+//!           | "metrics counters=" N " hists=" N (" c:" NAME "=" N)*
+//!             (" h:" NAME "=" COUNT ":" P50 ":" P90 ":" P99 ":" MAX ":" MEAN)*
+//!           | "trace n=" N (" seq=" N " label=" LABEL)*
 //!           | "error code=" CODE " " MESSAGE
 //! ```
 //!
@@ -58,6 +62,16 @@
 //! number, the loss boundary a client can trust — while queries keep
 //! answering from the in-memory state. `stats` gained the `degraded`
 //! and `faults` counters, and catalog `reload` is the recovery path.
+//!
+//! The observability surface (rp/5): `metrics` renders the process-wide
+//! [`crate::obs`] registry — counters as `c:name=value`, histograms as
+//! `h:name=count:p50:p90:p99:max:mean` (nanoseconds; `mean` is the one
+//! float, canonically encoded) — merged with the serving counters of the
+//! answering service under `service.*` names, all sorted by name.
+//! `trace [N]` returns the most recent `N` ring-buffered trace events
+//! (all buffered events when `N` is omitted), oldest first. Both verbs
+//! only *read* instrumentation: they change zero response bytes of every
+//! other verb.
 //!
 //! Parsing and encoding are exact inverses over the canonical forms:
 //! `parse(encode(x)) == x` for every value expressible in the token
@@ -87,8 +101,10 @@ use crate::codec::canon_f64;
 /// `release=` token on the banner and the `unknown-release` error code.
 /// Revision 4 added the `degraded` error code (a poisoned live release
 /// refusing writes after a failed WAL write or fsync) and the `degraded`
-/// and `faults` stats counters.
-pub const PROTOCOL_VERSION: u32 = 4;
+/// and `faults` stats counters. Revision 5 added the observability pair
+/// (`metrics`/`trace [N]`, the `metrics`/`trace` responses) exposing the
+/// [`crate::obs`] registry.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Whether `s` can ride the line protocol as a single token in any
 /// position (non-empty, no whitespace, no `;`, no `=`). Column names and
@@ -304,6 +320,13 @@ pub enum Request {
     Info,
     /// Report aggregate service counters.
     Stats,
+    /// Render the process-wide observability registry (rp/5): counters
+    /// and histogram summaries, merged with the answering service's own
+    /// counters under `service.*` names.
+    Metrics,
+    /// Return the most recent `N` trace events from the observability
+    /// ring buffer, oldest first (`None` = all buffered events) (rp/5).
+    Trace(Option<u64>),
     /// Liveness probe.
     Ping,
     /// End the session.
@@ -353,6 +376,13 @@ impl Request {
             Request::Flush => out.push_str("flush"),
             Request::Info => out.push_str("info"),
             Request::Stats => out.push_str("stats"),
+            Request::Metrics => out.push_str("metrics"),
+            Request::Trace(n) => {
+                out.push_str("trace");
+                if let Some(n) = n {
+                    put(&mut out, format_args!(" {n}"));
+                }
+            }
             Request::Ping => out.push_str("ping"),
             Request::Quit => out.push_str("quit"),
             Request::Use(release) => {
@@ -502,6 +532,14 @@ impl Request {
             "ping" => no_args(Request::Ping),
             "info" => no_args(Request::Info),
             "stats" => no_args(Request::Stats),
+            "metrics" => no_args(Request::Metrics),
+            "trace" => {
+                if rest.is_empty() {
+                    Ok(Some(Request::Trace(None)))
+                } else {
+                    Ok(Some(Request::Trace(Some(parse_u64(rest)?))))
+                }
+            }
             "flush" => no_args(Request::Flush),
             "releases" => no_args(Request::Releases),
             "use" => Ok(Some(Request::Use(release_arg()?))),
@@ -513,7 +551,7 @@ impl Request {
             _ => Err(ProtocolError::new(
                 ErrorCode::UnknownCommand,
                 format!(
-                    "unknown command `{verb}`; try count/batch/insert/flush/info/stats/ping/quit/use/releases/reload"
+                    "unknown command `{verb}`; try count/batch/insert/flush/info/stats/metrics/trace/ping/quit/use/releases/reload"
                 ),
             )),
         }
@@ -658,6 +696,38 @@ pub struct StatsSnapshot {
     pub faults: u64,
 }
 
+/// One histogram summary as rendered by [`Response::Metrics`]:
+/// `h:name=count:p50:p90:p99:max:mean`. Latency histograms are in
+/// nanoseconds; `mean` is `sum / count` (0 when empty) and the only
+/// float on the metrics line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHistogram {
+    /// The histogram's registry name, e.g. `wal.sync`.
+    pub name: String,
+    /// Recorded observations.
+    pub count: u64,
+    /// Derived median upper bound (see [`crate::obs::HistogramSummary`]).
+    pub p50: u64,
+    /// Derived 90th-percentile upper bound.
+    pub p90: u64,
+    /// Derived 99th-percentile upper bound.
+    pub p99: u64,
+    /// Exact observed maximum.
+    pub max: u64,
+    /// Mean observation (`sum / count`, 0 when empty).
+    pub mean: f64,
+}
+
+/// One trace-ring entry as rendered by [`Response::Trace`]:
+/// `seq=N label=LABEL`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTraceEvent {
+    /// Position in the process-wide event stream.
+    pub seq: u64,
+    /// The sanitized event label, e.g. `session.open`.
+    pub label: String,
+}
+
 /// One server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -744,6 +814,17 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats(StatsSnapshot),
+    /// Answer to [`Request::Metrics`] (rp/5): every counter and histogram
+    /// summary, sorted by name within each class.
+    Metrics {
+        /// `c:name=value` counters, sorted by name.
+        counters: Vec<(String, u64)>,
+        /// `h:name=...` histogram summaries, sorted by name.
+        histograms: Vec<WireHistogram>,
+    },
+    /// Answer to a [`Request::Trace`] (rp/5): the requested tail of the
+    /// trace ring, oldest first.
+    Trace(Vec<WireTraceEvent>),
     /// Answer to [`Request::Ping`].
     Pong,
     /// Session farewell (answer to [`Request::Quit`]).
@@ -906,6 +987,43 @@ impl Response {
                         s.requests, s.answered, s.errors, s.cache_hits, s.cache_misses, s.sessions, s.inserts, s.degraded, s.faults
                     ),
                 );
+            }
+            Response::Metrics {
+                counters,
+                histograms,
+            } => {
+                put(
+                    &mut out,
+                    format_args!(
+                        "metrics counters={} hists={}",
+                        counters.len(),
+                        histograms.len()
+                    ),
+                );
+                for (name, value) in counters {
+                    put(&mut out, format_args!(" c:{name}={value}"));
+                }
+                for h in histograms {
+                    put(
+                        &mut out,
+                        format_args!(
+                            " h:{}={}:{}:{}:{}:{}:{}",
+                            h.name,
+                            h.count,
+                            h.p50,
+                            h.p90,
+                            h.p99,
+                            h.max,
+                            canon_f64(h.mean)
+                        ),
+                    );
+                }
+            }
+            Response::Trace(events) => {
+                put(&mut out, format_args!("trace n={}", events.len()));
+                for e in events {
+                    put(&mut out, format_args!(" seq={} label={}", e.seq, e.label));
+                }
             }
             Response::Pong => out.push_str("pong"),
             Response::Bye => out.push_str("bye"),
@@ -1079,6 +1197,87 @@ impl Response {
                 degraded: parse_u64(expect_kv(tokens.next(), "degraded")?)?,
                 faults: parse_u64(expect_kv(tokens.next(), "faults")?)?,
             }));
+        }
+        if let Some(rest) = line.strip_prefix("metrics ") {
+            let mut tokens = rest.split_whitespace();
+            let counter_count: usize = parse_u64(expect_kv(tokens.next(), "counters")?)?
+                .try_into()
+                .map_err(|_| bad("counter count does not fit".into()))?;
+            let hist_count: usize = parse_u64(expect_kv(tokens.next(), "hists")?)?
+                .try_into()
+                .map_err(|_| bad("histogram count does not fit".into()))?;
+            let mut counters = Vec::with_capacity(counter_count);
+            let mut histograms = Vec::with_capacity(hist_count);
+            for token in tokens {
+                if let Some(pair) = token.strip_prefix("c:") {
+                    let (name, value) = pair
+                        .split_once('=')
+                        .ok_or_else(|| bad(format!("expected c:name=value, got `{token}`")))?;
+                    if name.is_empty() {
+                        return Err(bad(format!("empty counter name in `{token}`")));
+                    }
+                    counters.push((name.to_string(), parse_u64(value)?));
+                } else if let Some(pair) = token.strip_prefix("h:") {
+                    let (name, value) = pair
+                        .split_once('=')
+                        .ok_or_else(|| bad(format!("expected h:name=summary, got `{token}`")))?;
+                    if name.is_empty() {
+                        return Err(bad(format!("empty histogram name in `{token}`")));
+                    }
+                    let mut fields = value.split(':');
+                    let mut next = |what: &str| -> Result<&str, ProtocolError> {
+                        fields
+                            .next()
+                            .ok_or_else(|| bad(format!("histogram `{name}` missing {what}")))
+                    };
+                    let histogram = WireHistogram {
+                        name: name.to_string(),
+                        count: parse_u64(next("count")?)?,
+                        p50: parse_u64(next("p50")?)?,
+                        p90: parse_u64(next("p90")?)?,
+                        p99: parse_u64(next("p99")?)?,
+                        max: parse_u64(next("max")?)?,
+                        mean: parse_f64(next("mean")?)?,
+                    };
+                    if fields.next().is_some() {
+                        return Err(bad(format!("trailing fields on histogram `{name}`")));
+                    }
+                    histograms.push(histogram);
+                } else {
+                    return Err(bad(format!("expected c: or h: token, got `{token}`")));
+                }
+            }
+            if counters.len() != counter_count || histograms.len() != hist_count {
+                return Err(bad(format!(
+                    "metrics counts {counter_count}/{hist_count} do not match {}/{} tokens",
+                    counters.len(),
+                    histograms.len()
+                )));
+            }
+            return Ok(Response::Metrics {
+                counters,
+                histograms,
+            });
+        }
+        if let Some(rest) = line.strip_prefix("trace ") {
+            let mut tokens = rest.split_whitespace();
+            let count: usize = parse_u64(expect_kv(tokens.next(), "n")?)?
+                .try_into()
+                .map_err(|_| bad("trace count does not fit".into()))?;
+            let mut events = Vec::with_capacity(count.min(4096));
+            while let Some(token) = tokens.next() {
+                events.push(WireTraceEvent {
+                    seq: parse_u64(expect_kv(Some(token), "seq")?)?,
+                    label: expect_kv(tokens.next(), "label")?.to_string(),
+                });
+            }
+            if events.len() != count {
+                return Err(bad(format!(
+                    "trace count {count} does not match {} events",
+                    events.len()
+                )));
+            }
+            return Ok(Response::Trace(events));
         }
         if let Some(rest) = line.strip_prefix("error ") {
             let (code_token, message) = match rest.split_once(char::is_whitespace) {
@@ -1333,6 +1532,98 @@ mod tests {
             },
         ] {
             roundtrip_response(&r);
+        }
+    }
+
+    #[test]
+    fn observability_requests_round_trip() {
+        for r in [
+            Request::Metrics,
+            Request::Trace(None),
+            Request::Trace(Some(0)),
+            Request::Trace(Some(32)),
+        ] {
+            roundtrip_request(&r);
+        }
+        assert_eq!(Request::Metrics.encode(), "metrics");
+        assert_eq!(Request::Trace(None).encode(), "trace");
+        assert_eq!(Request::Trace(Some(7)).encode(), "trace 7");
+    }
+
+    #[test]
+    fn observability_responses_round_trip() {
+        let hist = |name: &str, count: u64, mean: f64| WireHistogram {
+            name: name.into(),
+            count,
+            p50: 511,
+            p90: 2047,
+            p99: 8191,
+            max: 6200,
+            mean,
+        };
+        for r in [
+            Response::Metrics {
+                counters: Vec::new(),
+                histograms: Vec::new(),
+            },
+            Response::Metrics {
+                counters: vec![
+                    ("serve.sessions_opened".into(), 3),
+                    ("service.requests".into(), 41),
+                ],
+                histograms: vec![hist("serve.request", 41, 812.5), hist("wal.sync", 0, 0.0)],
+            },
+            Response::Trace(Vec::new()),
+            Response::Trace(vec![
+                WireTraceEvent {
+                    seq: 17,
+                    label: "session.open".into(),
+                },
+                WireTraceEvent {
+                    seq: 18,
+                    label: "cache.miss".into(),
+                },
+            ]),
+        ] {
+            roundtrip_response(&r);
+        }
+        assert_eq!(
+            Response::Metrics {
+                counters: vec![("catalog.reload".into(), 1)],
+                histograms: vec![hist("wal.sync", 2, 1.5)],
+            }
+            .encode(),
+            "metrics counters=1 hists=1 c:catalog.reload=1 h:wal.sync=2:511:2047:8191:6200:1.5"
+        );
+        assert_eq!(
+            Response::Trace(vec![WireTraceEvent {
+                seq: 5,
+                label: "stream.degraded".into(),
+            }])
+            .encode(),
+            "trace n=1 seq=5 label=stream.degraded"
+        );
+    }
+
+    #[test]
+    fn observability_parse_failures() {
+        for line in [
+            "metrics counters=1 hists=0",                   // count mismatch
+            "metrics counters=0 hists=0 c:x=1",             // extra token
+            "metrics counters=1 hists=0 x=1",               // missing class prefix
+            "metrics counters=1 hists=0 c:=1",              // empty name
+            "metrics counters=0 hists=1 h:x=1:2:3",         // short summary
+            "metrics counters=0 hists=1 h:x=1:2:3:4:5:6:7", // long summary
+            "trace n=2 seq=1 label=a",                      // count mismatch
+            "trace n=1 seq=1",                              // missing label
+            "trace n=1 label=a seq=1",                      // wrong field order
+        ] {
+            let err = Response::parse(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::Parse, "line `{line}`");
+        }
+        for line in ["trace x", "trace -3", "metrics now"] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::Parse, "line `{line}`");
         }
     }
 

@@ -12,7 +12,7 @@
 //! request per line until `quit` or end of input:
 //!
 //! ```text
-//! HELLO rp/2 sa=Disease records=6000 groups=6 p=0.5
+//! HELLO rp/5 sa=Disease records=6000 groups=6 p=0.5
 //! > info
 //! publication sa=Disease records=6000 groups=6 p=0.5 lambda=0.3 delta=0.3 seed=7
 //! > count Job=engineer Disease=asthma
@@ -52,21 +52,37 @@ pub fn serve<R: BufRead, W: Write>(
     input: R,
     mut output: W,
 ) -> io::Result<SessionStats> {
+    let obs = crate::obs::global();
+    let session_start = obs.now_ns();
+    obs.inc("serve.sessions_opened");
+    obs.trace("session.open");
     service.session_started();
     let mut session = SessionStats::default();
     writeln!(output, "{}", service.hello().encode())?;
     output.flush()?;
     for line in input.lines() {
         let line = line?;
+        // Always-on per-request latency (parse through write+flush):
+        // records into `serve.request` when the guard drops at the end
+        // of this iteration — including the `bye` break path.
+        let _request_span = obs.span("serve.request");
         let Some(response) = service.handle_line(&line, &mut session) else {
             continue; // blank line
         };
-        writeln!(output, "{}", response.encode())?;
+        let t0 = obs.sampled_start("serve.encode");
+        let text = response.encode();
+        if let Some(t0) = t0 {
+            obs.record("serve.encode", obs.now_ns().saturating_sub(t0));
+        }
+        writeln!(output, "{text}")?;
         output.flush()?;
         if matches!(response, crate::protocol::Response::Bye) {
             break;
         }
     }
+    obs.inc("serve.sessions_closed");
+    obs.trace("session.close");
+    obs.record("serve.session", obs.now_ns().saturating_sub(session_start));
     Ok(session)
 }
 
@@ -88,6 +104,10 @@ pub fn serve_catalog<R: BufRead, W: Write>(
     input: R,
     mut output: W,
 ) -> io::Result<SessionStats> {
+    let obs = crate::obs::global();
+    let session_start = obs.now_ns();
+    obs.inc("serve.sessions_opened");
+    obs.trace("session.open");
     let mut routing = CatalogSession::new(catalog);
     let mut session = SessionStats::default();
     let banner = routing.hello();
@@ -98,19 +118,30 @@ pub fn serve_catalog<R: BufRead, W: Write>(
     writeln!(output, "{}", banner.encode())?;
     output.flush()?;
     if banner_is_error {
+        obs.inc("serve.sessions_closed");
+        obs.trace("session.close");
         return Ok(session);
     }
     for line in input.lines() {
         let line = line?;
+        let _request_span = obs.span("serve.request");
         let Some(response) = routing.handle_line(&line, &mut session) else {
             continue; // blank line
         };
-        writeln!(output, "{}", response.encode())?;
+        let t0 = obs.sampled_start("serve.encode");
+        let text = response.encode();
+        if let Some(t0) = t0 {
+            obs.record("serve.encode", obs.now_ns().saturating_sub(t0));
+        }
+        writeln!(output, "{text}")?;
         output.flush()?;
         if matches!(response, crate::protocol::Response::Bye) {
             break;
         }
     }
+    obs.inc("serve.sessions_closed");
+    obs.trace("session.close");
+    obs.record("serve.session", obs.now_ns().saturating_sub(session_start));
     Ok(session)
 }
 

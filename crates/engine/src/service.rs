@@ -93,6 +93,13 @@ pub struct SessionStats {
     pub cache_misses: u64,
     /// Records this session inserted into the live release.
     pub inserts: u64,
+    /// Requests this session had refused because the live release is
+    /// degraded (same meaning as [`StatsSnapshot::degraded`]).
+    pub degraded: u64,
+    /// Storage faults this session observed (same meaning as
+    /// [`StatsSnapshot::faults`]; lock-poison refusals, which have no
+    /// session context, count only in the aggregate).
+    pub faults: u64,
 }
 
 /// Bounded FIFO answer cache. Insertion order alone decides eviction, so
@@ -166,6 +173,34 @@ struct StreamBackend {
     state_out: Option<PathBuf>,
 }
 
+/// Histogram handles resolved once at construction. The per-request path
+/// runs for every line of every session, so it pays atomics only — never
+/// a registry name lookup.
+struct HotPathObs {
+    handle: &'static crate::obs::Histogram,
+    parse: &'static crate::obs::Histogram,
+    execute: &'static crate::obs::Histogram,
+    cache_lookup: &'static crate::obs::Histogram,
+}
+
+impl HotPathObs {
+    fn resolve() -> Self {
+        let obs = crate::obs::global();
+        Self {
+            handle: obs.histogram("service.handle"),
+            parse: obs.histogram("service.parse"),
+            execute: obs.histogram("service.execute"),
+            cache_lookup: obs.histogram("service.cache_lookup"),
+        }
+    }
+}
+
+impl std::fmt::Debug for HotPathObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HotPathObs")
+    }
+}
+
 /// The shared query-answering service every transport runs over.
 ///
 /// Cheap to share: transports hold an `Arc<QueryService>` and call
@@ -183,6 +218,7 @@ pub struct QueryService {
     cache_capacity: usize,
     cache: Mutex<AnswerCache>,
     stats: AggregateStats,
+    obs: HotPathObs,
 }
 
 impl QueryService {
@@ -201,6 +237,7 @@ impl QueryService {
             cache_capacity: config.cache_entries,
             cache: Mutex::new(AnswerCache::new(config.cache_entries)),
             stats: AggregateStats::default(),
+            obs: HotPathObs::resolve(),
         }
     }
 
@@ -391,7 +428,15 @@ impl QueryService {
     /// single entry point every transport uses, so a request line maps to
     /// the same response bytes on every transport.
     pub fn handle_line(&self, line: &str, session: &mut SessionStats) -> Option<Response> {
-        match Request::parse(line) {
+        // Sampled stage timing (1-in-8 requests; see `crate::obs`), via
+        // the handles resolved at construction. The three stages share
+        // one clock-read pair per boundary: parse = t1-t0,
+        // execute = t2-t1, handle = t2-t0.
+        let obs = crate::obs::global();
+        let t0 = (obs.enabled() && self.obs.handle.tick_sampled()).then(|| obs.now_ns());
+        let parsed = Request::parse(line);
+        let t1 = t0.map(|_| obs.now_ns());
+        let response = match parsed {
             Ok(None) => None,
             Ok(Some(request)) => Some(self.handle(&request, session)),
             Err(e) => {
@@ -399,7 +444,14 @@ impl QueryService {
                 self.count(&response, session);
                 Some(response)
             }
+        };
+        if let (Some(t0), Some(t1), Some(_)) = (t0, t1, response.as_ref()) {
+            let t2 = obs.now_ns();
+            self.obs.parse.record(t1.saturating_sub(t0));
+            self.obs.execute.record(t2.saturating_sub(t1));
+            self.obs.handle.record(t2.saturating_sub(t0));
         }
+        response
     }
 
     /// Handles one typed request (already parsed). Exposed for clients
@@ -440,6 +492,22 @@ impl QueryService {
             // Snapshot precedes counting, so a `stats` response reports
             // the totals as of just before the request itself.
             Request::Stats => Response::Stats(self.stats()),
+            Request::Metrics => self.metrics(),
+            Request::Trace(n) => {
+                let obs = crate::obs::global();
+                let limit = n
+                    .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+                    .unwrap_or(usize::MAX);
+                Response::Trace(
+                    obs.trace_recent(limit)
+                        .into_iter()
+                        .map(|e| crate::protocol::WireTraceEvent {
+                            seq: e.seq,
+                            label: e.label,
+                        })
+                        .collect(),
+                )
+            }
             Request::Query(q) => match self.answer_single(q, session) {
                 Ok(a) => Response::Answer(a),
                 Err(e) => Response::from(e),
@@ -452,7 +520,7 @@ impl QueryService {
                 Ok(r) => r,
                 Err(e) => Response::from(e),
             },
-            Request::Flush => match self.flush() {
+            Request::Flush => match self.flush(session) {
                 Ok(r) => r,
                 Err(e) => Response::from(e),
             },
@@ -467,6 +535,54 @@ impl QueryService {
                             .to_string(),
                 }
             }
+        }
+    }
+
+    /// Renders the rp/5 `metrics` response: the process-global
+    /// observability registry merged with this service's own
+    /// [`StatsSnapshot`] exposed under `service.*` names, everything
+    /// sorted by name within its class. Like `stats`, the snapshot is
+    /// taken before the in-flight request is counted.
+    fn metrics(&self) -> Response {
+        let obs = crate::obs::global();
+        let stats = self.stats();
+        let mut counters: Vec<(String, u64)> = obs
+            .counter_values()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), value))
+            .collect();
+        counters.extend([
+            ("service.answered".to_string(), stats.answered),
+            ("service.cache_hits".to_string(), stats.cache_hits),
+            ("service.cache_misses".to_string(), stats.cache_misses),
+            ("service.degraded".to_string(), stats.degraded),
+            ("service.errors".to_string(), stats.errors),
+            ("service.faults".to_string(), stats.faults),
+            ("service.inserts".to_string(), stats.inserts),
+            ("service.requests".to_string(), stats.requests),
+            ("service.sessions".to_string(), stats.sessions),
+        ]);
+        counters.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let histograms = obs
+            .histogram_summaries()
+            .into_iter()
+            .map(|(name, s)| crate::protocol::WireHistogram {
+                name: name.to_string(),
+                count: s.count,
+                p50: s.p50,
+                p90: s.p90,
+                p99: s.p99,
+                max: s.max,
+                mean: if s.count == 0 {
+                    0.0
+                } else {
+                    s.sum as f64 / s.count as f64
+                },
+            })
+            .collect();
+        Response::Metrics {
+            counters,
+            histograms,
         }
     }
 
@@ -534,7 +650,7 @@ impl QueryService {
             .collect();
         let outcome = publisher
             .insert_values(&values)
-            .map_err(|e| self.stream_error(e))?;
+            .map_err(|e| self.stream_error(e, session))?;
         if self.cache_capacity > 0 {
             self.cache_guard()
                 .invalidate_matching(|query| publisher.key_matches(&outcome.key, query));
@@ -550,11 +666,11 @@ impl QueryService {
     /// One flush: WAL sync plus snapshot (when configured). This is the
     /// durability barrier that closes any open group-commit batch —
     /// inserts are acknowledged when logged, durable when flushed.
-    fn flush(&self) -> Result<Response, ProtocolError> {
+    fn flush(&self, session: &mut SessionStats) -> Result<Response, ProtocolError> {
         self.backend()?; // read-only refusal before any I/O
         let events = self
             .checkpoint()
-            .map_err(|e| self.stream_error(e))?
+            .map_err(|e| self.stream_error(e, session))?
             .ok_or_else(|| ProtocolError {
                 code: ErrorCode::Internal,
                 message: "stream backend vanished during flush".to_string(),
@@ -563,10 +679,11 @@ impl QueryService {
     }
 
     /// Maps a stream failure to its wire error, recording the fault
-    /// counters: a degradation counts under both `degraded` and
-    /// `faults`, any other I/O failure under `faults` alone, and
-    /// validation failures (bad column, unknown value) under neither.
-    fn stream_error(&self, e: StreamError) -> ProtocolError {
+    /// counters (aggregate *and* per-session): a degradation counts
+    /// under both `degraded` and `faults`, any other I/O failure under
+    /// `faults` alone, and validation failures (bad column, unknown
+    /// value) under neither.
+    fn stream_error(&self, e: StreamError, session: &mut SessionStats) -> ProtocolError {
         let code = match &e {
             StreamError::Degraded { .. } => ErrorCode::Degraded,
             StreamError::Io(_) => ErrorCode::Internal,
@@ -574,10 +691,13 @@ impl QueryService {
         };
         match code {
             ErrorCode::Degraded => {
+                session.degraded += 1;
+                session.faults += 1;
                 self.stats.degraded.fetch_add(1, Ordering::Relaxed);
                 self.stats.faults.fetch_add(1, Ordering::Relaxed);
             }
             ErrorCode::Internal => {
+                session.faults += 1;
                 self.stats.faults.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
@@ -661,7 +781,23 @@ impl QueryService {
         let query = self.resolve(q)?;
         let key = Self::canonical_key(&query)?;
         if self.cache_capacity > 0 {
-            if let Some(hit) = self.cache_guard().get(&key) {
+            // Sampled lookup timing; the same 1-in-8 decision gates the
+            // cache hit/miss trace events so tracing stays off the
+            // steady-state hot path.
+            let obs = crate::obs::global();
+            let t0 = (obs.enabled() && self.obs.cache_lookup.tick_sampled()).then(|| obs.now_ns());
+            let hit = self.cache_guard().get(&key);
+            if let Some(t0) = t0 {
+                self.obs
+                    .cache_lookup
+                    .record(obs.now_ns().saturating_sub(t0));
+                obs.trace(if hit.is_some() {
+                    "cache.hit"
+                } else {
+                    "cache.miss"
+                });
+            }
+            if let Some(hit) = hit {
                 session.cache_hits += 1;
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(WireAnswer::from(&hit));
@@ -1110,6 +1246,9 @@ mod tests {
         let snap = s.stats();
         assert_eq!(snap.degraded, 2);
         assert_eq!(snap.faults, 2);
+        // Per-session stats carry the same schema as the aggregate.
+        assert_eq!(session.degraded, 2);
+        assert_eq!(session.faults, 2);
     }
 
     #[test]
@@ -1129,6 +1268,51 @@ mod tests {
             assert_eq!(code, ErrorCode::BadQuery, "line `{line}`");
         }
         assert_eq!(s.stats().inserts, 0, "failed inserts are not counted");
+    }
+
+    #[test]
+    fn metrics_merges_service_counters_sorted() {
+        let s = service(4);
+        let mut session = SessionStats::default();
+        s.handle_line("ping", &mut session);
+        s.handle_line("count Job=eng Disease=flu", &mut session);
+        let Some(r) = s.handle_line("metrics", &mut session) else {
+            panic!("expected metrics response");
+        };
+        let Response::Metrics {
+            counters,
+            histograms,
+        } = &r
+        else {
+            panic!("expected metrics, got {r:?}");
+        };
+        // Sorted by name within each class, and the service.* counters
+        // report this service's own snapshot (taken before the metrics
+        // request itself is counted).
+        let names: Vec<&str> = counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "counters must be sorted");
+        let lookup = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .1
+        };
+        assert_eq!(lookup("service.requests"), 2);
+        assert_eq!(lookup("service.answered"), 2);
+        assert_eq!(lookup("service.cache_misses"), 1);
+        let hist_names: Vec<&str> = histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(hist_names, crate::obs::HISTOGRAMS.to_vec());
+        // The response is wire-canonical: parse ∘ encode = id.
+        assert_eq!(Response::parse(&r.encode()).unwrap(), r);
+        // `trace` answers a canonical line too.
+        let Some(t) = s.handle_line("trace 4", &mut session) else {
+            panic!("expected trace response");
+        };
+        assert!(matches!(t, Response::Trace(_)), "{t:?}");
+        assert_eq!(Response::parse(&t.encode()).unwrap(), t);
     }
 
     #[test]

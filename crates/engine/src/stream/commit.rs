@@ -33,7 +33,7 @@
 //! is a fresh open (catalog `reload`), which replays exactly the
 //! durable prefix from disk.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::stream::wal::{Wal, WalEvent};
 use crate::stream::{StreamConfig, StreamError};
@@ -53,8 +53,10 @@ pub(crate) struct LogManager {
     pending: u64,
     /// Highest sequence number known to be on stable storage.
     durable_seq: u64,
-    /// When the last sync happened (or the manager was created).
-    last_commit: Instant,
+    /// When the last sync happened (or the manager was created), in
+    /// nanoseconds on the observability clock ([`crate::obs::Clock`]).
+    /// The clock only decides *when* fsync runs, never what is written.
+    last_commit_ns: u64,
     /// Set once a sync or append has failed: the manager is dead, and
     /// every later mutation refuses with the message recorded here.
     poisoned: Option<String>,
@@ -73,8 +75,7 @@ impl LogManager {
                 .then(|| Duration::from_millis(config.commit_window_ms)),
             pending: 0,
             durable_seq,
-            // rp-analyze: allow(determinism, "commit-window pacing only: the clock decides when fsync runs, never what bytes are written")
-            last_commit: Instant::now(),
+            last_commit_ns: crate::obs::global().now_ns(),
             poisoned: None,
         }
     }
@@ -101,6 +102,9 @@ impl LogManager {
     /// last successful sync.
     fn poison(&mut self, message: String) -> StreamError {
         self.poisoned = Some(message.clone());
+        let obs = crate::obs::global();
+        obs.inc("stream.degraded");
+        obs.trace("stream.degraded");
         StreamError::Degraded {
             durable_seq: self.durable_seq,
             message,
@@ -154,9 +158,14 @@ impl LogManager {
     /// ever decides *when* a sync happens — never what is written.
     pub(crate) fn maybe_commit(&mut self) -> Result<(), StreamError> {
         let batch_full = self.commit_batch > 0 && self.pending >= self.commit_batch;
-        let window_over = self
-            .commit_window
-            .is_some_and(|w| self.pending > 0 && self.last_commit.elapsed() >= w);
+        let window_over = self.commit_window.is_some_and(|w| {
+            let window_ns = u64::try_from(w.as_nanos()).unwrap_or(u64::MAX);
+            self.pending > 0
+                && crate::obs::global()
+                    .now_ns()
+                    .saturating_sub(self.last_commit_ns)
+                    >= window_ns
+        });
         if batch_full || window_over {
             self.commit()?;
         }
@@ -174,15 +183,17 @@ impl LogManager {
     /// mutation — reports that cursor as the loss boundary.
     pub(crate) fn commit(&mut self) -> Result<u64, StreamError> {
         self.check_poison()?;
+        let obs = crate::obs::global();
         if self.pending > 0 {
+            obs.record("commit.batch_events", self.pending);
+            obs.trace("commit.flush");
             if let Err(e) = self.wal.sync() {
                 return Err(self.poison(format!("WAL fsync failed: {e}")));
             }
             self.durable_seq = self.wal.next_seq() - 1;
             self.pending = 0;
         }
-        // rp-analyze: allow(determinism, "commit-window pacing only: resets the fsync clock, never touches logged bytes")
-        self.last_commit = Instant::now();
+        self.last_commit_ns = obs.now_ns();
         Ok(self.durable_seq)
     }
 }

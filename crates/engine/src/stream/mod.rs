@@ -436,10 +436,18 @@ impl StreamPublisher {
                 // compaction section; only retained events past the
                 // cursor replay below.
             }
+            let obs = crate::obs::global();
+            let _replay_span = obs.span("stream.replay");
+            let mut replayed: u64 = 0;
             for event in &file.events {
                 if event.seq() > covered {
                     stream.apply(event)?;
+                    replayed += 1;
                 }
+            }
+            if replayed > 0 {
+                obs.add("stream.replayed_events", replayed);
+                obs.trace("stream.replay");
             }
         }
         if append {
@@ -644,6 +652,9 @@ impl StreamPublisher {
             self.wal.as_mut().expect("checked above").append(&event)?;
             self.apply(&event)?;
             republished = true;
+            let obs = crate::obs::global();
+            obs.inc("stream.republish");
+            obs.trace("stream.republish");
         }
         let group_size = self
             .inner

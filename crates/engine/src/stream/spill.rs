@@ -182,6 +182,7 @@ impl SpillStore {
     /// first fitting free run (or extends the file as a last resort).
     pub fn spill(&mut self, key: &[u32], group: &SpilledGroup) -> std::io::Result<()> {
         assert_eq!(group.raw_hist.len(), self.m, "raw histogram arity");
+        let _span = crate::obs::global().span("spill.page_write");
         let mut line = String::from("g");
         for &code in key {
             line.push('\t');
@@ -228,6 +229,7 @@ impl SpillStore {
     /// Reads a group's latest spilled state without removing it from the
     /// index (used when snapshotting the whole stream).
     pub fn read(&mut self, key: &[u32]) -> Result<SpilledGroup, StreamError> {
+        let _span = crate::obs::global().span("spill.page_read");
         let extent = *self
             .index
             .get(key)

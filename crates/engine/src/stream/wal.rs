@@ -747,7 +747,12 @@ impl Wal {
             self.next_seq,
             "WAL events must be appended in sequence"
         );
+        let obs = crate::obs::global();
+        let t0 = obs.sampled_start("wal.append");
         writeln!(self.writer, "{}", event.encode())?;
+        if let Some(t0) = t0 {
+            obs.record("wal.append", obs.now_ns().saturating_sub(t0));
+        }
         self.next_seq += 1;
         Ok(())
     }
@@ -761,6 +766,9 @@ impl Wal {
     ///
     /// Returns the underlying I/O failure.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        // Always-on: fsync dominates its own measurement cost, and the
+        // sync-latency distribution is the whole point of group commit.
+        let _span = crate::obs::global().span("wal.sync");
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         if !self.dir_synced {

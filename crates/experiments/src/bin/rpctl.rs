@@ -24,6 +24,8 @@
 //!               [--wal stream.rpwal ...]   # stream attaches to the first release
 //! rpctl releases --connect HOST:PORT
 //! rpctl reload  --connect HOST:PORT --release NAME
+//! rpctl metrics --connect HOST:PORT
+//! rpctl trace   --connect HOST:PORT [-n N]
 //! rpctl bakeoff --input data.csv --sa Income
 //!               [--p P --lambda L --delta D --seed N]
 //!               [--dp-epsilon E --dp-delta D --dp-p P --max-queries N --detail N]
@@ -101,6 +103,14 @@
 //! degrades to read-only (`error code=degraded`), and a catalog `reload`
 //! recovers it from disk. That flag exists for the fault-matrix CI round
 //! and for rehearsing the degradation contract; never use it in production.
+//!
+//! Observability (rp/5): `metrics` scrapes a live server's counter and
+//! latency-histogram registry (`rp_engine::obs`) — p50/p90/p99/max per
+//! instrumented stage — and `trace` tails its bounded ring of structured
+//! events (session lifecycle, cache hit/miss, commit flushes, faults,
+//! degradation). `serve --trace-buffer N` resizes that ring (`0`
+//! disables tracing). Scraping reads the registry without touching any
+//! response bytes of the other verbs.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -167,6 +177,10 @@ struct Options {
     dp_p: f64,
     max_queries: usize,
     detail: usize,
+    /// `serve --trace-buffer N`: resize the obs trace ring (`0` disables).
+    trace_buffer: Option<usize>,
+    /// `trace -n N`: how many trailing trace events to fetch.
+    trace_n: Option<u64>,
 }
 
 impl Options {
@@ -211,10 +225,12 @@ fn usage() -> ExitCode {
          rpctl publish --input FILE | --adult FILE --sa COLUMN --output FILE.rppub [--csv FILE.csv] [--p P --lambda L --delta D --no-generalize --seed N --threads N]\n  \
          rpctl query   --publication FILE.rppub --where COL=VALUE ... --value SA_VALUE [--raw FILE.csv]\n  \
          rpctl query   --connect HOST:PORT --where COL=VALUE ... --value SA_VALUE [--release NAME --timeout MS]\n  \
-         rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES --read-timeout MS --write-timeout MS] [--wal FILE.rpwal --state-out FILE.rppub --max-resident N --commit-batch N --commit-window MS --fault-fsync-at N]\n  \
-         rpctl serve   --release NAME=FILE.rppub [--release NAME=FILE.rppub ...] [--listen HOST:PORT --max-conns N --cache ENTRIES --read-timeout MS --write-timeout MS] [--wal FILE.rpwal ...]\n  \
+         rpctl serve   --publication FILE.rppub [--listen HOST:PORT --max-conns N --cache ENTRIES --read-timeout MS --write-timeout MS --trace-buffer N] [--wal FILE.rpwal --state-out FILE.rppub --max-resident N --commit-batch N --commit-window MS --fault-fsync-at N]\n  \
+         rpctl serve   --release NAME=FILE.rppub [--release NAME=FILE.rppub ...] [--listen HOST:PORT --max-conns N --cache ENTRIES --read-timeout MS --write-timeout MS --trace-buffer N] [--wal FILE.rpwal ...]\n  \
          rpctl releases --connect HOST:PORT\n  \
          rpctl reload  --connect HOST:PORT --release NAME\n  \
+         rpctl metrics --connect HOST:PORT\n  \
+         rpctl trace   --connect HOST:PORT [-n N]\n  \
          rpctl bakeoff --input FILE.csv --sa COLUMN [--p P --lambda L --delta D --seed N --dp-epsilon E --dp-delta D --dp-p P --max-queries N --detail N]\n  \
          rpctl ingest  --connect HOST:PORT --input FILE.csv\n  \
          rpctl ingest  --publication FILE.rppub --wal FILE.rpwal --input FILE.csv --output FILE.rppub [--max-resident N --commit-batch N]\n  \
@@ -304,6 +320,8 @@ fn parse(args: &[String]) -> Option<Options> {
             "--dp-p" => opts.dp_p = it.next()?.parse().ok()?,
             "--max-queries" => opts.max_queries = it.next()?.parse().ok()?,
             "--detail" => opts.detail = it.next()?.parse().ok()?,
+            "--trace-buffer" => opts.trace_buffer = Some(it.next()?.parse().ok()?),
+            "-n" | "--n" => opts.trace_n = Some(it.next()?.parse().ok()?),
             _ => return None,
         }
     }
@@ -701,6 +719,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         }
         return cmd_serve_catalog(opts);
     }
+    apply_trace_buffer(opts);
     let publication = load_publication(opts)?;
     // The line protocol frames names and values as whitespace-separated
     // tokens; a non-token SA name even breaks the HELLO banner. Serve
@@ -781,12 +800,28 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         let stats =
             serve(&service, stdin.lock(), stdout.lock()).map_err(|e| format!("serve loop: {e}"))?;
         eprintln!(
-            "served {} requests ({} answered, {} errors, {} cache hits, {} inserts)",
-            stats.requests, stats.answered, stats.errors, stats.cache_hits, stats.inserts
+            "served {} requests ({} answered, {} errors, {} cache hits, {} inserts, \
+             {} degraded refusals, {} faults)",
+            stats.requests,
+            stats.answered,
+            stats.errors,
+            stats.cache_hits,
+            stats.inserts,
+            stats.degraded,
+            stats.faults
         );
         checkpoint_on_exit(&service);
     }
     Ok(())
+}
+
+/// `--trace-buffer N` resizes the process-wide obs trace ring before the
+/// serve loop starts (`0` disables tracing entirely).
+fn apply_trace_buffer(opts: &Options) {
+    if let Some(capacity) = opts.trace_buffer {
+        rp_engine::obs::global().set_trace_capacity(capacity);
+        eprintln!("trace ring: {capacity} events");
+    }
 }
 
 /// Final durability point of a streaming server: sync the WAL (and write
@@ -803,6 +838,7 @@ fn checkpoint_on_exit(service: &QueryService) {
 /// tenant with its own `QueryService`; the first named release is the
 /// default that un-qualified (rp/2-style) verbs route to.
 fn cmd_serve_catalog(opts: &Options) -> Result<(), String> {
+    apply_trace_buffer(opts);
     let mut pairs = Vec::with_capacity(opts.releases.len());
     for spec in &opts.releases {
         let (name, path) = spec
@@ -908,8 +944,15 @@ fn cmd_serve_catalog(opts: &Options) -> Result<(), String> {
         let stats = serve_catalog(&catalog, stdin.lock(), stdout.lock())
             .map_err(|e| format!("serve loop: {e}"))?;
         eprintln!(
-            "served {} requests ({} answered, {} errors, {} cache hits, {} inserts)",
-            stats.requests, stats.answered, stats.errors, stats.cache_hits, stats.inserts
+            "served {} requests ({} answered, {} errors, {} cache hits, {} inserts, \
+             {} degraded refusals, {} faults)",
+            stats.requests,
+            stats.answered,
+            stats.errors,
+            stats.cache_hits,
+            stats.inserts,
+            stats.degraded,
+            stats.faults
         );
         catalog_checkpoint_on_exit(&catalog);
     }
@@ -972,6 +1015,61 @@ fn cmd_reload(opts: &Options) -> Result<(), String> {
             groups,
         } => {
             println!("reloaded {release}: {records} records in {groups} groups");
+            Ok(())
+        }
+        Response::Error { code, message } => Err(format!("server refused ({code}): {message}")),
+        other => Err(format!("unexpected response: {}", other.encode())),
+    }
+}
+
+/// Scrapes a live server's metrics registry over TCP: every counter,
+/// then every latency histogram with its bucket-derived quantiles.
+fn cmd_metrics(opts: &Options) -> Result<(), String> {
+    let addr = opts.connect.as_deref().ok_or("--connect is required")?;
+    let mut session = RemoteSession::connect(addr, opts.client_timeout())?;
+    session.send(&Request::Metrics)?;
+    let response = session.read_response()?;
+    let _ = writeln!(session.writer, "quit");
+    match response {
+        Response::Metrics {
+            counters,
+            histograms,
+        } => {
+            for (name, value) in &counters {
+                println!("{name} = {value}");
+            }
+            for h in &histograms {
+                println!(
+                    "{}: count={} p50={}ns p90={}ns p99={}ns max={}ns mean={:.1}ns",
+                    h.name, h.count, h.p50, h.p90, h.p99, h.max, h.mean
+                );
+            }
+            println!(
+                "{} counters, {} histograms",
+                counters.len(),
+                histograms.len()
+            );
+            Ok(())
+        }
+        Response::Error { code, message } => Err(format!("server refused ({code}): {message}")),
+        other => Err(format!("unexpected response: {}", other.encode())),
+    }
+}
+
+/// Tails a live server's trace ring over TCP: the most recent `-n N`
+/// structured events (default: the whole retained ring), oldest first.
+fn cmd_trace(opts: &Options) -> Result<(), String> {
+    let addr = opts.connect.as_deref().ok_or("--connect is required")?;
+    let mut session = RemoteSession::connect(addr, opts.client_timeout())?;
+    session.send(&Request::Trace(opts.trace_n))?;
+    let response = session.read_response()?;
+    let _ = writeln!(session.writer, "quit");
+    match response {
+        Response::Trace(events) => {
+            for e in &events {
+                println!("{} {}", e.seq, e.label);
+            }
+            println!("{} trace events", events.len());
             Ok(())
         }
         Response::Error { code, message } => Err(format!("server refused ({code}): {message}")),
@@ -1174,6 +1272,8 @@ fn main() -> ExitCode {
         "compact" => cmd_compact(&opts),
         "releases" => cmd_releases(&opts),
         "reload" => cmd_reload(&opts),
+        "metrics" => cmd_metrics(&opts),
+        "trace" => cmd_trace(&opts),
         "bakeoff" => cmd_bakeoff(&opts),
         _ => return usage(),
     };

@@ -3,9 +3,13 @@
 //!
 //! * the wire protocol round-trips: `parse ∘ encode = id` over generated
 //!   [`Request`]s and [`Response`]s (property test), rp/3 catalog verbs
-//!   (`use`/`releases`/`reload`/`verb@release`) and the rp/4 degradation
+//!   (`use`/`releases`/`reload`/`verb@release`), the rp/4 degradation
 //!   surface (`error code=degraded`, the `degraded`/`faults` stats
-//!   counters) included;
+//!   counters) and the rp/5 observability surface (`metrics`/`trace`)
+//!   included;
+//! * observability changes no response bytes: the same script produces
+//!   byte-identical transcripts with the metrics registry enabled and
+//!   disabled;
 //! * stdio and TCP are the same protocol: N concurrent TCP clients
 //!   running an interleaved request stream each receive bytes identical
 //!   to the sequential stdio loop's transcript;
@@ -22,7 +26,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rp_repro::engine::protocol::{ErrorCode, ReleaseEntry, ReleaseMeta, StatsSnapshot, WireAnswer};
+use rp_repro::engine::protocol::{
+    ErrorCode, ReleaseEntry, ReleaseMeta, StatsSnapshot, WireAnswer, WireHistogram, WireTraceEvent,
+};
 use rp_repro::engine::{
     serve, serve_catalog, Catalog, Publisher, QueryService, Request, Response, Server,
     ServerConfig, ServiceConfig, WireQuery, WireRecord,
@@ -57,8 +63,20 @@ fn arb_wire_query(rng: &mut StdRng) -> WireQuery {
     }
 }
 
+/// Metric/trace names: protocol tokens over the obs label alphabet.
+const METRIC_NAMES: [&str; 4] = [
+    "serve.request",
+    "wal.sync",
+    "service.cache_lookup",
+    "fault:x-1",
+];
+
+fn arb_metric_name(rng: &mut StdRng) -> String {
+    METRIC_NAMES[rng.gen_range(0..METRIC_NAMES.len())].to_string()
+}
+
 fn arb_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..12u32) {
+    match rng.gen_range(0..14u32) {
         0 => Request::Ping,
         1 => Request::Quit,
         2 => Request::Info,
@@ -94,6 +112,12 @@ fn arb_request(rng: &mut StdRng) -> Request {
                 _ => Request::Info,
             }),
         },
+        12 => Request::Metrics,
+        13 => Request::Trace(if rng.gen_range(0..2u32) == 0 {
+            None
+        } else {
+            Some(rng.gen_range(0..10_000u64))
+        }),
         _ => {
             let n = rng.gen_range(1..=3usize);
             Request::Batch((0..n).map(|_| arb_wire_query(rng)).collect())
@@ -127,7 +151,7 @@ fn arb_answer(rng: &mut StdRng) -> WireAnswer {
 }
 
 fn arb_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..13u32) {
+    match rng.gen_range(0..15u32) {
         0 => Response::Hello {
             version: rng.gen_range(1..100u32),
             sa: COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string(),
@@ -207,6 +231,42 @@ fn arb_response(rng: &mut StdRng) -> Response {
         8 => Response::Flushed {
             events: rng.gen_range(0..u64::MAX),
         },
+        13 => {
+            let nc = rng.gen_range(0..=3usize);
+            let nh = rng.gen_range(0..=3usize);
+            Response::Metrics {
+                counters: (0..nc)
+                    .map(|i| {
+                        (
+                            format!("{}-{i}", arb_metric_name(rng)),
+                            rng.gen_range(0..u64::MAX),
+                        )
+                    })
+                    .collect(),
+                histograms: (0..nh)
+                    .map(|i| WireHistogram {
+                        name: format!("{}-{i}", arb_metric_name(rng)),
+                        count: rng.gen_range(0..u64::MAX),
+                        p50: rng.gen_range(0..u64::MAX),
+                        p90: rng.gen_range(0..u64::MAX),
+                        p99: rng.gen_range(0..u64::MAX),
+                        max: rng.gen_range(0..u64::MAX),
+                        mean: arb_f64(rng),
+                    })
+                    .collect(),
+            }
+        }
+        14 => {
+            let n = rng.gen_range(0..=4usize);
+            Response::Trace(
+                (0..n)
+                    .map(|_| WireTraceEvent {
+                        seq: rng.gen_range(0..u64::MAX),
+                        label: arb_metric_name(rng),
+                    })
+                    .collect(),
+            )
+        }
         _ => Response::Error {
             code: [
                 ErrorCode::Parse,
@@ -386,6 +446,70 @@ fn cache_changes_no_response_bytes_only_counters() {
     assert_eq!(cached_stats.requests, uncached_stats.requests);
     assert_eq!(cached_stats.answered, uncached_stats.answered);
     assert_eq!(cached_stats.errors, uncached_stats.errors);
+}
+
+#[test]
+fn observability_changes_no_response_bytes() {
+    // The zero-byte-impact contract of `rp_repro::engine::obs`: the
+    // instrumented serving stack must produce byte-identical transcripts
+    // whether the registry is recording or disabled. The registry is
+    // process-global, so the flag is restored even on panic.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            rp_repro::engine::obs::global().set_enabled(true);
+        }
+    }
+    let (enabled, enabled_stats) = stdio_transcript(1024);
+    let _restore = Restore;
+    rp_repro::engine::obs::global().set_enabled(false);
+    let (disabled, disabled_stats) = stdio_transcript(1024);
+    assert_eq!(
+        enabled, disabled,
+        "observability instrumentation altered response bytes"
+    );
+    assert_eq!(enabled_stats.requests, disabled_stats.requests);
+    assert_eq!(enabled_stats.answered, disabled_stats.answered);
+    assert_eq!(enabled_stats.errors, disabled_stats.errors);
+}
+
+#[test]
+fn metrics_and_trace_verbs_answer_canonical_lines() {
+    // `metrics` and `trace` answered by a live service parse back to the
+    // exact response (parse ∘ encode = id on real registry contents).
+    let service = fixture_service(1024);
+    let input = "ping\ncount Job=eng Disease=flu\nmetrics\ntrace 8\nquit\n";
+    let mut out = Vec::new();
+    serve(&service, input.as_bytes(), &mut out).expect("in-memory serve cannot fail");
+    let text = String::from_utf8(out).unwrap();
+    let metrics_line = text
+        .lines()
+        .find(|l| l.starts_with("metrics "))
+        .expect("metrics response present");
+    let parsed = Response::parse(metrics_line).expect("metrics line parses");
+    assert_eq!(parsed.encode(), metrics_line, "metrics encoding canonical");
+    let Response::Metrics { counters, .. } = parsed else {
+        panic!("expected a metrics response: {metrics_line}");
+    };
+    // This service's own counters are deterministic regardless of what
+    // other tests recorded into the shared registry.
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    // Counters are snapshotted before the `metrics` request itself is
+    // accounted, so only the preceding ping + count are visible.
+    assert_eq!(get("service.requests"), 2, "ping + count");
+    assert_eq!(get("service.answered"), 2);
+    let trace_line = text
+        .lines()
+        .find(|l| l.starts_with("trace "))
+        .expect("trace response present");
+    let parsed = Response::parse(trace_line).expect("trace line parses");
+    assert_eq!(parsed.encode(), trace_line, "trace encoding canonical");
 }
 
 #[test]
